@@ -1,0 +1,109 @@
+// Command blmr runs a single MapReduce application on the simulated
+// cluster in either execution mode, printing completion time, stage
+// bounds, and memory behaviour — a workbench for exploring the barrier-less
+// framework beyond the canned experiments.
+//
+// Usage:
+//
+//	blmr -app wordcount -size 8 -mode pipelined -store spill -reducers 40
+//	blmr -app blackscholes -mappers 100 -mode barrier
+//	blmr -app wordcount -size 4 -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blmr/internal/apps"
+	"blmr/internal/harness"
+	"blmr/internal/metrics"
+	"blmr/internal/simmr"
+	"blmr/internal/store"
+)
+
+func main() {
+	appName := flag.String("app", "wordcount", "application: grep|sort|wordcount|knn|lastfm|ga|blackscholes")
+	sizeGB := flag.Float64("size", 4, "input size in (virtual) GB for size-driven apps")
+	mappers := flag.Int("mappers", 100, "mapper count for ga/blackscholes")
+	mode := flag.String("mode", "pipelined", "barrier|pipelined")
+	storeKind := flag.String("store", "memory", "partial-result store: memory|spill|kv")
+	reducers := flag.Int("reducers", 60, "number of reduce tasks")
+	heapMB := flag.Int("heap", 0, "per-reducer heap cap in MB (0 = unlimited)")
+	spillMB := flag.Int("spill", 240, "spill threshold in MB for -store spill")
+	timeline := flag.Bool("timeline", false, "print the task-count timeline")
+	speculative := flag.Bool("speculative", false, "enable speculative map execution")
+	snapshot := flag.Float64("snapshot", 0, "pipelined progress snapshot period in virtual seconds (0 = off)")
+	flag.Parse()
+
+	var app apps.App
+	var ds harness.Dataset
+	var costs simmr.CostModel
+	switch *appName {
+	case "grep":
+		app, ds, costs = apps.Grep("word00042"), harness.WordCountData(*sizeGB), harness.CalibWordCount
+	case "sort":
+		app, ds, costs = apps.Sort(), harness.SortData(*sizeGB), harness.CalibSort
+	case "wordcount":
+		app, ds, costs = apps.WordCount(), harness.WordCountData(*sizeGB), harness.CalibWordCount
+	case "knn":
+		var exp []uint64
+		ds, exp = harness.KNNData(*sizeGB)
+		app, costs = apps.KNN(10, exp), harness.CalibKNN
+	case "lastfm":
+		app, ds, costs = apps.LastFM(), harness.LastFMData(*sizeGB), harness.CalibLastFM
+	case "ga":
+		app, ds, costs = apps.GA(200), harness.GAData(*mappers), harness.CalibGA
+	case "blackscholes":
+		app, ds, costs = apps.BlackScholes(harness.BSPaperParams()), harness.BSData(*mappers), harness.CalibBS
+		*reducers = 1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	m := simmr.Pipelined
+	if *mode == "barrier" {
+		m = simmr.Barrier
+	}
+	var kind store.Kind
+	switch *storeKind {
+	case "memory":
+		kind = store.InMemory
+	case "spill":
+		kind = store.SpillMerge
+	case "kv":
+		kind = store.KV
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store %q\n", *storeKind)
+		os.Exit(2)
+	}
+
+	res := harness.Run(harness.RunSpec{
+		App: app, Data: ds, Mode: m, Reducers: *reducers, Store: kind,
+		Costs: costs, HeapBudgetMB: *heapMB, SpillThresholdMB: *spillMB, KVCacheMB: 512,
+		Speculative: *speculative, SnapshotPeriod: *snapshot,
+	})
+
+	fmt.Printf("app=%s mode=%s store=%s reducers=%d\n", app.Name, m, kind, *reducers)
+	fmt.Printf("completion: %.1fs  (map outputs ready: %.1fs)\n", res.Completion, res.MapOutputsReady)
+	if res.Failed {
+		fmt.Printf("JOB FAILED: %s\n", res.FailReason)
+	}
+	fmt.Printf("map tasks: %d (retries %d, backups %d/%d won)  output records: %d  spills: %d  peak partials: %d MB\n",
+		res.MapTasks, res.MapRetries, res.BackupsWon, res.BackupsLaunched, len(res.Output), res.Spills, res.PeakMemVirt>>20)
+	if len(res.Snapshots) > 0 {
+		fmt.Printf("progress snapshots: %d (first %.1fs, last %.1fs)\n",
+			len(res.Snapshots), res.Snapshots[0].T, res.Snapshots[len(res.Snapshots)-1].T)
+	}
+	for _, st := range []metrics.Stage{metrics.StageMap, metrics.StageShuffle, metrics.StageSort, metrics.StageReduce, metrics.StageOutput} {
+		if first, last, ok := res.Metrics.StageBounds(st); ok {
+			fmt.Printf("  %-8s %8.1fs .. %8.1fs\n", st, first, last)
+		}
+	}
+	if *timeline {
+		step := res.Completion / 40
+		fmt.Println(metrics.RenderTimeline(res.Metrics,
+			[]metrics.Stage{metrics.StageMap, metrics.StageShuffle, metrics.StageSort, metrics.StageReduce, metrics.StageOutput}, step))
+	}
+}

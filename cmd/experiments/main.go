@@ -1,0 +1,89 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated cluster and prints the textual equivalents.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -only fig6b,fig9,table2
+//	experiments -quick     # smaller sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blmr/internal/harness"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids (fig4, fig5, fig6a..fig6f, fig7, fig8, fig9, fig10, hetero, table1, table2)")
+	quick := flag.Bool("quick", false, "use reduced sweeps")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	sizes := harness.PaperSizesGB()
+	gaMappers := harness.PaperGAMappers()
+	bsMappers := harness.PaperBSMappers()
+	fig8R := harness.PaperFig8Reducers()
+	fig9R := harness.PaperFig9Reducers()
+	fig10S := harness.PaperFig10Sizes()
+	if *quick {
+		sizes = []float64{2, 8}
+		gaMappers = []float64{50, 150}
+		bsMappers = []float64{25, 100}
+		fig8R = []float64{40, 60, 70}
+		fig9R = []float64{10, 30, 60}
+		fig10S = []float64{4, 16, 24}
+	}
+
+	section := func(id string, fn func() string) {
+		if !want(id) {
+			return
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Println(fn())
+	}
+
+	section("fig4", func() string { return harness.Fig4().Render() })
+	section("fig5", func() string { return harness.Fig5().Render() })
+	section("fig6a", func() string { return report(harness.Fig6Sort(sizes)) })
+	section("fig6b", func() string { return report(harness.Fig6WordCount(sizes)) })
+	section("fig6c", func() string { return report(harness.Fig6KNN(sizes)) })
+	section("fig6d", func() string { return report(harness.Fig6LastFM(sizes)) })
+	section("fig6e", func() string { return report(harness.Fig6GA(gaMappers)) })
+	section("fig6f", func() string { return report(harness.Fig6BlackScholes(bsMappers)) })
+	section("fig7", func() string { return harness.Fig7().Render() })
+	section("fig8", func() string { return report(harness.Fig8(fig8R)) })
+	section("fig9", func() string { return report(harness.Fig9(fig9R)) })
+	section("fig10", func() string { return report(harness.Fig10(fig10S)) })
+	section("hetero", func() string { return harness.RenderHetero(harness.ExpHeterogeneity(harness.HeteroSpreads())) })
+	section("table1", func() string { return harness.RenderTable1(harness.Table1()) })
+	section("table2", func() string {
+		rows, err := harness.Table2()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "table2:", err)
+			os.Exit(1)
+		}
+		return harness.RenderTable2(rows)
+	})
+}
+
+// report renders a sweep plus its mean improvement line.
+func report(sw harness.Sweep) string {
+	out := sw.Render()
+	if len(sw.Series) == 2 {
+		out += fmt.Sprintf("mean improvement of %s over %s: %.1f%%\n",
+			sw.Series[1].Label, sw.Series[0].Label,
+			harness.MeanImprovement(sw.Series[0], sw.Series[1]))
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package blmr is a from-scratch Go reproduction of "Breaking the MapReduce
+// Stage Barrier" (Verma, Zea, Cho, Gupta, Campbell — CLUSTER 2010): a
+// barrier-less MapReduce framework in which the Reduce stage consumes
+// records as the shuffle delivers them, holding per-key partial results in
+// pluggable memory-managed stores.
+//
+// The implementation lives under internal/: a discrete-event cluster
+// simulator (sim, cluster, dfs) carrying the full MapReduce engine (simmr),
+// a real-concurrency in-process engine (mr), the seven Reduce-operation
+// classes (reducers), partial-result stores including disk spill-and-merge
+// and a BerkeleyDB-style KV store (store, kvstore), the paper's six
+// benchmark applications (apps), and an experiment harness reproducing
+// every table and figure of the evaluation (harness).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package blmr

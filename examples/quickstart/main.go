@@ -1,0 +1,47 @@
+// Quickstart: count words with the in-process engine, comparing the classic
+// barrier execution against the paper's barrier-less (pipelined) mode.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blmr/internal/apps"
+	"blmr/internal/mr"
+	"blmr/internal/workload"
+)
+
+func main() {
+	// 50k lines of Zipf-distributed text.
+	input := workload.Text(1, 50_000, 5_000, 12)
+
+	app := apps.WordCount()
+	job := mr.Job{
+		Name:      app.Name,
+		Mapper:    app.Mapper,
+		NewGroup:  app.NewGroup,
+		NewStream: app.NewStream,
+		Merger:    app.Merger,
+	}
+
+	barrier, err := mr.Run(job, input, mr.Options{Mode: mr.Barrier})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipelined, err := mr.Run(job, input, mr.Options{Mode: mr.Pipelined})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("distinct words: %d\n", len(barrier.Output))
+	fmt.Printf("barrier:    %v (map %v)\n", barrier.Wall, barrier.MapWall)
+	fmt.Printf("pipelined:  %v (reduce overlapped the maps)\n", pipelined.Wall)
+
+	mr.SortOutput(pipelined.Output)
+	fmt.Println("\ntop of the output:")
+	for _, r := range pipelined.Output[:5] {
+		fmt.Printf("  %-12s %s\n", r.Key, r.Value)
+	}
+}

@@ -1,0 +1,143 @@
+// Package apps implements the paper's benchmark applications — one per
+// Reduce class of Table 1 — in both barrier and barrier-less forms:
+//
+//	Distributed Grep   (Identity)
+//	Sort               (Sorting)
+//	WordCount          (Aggregation)
+//	k-Nearest Neighbor (Selection)
+//	Last.fm listens    (Post-reduction processing)
+//	Genetic Algorithm  (Cross-key operations)
+//	Black-Scholes      (Single reducer aggregation)
+//
+// Each App bundles the mapper, both reducer factories and the spill merger,
+// so engines and experiments can treat applications uniformly.
+package apps
+
+import (
+	"strings"
+
+	"blmr/internal/core"
+	"blmr/internal/reducers"
+	"blmr/internal/store"
+)
+
+// App is a runnable MapReduce application in both execution modes.
+type App struct {
+	// Name identifies the app in reports.
+	Name string
+	// Class is the paper's Reduce classification.
+	Class core.Class
+	// Mapper is shared by all map tasks (stateless).
+	Mapper core.Mapper
+	// NewGroup builds a barrier-mode reducer per reduce task.
+	NewGroup func() core.GroupReducer
+	// NewStream builds a barrier-less reducer per reduce task.
+	NewStream func(st store.Store) core.StreamReducer
+	// Merger combines same-key partials for the spill-merge store.
+	Merger store.Merger
+}
+
+// Grep returns the distributed-grep app: lines containing pattern pass
+// through unchanged (Identity class — byte-identical in both modes).
+func Grep(pattern string) App {
+	return App{
+		Name:  "grep",
+		Class: core.ClassIdentity,
+		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
+			if strings.Contains(value, pattern) {
+				emit.Emit(key, value)
+			}
+		}),
+		NewGroup:  func() core.GroupReducer { return reducers.Identity{} },
+		NewStream: func(store.Store) core.StreamReducer { return reducers.Identity{} },
+		Merger:    func(a, b string) string { return a }, // never invoked: unique keys
+	}
+}
+
+// Sort returns the sort benchmark: the mapper is the identity (keys are
+// already order-preserving encodings); the barrier version lets the
+// framework sort, the barrier-less version counts duplicates in a tree and
+// replays them in order at the end (Section 6.1.1).
+func Sort() App {
+	return App{
+		Name:  "sort",
+		Class: core.ClassSorting,
+		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
+			emit.Emit(key, value)
+		}),
+		NewGroup: func() core.GroupReducer { return reducers.SortingGroup{} },
+		NewStream: func(st store.Store) core.StreamReducer {
+			return reducers.NewSortingStream(st)
+		},
+		Merger: reducers.SumMerger,
+	}
+}
+
+// WordCount returns the canonical aggregation app (Algorithms 1 and 2 of
+// the paper).
+func WordCount() App {
+	return App{
+		Name:  "wordcount",
+		Class: core.ClassAggregation,
+		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
+			for _, w := range strings.Fields(value) {
+				emit.Emit(w, "1")
+			}
+		}),
+		NewGroup: func() core.GroupReducer {
+			return reducers.AggregationGroup{Combine: reducers.SumMerger}
+		},
+		NewStream: func(st store.Store) core.StreamReducer {
+			return reducers.NewAggregationStream(st, reducers.SumMerger)
+		},
+		Merger: reducers.SumMerger,
+	}
+}
+
+// KNN returns the k-nearest-neighbors app (Section 4.4): each training
+// record is compared against every experimental value; per experimental
+// value, the k nearest training values survive. experimental is captured by
+// the mapper closure (distributed via the job jar in Hadoop terms).
+func KNN(k int, experimental []uint64) App {
+	exp := append([]uint64(nil), experimental...)
+	return App{
+		Name:  "knn",
+		Class: core.ClassSelection,
+		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
+			train := core.DecodeUint64(value)
+			for _, ev := range exp {
+				var dist uint64
+				if train > ev {
+					dist = train - ev
+				} else {
+					dist = ev - train
+				}
+				emit.Emit(core.EncodeUint64(ev),
+					core.JoinValues(core.EncodeUint64(dist), core.EncodeUint64(train)))
+			}
+		}),
+		NewGroup: func() core.GroupReducer { return reducers.SelectionGroup{K: k} },
+		NewStream: func(st store.Store) core.StreamReducer {
+			return reducers.NewSelectionStream(st, k)
+		},
+		Merger: reducers.SelectionMerger(k),
+	}
+}
+
+// LastFM returns the unique-listens app (Section 4.5): count distinct users
+// per track.
+func LastFM() App {
+	return App{
+		Name:  "lastfm",
+		Class: core.ClassPostReduction,
+		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
+			parts := core.SplitValues(value)
+			emit.Emit(parts[0], parts[1]) // (track, user)
+		}),
+		NewGroup: func() core.GroupReducer { return reducers.PostReductionGroup{} },
+		NewStream: func(st store.Store) core.StreamReducer {
+			return reducers.NewPostReductionStream(st)
+		},
+		Merger: reducers.SetUnionMerger,
+	}
+}

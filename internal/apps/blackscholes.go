@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"math"
+	"strconv"
+
+	"blmr/internal/core"
+	"blmr/internal/reducers"
+	"blmr/internal/store"
+	"blmr/internal/workload"
+)
+
+// BSParams are the option parameters of the Black-Scholes Monte-Carlo
+// simulation (the paper's compute-heavy, single-reducer workload).
+type BSParams struct {
+	Spot, Strike, Rate, Volatility, Maturity float64
+	// Iterations is the number of Monte-Carlo price paths per mapper.
+	Iterations int
+	// Samples is how many price samples each mapper emits; each emitted
+	// sample is the mean of Iterations/Samples paths, so the reducer sees
+	// a bounded record stream while the mapper does the heavy lifting.
+	Samples int
+}
+
+// DefaultBSParams prices an at-the-money one-year call.
+func DefaultBSParams() BSParams {
+	return BSParams{Spot: 100, Strike: 100, Rate: 0.05, Volatility: 0.2, Maturity: 1, Iterations: 100000, Samples: 100}
+}
+
+// BlackScholes returns the options-pricing app (Section 4.7): each mapper
+// runs a Monte-Carlo simulation seeded from its input record and emits
+// price samples with their squares; a single reducer folds them into a
+// running mean and standard deviation with O(1) state.
+func BlackScholes(params BSParams) App {
+	return App{
+		Name:  "blackscholes",
+		Class: core.ClassSingleReducer,
+		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
+			seed, _ := strconv.ParseUint(value, 10, 64)
+			rng := workload.NewRNG(seed)
+			perSample := params.Iterations / params.Samples
+			if perSample < 1 {
+				perSample = 1
+			}
+			drift := (params.Rate - 0.5*params.Volatility*params.Volatility) * params.Maturity
+			volT := params.Volatility * math.Sqrt(params.Maturity)
+			discount := math.Exp(-params.Rate * params.Maturity)
+			for s := 0; s < params.Samples; s++ {
+				sum := 0.0
+				for i := 0; i < perSample; i++ {
+					z := rng.NormFloat64()
+					st := params.Spot * math.Exp(drift+volT*z)
+					payoff := st - params.Strike
+					if payoff < 0 {
+						payoff = 0
+					}
+					sum += discount * payoff
+				}
+				emit.Emit("0", reducers.MomentsValue(sum/float64(perSample)))
+			}
+		}),
+		NewGroup:  func() core.GroupReducer { return reducers.NewMoments() },
+		NewStream: func(store.Store) core.StreamReducer { return reducers.NewMoments() },
+		Merger:    func(a, b string) string { return a }, // O(1) state, never spills
+	}
+}
+
+// BSAnalytic returns the closed-form Black-Scholes call price, used by
+// tests to validate the Monte-Carlo pipeline end to end.
+func BSAnalytic(p BSParams) float64 {
+	d1 := (math.Log(p.Spot/p.Strike) + (p.Rate+0.5*p.Volatility*p.Volatility)*p.Maturity) /
+		(p.Volatility * math.Sqrt(p.Maturity))
+	d2 := d1 - p.Volatility*math.Sqrt(p.Maturity)
+	return p.Spot*cnorm(d1) - p.Strike*math.Exp(-p.Rate*p.Maturity)*cnorm(d2)
+}
+
+// cnorm is the standard normal CDF.
+func cnorm(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }

@@ -1,0 +1,91 @@
+// Package codec serializes record streams to flat byte buffers using
+// uvarint-length-prefixed key/value pairs. Spill files, shuffle segments and
+// the key/value store log all share this format.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blmr/internal/core"
+)
+
+// AppendRecord appends the encoding of r to dst and returns the extended
+// buffer.
+func AppendRecord(dst []byte, r core.Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r.Key)))
+	dst = append(dst, r.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Value)))
+	dst = append(dst, r.Value...)
+	return dst
+}
+
+// AppendRecords appends all records to dst.
+func AppendRecords(dst []byte, recs []core.Record) []byte {
+	for _, r := range recs {
+		dst = AppendRecord(dst, r)
+	}
+	return dst
+}
+
+// EncodedSize returns the exact encoded size of r in bytes.
+func EncodedSize(r core.Record) int64 {
+	return int64(uvarintLen(uint64(len(r.Key))) + len(r.Key) + uvarintLen(uint64(len(r.Value))) + len(r.Value))
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Reader decodes a record stream from a buffer. It satisfies sortx.Run when
+// the underlying stream is key-sorted.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps an encoded buffer.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Next decodes the next record; ok is false at end of buffer. Corrupt input
+// panics: the framework only reads buffers it wrote.
+func (rd *Reader) Next() (core.Record, bool) {
+	if rd.off >= len(rd.buf) {
+		return core.Record{}, false
+	}
+	key := rd.str()
+	val := rd.str()
+	return core.Record{Key: key, Value: val}, true
+}
+
+func (rd *Reader) str() string {
+	n, sz := binary.Uvarint(rd.buf[rd.off:])
+	if sz <= 0 {
+		panic(fmt.Sprintf("codec: corrupt length at offset %d", rd.off))
+	}
+	rd.off += sz
+	if rd.off+int(n) > len(rd.buf) {
+		panic(fmt.Sprintf("codec: truncated record at offset %d", rd.off))
+	}
+	s := string(rd.buf[rd.off : rd.off+int(n)])
+	rd.off += int(n)
+	return s
+}
+
+// DecodeAll decodes every record in buf.
+func DecodeAll(buf []byte) []core.Record {
+	var out []core.Record
+	rd := NewReader(buf)
+	for {
+		r, ok := rd.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}

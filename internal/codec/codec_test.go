@@ -1,0 +1,109 @@
+package codec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"blmr/internal/core"
+)
+
+func TestRoundTrip(t *testing.T) {
+	recs := []core.Record{
+		{Key: "a", Value: "1"},
+		{Key: "", Value: ""},
+		{Key: "long-key-" + strings.Repeat("x", 200), Value: strings.Repeat("v", 1000)},
+		{Key: "\x00binary\xff", Value: "\x1f"},
+	}
+	buf := AppendRecords(nil, recs)
+	got := DecodeAll(buf)
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %v, want %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEncodedSizeMatches(t *testing.T) {
+	f := func(key, val string) bool {
+		r := core.Record{Key: key, Value: val}
+		buf := AppendRecord(nil, r)
+		return int64(len(buf)) == EncodedSize(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(pairs [][2]string) bool {
+		recs := make([]core.Record, len(pairs))
+		for i, p := range pairs {
+			recs[i] = core.Record{Key: p[0], Value: p[1]}
+		}
+		got := DecodeAll(AppendRecords(nil, recs))
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyBuffer(t *testing.T) {
+	rd := NewReader(nil)
+	if _, ok := rd.Next(); ok {
+		t.Fatal("empty buffer should yield no records")
+	}
+	if DecodeAll(nil) != nil {
+		t.Fatal("DecodeAll(nil) should be nil")
+	}
+}
+
+func TestCorruptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on truncated buffer")
+		}
+	}()
+	buf := AppendRecord(nil, core.Record{Key: "hello", Value: "world"})
+	NewReader(buf[:3]).Next()
+}
+
+func BenchmarkAppendRecord(b *testing.B) {
+	r := core.Record{Key: "some-key-123", Value: "some-value-payload"}
+	buf := make([]byte, 0, 1<<20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(buf) > 1<<19 {
+			buf = buf[:0]
+		}
+		buf = AppendRecord(buf, r)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var buf []byte
+	for i := 0; i < 1024; i++ {
+		buf = AppendRecord(buf, core.Record{Key: "key-123456", Value: "value-payload"})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd := NewReader(buf)
+		for {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/stats"
+)
+
+// Fig7Result reproduces Figure 7: a box plot of the relative percentage
+// improvements of the barrier-less version per application, computed from
+// the Figure 6 sweeps (each sweep point is one sample).
+type Fig7Result struct {
+	Labels []string
+	Boxes  []stats.Box
+}
+
+// Fig7 derives the improvement distributions from fresh Figure 6 runs.
+func Fig7() Fig7Result {
+	sweeps := []Sweep{
+		Fig6Sort(PaperSizesGB()),
+		Fig6WordCount(PaperSizesGB()),
+		Fig6KNN(PaperSizesGB()),
+		Fig6LastFM(PaperSizesGB()),
+		Fig6GA(PaperGAMappers()),
+		Fig6BlackScholes(PaperBSMappers()),
+	}
+	labels := []string{"Sort", "WC", "KNN", "PP", "GA", "BS"}
+	out := Fig7Result{Labels: labels}
+	for _, sw := range sweeps {
+		out.Boxes = append(out.Boxes, stats.Summarize(Improvements(sw.Series[0], sw.Series[1])))
+	}
+	return out
+}
+
+// Render formats the box plot.
+func (f Fig7Result) Render() string {
+	return "fig7: %% improvement of barrier-less over barrier, per application\n" +
+		stats.RenderBoxes(f.Labels, f.Boxes, 64) +
+		fmt.Sprintf("\noverall mean improvement: %.1f%%\n", f.overallMean())
+}
+
+func (f Fig7Result) overallMean() float64 {
+	var sum float64
+	for _, b := range f.Boxes {
+		sum += b.Median
+	}
+	return sum / float64(len(f.Boxes))
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+	"blmr/internal/store"
+)
+
+// fig8Mappers fixes the GA workload size while the reducer count varies.
+const fig8Mappers = 150
+
+// Fig8 reproduces Figure 8: genetic algorithm completion time vs number of
+// reducers (30..70 on a 60-reduce-slot cluster — the 70 case forces a
+// second reducer wave, which re-inflates mapper slack and with it the
+// barrier-less advantage).
+func Fig8(reducers []float64) Sweep {
+	ds := GAData(fig8Mappers)
+	barrier := Series{Label: "with barrier"}
+	pipelined := Series{Label: "without barrier"}
+	for _, r := range reducers {
+		for _, mode := range []simmr.Mode{simmr.Barrier, simmr.Pipelined} {
+			res := Run(RunSpec{
+				App: apps.GA(gaWindow), Data: ds, Mode: mode,
+				Reducers: int(r), Store: store.InMemory, Costs: CalibGA,
+			})
+			ser := &barrier
+			if mode == simmr.Pipelined {
+				ser = &pipelined
+			}
+			ser.X = append(ser.X, r)
+			ser.Y = append(ser.Y, res.Completion)
+			ser.Note = append(ser.Note, "")
+		}
+	}
+	return Sweep{
+		ID:     "fig8",
+		Title:  "Genetic Algorithm with varying reducers (150 mappers)",
+		XLabel: "number of reducers",
+		Series: []Series{barrier, pipelined},
+	}
+}
+
+// PaperFig8Reducers are the x values of Figure 8.
+func PaperFig8Reducers() []float64 { return []float64{30, 40, 50, 60, 70} }

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+	"blmr/internal/store"
+)
+
+// Figures 9 and 10 compare the memory-management techniques on WordCount:
+// the classic barrier, and the barrier-less framework with the in-memory
+// store (OOMs when partial results exceed the heap), the disk
+// spill-and-merge store, and the off-the-shelf-style key/value store.
+
+// memTechniqueSweep runs the four configurations at each x.
+func memTechniqueSweep(id, title, xlabel string, xs []float64, mk func(x float64) Dataset, reducers func(x float64) int) Sweep {
+	series := []Series{
+		{Label: "with barrier"},
+		{Label: "in-memory"},
+		{Label: "spill merge"},
+		{Label: "berkeleydb-style kv"},
+	}
+	for _, x := range xs {
+		ds := mk(x)
+		runs := []RunSpec{
+			{App: apps.WordCount(), Data: ds, Mode: simmr.Barrier, Store: store.InMemory},
+			{App: apps.WordCount(), Data: ds, Mode: simmr.Pipelined, Store: store.InMemory, HeapBudgetMB: fig5HeapMB},
+			{App: apps.WordCount(), Data: ds, Mode: simmr.Pipelined, Store: store.SpillMerge, SpillThresholdMB: fig5SpillMB, HeapBudgetMB: fig5HeapMB},
+			{App: apps.WordCount(), Data: ds, Mode: simmr.Pipelined, Store: store.KV, KVCacheMB: 512, HeapBudgetMB: fig5HeapMB},
+		}
+		for i, spec := range runs {
+			spec.Reducers = reducers(x)
+			spec.Costs = CalibWordCount
+			res := Run(spec)
+			series[i].X = append(series[i].X, x)
+			series[i].Y = append(series[i].Y, res.Completion)
+			note := ""
+			if res.Failed {
+				note = "OOM"
+			}
+			series[i].Note = append(series[i].Note, note)
+		}
+	}
+	return Sweep{ID: id, Title: title, XLabel: xlabel, Series: series}
+}
+
+// Fig9 reproduces Figure 9: WordCount (16GB) memory-management techniques
+// vs number of reducers. The in-memory store OOMs at low reducer counts
+// where per-reducer partial results exceed the heap.
+func Fig9(reducers []float64) Sweep {
+	ds := WordCountData(fig5SizeGB)
+	return memTechniqueSweep("fig9",
+		"WordCount 16GB: memory management vs number of reducers",
+		"number of reducers", reducers,
+		func(float64) Dataset { return ds },
+		func(x float64) int { return int(x) })
+}
+
+// PaperFig9Reducers are the x values of Figure 9.
+func PaperFig9Reducers() []float64 { return []float64{10, 20, 30, 40, 50, 60, 70} }
+
+// Fig10 reproduces Figure 10: the same four techniques vs dataset size at a
+// fixed reducer count (30).
+func Fig10(sizesGB []float64) Sweep {
+	return memTechniqueSweep("fig10",
+		"WordCount: memory management vs dataset size (30 reducers)",
+		"input size (GB)", sizesGB,
+		func(gb float64) Dataset { return WordCountData(gb) },
+		func(float64) int { return 30 })
+}
+
+// PaperFig10Sizes are the x values of Figure 10.
+func PaperFig10Sizes() []float64 { return []float64{4, 8, 12, 16, 20, 24} }

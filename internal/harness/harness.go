@@ -1,0 +1,202 @@
+// Package harness reproduces every table and figure of the paper's
+// evaluation (Section 6). Each Fig*/Table* function builds the workload,
+// runs the simulated cluster in the relevant configurations, and returns
+// both structured data and a rendered text report.
+//
+// Calibration: the simulator is not the authors' testbed, so absolute
+// seconds differ; cost rates below are tuned so the *shape* of each result
+// (who wins, by what factor, where crossovers fall) matches the paper. The
+// per-application calibrations are package-level so ablation benchmarks can
+// perturb them.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"blmr/internal/apps"
+	"blmr/internal/cluster"
+	"blmr/internal/core"
+	"blmr/internal/simmr"
+	"blmr/internal/store"
+	"blmr/internal/workload"
+)
+
+// GB is one virtual gigabyte.
+const GB = float64(1 << 30)
+
+// PaperCluster mirrors the testbed: 15 workers, 4 map + 4 reduce slots
+// each, GigE, moderately oversubscribed core, mild heterogeneity.
+func PaperCluster() cluster.Config {
+	cfg := cluster.Default()
+	return cfg
+}
+
+// Dataset is input data plus its virtual scaling.
+type Dataset struct {
+	Splits      [][]core.Record
+	ByteScale   float64 // virtual bytes per real byte
+	RecordScale float64 // virtual records per real record
+}
+
+// chunkMB is the DFS chunk size (paper: 64 MB).
+const chunkMB = 64.0
+
+// makeDataset splits records into 64MB virtual chunks totaling sizeGB and
+// computes the scale factors. virtRecords is the virtual record count the
+// real records stand for.
+func makeDataset(recs []core.Record, sizeGB float64, virtRecords float64) Dataset {
+	realBytes := float64(core.RecordsSize(recs))
+	if realBytes == 0 {
+		realBytes = 1
+	}
+	byteScale := sizeGB * GB / realBytes
+	recScale := 1.0
+	if len(recs) > 0 {
+		recScale = virtRecords / float64(len(recs))
+	}
+	chunks := int(sizeGB*1024/chunkMB + 0.5)
+	if chunks < 1 {
+		chunks = 1
+	}
+	return Dataset{
+		Splits:      workload.SplitEvenly(recs, chunks),
+		ByteScale:   byteScale,
+		RecordScale: recScale,
+	}
+}
+
+// RunSpec is one job execution request.
+type RunSpec struct {
+	App      apps.App
+	Data     Dataset
+	Mode     simmr.Mode
+	Reducers int
+	Store    store.Kind
+	Costs    simmr.CostModel
+	// HeapBudgetMB / SpillThresholdMB / KVCacheMB are virtual megabytes.
+	HeapBudgetMB     int
+	SpillThresholdMB int
+	KVCacheMB        int
+	Cluster          cluster.Config
+	// Replication overrides the DFS replication factor (default 3).
+	Replication int
+	// FetchParallelism overrides the barrier-mode parallel copies (default 5).
+	FetchParallelism int
+	// Speculative enables backup execution of straggling map tasks.
+	Speculative bool
+	// SnapshotPeriod enables pipelined progress snapshots (virtual seconds).
+	SnapshotPeriod float64
+}
+
+// Run executes a RunSpec on a fresh engine.
+func Run(spec RunSpec) *simmr.Result {
+	ccfg := spec.Cluster
+	if ccfg.Nodes == 0 {
+		ccfg = PaperCluster()
+	}
+	repl := spec.Replication
+	if repl <= 0 {
+		repl = 3
+	}
+	eng := simmr.NewEngine(simmr.Config{
+		Cluster:          ccfg,
+		Replication:      repl,
+		ByteScale:        spec.Data.ByteScale,
+		RecordScale:      spec.Data.RecordScale,
+		FailMapTask:      -1,
+		FetchParallelism: spec.FetchParallelism,
+	})
+	f := eng.Ingest(spec.App.Name+".in", spec.Data.Splits)
+	job := simmr.JobSpec{
+		Name:           spec.App.Name,
+		Mapper:         spec.App.Mapper,
+		NewGroup:       spec.App.NewGroup,
+		NewStream:      spec.App.NewStream,
+		Merger:         spec.App.Merger,
+		Reducers:       spec.Reducers,
+		Mode:           spec.Mode,
+		Store:          spec.Store,
+		HeapBudget:     int64(spec.HeapBudgetMB) << 20,
+		SpillThreshold: int64(spec.SpillThresholdMB) << 20,
+		KVCacheBytes:   int64(spec.KVCacheMB) << 20,
+		Costs:          spec.Costs,
+		Speculative:    spec.Speculative,
+		SnapshotPeriod: spec.SnapshotPeriod,
+	}
+	return eng.Run(job, f)
+}
+
+// Series is one curve of a sweep: Y seconds at each X.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	// Note[i] annotates point i ("OOM" for killed jobs, where Y is the
+	// time of death).
+	Note []string
+}
+
+// Sweep is a rendered experiment: several curves over a shared x-axis.
+type Sweep struct {
+	ID     string
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Render formats the sweep as the textual equivalent of the paper's plot.
+func (s Sweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", s.ID, s.Title)
+	fmt.Fprintf(&b, "%-18s", s.XLabel)
+	for _, ser := range s.Series {
+		fmt.Fprintf(&b, " %18s", ser.Label)
+	}
+	b.WriteByte('\n')
+	if len(s.Series) == 0 {
+		return b.String()
+	}
+	for i := range s.Series[0].X {
+		fmt.Fprintf(&b, "%-18.4g", s.Series[0].X[i])
+		for _, ser := range s.Series {
+			cell := fmt.Sprintf("%.1f", ser.Y[i])
+			if len(ser.Note) > i && ser.Note[i] != "" {
+				cell += " (" + ser.Note[i] + ")"
+			}
+			fmt.Fprintf(&b, " %18s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MeanImprovement averages 100*(base-with)/base across the sweep points of
+// two series (skipping failed points).
+func MeanImprovement(base, with Series) float64 {
+	var sum float64
+	n := 0
+	for i := range base.Y {
+		if len(base.Note) > i && base.Note[i] != "" {
+			continue
+		}
+		if len(with.Note) > i && with.Note[i] != "" {
+			continue
+		}
+		sum += 100 * (base.Y[i] - with.Y[i]) / base.Y[i]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Improvements returns the per-point improvement percentages.
+func Improvements(base, with Series) []float64 {
+	var out []float64
+	for i := range base.Y {
+		out = append(out, 100*(base.Y[i]-with.Y[i])/base.Y[i])
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+	"blmr/internal/store"
+)
+
+// ExpHeterogeneity explores the paper's closing conjecture ("exploring
+// heterogeneity in systems and how much improvement our barrier-less
+// framework grants in the face of that heterogeneity"): the WordCount job
+// is run on clusters of increasing CPU-speed spread. Straggling mappers
+// stretch the shuffle window, and the barrier-less framework converts that
+// extra mapper slack into useful reduce work, so its advantage should grow
+// with heterogeneity.
+func ExpHeterogeneity(spreads []float64) Sweep {
+	ds := WordCountData(8)
+	barrier := Series{Label: "with barrier"}
+	pipelined := Series{Label: "without barrier"}
+	for _, s := range spreads {
+		cl := PaperCluster()
+		cl.SpeedSpread = s
+		for _, mode := range []simmr.Mode{simmr.Barrier, simmr.Pipelined} {
+			res := Run(RunSpec{
+				App: apps.WordCount(), Data: ds, Mode: mode, Reducers: fig6Reducers,
+				Store: store.InMemory, Costs: CalibWordCount, Cluster: cl,
+			})
+			ser := &barrier
+			if mode == simmr.Pipelined {
+				ser = &pipelined
+			}
+			ser.X = append(ser.X, s)
+			ser.Y = append(ser.Y, res.Completion)
+			ser.Note = append(ser.Note, "")
+		}
+	}
+	return Sweep{
+		ID:     "hetero",
+		Title:  "WordCount 8GB under CPU heterogeneity (future-work experiment)",
+		XLabel: "speed spread (+/-)",
+		Series: []Series{barrier, pipelined},
+	}
+}
+
+// HeteroSpreads are the default sweep points.
+func HeteroSpreads() []float64 { return []float64{0, 0.15, 0.3, 0.45} }
+
+// RenderHetero adds the per-point improvement column to the sweep.
+func RenderHetero(sw Sweep) string {
+	out := sw.Render()
+	imps := Improvements(sw.Series[0], sw.Series[1])
+	out += "improvement per spread:"
+	for i, imp := range imps {
+		out += fmt.Sprintf("  %.2f:%.1f%%", sw.Series[0].X[i], imp)
+	}
+	return out + "\n"
+}

@@ -1,0 +1,204 @@
+// Package metrics collects per-job observability: task-count timelines by
+// stage (Figure 4's progress plots) and per-reducer heap usage over time
+// (Figure 5's memory plots).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stage labels a task for timeline accounting.
+type Stage string
+
+// Stage names used by the engines.
+const (
+	StageMap     Stage = "map"
+	StageShuffle Stage = "shuffle"
+	StageSort    Stage = "sort"
+	StageReduce  Stage = "reduce"
+	StageOutput  Stage = "output"
+)
+
+// Span is one task's activity interval in one stage.
+type Span struct {
+	Stage Stage
+	Start float64
+	End   float64 // +Inf until closed
+}
+
+// Collector accumulates spans and memory samples for one job run.
+// Not safe for concurrent use; the simulation kernel is single-threaded.
+type Collector struct {
+	spans []*Span
+	open  map[int]*Span // token -> span
+	next  int
+
+	mem map[int][]MemSample // reducer id -> samples
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{open: make(map[int]*Span), mem: make(map[int][]MemSample)}
+}
+
+// TaskStart opens a span and returns a token to close it with.
+func (c *Collector) TaskStart(stage Stage, now float64) int {
+	c.next++
+	s := &Span{Stage: stage, Start: now, End: -1}
+	c.spans = append(c.spans, s)
+	c.open[c.next] = s
+	return c.next
+}
+
+// TaskEnd closes the span for token at time now.
+func (c *Collector) TaskEnd(token int, now float64) {
+	s, ok := c.open[token]
+	if !ok {
+		return
+	}
+	s.End = now
+	delete(c.open, token)
+}
+
+// CloseAll force-closes any still-open spans at time now (job abort).
+func (c *Collector) CloseAll(now float64) {
+	for tok, s := range c.open {
+		s.End = now
+		delete(c.open, tok)
+	}
+}
+
+// Spans returns copies of all recorded spans.
+func (c *Collector) Spans() []Span {
+	out := make([]Span, len(c.spans))
+	for i, s := range c.spans {
+		out[i] = *s
+	}
+	return out
+}
+
+// MemSample is one reducer heap measurement.
+type MemSample struct {
+	T     float64
+	Bytes int64
+}
+
+// MemSample records reducer r's partial-result footprint at time t.
+func (c *Collector) MemSample(r int, t float64, bytes int64) {
+	samples := c.mem[r]
+	// Coalesce: skip if unchanged from the previous sample.
+	if n := len(samples); n > 0 && samples[n-1].Bytes == bytes {
+		return
+	}
+	c.mem[r] = append(samples, MemSample{T: t, Bytes: bytes})
+}
+
+// MemSeries returns reducer r's samples in time order.
+func (c *Collector) MemSeries(r int) []MemSample {
+	return append([]MemSample(nil), c.mem[r]...)
+}
+
+// PeakMem returns the maximum sampled footprint across all reducers.
+func (c *Collector) PeakMem() int64 {
+	var peak int64
+	for _, samples := range c.mem {
+		for _, s := range samples {
+			if s.Bytes > peak {
+				peak = s.Bytes
+			}
+		}
+	}
+	return peak
+}
+
+// Point is one timeline step: the number of tasks of a stage active at T.
+type Point struct {
+	T     float64
+	Count int
+}
+
+// Timeline computes the count of active spans of the given stage sampled
+// every step seconds from 0 through the last span end.
+func (c *Collector) Timeline(stage Stage, step float64) []Point {
+	if step <= 0 {
+		step = 1
+	}
+	var end float64
+	for _, s := range c.spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	var out []Point
+	for t := 0.0; t <= end+step/2; t += step {
+		n := 0
+		for _, s := range c.spans {
+			if s.Stage == stage && s.Start <= t && t < s.End {
+				n++
+			}
+		}
+		out = append(out, Point{T: t, Count: n})
+	}
+	return out
+}
+
+// StageBounds returns the first start and last end across spans of a stage;
+// ok is false if the stage never ran.
+func (c *Collector) StageBounds(stage Stage) (first, last float64, ok bool) {
+	first, last = -1, -1
+	for _, s := range c.spans {
+		if s.Stage != stage {
+			continue
+		}
+		if first < 0 || s.Start < first {
+			first = s.Start
+		}
+		if s.End > last {
+			last = s.End
+		}
+	}
+	return first, last, first >= 0
+}
+
+// RenderTimeline produces a textual plot (one row per sample step, one
+// column per stage) resembling the paper's Figure 4 panels.
+func RenderTimeline(c *Collector, stages []Stage, step float64) string {
+	series := make([][]Point, len(stages))
+	maxLen := 0
+	for i, st := range stages {
+		series[i] = c.Timeline(st, step)
+		if len(series[i]) > maxLen {
+			maxLen = len(series[i])
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s", "t(s)")
+	for _, st := range stages {
+		fmt.Fprintf(&b, " %12s", st)
+	}
+	b.WriteByte('\n')
+	for row := 0; row < maxLen; row++ {
+		fmt.Fprintf(&b, "%10.1f", float64(row)*step)
+		for i := range stages {
+			v := 0
+			if row < len(series[i]) {
+				v = series[i][row].Count
+			}
+			fmt.Fprintf(&b, " %12d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedReducerIDs lists reducers with memory samples, ascending.
+func (c *Collector) SortedReducerIDs() []int {
+	ids := make([]int, 0, len(c.mem))
+	for id := range c.mem {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineCounts(t *testing.T) {
+	c := NewCollector()
+	t1 := c.TaskStart(StageMap, 0)
+	t2 := c.TaskStart(StageMap, 1)
+	c.TaskEnd(t1, 3)
+	t3 := c.TaskStart(StageReduce, 2)
+	c.TaskEnd(t2, 4)
+	c.TaskEnd(t3, 5)
+	tl := c.Timeline(StageMap, 1)
+	// t=0: 1 map; t=1: 2; t=2: 2; t=3: 1 (t1 ended); t=4: 0.
+	want := []int{1, 2, 2, 1, 0, 0}
+	for i, w := range want {
+		if i >= len(tl) {
+			t.Fatalf("timeline too short: %v", tl)
+		}
+		if tl[i].Count != w {
+			t.Fatalf("t=%d count=%d want %d (tl=%v)", i, tl[i].Count, w, tl)
+		}
+	}
+	rtl := c.Timeline(StageReduce, 1)
+	if rtl[2].Count != 1 || rtl[4].Count != 1 || rtl[5].Count != 0 {
+		t.Fatalf("reduce timeline %v", rtl)
+	}
+}
+
+func TestStageBounds(t *testing.T) {
+	c := NewCollector()
+	a := c.TaskStart(StageMap, 2)
+	b := c.TaskStart(StageMap, 5)
+	c.TaskEnd(a, 7)
+	c.TaskEnd(b, 11)
+	first, last, ok := c.StageBounds(StageMap)
+	if !ok || first != 2 || last != 11 {
+		t.Fatalf("bounds = %v %v %v", first, last, ok)
+	}
+	if _, _, ok := c.StageBounds(StageSort); ok {
+		t.Fatal("sort never ran")
+	}
+}
+
+func TestCloseAll(t *testing.T) {
+	c := NewCollector()
+	c.TaskStart(StageReduce, 0)
+	c.TaskStart(StageReduce, 1)
+	c.CloseAll(9)
+	for _, s := range c.Spans() {
+		if s.End != 9 {
+			t.Fatalf("span end = %v", s.End)
+		}
+	}
+}
+
+func TestTaskEndUnknownTokenIsNoop(t *testing.T) {
+	c := NewCollector()
+	c.TaskEnd(42, 1) // must not panic
+}
+
+func TestMemSamplesCoalesce(t *testing.T) {
+	c := NewCollector()
+	c.MemSample(0, 1, 100)
+	c.MemSample(0, 2, 100) // unchanged, coalesced
+	c.MemSample(0, 3, 200)
+	s := c.MemSeries(0)
+	if len(s) != 2 {
+		t.Fatalf("series = %v", s)
+	}
+	if c.PeakMem() != 200 {
+		t.Fatalf("peak = %d", c.PeakMem())
+	}
+}
+
+func TestSortedReducerIDs(t *testing.T) {
+	c := NewCollector()
+	c.MemSample(5, 0, 1)
+	c.MemSample(1, 0, 1)
+	c.MemSample(3, 0, 1)
+	ids := c.SortedReducerIDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	c := NewCollector()
+	tok := c.TaskStart(StageMap, 0)
+	c.TaskEnd(tok, 2)
+	out := RenderTimeline(c, []Stage{StageMap, StageReduce}, 1)
+	if !strings.Contains(out, "map") || !strings.Contains(out, "reduce") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+}

@@ -1,0 +1,283 @@
+// Package mr is an in-process parallel MapReduce engine built on goroutines
+// and channels — the wall-clock counterpart of the simulated engine. Map
+// workers feed per-reducer channels; in barrier mode reducers wait for all
+// map output and merge-sort it first (Figure 2), in pipelined mode they
+// consume records as they arrive, holding partial results in a store
+// (Figure 3). Channels map directly onto the paper's pipelined shuffle.
+package mr
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"blmr/internal/core"
+	"blmr/internal/kvstore"
+	"blmr/internal/sortx"
+	"blmr/internal/store"
+)
+
+// Mode selects barrier or pipelined execution.
+type Mode int
+
+// Execution modes.
+const (
+	Barrier Mode = iota
+	Pipelined
+)
+
+// Job bundles the user code for one MapReduce job (the same shape as
+// apps.App, decoupled so mr stays reusable as a standalone library).
+type Job struct {
+	Name      string
+	Mapper    core.Mapper
+	NewGroup  func() core.GroupReducer
+	NewStream func(st store.Store) core.StreamReducer
+	Merger    store.Merger
+}
+
+// Options tunes an execution.
+type Options struct {
+	// Mappers is the number of concurrent map workers (default NumCPU).
+	Mappers int
+	// Reducers is the number of reduce tasks (default NumCPU).
+	Reducers int
+	// Mode selects barrier or pipelined shuffle (default Barrier).
+	Mode Mode
+	// Store picks the partial-result strategy for pipelined mode.
+	Store store.Kind
+	// SpillThresholdBytes bounds in-memory partials for SpillMerge.
+	SpillThresholdBytes int64
+	// KVCacheBytes bounds the KV store cache.
+	KVCacheBytes int64
+	// QueueCap is the per-reducer channel buffer (default 1024).
+	QueueCap int
+}
+
+func (o *Options) normalize() {
+	if o.Mappers <= 0 {
+		o.Mappers = runtime.NumCPU()
+	}
+	if o.Reducers <= 0 {
+		o.Reducers = runtime.NumCPU()
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 1024
+	}
+	if o.SpillThresholdBytes <= 0 {
+		o.SpillThresholdBytes = 64 << 20
+	}
+	if o.KVCacheBytes <= 0 {
+		o.KVCacheBytes = 16 << 20
+	}
+}
+
+// Result reports one execution.
+type Result struct {
+	// Output is the concatenation of reducer outputs in reducer order.
+	// Within a reducer, barrier output is key-sorted; pipelined output
+	// order follows each reducer's Finish.
+	Output []core.Record
+	// MapWall is the wall-clock duration of the map phase (in pipelined
+	// mode reduce work overlaps it).
+	MapWall time.Duration
+	// Wall is the total wall-clock duration.
+	Wall time.Duration
+	// Spills counts spill-merge runs across reducers.
+	Spills int
+}
+
+// Run executes job over input and returns the result. The input slice is
+// not modified.
+func Run(job Job, input []core.Record, opts Options) (*Result, error) {
+	opts.normalize()
+	if job.Mapper == nil {
+		return nil, fmt.Errorf("mr: job %q has no mapper", job.Name)
+	}
+	if opts.Mode == Barrier && job.NewGroup == nil {
+		return nil, fmt.Errorf("mr: job %q has no group reducer", job.Name)
+	}
+	if opts.Mode == Pipelined && job.NewStream == nil {
+		return nil, fmt.Errorf("mr: job %q has no stream reducer", job.Name)
+	}
+	if opts.Mode == Pipelined && opts.Store == store.SpillMerge && job.Merger == nil {
+		return nil, fmt.Errorf("mr: job %q needs a merger for spill-merge", job.Name)
+	}
+	start := time.Now()
+	var res *Result
+	var err error
+	if opts.Mode == Barrier {
+		res, err = runBarrier(job, input, opts)
+	} else {
+		res, err = runPipelined(job, input, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// splitInput carves input into one contiguous piece per map worker.
+func splitInput(input []core.Record, n int) [][]core.Record {
+	per := (len(input) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	var out [][]core.Record
+	for lo := 0; lo < len(input); lo += per {
+		hi := lo + per
+		if hi > len(input) {
+			hi = len(input)
+		}
+		out = append(out, input[lo:hi])
+	}
+	return out
+}
+
+func runBarrier(job Job, input []core.Record, opts Options) (*Result, error) {
+	splits := splitInput(input, opts.Mappers)
+	// Each mapper partitions into private per-reducer runs; runs are
+	// merged per reducer after the map barrier, keeping everything
+	// deterministic regardless of goroutine scheduling.
+	runs := make([][][]core.Record, len(splits)) // [mapper][reducer][]
+	mapStart := time.Now()
+	var wg sync.WaitGroup
+	for m, split := range splits {
+		wg.Add(1)
+		go func(m int, split []core.Record) {
+			defer wg.Done()
+			parts := make([][]core.Record, opts.Reducers)
+			em := core.EmitterFunc(func(k, v string) {
+				p := core.Partition(k, opts.Reducers)
+				parts[p] = append(parts[p], core.Record{Key: k, Value: v})
+			})
+			for _, r := range split {
+				job.Mapper.Map(r.Key, r.Value, em)
+			}
+			runs[m] = parts
+		}(m, split)
+	}
+	wg.Wait() // the map-side barrier
+	mapWall := time.Since(mapStart)
+
+	outs := make([][]core.Record, opts.Reducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < opts.Reducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			var all []core.Record
+			for m := range runs {
+				all = append(all, runs[m][r]...)
+			}
+			sortx.ByKey(all)
+			sink := &recSink{}
+			gr := job.NewGroup()
+			sortx.Group(all, func(k string, vs []string) { gr.Reduce(k, vs, sink) })
+			if c, ok := gr.(core.Cleanup); ok {
+				c.Cleanup(sink)
+			}
+			outs[r] = sink.recs
+		}(r)
+	}
+	rwg.Wait()
+	return &Result{Output: concat(outs), MapWall: mapWall}, nil
+}
+
+func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
+	splits := splitInput(input, opts.Mappers)
+	chans := make([]chan core.Record, opts.Reducers)
+	for r := range chans {
+		chans[r] = make(chan core.Record, opts.QueueCap)
+	}
+	mapStart := time.Now()
+	var mapWall time.Duration
+	var mwg sync.WaitGroup
+	for _, split := range splits {
+		mwg.Add(1)
+		go func(split []core.Record) {
+			defer mwg.Done()
+			em := core.EmitterFunc(func(k, v string) {
+				chans[core.Partition(k, opts.Reducers)] <- core.Record{Key: k, Value: v}
+			})
+			for _, r := range split {
+				job.Mapper.Map(r.Key, r.Value, em)
+			}
+		}(split)
+	}
+	go func() {
+		mwg.Wait()
+		mapWall = time.Since(mapStart)
+		for _, ch := range chans {
+			close(ch)
+		}
+	}()
+
+	outs := make([][]core.Record, opts.Reducers)
+	spills := make([]int, opts.Reducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < opts.Reducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			st := newStore(job, opts)
+			sr := job.NewStream(st)
+			sink := &recSink{}
+			for rec := range chans[r] {
+				sr.Consume(rec, sink)
+			}
+			sr.Finish(sink)
+			if sp, ok := st.(*store.SpillStore); ok {
+				spills[r] = sp.Spills
+			}
+			outs[r] = sink.recs
+		}(r)
+	}
+	rwg.Wait()
+	total := 0
+	for _, s := range spills {
+		total += s
+	}
+	return &Result{Output: concat(outs), MapWall: mapWall, Spills: total}, nil
+}
+
+func newStore(job Job, opts Options) store.Store {
+	switch opts.Store {
+	case store.SpillMerge:
+		return store.NewSpillStore(opts.SpillThresholdBytes, job.Merger, nil)
+	case store.KV:
+		return store.NewKVStore(kvstore.New(kvstore.Config{CacheBytes: opts.KVCacheBytes}))
+	default:
+		return store.NewMemStore()
+	}
+}
+
+type recSink struct{ recs []core.Record }
+
+func (s *recSink) Write(k, v string) { s.recs = append(s.recs, core.Record{Key: k, Value: v}) }
+
+func concat(parts [][]core.Record) []core.Record {
+	var n int
+	for _, p := range parts {
+		n += len(p)
+	}
+	out := make([]core.Record, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// SortOutput key-sorts a result's output in place (helper for callers
+// needing globally ordered results across reducers).
+func SortOutput(recs []core.Record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key != recs[j].Key {
+			return recs[i].Key < recs[j].Key
+		}
+		return recs[i].Value < recs[j].Value
+	})
+}

@@ -1,0 +1,296 @@
+// Package rbtree implements a left-leaning red-black tree keyed by string —
+// the framework's equivalent of Java's TreeMap, which the paper uses to hold
+// per-key partial results in key order.
+//
+// The tree tracks an approximate byte footprint of its contents so the
+// engine can account reducer heap usage and trigger spills.
+package rbtree
+
+const (
+	red   = true
+	black = false
+)
+
+// nodeOverheadBytes approximates the per-node allocation overhead (pointers,
+// color, string headers) used for memory accounting.
+const nodeOverheadBytes = 64
+
+type node[V any] struct {
+	key         string
+	val         V
+	left, right *node[V]
+	color       bool
+	n           int // subtree size
+}
+
+// Tree is an ordered string-keyed map. The zero value is NOT usable; create
+// trees with New. Not safe for concurrent use.
+type Tree[V any] struct {
+	root   *node[V]
+	sizeOf func(V) int64
+	bytes  int64
+}
+
+// New creates a tree. sizeOf reports the accounted byte size of a value; a
+// nil sizeOf counts values as zero bytes (keys and node overhead are always
+// counted).
+func New[V any](sizeOf func(V) int64) *Tree[V] {
+	if sizeOf == nil {
+		sizeOf = func(V) int64 { return 0 }
+	}
+	return &Tree[V]{sizeOf: sizeOf}
+}
+
+// Len returns the number of keys.
+func (t *Tree[V]) Len() int {
+	if t.root == nil {
+		return 0
+	}
+	return t.root.n
+}
+
+// Bytes returns the accounted byte footprint of the tree.
+func (t *Tree[V]) Bytes() int64 { return t.bytes }
+
+// Get returns the value stored at key.
+func (t *Tree[V]) Get(key string) (V, bool) {
+	x := t.root
+	for x != nil {
+		switch {
+		case key < x.key:
+			x = x.left
+		case key > x.key:
+			x = x.right
+		default:
+			return x.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Contains reports whether key is present.
+func (t *Tree[V]) Contains(key string) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Put inserts or replaces the value at key.
+func (t *Tree[V]) Put(key string, val V) {
+	t.root = t.put(t.root, key, val)
+	t.root.color = black
+}
+
+func (t *Tree[V]) put(h *node[V], key string, val V) *node[V] {
+	if h == nil {
+		t.bytes += int64(len(key)) + t.sizeOf(val) + nodeOverheadBytes
+		return &node[V]{key: key, val: val, color: red, n: 1}
+	}
+	switch {
+	case key < h.key:
+		h.left = t.put(h.left, key, val)
+	case key > h.key:
+		h.right = t.put(h.right, key, val)
+	default:
+		t.bytes += t.sizeOf(val) - t.sizeOf(h.val)
+		h.val = val
+	}
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	h.n = 1 + size(h.left) + size(h.right)
+	return h
+}
+
+// Delete removes key if present.
+func (t *Tree[V]) Delete(key string) {
+	if !t.Contains(key) {
+		return
+	}
+	if !isRed(t.root.left) && !isRed(t.root.right) {
+		t.root.color = red
+	}
+	t.root = t.delete(t.root, key)
+	if t.root != nil {
+		t.root.color = black
+	}
+}
+
+func (t *Tree[V]) delete(h *node[V], key string) *node[V] {
+	if key < h.key {
+		if !isRed(h.left) && !isRed(h.left.left) {
+			h = moveRedLeft(h)
+		}
+		h.left = t.delete(h.left, key)
+	} else {
+		if isRed(h.left) {
+			h = rotateRight(h)
+		}
+		if key == h.key && h.right == nil {
+			t.bytes -= int64(len(h.key)) + t.sizeOf(h.val) + nodeOverheadBytes
+			return nil
+		}
+		if !isRed(h.right) && !isRed(h.right.left) {
+			h = moveRedRight(h)
+		}
+		if key == h.key {
+			t.bytes -= int64(len(h.key)) + t.sizeOf(h.val) + nodeOverheadBytes
+			m := min(h.right)
+			h.key, h.val = m.key, m.val
+			h.right = deleteMin(h.right)
+		} else {
+			h.right = t.delete(h.right, key)
+		}
+	}
+	return balance(h)
+}
+
+// Min returns the smallest key.
+func (t *Tree[V]) Min() (string, bool) {
+	if t.root == nil {
+		return "", false
+	}
+	return min(t.root).key, true
+}
+
+// Max returns the largest key.
+func (t *Tree[V]) Max() (string, bool) {
+	if t.root == nil {
+		return "", false
+	}
+	x := t.root
+	for x.right != nil {
+		x = x.right
+	}
+	return x.key, true
+}
+
+// Ascend visits entries in increasing key order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key string, val V) bool) {
+	ascend(t.root, fn)
+}
+
+func ascend[V any](x *node[V], fn func(string, V) bool) bool {
+	if x == nil {
+		return true
+	}
+	if !ascend(x.left, fn) {
+		return false
+	}
+	if !fn(x.key, x.val) {
+		return false
+	}
+	return ascend(x.right, fn)
+}
+
+// Clear drops all entries.
+func (t *Tree[V]) Clear() {
+	t.root = nil
+	t.bytes = 0
+}
+
+// Keys returns all keys in order (for tests and small trees).
+func (t *Tree[V]) Keys() []string {
+	out := make([]string, 0, t.Len())
+	t.Ascend(func(k string, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// --- LLRB helpers ---------------------------------------------------------
+
+func isRed[V any](x *node[V]) bool { return x != nil && x.color == red }
+
+func size[V any](x *node[V]) int {
+	if x == nil {
+		return 0
+	}
+	return x.n
+}
+
+func rotateLeft[V any](h *node[V]) *node[V] {
+	x := h.right
+	h.right = x.left
+	x.left = h
+	x.color = h.color
+	h.color = red
+	x.n = h.n
+	h.n = 1 + size(h.left) + size(h.right)
+	return x
+}
+
+func rotateRight[V any](h *node[V]) *node[V] {
+	x := h.left
+	h.left = x.right
+	x.right = h
+	x.color = h.color
+	h.color = red
+	x.n = h.n
+	h.n = 1 + size(h.left) + size(h.right)
+	return x
+}
+
+func flipColors[V any](h *node[V]) {
+	h.color = !h.color
+	h.left.color = !h.left.color
+	h.right.color = !h.right.color
+}
+
+func moveRedLeft[V any](h *node[V]) *node[V] {
+	flipColors(h)
+	if isRed(h.right.left) {
+		h.right = rotateRight(h.right)
+		h = rotateLeft(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func moveRedRight[V any](h *node[V]) *node[V] {
+	flipColors(h)
+	if isRed(h.left.left) {
+		h = rotateRight(h)
+		flipColors(h)
+	}
+	return h
+}
+
+func balance[V any](h *node[V]) *node[V] {
+	if isRed(h.right) && !isRed(h.left) {
+		h = rotateLeft(h)
+	}
+	if isRed(h.left) && isRed(h.left.left) {
+		h = rotateRight(h)
+	}
+	if isRed(h.left) && isRed(h.right) {
+		flipColors(h)
+	}
+	h.n = 1 + size(h.left) + size(h.right)
+	return h
+}
+
+func min[V any](x *node[V]) *node[V] {
+	for x.left != nil {
+		x = x.left
+	}
+	return x
+}
+
+func deleteMin[V any](h *node[V]) *node[V] {
+	if h.left == nil {
+		return nil
+	}
+	if !isRed(h.left) && !isRed(h.left.left) {
+		h = moveRedLeft(h)
+	}
+	h.left = deleteMin(h.left)
+	return balance(h)
+}

@@ -1,0 +1,62 @@
+package reducers
+
+import (
+	"blmr/internal/core"
+)
+
+// Cross-key operations (Section 4.6): the reduce computation depends on a
+// window of previously seen keys rather than on a single key (genetic
+// algorithms: collect window_size individuals, then select/crossover and
+// emit). Memory is O(window_size) in both modes, so the same implementation
+// serves as GroupReducer, StreamReducer and Cleanup.
+
+// WindowOp processes one full (or final partial) window of records and
+// emits outputs.
+type WindowOp func(window []core.Record, out core.Output)
+
+// CrossKeyWindow buffers records into tumbling windows of the given size
+// and applies op to each full window; Finish/Cleanup flushes the remainder.
+type CrossKeyWindow struct {
+	size   int
+	op     WindowOp
+	window []core.Record
+}
+
+// NewCrossKeyWindow creates a windowed cross-key reducer.
+func NewCrossKeyWindow(size int, op WindowOp) *CrossKeyWindow {
+	if size <= 0 {
+		panic("reducers: window size must be positive")
+	}
+	return &CrossKeyWindow{size: size, op: op}
+}
+
+// MemBytes reports the current window footprint (O(window_size)).
+func (c *CrossKeyWindow) MemBytes() int64 { return core.RecordsSize(c.window) }
+
+// Consume implements core.StreamReducer.
+func (c *CrossKeyWindow) Consume(rec core.Record, out core.Output) {
+	c.window = append(c.window, rec)
+	if len(c.window) >= c.size {
+		c.op(c.window, out)
+		c.window = c.window[:0]
+	}
+}
+
+// Finish implements core.StreamReducer.
+func (c *CrossKeyWindow) Finish(out core.Output) {
+	if len(c.window) > 0 {
+		c.op(c.window, out)
+		c.window = c.window[:0]
+	}
+}
+
+// Reduce implements core.GroupReducer: each (key, value) pair joins the
+// window exactly as in the stream form.
+func (c *CrossKeyWindow) Reduce(key string, values []string, out core.Output) {
+	for _, v := range values {
+		c.Consume(core.Record{Key: key, Value: v}, out)
+	}
+}
+
+// Cleanup implements core.Cleanup for the barrier engine.
+func (c *CrossKeyWindow) Cleanup(out core.Output) { c.Finish(out) }

@@ -1,0 +1,109 @@
+package reducers
+
+import (
+	"sort"
+
+	"blmr/internal/core"
+	"blmr/internal/store"
+)
+
+// Selection (Section 4.4): keep the k values with the smallest metric per
+// key (k-nearest-neighbors). Values must be order-preserving encoded so the
+// metric is their string prefix — e.g. core.JoinValues(core.EncodeFloat64(d),
+// payload); plain string comparison then orders by metric.
+
+// SelectionGroup is the barrier-mode top-k: with all values present, sort
+// and take the first k (the paper's secondary-sort idiom collapsed into the
+// reducer, since our values embed the metric).
+type SelectionGroup struct {
+	K int
+}
+
+// Reduce implements core.GroupReducer.
+func (s SelectionGroup) Reduce(key string, values []string, out core.Output) {
+	sorted := append([]string(nil), values...)
+	sort.Strings(sorted)
+	if len(sorted) > s.K {
+		sorted = sorted[:s.K]
+	}
+	for _, v := range sorted {
+		out.Write(key, v)
+	}
+}
+
+// SelectionStream is the barrier-less top-k: a size-k ordered list per key
+// lives in the store as a joined string; each arriving value is inserted in
+// order and the largest entry evicted when the list exceeds k — the paper's
+// "size-k ordered linked list".
+type SelectionStream struct {
+	st store.Store
+	k  int
+}
+
+// NewSelectionStream creates a top-k selector over st. Use
+// SelectionMerger(k) as the store's spill merger.
+func NewSelectionStream(st store.Store, k int) *SelectionStream {
+	if k <= 0 {
+		panic("reducers: selection k must be positive")
+	}
+	return &SelectionStream{st: st, k: k}
+}
+
+// Consume implements core.StreamReducer.
+func (s *SelectionStream) Consume(rec core.Record, out core.Output) {
+	var list []string
+	if prev, ok := s.st.Get(rec.Key); ok {
+		list = core.SplitList(prev)
+	}
+	list = insertTopK(list, rec.Value, s.k)
+	s.st.Put(rec.Key, core.JoinList(list...))
+}
+
+// Finish implements core.StreamReducer: unpack each key's list into
+// individual output records, matching the barrier-mode format.
+func (s *SelectionStream) Finish(out core.Output) {
+	s.st.Emit(core.OutputFunc(func(key, joined string) {
+		for _, v := range core.SplitList(joined) {
+			out.Write(key, v)
+		}
+	}))
+}
+
+// insertTopK inserts v into the sorted list, keeping at most k entries.
+func insertTopK(list []string, v string, k int) []string {
+	pos := sort.SearchStrings(list, v)
+	if pos >= k {
+		return list // v is larger than everything we keep
+	}
+	list = append(list, "")
+	copy(list[pos+1:], list[pos:])
+	list[pos] = v
+	if len(list) > k {
+		list = list[:k]
+	}
+	return list
+}
+
+// SelectionMerger returns a spill merger that merges two top-k lists into
+// one, preserving the k smallest entries overall.
+func SelectionMerger(k int) store.Merger {
+	return func(a, b string) string {
+		la, lb := core.SplitList(a), core.SplitList(b)
+		merged := make([]string, 0, len(la)+len(lb))
+		i, j := 0, 0
+		for (i < len(la) || j < len(lb)) && len(merged) < k {
+			switch {
+			case i >= len(la):
+				merged = append(merged, lb[j])
+				j++
+			case j >= len(lb) || la[i] <= lb[j]:
+				merged = append(merged, la[i])
+				i++
+			default:
+				merged = append(merged, lb[j])
+				j++
+			}
+		}
+		return core.JoinList(merged...)
+	}
+}

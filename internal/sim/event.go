@@ -1,0 +1,89 @@
+package sim
+
+// Event is a one-shot broadcast latch: processes Wait until Fire is called,
+// after which Wait returns immediately forever.
+type Event struct {
+	k       *Kernel
+	name    string
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(k *Kernel, name string) *Event {
+	return &Event{k: k, name: name}
+}
+
+// Fired reports whether the event has fired.
+func (e *Event) Fired() bool { return e.fired }
+
+// Wait blocks p until the event fires.
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park("event " + e.name)
+}
+
+// Fire releases all current and future waiters. Firing twice is a no-op.
+// Safe to call from kernel context or any process.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		wp := w
+		e.k.At(e.k.now, func() { e.k.resume(wp) })
+	}
+	e.waiters = nil
+}
+
+// WaitGroup counts down to zero, then releases waiters (like sync.WaitGroup
+// but for simulated processes).
+type WaitGroup struct {
+	k       *Kernel
+	name    string
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a WaitGroup with an initial count.
+func NewWaitGroup(k *Kernel, name string, count int) *WaitGroup {
+	return &WaitGroup{k: k, name: name, count: count}
+}
+
+// Add increases (or with negative delta decreases) the count.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup count " + w.name)
+	}
+	if w.count == 0 {
+		w.release()
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current count.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks p until the count reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park("waitgroup " + w.name)
+}
+
+func (w *WaitGroup) release() {
+	for _, p := range w.waiters {
+		wp := p
+		w.k.At(w.k.now, func() { w.k.resume(wp) })
+	}
+	w.waiters = nil
+}

@@ -1,0 +1,147 @@
+package sim
+
+import "testing"
+
+func TestAccessors(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 3)
+	if r.Capacity() != 3 || r.InUse() != 0 || r.Waiting() != 0 {
+		t.Fatal("fresh resource accessors wrong")
+	}
+	q := NewQueue[int](k, "q", 2)
+	if q.Len() != 0 || q.Closed() {
+		t.Fatal("fresh queue accessors wrong")
+	}
+	e := NewEvent(k, "ev")
+	if e.Fired() {
+		t.Fatal("fresh event fired")
+	}
+	var name, blocked string
+	p := k.Spawn("worker", func(p *Proc) {
+		name = p.Name()
+		if p.Kernel() != k {
+			t.Error("Kernel() wrong")
+		}
+		p.Yield()
+		q.Put(p, 1)
+		e.Fire()
+		r.Acquire(p, 1)
+	})
+	_ = p
+	k.At(0.5, func() {
+		bl := k.BlockedOn()
+		_ = bl
+	})
+	k.Run()
+	if name != "worker" {
+		t.Fatalf("name = %q", name)
+	}
+	if !e.Fired() || q.Len() != 1 {
+		t.Fatal("event/queue state wrong after run")
+	}
+	if r.InUse() != 1 {
+		t.Fatal("resource not held")
+	}
+	_ = blocked
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.After(2, func() {
+		at = k.Now()
+		k.After(3, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 5 {
+		t.Fatalf("nested After fired at %v, want 5", at)
+	}
+}
+
+func TestBlockedOnReportsWaiters(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "gate", 1)
+	r.TryAcquire(1)
+	k.Spawn("stuck", func(p *Proc) { r.Acquire(p, 1) })
+	var report []string
+	k.At(1, func() { report = k.BlockedOn() })
+	k.Run()
+	if len(report) != 1 || report[0] != "stuck: resource gate" {
+		t.Fatalf("BlockedOn = %v", report)
+	}
+}
+
+func TestResourceUseReleasesOnAbort(t *testing.T) {
+	// A process aborted at teardown while inside Use must still release.
+	k := NewKernel()
+	r := NewResource(k, "res", 1)
+	gate := NewResource(k, "gate", 1)
+	gate.TryAcquire(1) // never released: holder blocks forever
+	k.Spawn("holder", func(p *Proc) {
+		r.Use(p, 1, func() {
+			gate.Acquire(p, 1) // parks forever; aborted at teardown
+		})
+	})
+	k.Run()
+	if r.InUse() != 0 {
+		t.Fatalf("resource leaked %d units across abort", r.InUse())
+	}
+	if k.LiveProcs() != 0 {
+		t.Fatal("leaked procs")
+	}
+}
+
+func TestZeroCapacityResourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewResource(NewKernel(), "bad", 0)
+}
+
+func TestPutOnClosedQueuePanics(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 0)
+	q.Close()
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic putting on closed queue")
+			}
+			panic(abortSignal{})
+		}()
+		q.Put(p, 1)
+	})
+	k.Run()
+}
+
+func TestAcquireZeroIsNoop(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1)
+	k.Spawn("p", func(p *Proc) {
+		r.Acquire(p, 0)
+		r.Release(0)
+	})
+	k.Run()
+	if r.InUse() != 0 {
+		t.Fatal("zero acquire changed state")
+	}
+	if !r.TryAcquire(0) {
+		t.Fatal("TryAcquire(0) should succeed")
+	}
+}
+
+func TestEventWaitAfterAbortCleanup(t *testing.T) {
+	// Multiple procs waiting on an event that never fires must all be
+	// aborted without leaks.
+	k := NewKernel()
+	e := NewEvent(k, "never")
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) { e.Wait(p) })
+	}
+	k.Run()
+	if k.LiveProcs() != 0 {
+		t.Fatalf("leaked %d procs", k.LiveProcs())
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvances(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1.5)
+		times = append(times, p.Now())
+		p.Sleep(2.5)
+		times = append(times, p.Now())
+	})
+	end := k.Run()
+	if end != 4.0 {
+		t.Fatalf("end time = %v, want 4.0", end)
+	}
+	if len(times) != 2 || times[0] != 1.5 || times[1] != 4.0 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestEventOrderingAtSameInstant(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(1.0, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(-5)
+		if p.Now() != 0 {
+			t.Errorf("now = %v after negative sleep", p.Now())
+		}
+	})
+	k.Run()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		k.At(1, func() {})
+	})
+	k.Run()
+}
+
+func TestSpawnStartsAtCurrentTime(t *testing.T) {
+	k := NewKernel()
+	var started Time = -1
+	k.At(3, func() {
+		k.Spawn("child", func(p *Proc) { started = p.Now() })
+	})
+	k.Run()
+	if started != 3 {
+		t.Fatalf("child started at %v, want 3", started)
+	}
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var log []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			k.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(1)
+					log = append(log, name)
+				}
+			})
+		}
+		k.Run()
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 20; trial++ {
+		got := run()
+		if len(got) != len(first) {
+			t.Fatalf("nondeterministic length")
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, got)
+			}
+		}
+	}
+}
+
+func TestNoLeakedProcsAfterRun(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "slots", 1)
+	// Second proc will block forever on the resource; Run must abort it.
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(1)
+		// Never releases.
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		p.Sleep(0.5)
+		r.Acquire(p, 1) // blocks forever
+		t.Error("waiter should never acquire")
+	})
+	k.Run()
+	if n := k.LiveProcs(); n != 0 {
+		t.Fatalf("leaked %d procs: %v", n, k.BlockedOn())
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	k.At(1, func() { fired++ })
+	k.At(2, func() { fired++ })
+	k.At(3, func() { fired++ })
+	k.RunUntil(2)
+	if fired != 2 {
+		t.Fatalf("fired = %d at deadline 2, want 2", fired)
+	}
+	if k.Now() != 2 {
+		t.Fatalf("now = %v, want 2", k.Now())
+	}
+	k.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d after full run, want 3", fired)
+	}
+}
+
+func TestSleepMonotonicProperty(t *testing.T) {
+	// Property: for any list of sleep durations, observed times are the
+	// prefix sums of the clamped-to-zero durations.
+	f := func(durs []float64) bool {
+		k := NewKernel()
+		var got []Time
+		k.Spawn("p", func(p *Proc) {
+			for _, d := range durs {
+				if d < 0 {
+					d = -d
+				}
+				if d > 1e6 {
+					d = 1e6
+				}
+				p.Sleep(d)
+				got = append(got, p.Now())
+			}
+		})
+		k.Run()
+		sum := 0.0
+		for i, d := range durs {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e6 {
+				d = 1e6
+			}
+			sum += d
+			if got[i] != sum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package sim
+
+// Queue is a FIFO channel-like conduit between simulated processes.
+// A capacity of 0 means unbounded. Closing wakes all blocked getters;
+// Put on a closed queue panics, mirroring Go channel semantics.
+type Queue[T any] struct {
+	k       *Kernel
+	name    string
+	cap     int
+	buf     []T
+	closed  bool
+	getters []*Proc
+	putters []qPutter[T]
+}
+
+type qPutter[T any] struct {
+	p *Proc
+	v T
+}
+
+// NewQueue creates a queue. capacity <= 0 means unbounded.
+func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
+	return &Queue[T]{k: k, name: name, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.buf) }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Put appends v, blocking while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	if q.closed {
+		panic("sim: put on closed queue " + q.name)
+	}
+	if q.cap <= 0 || len(q.buf)+len(q.putters) < q.cap {
+		q.buf = append(q.buf, v)
+		q.wakeGetter()
+		return
+	}
+	q.putters = append(q.putters, qPutter[T]{p: p, v: v})
+	p.park("queue put " + q.name)
+	// When resumed, the value has been moved into buf by the getter side.
+}
+
+// Get removes and returns the oldest item. ok is false when the queue is
+// closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for {
+		if len(q.buf) > 0 {
+			v = q.buf[0]
+			q.buf = q.buf[1:]
+			q.admitPutter()
+			return v, true
+		}
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.getters = append(q.getters, p)
+		p.park("queue get " + q.name)
+	}
+}
+
+// TryGet removes the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.buf) == 0 {
+		var zero T
+		return zero, false
+	}
+	v = q.buf[0]
+	q.buf = q.buf[1:]
+	q.admitPutter()
+	return v, true
+}
+
+// Close marks the queue closed and wakes all blocked getters.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, g := range q.getters {
+		gp := g
+		q.k.At(q.k.now, func() { q.k.resume(gp) })
+	}
+	q.getters = nil
+}
+
+func (q *Queue[T]) wakeGetter() {
+	if len(q.getters) == 0 {
+		return
+	}
+	gp := q.getters[0]
+	q.getters = q.getters[1:]
+	q.k.At(q.k.now, func() { q.k.resume(gp) })
+}
+
+func (q *Queue[T]) admitPutter() {
+	if len(q.putters) == 0 {
+		return
+	}
+	w := q.putters[0]
+	q.putters = q.putters[1:]
+	q.buf = append(q.buf, w.v)
+	wp := w.p
+	q.k.At(q.k.now, func() { q.k.resume(wp) })
+}

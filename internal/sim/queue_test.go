@@ -1,0 +1,203 @@
+package sim
+
+import "testing"
+
+func TestQueueFIFO(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 0)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.Run()
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("not FIFO: %v", got)
+		}
+	}
+}
+
+func TestQueueBoundedBlocksProducer(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 2)
+	var putDone Time
+	k.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Put(p, 3) // must block until consumer reads at t=5
+		putDone = p.Now()
+		q.Close()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Sleep(5)
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	k.Run()
+	if putDone != 5 {
+		t.Fatalf("third put completed at %v, want 5", putDone)
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[string](k, "q", 0)
+	var gotAt Time
+	k.Spawn("consumer", func(p *Proc) {
+		v, ok := q.Get(p)
+		if !ok || v != "x" {
+			t.Errorf("got %q %v", v, ok)
+		}
+		gotAt = p.Now()
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(3)
+		q.Put(p, "x")
+		q.Close()
+	})
+	k.Run()
+	if gotAt != 3 {
+		t.Fatalf("consumer unblocked at %v, want 3", gotAt)
+	}
+}
+
+func TestQueueCloseWakesAllGetters(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 0)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("g", func(p *Proc) {
+			if _, ok := q.Get(p); !ok {
+				woken++
+			}
+		})
+	}
+	k.Spawn("closer", func(p *Proc) {
+		p.Sleep(1)
+		q.Close()
+	})
+	k.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestQueueDrainAfterClose(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 0)
+	var got []int
+	k.Spawn("p", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Close()
+	})
+	k.Spawn("c", func(p *Proc) {
+		p.Sleep(10) // start after close
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("got %v, want [1 2]", got)
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	k := NewKernel()
+	q := NewQueue[int](k, "q", 0)
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue should fail")
+	}
+	k.Spawn("p", func(p *Proc) { q.Put(p, 7) })
+	k.Run()
+	if v, ok := q.TryGet(); !ok || v != 7 {
+		t.Fatalf("TryGet = %v %v", v, ok)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	k := NewKernel()
+	e := NewEvent(k, "done")
+	var woken []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *Proc) {
+			e.Wait(p)
+			woken = append(woken, p.Now())
+		})
+	}
+	k.Spawn("firer", func(p *Proc) {
+		p.Sleep(4)
+		e.Fire()
+		e.Fire() // double fire is a no-op
+	})
+	k.Run()
+	if len(woken) != 3 {
+		t.Fatalf("woken %v", woken)
+	}
+	for _, w := range woken {
+		if w != 4 {
+			t.Fatalf("woken times %v, want all 4", woken)
+		}
+	}
+	// Waiting after fire returns immediately.
+	k2 := NewKernel()
+	e2 := NewEvent(k2, "e2")
+	e2.Fire()
+	var at Time = -1
+	k2.Spawn("late", func(p *Proc) {
+		e2.Wait(p)
+		at = p.Now()
+	})
+	k2.Run()
+	if at != 0 {
+		t.Fatalf("late waiter at %v, want 0", at)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k, "wg", 3)
+	var releasedAt Time = -1
+	k.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		releasedAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		k.Spawn("worker", func(p *Proc) {
+			p.Sleep(Time(i))
+			wg.Done()
+		})
+	}
+	k.Run()
+	if releasedAt != 3 {
+		t.Fatalf("released at %v, want 3", releasedAt)
+	}
+	if wg.Count() != 0 {
+		t.Fatalf("count = %d", wg.Count())
+	}
+}

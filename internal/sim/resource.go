@@ -1,0 +1,95 @@
+package sim
+
+// Resource is a counted resource with FIFO admission: a waiter at the head
+// of the queue blocks later waiters even if they would fit, which prevents
+// starvation of large requests.
+type Resource struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	used     int64
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int64
+}
+
+// NewResource creates a resource with the given capacity (units are up to
+// the caller: slots, bytes in flight, etc.).
+func NewResource(k *Kernel, name string, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive: " + name)
+	}
+	return &Resource{k: k, name: name, capacity: capacity}
+}
+
+// Capacity returns the total capacity.
+func (r *Resource) Capacity() int64 { return r.capacity }
+
+// InUse returns the currently held units.
+func (r *Resource) InUse() int64 { return r.used }
+
+// Waiting returns the number of queued acquirers.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// Acquire blocks p until n units are available. n must not exceed capacity.
+func (r *Resource) Acquire(p *Proc, n int64) {
+	if n <= 0 {
+		return
+	}
+	if n > r.capacity {
+		panic("sim: acquire exceeds capacity of " + r.name)
+	}
+	if len(r.waiters) == 0 && r.used+n <= r.capacity {
+		r.used += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n})
+	p.park("resource " + r.name)
+}
+
+// TryAcquire acquires n units without blocking; it reports whether it
+// succeeded.
+func (r *Resource) TryAcquire(n int64) bool {
+	if n <= 0 {
+		return true
+	}
+	if len(r.waiters) == 0 && r.used+n <= r.capacity {
+		r.used += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and admits queued waiters in FIFO order.
+// It may be called from kernel context or from any process.
+func (r *Resource) Release(n int64) {
+	if n <= 0 {
+		return
+	}
+	r.used -= n
+	if r.used < 0 {
+		panic("sim: over-release of resource " + r.name)
+	}
+	r.dispatch()
+}
+
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 && r.used+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.used += w.n
+		wp := w.p
+		r.k.At(r.k.now, func() { r.k.resume(wp) })
+	}
+}
+
+// Use acquires n units, runs fn, and releases them. The release happens even
+// if fn panics (including simulation teardown aborts).
+func (r *Resource) Use(p *Proc, n int64, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}

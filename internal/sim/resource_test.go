@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerializes(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "disk", 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		k.Spawn("user", func(p *Proc) {
+			r.Use(p, 1, func() { p.Sleep(2) })
+			done = append(done, p.Now())
+		})
+	}
+	k.Run()
+	want := []Time{2, 4, 6}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("done = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 2)
+	var order []int
+	k.Spawn("hog", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(10)
+		r.Release(2)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			p.Sleep(Time(i) + 1) // arrive in index order
+			r.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(100) // hold to force strict admission order
+			r.Release(1)
+		})
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceHeadOfLineBlocking(t *testing.T) {
+	// A big request at the head must not be starved by small ones behind it.
+	k := NewKernel()
+	r := NewResource(k, "res", 4)
+	var got []string
+	k.Spawn("holder", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(5)
+		r.Release(3)
+	})
+	k.Spawn("big", func(p *Proc) {
+		p.Sleep(1)
+		r.Acquire(p, 4)
+		got = append(got, "big")
+		r.Release(4)
+	})
+	k.Spawn("small", func(p *Proc) {
+		p.Sleep(2)
+		r.Acquire(p, 1) // would fit now, but big is queued ahead
+		got = append(got, "small")
+		r.Release(1)
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != "big" || got[1] != "small" {
+		t.Fatalf("order = %v, want [big small]", got)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 2)
+	if !r.TryAcquire(2) {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if r.TryAcquire(1) {
+		t.Fatal("TryAcquire should fail when full")
+	}
+	r.Release(2)
+	if !r.TryAcquire(1) {
+		t.Fatal("TryAcquire should succeed after release")
+	}
+}
+
+func TestAcquireOverCapacityPanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1)
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+			panic(abortSignal{}) // unwind cleanly
+		}()
+		r.Acquire(p, 2)
+	})
+	k.Run()
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, "res", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	r.Release(1)
+}
+
+func TestResourceConservationProperty(t *testing.T) {
+	// Property: with random hold times and demands, in-use never exceeds
+	// capacity and returns to zero.
+	f := func(holds []uint8) bool {
+		k := NewKernel()
+		const capUnits = 4
+		r := NewResource(k, "res", capUnits)
+		violated := false
+		for _, h := range holds {
+			need := int64(h%capUnits) + 1
+			dur := Time(h%7) + 0.5
+			k.Spawn("u", func(p *Proc) {
+				r.Acquire(p, need)
+				if r.InUse() > capUnits {
+					violated = true
+				}
+				p.Sleep(dur)
+				r.Release(need)
+			})
+		}
+		k.Run()
+		return !violated && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

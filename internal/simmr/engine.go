@@ -1,0 +1,368 @@
+package simmr
+
+import (
+	"fmt"
+	"math"
+
+	"blmr/internal/cluster"
+	"blmr/internal/core"
+	"blmr/internal/dfs"
+	"blmr/internal/metrics"
+	"blmr/internal/sim"
+	"blmr/internal/sortx"
+)
+
+// Engine runs one MapReduce job on a freshly built simulated cluster.
+// Create one Engine per job execution: the kernel is drained by Run.
+type Engine struct {
+	K   *sim.Kernel
+	C   *cluster.Cluster
+	D   *dfs.DFS
+	Cfg Config
+	Col *metrics.Collector
+}
+
+// NewEngine builds the kernel, cluster and DFS for one run.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.ByteScale <= 0 {
+		cfg.ByteScale = 1
+	}
+	if cfg.RecordScale <= 0 {
+		cfg.RecordScale = cfg.ByteScale
+	}
+	if cfg.FetchParallelism <= 0 {
+		cfg.FetchParallelism = 5
+	}
+	if cfg.QueueCapBatches <= 0 {
+		cfg.QueueCapBatches = 64
+	}
+	k := sim.NewKernel()
+	c := cluster.New(k, cfg.Cluster)
+	return &Engine{
+		K:   k,
+		C:   c,
+		D:   dfs.New(c, cfg.Replication),
+		Cfg: cfg,
+		Col: metrics.NewCollector(),
+	}
+}
+
+// Ingest loads input splits into the DFS (no simulated time passes).
+func (e *Engine) Ingest(name string, splits [][]core.Record) *dfs.File {
+	return e.D.Ingest(name, splits, e.Cfg.ByteScale)
+}
+
+// virtBytes converts real record bytes to virtual bytes.
+func (e *Engine) virtBytes(realBytes int64) int64 {
+	return int64(float64(realBytes) * e.Cfg.ByteScale)
+}
+
+// virtRecs converts a real record count to a virtual record count.
+func (e *Engine) virtRecs(n int) float64 { return float64(n) * e.Cfg.RecordScale }
+
+// mapOutput is the shuffle-service view of one completed map task.
+type mapOutput struct {
+	node      *cluster.Node
+	done      *sim.Event
+	parts     [][]core.Record // partition -> records
+	partBytes []int64         // partition -> virtual bytes
+}
+
+// shuffleState tracks map outputs for the reducers and the completion
+// fraction that arms speculative backups.
+type shuffleState struct {
+	maps      []*mapOutput
+	doneCount int
+	arm       *sim.Event // fires when the speculation threshold is reached
+	armAt     int
+}
+
+func newShuffleState(k *sim.Kernel, nMaps, nReduce int) *shuffleState {
+	s := &shuffleState{
+		maps: make([]*mapOutput, nMaps),
+		arm:  sim.NewEvent(k, "speculation-armed"),
+	}
+	for i := range s.maps {
+		s.maps[i] = &mapOutput{
+			done:      sim.NewEvent(k, fmt.Sprintf("map-%d-done", i)),
+			parts:     make([][]core.Record, nReduce),
+			partBytes: make([]int64, nReduce),
+		}
+	}
+	return s
+}
+
+// Run executes job over input. It normalizes spec defaults, spawns every
+// task, drives the kernel to completion, and returns the result.
+func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
+	if job.Reducers <= 0 {
+		job.Reducers = 1
+	}
+	if (job.Costs == CostModel{}) {
+		job.Costs = DefaultCosts()
+	}
+	if job.OutputReplication <= 0 {
+		job.OutputReplication = e.Cfg.Replication
+	}
+	res := &Result{Metrics: e.Col, MapTasks: len(input.Chunks)}
+	shuffle := newShuffleState(e.K, len(input.Chunks), job.Reducers)
+	jobDone := sim.NewEvent(e.K, "job-done")
+	reducersLeft := sim.NewWaitGroup(e.K, "reducers", job.Reducers)
+
+	for i, ch := range input.Chunks {
+		i, ch := i, ch
+		e.K.Spawn(fmt.Sprintf("map-%d", i), func(p *sim.Proc) {
+			e.mapTask(p, &job, i, ch, shuffle, res)
+		})
+	}
+	if job.Speculative && len(input.Chunks) > 1 {
+		threshold := job.SpeculativeThreshold
+		if threshold <= 0 || threshold >= 1 {
+			threshold = 0.75
+		}
+		shuffle.armAt = int(threshold * float64(len(input.Chunks)))
+		if shuffle.armAt < 1 {
+			shuffle.armAt = 1
+		}
+		e.K.Spawn("speculator", func(p *sim.Proc) {
+			e.speculator(p, &job, input, shuffle, res)
+		})
+	}
+	for r := 0; r < job.Reducers; r++ {
+		r := r
+		node := e.C.Nodes[r%len(e.C.Nodes)]
+		e.K.Spawn(fmt.Sprintf("reduce-%d", r), func(p *sim.Proc) {
+			defer reducersLeft.Done()
+			if job.Mode == Barrier {
+				e.barrierReduce(p, &job, r, node, shuffle, res, jobDone)
+			} else {
+				e.pipelinedReduce(p, &job, r, node, shuffle, res, jobDone)
+			}
+		})
+	}
+	e.K.Spawn("job-waiter", func(p *sim.Proc) {
+		reducersLeft.Wait(p)
+		if !res.Failed {
+			res.Completion = p.Now()
+		}
+		jobDone.Fire()
+	})
+	e.K.Run()
+	e.Col.CloseAll(res.Completion)
+	if first, last, ok := e.Col.StageBounds(metrics.StageMap); ok {
+		_ = first
+		res.MapDone = last
+	}
+	res.PeakMemVirt = e.Col.PeakMem()
+	return res
+}
+
+// mapTask executes one map attempt chain (with one injected retry when
+// configured): read the chunk locally, run the real mapper, partition the
+// intermediate records, write them to local disk, and publish to the
+// shuffle service.
+func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, shuffle *shuffleState, res *Result) {
+	node := ch.Primary()
+	for attempt := 0; ; attempt++ {
+		node.MapSlots.Acquire(p, 1)
+		tok := e.Col.TaskStart(metrics.StageMap, p.Now())
+
+		// Memoized map outputs skip the read and the map computation
+		// entirely; only the cached output's local disk read is charged.
+		var memoKeyStr string
+		if e.Cfg.Memo != nil {
+			memoKeyStr = memoKey(job.Name, job.Reducers, ch.Records)
+			if entry, ok := e.Cfg.Memo.lookup(memoKeyStr); ok {
+				node.DiskRead(p, entry.outVirt)
+				res.MemoHits++
+				e.publishMapOutput(p.Now(), node, shuffle, shuffle.maps[idx], entry, res)
+				e.Col.TaskEnd(tok, p.Now())
+				node.MapSlots.Release(1)
+				return
+			}
+		}
+
+		fail := attempt == 0 && idx == e.Cfg.FailMapTask
+		entry := e.runMapAttempt(p, job, ch, node, fail)
+		if entry == nil {
+			// Injected failure: the attempt dies before publishing output;
+			// the framework re-executes it (paper Section 3.1: fault
+			// tolerance is unchanged).
+			res.MapRetries++
+			e.Col.TaskEnd(tok, p.Now())
+			node.MapSlots.Release(1)
+			continue
+		}
+
+		if e.Cfg.Memo != nil {
+			e.Cfg.Memo.insert(memoKeyStr, entry)
+		}
+		e.publishMapOutput(p.Now(), node, shuffle, shuffle.maps[idx], entry, res)
+		e.Col.TaskEnd(tok, p.Now())
+		node.MapSlots.Release(1)
+		return
+	}
+}
+
+// runMapAttempt performs the data work of one map attempt on node: chunk
+// read, the real mapper, optional combining, and the local write of the
+// partitioned output. A nil return simulates a mid-task crash (before any
+// output is visible).
+func (e *Engine) runMapAttempt(p *sim.Proc, job *JobSpec, ch *dfs.Chunk, node *cluster.Node, injectFailure bool) *memoEntry {
+	recs := e.D.ReadChunk(p, node, ch)
+	parts := make([][]core.Record, job.Reducers)
+	partBytes := make([]int64, job.Reducers)
+	var inBytes int64
+	for _, r := range recs {
+		inBytes += r.Size()
+		job.Mapper.Map(r.Key, r.Value, core.EmitterFunc(func(k, v string) {
+			pi := core.Partition(k, job.Reducers)
+			rec := core.Record{Key: k, Value: v}
+			parts[pi] = append(parts[pi], rec)
+			partBytes[pi] += e.virtBytes(rec.Size())
+		}))
+	}
+	cpu := e.virtRecs(len(recs))*job.Costs.MapCPUPerRecord +
+		float64(e.virtBytes(inBytes))*job.Costs.MapCPUPerByte
+	node.Compute(p, cpu)
+
+	if job.Combiner != nil {
+		var combineRecs int
+		for pi := range parts {
+			combineRecs += len(parts[pi])
+			parts[pi], partBytes[pi] = e.combinePartition(parts[pi], job.Combiner)
+		}
+		node.Compute(p, e.virtRecs(combineRecs)*job.Costs.StoreCPUPerOp)
+	}
+
+	if injectFailure {
+		return nil
+	}
+
+	var outVirt int64
+	for _, b := range partBytes {
+		outVirt += b
+	}
+	node.DiskWrite(p, outVirt)
+	return &memoEntry{parts: parts, partBytes: partBytes, outVirt: outVirt}
+}
+
+// speculator waits for the arming threshold, then launches one backup
+// attempt for every still-unfinished map task on the least-loaded other
+// node (Hadoop's speculative execution).
+func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle *shuffleState, res *Result) {
+	shuffle.arm.Wait(p)
+	for i, mo := range shuffle.maps {
+		if mo.done.Fired() {
+			continue
+		}
+		i, mo := i, mo
+		ch := input.Chunks[i]
+		backupNode := e.pickBackupNode(ch.Primary())
+		res.BackupsLaunched++
+		p.Kernel().Spawn(fmt.Sprintf("backup-map-%d", i), func(bp *sim.Proc) {
+			backupNode.MapSlots.Acquire(bp, 1)
+			defer backupNode.MapSlots.Release(1)
+			if mo.done.Fired() {
+				return // original won while we queued for a slot
+			}
+			tok := e.Col.TaskStart(metrics.StageMap, bp.Now())
+			entry := e.runMapAttempt(bp, job, ch, backupNode, false)
+			if e.publishMapOutput(bp.Now(), backupNode, shuffle, mo, entry, res) {
+				res.BackupsWon++
+			}
+			e.Col.TaskEnd(tok, bp.Now())
+		})
+	}
+}
+
+// pickBackupNode returns the node (other than avoid) with the fewest held
+// and queued map slots, ties broken by lowest ID.
+func (e *Engine) pickBackupNode(avoid *cluster.Node) *cluster.Node {
+	var best *cluster.Node
+	var bestLoad int64 = 1 << 62
+	for _, n := range e.C.Nodes {
+		if n == avoid {
+			continue
+		}
+		load := n.MapSlots.InUse() + int64(n.MapSlots.Waiting())
+		if load < bestLoad {
+			best, bestLoad = n, load
+		}
+	}
+	return best
+}
+
+// publishMapOutput registers a completed map attempt with the shuffle
+// service and fires its done event. With speculative execution two attempts
+// may race; only the first publisher wins. Reports whether this attempt won.
+func (e *Engine) publishMapOutput(now float64, node *cluster.Node, shuffle *shuffleState, mo *mapOutput, entry *memoEntry, res *Result) bool {
+	if mo.done.Fired() {
+		return false // a backup (or the original) already published
+	}
+	if now > res.MapOutputsReady {
+		res.MapOutputsReady = now
+	}
+	mo.node = node
+	mo.parts = entry.parts
+	mo.partBytes = entry.partBytes
+	for _, b := range entry.partBytes {
+		res.ShuffleBytes += b
+	}
+	shuffle.doneCount++
+	if shuffle.armAt > 0 && shuffle.doneCount >= shuffle.armAt {
+		shuffle.arm.Fire()
+	}
+	mo.done.Fire()
+	return true
+}
+
+// combinePartition merges same-key records within one map-local partition,
+// deterministically (sorted by key), returning the combined records and
+// their virtual size.
+func (e *Engine) combinePartition(recs []core.Record, combine func(a, b string) string) ([]core.Record, int64) {
+	if len(recs) < 2 {
+		return recs, e.virtBytes(core.RecordsSize(recs))
+	}
+	sorted := append([]core.Record(nil), recs...)
+	sortx.ByKey(sorted)
+	out := sorted[:0]
+	var bytes int64
+	sortx.Group(sorted, func(key string, values []string) {
+		acc := values[0]
+		for _, v := range values[1:] {
+			acc = combine(acc, v)
+		}
+		rec := core.Record{Key: key, Value: acc}
+		out = append(out, rec)
+		bytes += e.virtBytes(rec.Size())
+	})
+	return out, bytes
+}
+
+// sortCompareCost returns the virtual comparison count of merge-sorting n
+// virtual records.
+func sortCompareCost(nVirt float64) float64 {
+	if nVirt < 2 {
+		return 0
+	}
+	return nVirt * math.Log2(nVirt)
+}
+
+// failJob marks the job failed (first failure wins) and fires jobDone.
+func failJob(p *sim.Proc, res *Result, jobDone *sim.Event, reason string) {
+	if !res.Failed {
+		res.Failed = true
+		res.FailReason = reason
+		res.Completion = p.Now()
+	}
+	jobDone.Fire()
+}
+
+// recSink accumulates reducer output.
+type recSink struct{ recs []core.Record }
+
+func (s *recSink) Write(k, v string) { s.recs = append(s.recs, core.Record{Key: k, Value: v}) }

@@ -1,0 +1,217 @@
+// Package simmr executes MapReduce jobs on the simulated cluster, in either
+// classic barrier mode (fetch-all, merge-sort, grouped reduce — stock
+// Hadoop 0.20) or the paper's pipelined barrier-less mode (per-mapper fetch
+// processes feeding a FIFO queue consumed record-at-a-time by a stream
+// reducer holding partial results).
+//
+// Data is real — real records flow through real reducers and real partial-
+// result stores — while time and memory are accounted in scaled "virtual"
+// units so laptop-sized datasets reproduce the timing shape of the paper's
+// multi-GB cluster runs (see Config.ByteScale / RecordScale).
+package simmr
+
+import (
+	"blmr/internal/cluster"
+	"blmr/internal/core"
+	"blmr/internal/metrics"
+	"blmr/internal/store"
+)
+
+// Mode selects barrier or barrier-less execution.
+type Mode int
+
+// Execution modes.
+const (
+	// Barrier: Reduce starts only after every map output is fetched and
+	// merge-sorted (Figure 2).
+	Barrier Mode = iota
+	// Pipelined: Reduce consumes records as the shuffle delivers them
+	// (Figure 3).
+	Pipelined
+)
+
+func (m Mode) String() string {
+	if m == Barrier {
+		return "barrier"
+	}
+	return "pipelined"
+}
+
+// CostModel holds CPU cost rates in seconds per *virtual* unit. Virtual
+// record and byte counts are the real counts scaled by Config.RecordScale /
+// Config.ByteScale.
+type CostModel struct {
+	// MapCPUPerRecord is map-function time per input record.
+	MapCPUPerRecord float64
+	// MapCPUPerByte is additional map time per input byte (parsing).
+	MapCPUPerByte float64
+	// ReduceCPUPerRecord is reduce time per intermediate record (both the
+	// grouped reduce pass and the streaming Consume path).
+	ReduceCPUPerRecord float64
+	// StoreCPUPerOp is partial-result store overhead per Get/Put pair in
+	// the barrier-less path (tree insertion, paper Section 6.1.1).
+	StoreCPUPerOp float64
+	// SortCPUPerCompare is merge-sort time per comparison in the barrier
+	// path's sort phase.
+	SortCPUPerCompare float64
+	// FinalizeCPUPerRecord is per-output-record cost of the barrier-less
+	// finalize pass (emitting the partial-result structure).
+	FinalizeCPUPerRecord float64
+	// KVOpDelay is the per-operation latency of the off-the-shelf KV store
+	// (the paper observed ~30,000 inserts/s => ~33µs/op). Applied only
+	// when Store == store.KV.
+	KVOpDelay float64
+}
+
+// DefaultCosts returns rates calibrated so the default cluster reproduces
+// the paper's stage proportions (map-heavy jobs of a few hundred seconds).
+func DefaultCosts() CostModel {
+	return CostModel{
+		MapCPUPerRecord:      8e-6,
+		MapCPUPerByte:        12e-9,
+		ReduceCPUPerRecord:   1.5e-6,
+		StoreCPUPerOp:        1.2e-6,
+		SortCPUPerCompare:    70e-9,
+		FinalizeCPUPerRecord: 1e-6,
+		KVOpDelay:            1.0 / 30000,
+	}
+}
+
+// JobSpec describes one MapReduce job.
+type JobSpec struct {
+	// Name labels the job and its output file.
+	Name string
+	// Mapper runs once per input record. It must be stateless or safe to
+	// share across simulated map tasks.
+	Mapper core.Mapper
+	// NewGroup builds a barrier-mode reducer per reduce task.
+	NewGroup func() core.GroupReducer
+	// NewStream builds a barrier-less reducer per reduce task over the
+	// task's partial-result store.
+	NewStream func(st store.Store) core.StreamReducer
+	// Merger combines same-key partials when the spill-merge store is
+	// used. Required for store.SpillMerge.
+	Merger store.Merger
+	// Combiner, when non-nil, merges same-key intermediate records on the
+	// map side before they are written and shuffled (Hadoop's combiner;
+	// the paper notes the spill merge function "is often functionally the
+	// same as the combiner"). It must be commutative and associative.
+	Combiner store.Merger
+	// Reducers is the number of reduce tasks.
+	Reducers int
+	// Mode selects barrier or pipelined execution.
+	Mode Mode
+	// Store selects the partial-result strategy for pipelined mode.
+	Store store.Kind
+	// HeapBudget is the per-reducer virtual heap cap in bytes; exceeding
+	// it fails the job like a JVM OutOfMemoryError. 0 = unlimited.
+	HeapBudget int64
+	// SpillThreshold is the in-memory partial-results budget (virtual
+	// bytes) for the spill-merge store (paper: 240 MB).
+	SpillThreshold int64
+	// KVCacheBytes is the KV store's cache budget (virtual bytes).
+	KVCacheBytes int64
+	// Costs are the CPU rates; zero value uses DefaultCosts.
+	Costs CostModel
+	// OutputReplication overrides the DFS replication for job output
+	// (0 = same as input replication).
+	OutputReplication int
+	// Speculative enables backup execution of straggling map tasks once
+	// SpeculativeThreshold of maps have finished (Hadoop's speculative
+	// execution; relevant under heterogeneity, the paper's future work).
+	Speculative bool
+	// SpeculativeThreshold is the completed-map fraction that arms backup
+	// tasks (default 0.75).
+	SpeculativeThreshold float64
+	// SnapshotPeriod, when > 0, makes pipelined reducers record a progress
+	// Snapshot every period virtual seconds — the online-processing
+	// monitoring the barrier-less model enables.
+	SnapshotPeriod float64
+}
+
+// Result reports one job execution.
+type Result struct {
+	// Output is every record written by reducers (unordered across
+	// reducers; deterministic for a fixed configuration).
+	Output []core.Record
+	// Completion is the job completion virtual time in seconds.
+	Completion float64
+	// MapDone is when the last map task attempt finished (losing
+	// speculative attempts included).
+	MapDone float64
+	// MapOutputsReady is when the last map OUTPUT became available to the
+	// shuffle — with speculation this is the winning attempt's time.
+	MapOutputsReady float64
+	// Failed is true when the job was killed (reducer OOM).
+	Failed bool
+	// FailReason describes the failure.
+	FailReason string
+	// Metrics holds the task timelines and memory samples.
+	Metrics *metrics.Collector
+	// Spills counts spill-merge runs written across reducers.
+	Spills int
+	// MapTasks and ReduceWaves aid analysis.
+	MapTasks    int
+	MapRetries  int
+	PeakMemVirt int64
+	// ShuffleBytes is the total virtual bytes of intermediate data moved
+	// from mappers to reducers (post-combiner).
+	ShuffleBytes int64
+	// MemoHits counts map tasks served from the memoization cache.
+	MemoHits int
+	// BackupsLaunched / BackupsWon count speculative map attempts and how
+	// many beat the original.
+	BackupsLaunched int
+	BackupsWon      int
+	// Snapshots holds periodic progress observations of pipelined
+	// reducers when JobSpec.SnapshotPeriod > 0 (online monitoring).
+	Snapshots []Snapshot
+}
+
+// Snapshot is one online progress observation of a pipelined reducer.
+type Snapshot struct {
+	T        float64
+	Reducer  int
+	Consumed int   // records consumed so far
+	Keys     int   // live partial-result keys
+	MemVirt  int64 // partial-result footprint, virtual bytes
+}
+
+// Config parameterizes the engine (cluster + virtual scaling).
+type Config struct {
+	// Cluster is the simulated datacenter.
+	Cluster cluster.Config
+	// Replication is the DFS replication factor (paper: 3).
+	Replication int
+	// ByteScale converts real record bytes to virtual bytes for all I/O
+	// timing and memory accounting (virtual = real * ByteScale).
+	ByteScale float64
+	// RecordScale converts real record counts to virtual record counts
+	// for CPU accounting. Usually set equal to ByteScale.
+	RecordScale float64
+	// FailMapTask, if >= 0, makes that map task fail once and be retried
+	// (fault-tolerance exercise).
+	FailMapTask int
+	// FetchParallelism bounds concurrent fetches per reducer in barrier
+	// mode (Hadoop's parallel copies, default 5).
+	FetchParallelism int
+	// QueueCapBatches bounds the pipelined reducer's in-flight record
+	// batches (backpressure), default 64.
+	QueueCapBatches int
+	// Memo, when non-nil, caches map outputs across runs (DryadInc-style
+	// memoization — the paper's future-work extension).
+	Memo *MemoCache
+}
+
+// DefaultConfig mirrors the paper's testbed with unit scaling.
+func DefaultConfig() Config {
+	return Config{
+		Cluster:          cluster.Default(),
+		Replication:      3,
+		ByteScale:        1,
+		RecordScale:      1,
+		FailMapTask:      -1,
+		FetchParallelism: 5,
+		QueueCapBatches:  64,
+	}
+}

@@ -1,0 +1,72 @@
+package simmr
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"blmr/internal/core"
+)
+
+// MemoCache implements the paper's future-work suggestion of
+// DryadInc-style memoization: map outputs are cached across job executions
+// keyed by the content of the input chunk and the shape of the job, so
+// re-running a job over partially unchanged input skips the corresponding
+// map work entirely (only the cached output's local disk read is charged).
+//
+// In the barrier-less model this is safe because map tasks are pure
+// functions of their chunk: the cache stores the partitioned intermediate
+// records and their sizes.
+type MemoCache struct {
+	entries map[string]*memoEntry
+	hits    int
+	misses  int
+}
+
+type memoEntry struct {
+	parts     [][]core.Record
+	partBytes []int64
+	outVirt   int64
+}
+
+// NewMemoCache creates an empty cache, shared across Engine runs.
+func NewMemoCache() *MemoCache {
+	return &MemoCache{entries: make(map[string]*memoEntry)}
+}
+
+// Hits returns the cumulative cache hits.
+func (m *MemoCache) Hits() int { return m.hits }
+
+// Misses returns the cumulative cache misses.
+func (m *MemoCache) Misses() int { return m.misses }
+
+// Len returns the number of cached map outputs.
+func (m *MemoCache) Len() int { return len(m.entries) }
+
+// memoKey identifies a map execution by job name, reducer count, and the
+// chunk's content hash — a changed chunk or changed partitioning never
+// reuses stale output.
+func memoKey(jobName string, reducers int, recs []core.Record) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/", jobName, reducers)
+	for _, r := range recs {
+		fmt.Fprintf(h, "%d:", len(r.Key))
+		h.Write([]byte(r.Key))
+		fmt.Fprintf(h, "%d:", len(r.Value))
+		h.Write([]byte(r.Value))
+	}
+	return fmt.Sprintf("%x", h.Sum64())
+}
+
+func (m *MemoCache) lookup(key string) (*memoEntry, bool) {
+	e, ok := m.entries[key]
+	if ok {
+		m.hits++
+	} else {
+		m.misses++
+	}
+	return e, ok
+}
+
+func (m *MemoCache) insert(key string, e *memoEntry) {
+	m.entries[key] = e
+}

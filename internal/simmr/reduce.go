@@ -1,0 +1,234 @@
+package simmr
+
+import (
+	"fmt"
+
+	"blmr/internal/cluster"
+	"blmr/internal/core"
+	"blmr/internal/kvstore"
+	"blmr/internal/metrics"
+	"blmr/internal/sim"
+	"blmr/internal/sortx"
+	"blmr/internal/store"
+)
+
+// barrierReduce is stock Hadoop: fetch every map's partition (bounded
+// parallel fetchers), hit the barrier, merge-sort, run the grouped reducer,
+// write output.
+func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.Node, shuffle *shuffleState, res *Result, jobDone *sim.Event) {
+	node.ReduceSlots.Acquire(p, 1)
+	defer node.ReduceSlots.Release(1)
+
+	// --- Shuffle: fetch all partitions, buffering to local disk. ---
+	shTok := e.Col.TaskStart(metrics.StageShuffle, p.Now())
+	fetchSlots := sim.NewResource(p.Kernel(), fmt.Sprintf("fetch-%d", r), int64(e.Cfg.FetchParallelism))
+	fetched := make([][]core.Record, len(shuffle.maps))
+	var fetchedVirt int64
+	wg := sim.NewWaitGroup(p.Kernel(), fmt.Sprintf("fetchers-%d", r), len(shuffle.maps))
+	for m := range shuffle.maps {
+		m := m
+		p.Kernel().Spawn(fmt.Sprintf("fetch-%d-%d", r, m), func(fp *sim.Proc) {
+			defer wg.Done()
+			mo := shuffle.maps[m]
+			mo.done.Wait(fp)
+			fetchSlots.Acquire(fp, 1)
+			defer fetchSlots.Release(1)
+			e.C.Transfer(fp, mo.node, node, mo.partBytes[r])
+			node.DiskWrite(fp, mo.partBytes[r]) // buffer run to local disk
+			fetched[m] = mo.parts[r]
+			fetchedVirt += mo.partBytes[r]
+		})
+	}
+	wg.Wait(p) // <-- the barrier
+	e.Col.TaskEnd(shTok, p.Now())
+
+	// --- Sort: merge the buffered runs into key order. ---
+	sortTok := e.Col.TaskStart(metrics.StageSort, p.Now())
+	var all []core.Record
+	for _, part := range fetched {
+		all = append(all, part...)
+	}
+	node.DiskRead(p, fetchedVirt) // read runs back for the merge
+	sortx.ByKey(all)
+	node.Compute(p, sortCompareCost(e.virtRecs(len(all)))*job.Costs.SortCPUPerCompare)
+	e.Col.TaskEnd(sortTok, p.Now())
+
+	// --- Reduce: one grouped invocation per key. ---
+	redTok := e.Col.TaskStart(metrics.StageReduce, p.Now())
+	out := &recSink{}
+	gr := job.NewGroup()
+	sortx.Group(all, func(key string, values []string) {
+		gr.Reduce(key, values, out)
+	})
+	if c, ok := gr.(core.Cleanup); ok {
+		c.Cleanup(out)
+	}
+	node.Compute(p, e.virtRecs(len(all))*job.Costs.ReduceCPUPerRecord)
+	e.Col.TaskEnd(redTok, p.Now())
+
+	e.writeOutput(p, job, node, out.recs, res)
+}
+
+// fetchBatch is one network chunk's worth of records heading for the
+// pipelined reducer.
+type fetchBatch struct {
+	recs []core.Record
+}
+
+// pipelinedReduce is the barrier-less path: one fetch process per mapper
+// pulls records as they become available and enqueues them; the reducer
+// consumes the FIFO queue record-by-record through a StreamReducer whose
+// partial results live in the configured store. Memory is tracked against
+// the heap budget; crossing it kills the job (Figure 5(a)).
+func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.Node, shuffle *shuffleState, res *Result, jobDone *sim.Event) {
+	node.ReduceSlots.Acquire(p, 1)
+	defer node.ReduceSlots.Release(1)
+
+	k := p.Kernel()
+	shTok := e.Col.TaskStart(metrics.StageShuffle, p.Now())
+	queue := sim.NewQueue[fetchBatch](k, fmt.Sprintf("rq-%d", r), e.Cfg.QueueCapBatches)
+	wg := sim.NewWaitGroup(k, fmt.Sprintf("pfetchers-%d", r), len(shuffle.maps))
+	chunk := e.C.Cfg.TransferChunkBytes
+	for m := range shuffle.maps {
+		m := m
+		k.Spawn(fmt.Sprintf("pfetch-%d-%d", r, m), func(fp *sim.Proc) {
+			defer wg.Done()
+			mo := shuffle.maps[m]
+			mo.done.Wait(fp)
+			recs := mo.parts[r]
+			// Stream the partition chunk by chunk, releasing records to
+			// the reducer as each chunk lands.
+			start := 0
+			var batchVirt int64
+			for i, rec := range recs {
+				batchVirt += e.virtBytes(rec.Size())
+				if batchVirt >= chunk || i == len(recs)-1 {
+					e.C.Transfer(fp, mo.node, node, batchVirt)
+					queue.Put(fp, fetchBatch{recs: recs[start : i+1]})
+					start = i + 1
+					batchVirt = 0
+				}
+			}
+		})
+	}
+	// Close the queue once every fetcher has drained its mapper.
+	k.Spawn(fmt.Sprintf("closer-%d", r), func(cp *sim.Proc) {
+		wg.Wait(cp)
+		queue.Close()
+	})
+
+	st := e.newStore(p, job, node)
+	sr := job.NewStream(st)
+	out := &recSink{}
+	redTok := e.Col.TaskStart(metrics.StageReduce, p.Now())
+	consumed := 0
+	nextSnap := job.SnapshotPeriod
+	for {
+		batch, ok := queue.Get(p)
+		if !ok {
+			break
+		}
+		perRec := job.Costs.ReduceCPUPerRecord + job.Costs.StoreCPUPerOp
+		node.Compute(p, e.virtRecs(len(batch.recs))*perRec)
+		for _, rec := range batch.recs {
+			sr.Consume(rec, out)
+		}
+		consumed += len(batch.recs)
+		memVirt := e.virtBytes(st.MemBytes())
+		e.Col.MemSample(r, p.Now(), memVirt)
+		if job.SnapshotPeriod > 0 && p.Now() >= nextSnap {
+			res.Snapshots = append(res.Snapshots, Snapshot{
+				T: p.Now(), Reducer: r, Consumed: consumed,
+				Keys: st.Len(), MemVirt: memVirt,
+			})
+			for p.Now() >= nextSnap {
+				nextSnap += job.SnapshotPeriod
+			}
+		}
+		if job.HeapBudget > 0 && memVirt > job.HeapBudget {
+			e.Col.TaskEnd(redTok, p.Now())
+			e.Col.TaskEnd(shTok, p.Now())
+			failJob(p, res, jobDone, fmt.Sprintf(
+				"reducer %d out of memory: partial results %d MB exceed heap budget %d MB (%s store)",
+				r, memVirt>>20, job.HeapBudget>>20, job.Store))
+			return
+		}
+	}
+	e.Col.TaskEnd(shTok, p.Now())
+
+	// Finalize: emit partial results (spill merges and KV reads charge
+	// their own disk time through the hooks).
+	sr.Finish(out)
+	node.Compute(p, e.virtRecs(len(out.recs))*job.Costs.FinalizeCPUPerRecord)
+	if sp, ok := st.(*store.SpillStore); ok {
+		res.Spills += sp.Spills
+	}
+	e.Col.MemSample(r, p.Now(), e.virtBytes(st.MemBytes()))
+	e.Col.TaskEnd(redTok, p.Now())
+
+	e.writeOutput(p, job, node, out.recs, res)
+}
+
+// newStore builds the per-task partial-result store with hooks that charge
+// simulated disk and per-op time on the reducer's node.
+func (e *Engine) newStore(p *sim.Proc, job *JobSpec, node *cluster.Node) store.Store {
+	switch job.Store {
+	case store.SpillMerge:
+		thresholdReal := int64(float64(job.SpillThreshold) / e.Cfg.ByteScale)
+		if job.SpillThreshold == 0 {
+			thresholdReal = 1 << 20
+		}
+		return store.NewSpillStore(thresholdReal, job.Merger, &simSpillHooks{e: e, p: p, node: node})
+	case store.KV:
+		cacheReal := int64(float64(job.KVCacheBytes) / e.Cfg.ByteScale)
+		if job.KVCacheBytes == 0 {
+			cacheReal = 1 << 20
+		}
+		kv := kvstore.New(kvstore.Config{
+			CacheBytes: cacheReal,
+			Hooks:      &simKVHooks{e: e, p: p, node: node, opDelay: job.Costs.KVOpDelay},
+		})
+		return store.NewKVStore(kv)
+	default:
+		return store.NewMemStore()
+	}
+}
+
+// writeOutput writes a reducer's final records to the DFS and appends them
+// to the job result.
+func (e *Engine) writeOutput(p *sim.Proc, job *JobSpec, node *cluster.Node, recs []core.Record, res *Result) {
+	outTok := e.Col.TaskStart(metrics.StageOutput, p.Now())
+	e.D.Write(p, node, job.Name+".out", recs, e.virtBytes(core.RecordsSize(recs)))
+	e.Col.TaskEnd(outTok, p.Now())
+	res.Output = append(res.Output, recs...)
+}
+
+// simSpillHooks charges spill I/O as local disk traffic (spill bytes are
+// already virtual once scaled).
+type simSpillHooks struct {
+	e    *Engine
+	p    *sim.Proc
+	node *cluster.Node
+}
+
+func (h *simSpillHooks) SpillWrite(n int64) { h.node.DiskWrite(h.p, h.e.virtBytes(n)) }
+func (h *simSpillHooks) SpillRead(n int64)  { h.node.DiskRead(h.p, h.e.virtBytes(n)) }
+
+// simKVHooks charges KV-store ops and log I/O. Each user op costs opDelay
+// scaled by RecordScale (a real op stands in for RecordScale virtual ops).
+type simKVHooks struct {
+	e       *Engine
+	p       *sim.Proc
+	node    *cluster.Node
+	opDelay float64
+}
+
+// Op throttles the store to its observed per-operation throughput (the
+// paper measured ~30,000 inserts/s); every reduce invocation performs a
+// get+put cycle, and each real operation stands for RecordScale virtual
+// operations.
+func (h *simKVHooks) Op(name string) {
+	h.p.Sleep(h.opDelay * h.e.Cfg.RecordScale)
+}
+func (h *simKVHooks) DiskWrite(n int64) { h.node.DiskWrite(h.p, h.e.virtBytes(n)) }
+func (h *simKVHooks) DiskRead(n int64)  { h.node.DiskRead(h.p, h.e.virtBytes(n)) }

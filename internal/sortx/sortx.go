@@ -1,0 +1,179 @@
+// Package sortx provides the sorting machinery the MapReduce framework uses:
+// stable in-memory record sort, grouping of sorted runs by key, and a k-way
+// merge over sorted runs (the barrier shuffle's merge-sort and the spill
+// store's merge phase both build on it).
+package sortx
+
+import (
+	"container/heap"
+	"sort"
+
+	"blmr/internal/core"
+)
+
+// ByKey stable-sorts records by key in place and returns the number of key
+// comparisons a merge sort would have performed (n log2 n), which the
+// simulator charges as CPU work.
+func ByKey(recs []core.Record) int64 {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return CompareCost(len(recs))
+}
+
+// CompareCost returns the nominal comparison count for sorting n records.
+func CompareCost(n int) int64 {
+	if n < 2 {
+		return 0
+	}
+	cost := int64(0)
+	for m := n; m > 1; m >>= 1 {
+		cost += int64(n)
+	}
+	return cost
+}
+
+// Group invokes fn once per distinct key of a key-sorted slice, passing all
+// values for that key in encounter order. It panics if the input is not
+// sorted (a framework invariant violation, not a user error).
+func Group(recs []core.Record, fn func(key string, values []string)) {
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Key == recs[i].Key {
+			j++
+		}
+		if j < len(recs) && recs[j].Key < recs[i].Key {
+			panic("sortx: Group input not sorted")
+		}
+		values := make([]string, 0, j-i)
+		for _, r := range recs[i:j] {
+			values = append(values, r.Value)
+		}
+		fn(recs[i].Key, values)
+		i = j
+	}
+}
+
+// Run is a sorted sequence of records consumed incrementally.
+type Run interface {
+	// Next returns the next record; ok is false when the run is exhausted.
+	Next() (core.Record, bool)
+}
+
+// SliceRun adapts a pre-sorted slice to the Run interface.
+type SliceRun struct {
+	recs []core.Record
+	pos  int
+}
+
+// NewSliceRun wraps a key-sorted slice.
+func NewSliceRun(recs []core.Record) *SliceRun { return &SliceRun{recs: recs} }
+
+// Next implements Run.
+func (s *SliceRun) Next() (core.Record, bool) {
+	if s.pos >= len(s.recs) {
+		return core.Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+type mergeEntry struct {
+	rec core.Record
+	src int
+}
+
+type mergeHeap struct {
+	entries []mergeEntry
+}
+
+func (h mergeHeap) Len() int { return len(h.entries) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h.entries[i], h.entries[j]
+	if a.rec.Key != b.rec.Key {
+		return a.rec.Key < b.rec.Key
+	}
+	return a.src < b.src // stable across runs: earlier run wins ties
+}
+func (h mergeHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
+func (h *mergeHeap) Push(x any)   { h.entries = append(h.entries, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() any {
+	old := h.entries
+	n := len(old)
+	e := old[n-1]
+	h.entries = old[:n-1]
+	return e
+}
+
+// Merger merges any number of sorted runs into one globally key-sorted
+// stream. Ties between runs are broken by run index, making the merge
+// stable with respect to run order.
+type Merger struct {
+	runs []Run
+	h    mergeHeap
+	// Comparisons counts heap comparisons performed, for CPU cost models.
+	Comparisons int64
+}
+
+// NewMerger primes a merger with the given runs.
+func NewMerger(runs []Run) *Merger {
+	m := &Merger{runs: runs}
+	for i, r := range runs {
+		if rec, ok := r.Next(); ok {
+			m.h.entries = append(m.h.entries, mergeEntry{rec: rec, src: i})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next returns the next record in global key order.
+func (m *Merger) Next() (core.Record, bool) {
+	if m.h.Len() == 0 {
+		return core.Record{}, false
+	}
+	e := m.h.entries[0]
+	if rec, ok := m.runs[e.src].Next(); ok {
+		m.h.entries[0] = mergeEntry{rec: rec, src: e.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	m.Comparisons += int64(bits(m.h.Len()))
+	return e.rec, true
+}
+
+// NextGroup returns the next key and all its values across all runs.
+func (m *Merger) NextGroup() (key string, values []string, ok bool) {
+	rec, ok := m.Next()
+	if !ok {
+		return "", nil, false
+	}
+	key = rec.Key
+	values = append(values, rec.Value)
+	for m.h.Len() > 0 && m.h.entries[0].rec.Key == key {
+		rec, _ = m.Next()
+		values = append(values, rec.Value)
+	}
+	return key, values, true
+}
+
+// Drain returns all remaining records (for tests and small merges).
+func (m *Merger) Drain() []core.Record {
+	var out []core.Record
+	for {
+		r, ok := m.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+func bits(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

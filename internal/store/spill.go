@@ -1,0 +1,140 @@
+package store
+
+import (
+	"blmr/internal/codec"
+	"blmr/internal/core"
+	"blmr/internal/rbtree"
+	"blmr/internal/sortx"
+)
+
+// SpillHooks observes spill-file I/O so the simulator can charge disk time.
+type SpillHooks interface {
+	// SpillWrite is called when a spill run of the given size is written.
+	SpillWrite(bytes int64)
+	// SpillRead is called as spill data is read back during the merge.
+	SpillRead(bytes int64)
+}
+
+// NopSpillHooks ignores all notifications.
+type NopSpillHooks struct{}
+
+// SpillWrite implements SpillHooks.
+func (NopSpillHooks) SpillWrite(int64) {}
+
+// SpillRead implements SpillHooks.
+func (NopSpillHooks) SpillRead(int64) {}
+
+// SpillStore implements the paper's disk spill and merge scheme. Partial
+// results accumulate in a red-black tree; when the tree's footprint crosses
+// the threshold, its contents are serialized in key order to a new spill
+// run and the tree is cleared. Emit k-way merges the runs and the live tree,
+// combining same-key partials with the Merger.
+type SpillStore struct {
+	t         *rbtree.Tree[string]
+	merger    Merger
+	threshold int64
+	hooks     SpillHooks
+	runs      [][]byte // each run is a key-sorted encoded record stream
+	spilled   int64
+	// Spills counts how many spill runs were written (for tests/metrics).
+	Spills int
+}
+
+// NewSpillStore creates a spill-and-merge store. threshold is the in-memory
+// partial-results budget in bytes (the paper used 240 MB); merger combines
+// same-key partials at merge time; hooks may be nil.
+func NewSpillStore(threshold int64, merger Merger, hooks SpillHooks) *SpillStore {
+	if merger == nil {
+		panic("store: SpillStore requires a Merger")
+	}
+	if hooks == nil {
+		hooks = NopSpillHooks{}
+	}
+	if threshold <= 0 {
+		threshold = 1 << 20
+	}
+	return &SpillStore{
+		t:         rbtree.New[string](strSize),
+		merger:    merger,
+		threshold: threshold,
+		hooks:     hooks,
+	}
+}
+
+// Get implements Store. Only the in-memory partial is visible; spilled
+// partials for the key are merged at Emit.
+func (s *SpillStore) Get(key string) (string, bool) { return s.t.Get(key) }
+
+// Put implements Store, spilling if the memory threshold is exceeded.
+func (s *SpillStore) Put(key, val string) {
+	s.t.Put(key, val)
+	if s.t.Bytes() >= s.threshold {
+		s.spill()
+	}
+}
+
+// Len implements Store (in-memory keys only).
+func (s *SpillStore) Len() int { return s.t.Len() }
+
+// MemBytes implements Store.
+func (s *SpillStore) MemBytes() int64 { return s.t.Bytes() }
+
+// SpilledBytes implements Store.
+func (s *SpillStore) SpilledBytes() int64 { return s.spilled }
+
+// spill serializes the tree in key order into a new run and clears it.
+func (s *SpillStore) spill() {
+	if s.t.Len() == 0 {
+		return
+	}
+	buf := make([]byte, 0, s.t.Bytes())
+	s.t.Ascend(func(k, v string) bool {
+		buf = codec.AppendRecord(buf, core.Record{Key: k, Value: v})
+		return true
+	})
+	s.runs = append(s.runs, buf)
+	s.spilled += int64(len(buf))
+	s.Spills++
+	s.hooks.SpillWrite(int64(len(buf)))
+	s.t.Clear()
+}
+
+// Emit implements Store: merge every spill run plus the live tree, combine
+// same-key partials, and write final results in key order.
+func (s *SpillStore) Emit(out core.Output) {
+	if len(s.runs) == 0 {
+		// Fast path: nothing ever spilled.
+		s.t.Ascend(func(k, v string) bool {
+			out.Write(k, v)
+			return true
+		})
+		s.t.Clear()
+		return
+	}
+	var runs []sortx.Run
+	for _, r := range s.runs {
+		s.hooks.SpillRead(int64(len(r)))
+		runs = append(runs, codec.NewReader(r))
+	}
+	// The live tree is itself a key-sorted run.
+	var live []core.Record
+	s.t.Ascend(func(k, v string) bool {
+		live = append(live, core.Record{Key: k, Value: v})
+		return true
+	})
+	runs = append(runs, sortx.NewSliceRun(live))
+	m := sortx.NewMerger(runs)
+	for {
+		key, values, ok := m.NextGroup()
+		if !ok {
+			break
+		}
+		acc := values[0]
+		for _, v := range values[1:] {
+			acc = s.merger(acc, v)
+		}
+		out.Write(key, acc)
+	}
+	s.runs = nil
+	s.t.Clear()
+}

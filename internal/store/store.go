@@ -1,0 +1,104 @@
+// Package store provides partial-result storage for barrier-less reducers
+// (Section 5 of the paper). Three strategies are offered:
+//
+//   - InMemory: a red-black tree holding every partial result (fast, but
+//     O(keys..records) heap — can OOM, Figure 5(a)).
+//   - SpillMerge: the paper's customized "disk spill and merge" scheme —
+//     when memory crosses a threshold the tree is serialized key-sorted to a
+//     spill file; at finalize all spill files plus the live tree are k-way
+//     merged, combining same-key partials with a user Merger (Figure 5(b)).
+//   - KV: an off-the-shelf-style disk-spilling key/value store with an LRU
+//     cache (the BerkeleyDB stand-in).
+//
+// All three expose the same Store interface so reducers are agnostic to the
+// memory-management policy.
+package store
+
+import (
+	"blmr/internal/core"
+	"blmr/internal/rbtree"
+)
+
+// Merger combines two partial results for the same key into one. It must be
+// commutative and associative — the same requirement the paper places on
+// the merge function ("often functionally the same as the combiner").
+type Merger func(a, b string) string
+
+// Store holds per-key partial results during barrier-less reduction.
+// Implementations are single-owner (one reduce task), not concurrency-safe.
+type Store interface {
+	// Get returns the currently reachable partial result for key. For
+	// SpillMerge this is only the in-memory portion; spilled partials for
+	// the same key are reunited at Emit time via the Merger.
+	Get(key string) (string, bool)
+	// Put records the partial result for key.
+	Put(key, val string)
+	// Len returns the number of keys currently reachable without a merge
+	// (in-memory keys for SpillMerge, all keys otherwise).
+	Len() int
+	// MemBytes returns the accounted in-memory footprint, charged against
+	// the reducer's heap budget.
+	MemBytes() int64
+	// SpilledBytes returns bytes written to spill storage so far.
+	SpilledBytes() int64
+	// Emit merges all partial results and writes one record per key, in
+	// key order, to out. The store must not be used afterwards.
+	Emit(out core.Output)
+}
+
+// Kind names a memory-management strategy, used in configs and reports.
+type Kind int
+
+// Available strategies.
+const (
+	InMemory Kind = iota
+	SpillMerge
+	KV
+)
+
+var kindNames = [...]string{"in-memory", "spill-merge", "kvstore"}
+
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// strSize accounts the bytes of a value string.
+func strSize(v string) int64 { return int64(len(v)) }
+
+// MemStore keeps every partial result in a red-black tree (the unmanaged
+// baseline that fails on Figure 5(a)).
+type MemStore struct {
+	t *rbtree.Tree[string]
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{t: rbtree.New[string](strSize)}
+}
+
+// Get implements Store.
+func (m *MemStore) Get(key string) (string, bool) { return m.t.Get(key) }
+
+// Put implements Store.
+func (m *MemStore) Put(key, val string) { m.t.Put(key, val) }
+
+// Len implements Store.
+func (m *MemStore) Len() int { return m.t.Len() }
+
+// MemBytes implements Store.
+func (m *MemStore) MemBytes() int64 { return m.t.Bytes() }
+
+// SpilledBytes implements Store.
+func (m *MemStore) SpilledBytes() int64 { return 0 }
+
+// Emit implements Store.
+func (m *MemStore) Emit(out core.Output) {
+	m.t.Ascend(func(k, v string) bool {
+		out.Write(k, v)
+		return true
+	})
+	m.t.Clear()
+}

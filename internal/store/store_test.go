@@ -1,0 +1,340 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"blmr/internal/core"
+	"blmr/internal/kvstore"
+)
+
+func sumMerger(a, b string) string {
+	x, _ := strconv.Atoi(a)
+	y, _ := strconv.Atoi(b)
+	return strconv.Itoa(x + y)
+}
+
+type sink struct {
+	recs []core.Record
+}
+
+func (s *sink) Write(k, v string) { s.recs = append(s.recs, core.Record{Key: k, Value: v}) }
+
+// aggregate drives a store like an aggregation reducer: read previous
+// partial, add, store back.
+func aggregate(s Store, key string, delta int) {
+	prev := 0
+	if v, ok := s.Get(key); ok {
+		prev, _ = strconv.Atoi(v)
+	}
+	s.Put(key, strconv.Itoa(prev+delta))
+}
+
+func allStores(t *testing.T, spillThreshold int64) map[string]Store {
+	t.Helper()
+	return map[string]Store{
+		"in-memory":   NewMemStore(),
+		"spill-merge": NewSpillStore(spillThreshold, sumMerger, nil),
+		"kvstore":     NewKVStore(kvstore.New(kvstore.Config{CacheBytes: 512})),
+	}
+}
+
+func TestAllStoresAgreeOnAggregation(t *testing.T) {
+	// Drive each store with the same word-count-like stream; all must
+	// produce identical sorted output.
+	stream := make([]string, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		stream = append(stream, fmt.Sprintf("word%03d", (i*7)%97))
+	}
+	var ref map[string]int
+	for name, s := range allStores(t, 2048) {
+		for _, w := range stream {
+			aggregate(s, w, 1)
+		}
+		out := &sink{}
+		s.Emit(out)
+		got := map[string]int{}
+		var keys []string
+		for _, r := range out.recs {
+			got[r.Key], _ = strconv.Atoi(r.Value)
+			keys = append(keys, r.Key)
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("%s: Emit not key-sorted", name)
+		}
+		if ref == nil {
+			ref = got
+			// Sanity: 97 distinct words, 5000 total.
+			if len(ref) != 97 {
+				t.Fatalf("ref has %d keys", len(ref))
+			}
+			total := 0
+			for _, c := range ref {
+				total += c
+			}
+			if total != 5000 {
+				t.Fatalf("ref total = %d", total)
+			}
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("%s: %d keys, want %d", name, len(got), len(ref))
+		}
+		for k, v := range ref {
+			if got[k] != v {
+				t.Fatalf("%s: %s = %d, want %d", name, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestMemStoreBytesGrowWithKeys(t *testing.T) {
+	s := NewMemStore()
+	var last int64
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("key%04d", i), "value")
+		if s.MemBytes() <= last {
+			t.Fatalf("MemBytes did not grow at key %d", i)
+		}
+		last = s.MemBytes()
+	}
+	if s.SpilledBytes() != 0 {
+		t.Fatal("MemStore never spills")
+	}
+}
+
+func TestSpillStoreRespectsThreshold(t *testing.T) {
+	s := NewSpillStore(4096, sumMerger, nil)
+	for i := 0; i < 10000; i++ {
+		aggregate(s, fmt.Sprintf("key%05d", i), 1)
+	}
+	if s.Spills == 0 {
+		t.Fatal("expected spills")
+	}
+	if s.MemBytes() >= 4096+256 {
+		t.Fatalf("memory above threshold: %d", s.MemBytes())
+	}
+	if s.SpilledBytes() == 0 {
+		t.Fatal("expected spilled bytes")
+	}
+	out := &sink{}
+	s.Emit(out)
+	if len(out.recs) != 10000 {
+		t.Fatalf("emitted %d records, want 10000", len(out.recs))
+	}
+}
+
+func TestSpillStoreMergesAcrossRuns(t *testing.T) {
+	// The same key spilled into multiple runs must be merged with the
+	// Merger at Emit (partial sums add up).
+	s := NewSpillStore(600, sumMerger, nil)
+	const rounds = 50
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 20; i++ {
+			aggregate(s, fmt.Sprintf("hot%02d", i), 1)
+		}
+	}
+	if s.Spills < 2 {
+		t.Fatalf("want multiple spills, got %d", s.Spills)
+	}
+	out := &sink{}
+	s.Emit(out)
+	if len(out.recs) != 20 {
+		t.Fatalf("emitted %d keys, want 20", len(out.recs))
+	}
+	for _, r := range out.recs {
+		if r.Value != strconv.Itoa(rounds) {
+			t.Fatalf("key %s = %s, want %d", r.Key, r.Value, rounds)
+		}
+	}
+}
+
+func TestSpillStoreNoSpillFastPath(t *testing.T) {
+	s := NewSpillStore(1<<20, sumMerger, nil)
+	aggregate(s, "b", 2)
+	aggregate(s, "a", 1)
+	out := &sink{}
+	s.Emit(out)
+	if len(out.recs) != 2 || out.recs[0].Key != "a" || out.recs[1].Key != "b" {
+		t.Fatalf("recs = %v", out.recs)
+	}
+	if s.Spills != 0 {
+		t.Fatal("unexpected spill")
+	}
+}
+
+func TestSpillHooksCharged(t *testing.T) {
+	h := &spillCounter{}
+	s := NewSpillStore(512, sumMerger, h)
+	for i := 0; i < 2000; i++ {
+		aggregate(s, fmt.Sprintf("k%04d", i), 1)
+	}
+	s.Emit(&sink{})
+	if h.wrote == 0 || h.read == 0 {
+		t.Fatalf("hooks not charged: wrote=%d read=%d", h.wrote, h.read)
+	}
+	if h.read != h.wrote {
+		t.Fatalf("merge should read back exactly what was spilled: wrote=%d read=%d", h.wrote, h.read)
+	}
+}
+
+type spillCounter struct{ wrote, read int64 }
+
+func (c *spillCounter) SpillWrite(n int64) { c.wrote += n }
+func (c *spillCounter) SpillRead(n int64)  { c.read += n }
+
+func TestKVStoreBoundedMemory(t *testing.T) {
+	kv := kvstore.New(kvstore.Config{CacheBytes: 1024})
+	s := NewKVStore(kv)
+	for i := 0; i < 5000; i++ {
+		aggregate(s, fmt.Sprintf("key%05d", i%500), 1)
+	}
+	if s.MemBytes() > 1024+128 {
+		t.Fatalf("cache exceeded budget: %d", s.MemBytes())
+	}
+	out := &sink{}
+	s.Emit(out)
+	if len(out.recs) != 500 {
+		t.Fatalf("emitted %d, want 500", len(out.recs))
+	}
+	for _, r := range out.recs {
+		if r.Value != "10" {
+			t.Fatalf("%s = %s, want 10", r.Key, r.Value)
+		}
+	}
+}
+
+func TestStoresEquivalenceProperty(t *testing.T) {
+	// Property: for any stream of (key, delta) increments, all three
+	// strategies emit identical aggregates.
+	f := func(ops []uint16) bool {
+		mem := NewMemStore()
+		spill := NewSpillStore(512, sumMerger, nil)
+		kv := NewKVStore(kvstore.New(kvstore.Config{CacheBytes: 256}))
+		for _, op := range ops {
+			key := fmt.Sprintf("k%02d", op%23)
+			delta := int(op%5) + 1
+			aggregate(mem, key, delta)
+			aggregate(spill, key, delta)
+			aggregate(kv, key, delta)
+		}
+		outs := make([][]core.Record, 3)
+		for i, s := range []Store{mem, spill, kv} {
+			o := &sink{}
+			s.Emit(o)
+			outs[i] = o.recs
+		}
+		for i := 1; i < 3; i++ {
+			if len(outs[i]) != len(outs[0]) {
+				return false
+			}
+			for j := range outs[0] {
+				if outs[i][j] != outs[0][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if InMemory.String() != "in-memory" || SpillMerge.String() != "spill-merge" || KV.String() != "kvstore" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() != "unknown" {
+		t.Fatal("out-of-range kind")
+	}
+}
+
+func BenchmarkMemStoreAggregate(b *testing.B) {
+	s := NewMemStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggregateB(s, fmt.Sprintf("key%04d", i%1000))
+	}
+}
+
+func BenchmarkSpillStoreAggregate(b *testing.B) {
+	s := NewSpillStore(1<<16, sumMerger, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggregateB(s, fmt.Sprintf("key%04d", i%1000))
+	}
+}
+
+func BenchmarkKVStoreAggregate(b *testing.B) {
+	s := NewKVStore(kvstore.New(kvstore.Config{CacheBytes: 1 << 14}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggregateB(s, fmt.Sprintf("key%04d", i%1000))
+	}
+}
+
+func aggregateB(s Store, key string) {
+	prev := 0
+	if v, ok := s.Get(key); ok {
+		prev, _ = strconv.Atoi(v)
+	}
+	s.Put(key, strconv.Itoa(prev+1))
+}
+
+func TestStoreAccessors(t *testing.T) {
+	mem := NewMemStore()
+	aggregate(mem, "a", 1)
+	aggregate(mem, "b", 1)
+	if mem.Len() != 2 {
+		t.Fatalf("mem Len = %d", mem.Len())
+	}
+	sp := NewSpillStore(1<<20, sumMerger, nil)
+	aggregate(sp, "a", 1)
+	if sp.Len() != 1 {
+		t.Fatalf("spill Len = %d", sp.Len())
+	}
+	kvu := kvstore.New(kvstore.Config{CacheBytes: 1024})
+	kv := NewKVStore(kvu)
+	aggregate(kv, "x", 1)
+	if kv.Len() != 1 {
+		t.Fatalf("kv Len = %d", kv.Len())
+	}
+	if kv.Underlying() != kvu {
+		t.Fatal("Underlying mismatch")
+	}
+	if kv.SpilledBytes() != kvu.Stats().LogBytes {
+		t.Fatal("SpilledBytes should mirror log size")
+	}
+}
+
+func TestSpillStoreRequiresMerger(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without merger")
+		}
+	}()
+	NewSpillStore(1024, nil, nil)
+}
+
+func TestSpillStoreDefaultThreshold(t *testing.T) {
+	s := NewSpillStore(0, sumMerger, nil)
+	aggregate(s, "k", 1)
+	out := &sink{}
+	s.Emit(out)
+	if len(out.recs) != 1 {
+		t.Fatal("default-threshold store broken")
+	}
+}
+
+func TestNopSpillHooks(t *testing.T) {
+	// The nil-hooks path must route through NopSpillHooks without panics.
+	s := NewSpillStore(64, sumMerger, NopSpillHooks{})
+	for i := 0; i < 100; i++ {
+		aggregate(s, fmt.Sprintf("key%02d", i), 1)
+	}
+	s.Emit(&sink{})
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"blmr/internal/core"
+)
+
+// Text produces documents of Zipf-distributed words: one record per line,
+// key = line id, value = the line's words. vocab controls distinct words,
+// wordsPerLine the line length.
+func Text(seed uint64, lines, vocab, wordsPerLine int) []core.Record {
+	rng := NewRNG(seed)
+	zipf := NewZipf(rng, vocab, 1.0)
+	words := make([]string, vocab)
+	for i := range words {
+		words[i] = fmt.Sprintf("word%05d", i)
+	}
+	out := make([]core.Record, lines)
+	var sb strings.Builder
+	for i := range out {
+		sb.Reset()
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(words[zipf.Next()])
+		}
+		out[i] = core.Record{Key: fmt.Sprintf("line%08d", i), Value: sb.String()}
+	}
+	return out
+}
+
+// TextHeaps produces documents like Text, but a fraction of word
+// occurrences are globally unique tokens, so the distinct-word count grows
+// with corpus size (Heaps' law) — matching real text corpora, where
+// word-count partial results grow with the dataset and eventually overflow
+// reducer memory (the paper's Figure 5(a)).
+func TextHeaps(seed uint64, lines, coreVocab, wordsPerLine int, uniqueFrac, zipfS float64) []core.Record {
+	rng := NewRNG(seed)
+	zipf := NewZipf(rng, coreVocab, zipfS)
+	words := make([]string, coreVocab)
+	for i := range words {
+		words[i] = fmt.Sprintf("word%05d", i)
+	}
+	out := make([]core.Record, lines)
+	var sb strings.Builder
+	uniq := 0
+	for i := range out {
+		sb.Reset()
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			if rng.Float64() < uniqueFrac {
+				fmt.Fprintf(&sb, "uniq%08dq", uniq)
+				uniq++
+			} else {
+				sb.WriteString(words[zipf.Next()])
+			}
+		}
+		out[i] = core.Record{Key: fmt.Sprintf("line%08d", i), Value: sb.String()}
+	}
+	return out
+}
+
+// UniformKeys produces records whose keys are order-preserving encodings of
+// uniform integers in [0, keyRange) — the sort benchmark's input.
+func UniformKeys(seed uint64, n int, keyRange uint64) []core.Record {
+	rng := NewRNG(seed)
+	out := make([]core.Record, n)
+	for i := range out {
+		out[i] = core.Record{Key: core.EncodeUint64(rng.Uint64() % keyRange), Value: ""}
+	}
+	return out
+}
+
+// KNNData is the k-nearest-neighbors input: a training set and an
+// experimental set of integer values in [0, valueRange).
+type KNNData struct {
+	Training     []uint64
+	Experimental []uint64
+}
+
+// KNN generates the two value sets. Experimental values are distinct (the
+// paper notes experimental values must be unique), training values need not
+// be.
+func KNN(seed uint64, training, experimental int, valueRange uint64) KNNData {
+	rng := NewRNG(seed)
+	d := KNNData{
+		Training:     make([]uint64, training),
+		Experimental: make([]uint64, 0, experimental),
+	}
+	for i := range d.Training {
+		d.Training[i] = rng.Uint64() % valueRange
+	}
+	seen := make(map[uint64]bool, experimental)
+	for len(d.Experimental) < experimental {
+		v := rng.Uint64() % valueRange
+		if !seen[v] {
+			seen[v] = true
+			d.Experimental = append(d.Experimental, v)
+		}
+	}
+	return d
+}
+
+// KNNRecords flattens the training set into framework records: value is the
+// encoded training value, key is a record id padded to padBytes so input
+// records have a realistic on-disk size (the experimental set rides along
+// in the mapper closure).
+func KNNRecords(d KNNData, padBytes int) []core.Record {
+	pad := strings.Repeat("x", padBytes)
+	out := make([]core.Record, len(d.Training))
+	for i, v := range d.Training {
+		out[i] = core.Record{Key: fmt.Sprintf("t%08d%s", i, pad), Value: core.EncodeUint64(v)}
+	}
+	return out
+}
+
+// Listens generates Last.fm-style play events uniformly at random across
+// users and tracks (the paper used 50 users and 5000 tracks): key = record
+// id, value = (trackId, userId).
+func Listens(seed uint64, n, users, tracks int) []core.Record {
+	rng := NewRNG(seed)
+	out := make([]core.Record, n)
+	for i := range out {
+		track := fmt.Sprintf("track%05d", rng.Intn(tracks))
+		user := fmt.Sprintf("user%04d", rng.Intn(users))
+		out[i] = core.Record{Key: fmt.Sprintf("ev%08d", i), Value: core.JoinValues(track, user)}
+	}
+	return out
+}
+
+// Individuals generates a genetic-algorithm population: key = individual id,
+// value = genome bitstring of the given length.
+func Individuals(seed uint64, n, genomeBits int) []core.Record {
+	rng := NewRNG(seed)
+	out := make([]core.Record, n)
+	genome := make([]byte, genomeBits)
+	for i := range out {
+		for g := range genome {
+			if rng.Uint64()&1 == 1 {
+				genome[g] = '1'
+			} else {
+				genome[g] = '0'
+			}
+		}
+		out[i] = core.Record{Key: fmt.Sprintf("ind%08d", i), Value: string(genome)}
+	}
+	return out
+}
+
+// OptionSeeds generates per-mapper Monte-Carlo seeds for Black-Scholes: the
+// mapper runs its simulation from the seed, so input records are tiny while
+// map work is large (the paper's compute-heavy, O(1)-output workload).
+func OptionSeeds(seed uint64, mappers int) []core.Record {
+	rng := NewRNG(seed)
+	out := make([]core.Record, mappers)
+	for i := range out {
+		out[i] = core.Record{
+			Key:   fmt.Sprintf("task%04d", i),
+			Value: fmt.Sprintf("%d", rng.Uint64()),
+		}
+	}
+	return out
+}
+
+// SplitEvenly partitions records into n contiguous splits of near-equal
+// size (the DFS ingest unit). n is clamped to [1, len(recs)] except that
+// empty inputs produce n empty splits.
+func SplitEvenly(recs []core.Record, n int) [][]core.Record {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([][]core.Record, n)
+	if len(recs) == 0 {
+		return out
+	}
+	per := (len(recs) + n - 1) / n
+	for i := 0; i < n; i++ {
+		lo := i * per
+		if lo > len(recs) {
+			lo = len(recs)
+		}
+		hi := lo + per
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		out[i] = recs[lo:hi]
+	}
+	return out
+}

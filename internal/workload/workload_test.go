@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"blmr/internal/core"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a2 := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide too often: %d", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := NewRNG(2)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for b, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("bucket %d = %d, not ~10000", b, c)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(sd-1) > 0.02 {
+		t.Fatalf("sd = %v", sd)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(4)
+	z := NewZipf(r, 1000, 1.0)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < counts[10]*3 {
+		t.Fatalf("rank 0 (%d) should dominate rank 10 (%d)", counts[0], counts[10])
+	}
+	// Rank 0 of a Zipf(1, 1000) has p ~ 1/H_1000 ~ 0.133.
+	if counts[0] < n/10 || counts[0] > n/5 {
+		t.Fatalf("rank 0 frequency %d outside expected band", counts[0])
+	}
+}
+
+func TestTextShape(t *testing.T) {
+	recs := Text(7, 100, 50, 10)
+	if len(recs) != 100 {
+		t.Fatalf("lines = %d", len(recs))
+	}
+	again := Text(7, 100, 50, 10)
+	for i := range recs {
+		if recs[i] != again[i] {
+			t.Fatal("Text not deterministic")
+		}
+	}
+}
+
+func TestUniformKeysEncoded(t *testing.T) {
+	recs := UniformKeys(8, 500, 1000)
+	for _, r := range recs {
+		if v := core.DecodeUint64(r.Key); v >= 1000 {
+			t.Fatalf("key %d out of range", v)
+		}
+	}
+}
+
+func TestKNNExperimentalUnique(t *testing.T) {
+	d := KNN(9, 1000, 200, 1000000)
+	if len(d.Training) != 1000 || len(d.Experimental) != 200 {
+		t.Fatalf("sizes %d %d", len(d.Training), len(d.Experimental))
+	}
+	seen := map[uint64]bool{}
+	for _, v := range d.Experimental {
+		if seen[v] {
+			t.Fatal("duplicate experimental value")
+		}
+		seen[v] = true
+	}
+	if len(KNNRecords(d, 20)) != 1000 {
+		t.Fatal("KNNRecords length")
+	}
+}
+
+func TestListensShape(t *testing.T) {
+	recs := Listens(10, 1000, 50, 5000)
+	if len(recs) != 1000 {
+		t.Fatalf("n = %d", len(recs))
+	}
+	parts := core.SplitValues(recs[0].Value)
+	if len(parts) != 2 {
+		t.Fatalf("value parts = %v", parts)
+	}
+}
+
+func TestIndividualsGenome(t *testing.T) {
+	recs := Individuals(11, 10, 32)
+	for _, r := range recs {
+		if len(r.Value) != 32 {
+			t.Fatalf("genome length %d", len(r.Value))
+		}
+		for _, c := range r.Value {
+			if c != '0' && c != '1' {
+				t.Fatalf("genome char %q", c)
+			}
+		}
+	}
+}
+
+func TestSplitEvenlyProperty(t *testing.T) {
+	f := func(n uint8, splits uint8) bool {
+		recs := make([]core.Record, int(n))
+		s := int(splits%16) + 1
+		parts := SplitEvenly(recs, s)
+		if len(parts) != s {
+			return false
+		}
+		total := 0
+		maxLen, minLen := 0, 1<<30
+		for _, p := range parts {
+			total += len(p)
+			if len(p) > maxLen {
+				maxLen = len(p)
+			}
+			if len(p) < minLen {
+				minLen = len(p)
+			}
+		}
+		// All records covered; sizes within ceil/floor of each other
+		// (trailing splits may be empty when n < s).
+		return total == int(n) && (maxLen-minLen <= maxLen || int(n) < s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEvenlyCoversInOrder(t *testing.T) {
+	recs := Text(12, 103, 20, 3)
+	parts := SplitEvenly(recs, 7)
+	var flat []core.Record
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	if len(flat) != len(recs) {
+		t.Fatalf("flattened %d, want %d", len(flat), len(recs))
+	}
+	for i := range flat {
+		if flat[i] != recs[i] {
+			t.Fatal("order not preserved")
+		}
+	}
+}
+
+func TestOptionSeedsDistinct(t *testing.T) {
+	recs := OptionSeeds(13, 50)
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[r.Value] {
+			t.Fatal("duplicate seed")
+		}
+		seen[r.Value] = true
+	}
+}
+
+func TestTextHeapsVocabGrows(t *testing.T) {
+	distinct := func(lines int) int {
+		recs := TextHeaps(20, lines, 100, 8, 0.3, 1.0)
+		set := map[string]bool{}
+		for _, r := range recs {
+			for _, w := range splitWordsForTest(r.Value) {
+				set[w] = true
+			}
+		}
+		return len(set)
+	}
+	small, large := distinct(200), distinct(2000)
+	// With a 30% unique fraction, vocabulary must grow roughly linearly.
+	if large < 4*small {
+		t.Fatalf("vocab did not grow: %d -> %d", small, large)
+	}
+}
+
+func splitWordsForTest(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
