@@ -280,6 +280,34 @@ func BenchmarkMRWordCount_Pipelined(b *testing.B) {
 	}
 }
 
+// The unbatched (BatchSize=1) variant is the original record-at-a-time
+// shuffle, kept as the perf-trajectory baseline; the combiner variant is
+// the full WordCount fast path (see internal/mr/mr_bench_test.go for the
+// 1M-record versions).
+func BenchmarkMRWordCount_PipelinedUnbatched(b *testing.B) {
+	input := workload.Text(1, 20000, 5000, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// QueueCap 1024 restores the pre-batching engine's per-reducer
+		// record buffer (QueueCap now counts batches).
+		if _, err := mr.Run(mrJob(apps.WordCount()), input, mr.Options{Mode: mr.Pipelined, Mappers: 4, Reducers: 4, BatchSize: 1, QueueCap: 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMRWordCount_PipelinedCombiner(b *testing.B) {
+	input := workload.Text(1, 20000, 5000, 10)
+	job := mrJob(apps.WordCount())
+	job.Combiner = job.Merger
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mr.Run(job, input, mr.Options{Mode: mr.Pipelined, Mappers: 4, Reducers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMRSort_Barrier(b *testing.B) {
 	input := workload.UniformKeys(2, 100000, 1<<40)
 	b.ResetTimer()

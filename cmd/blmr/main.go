@@ -33,6 +33,7 @@ func main() {
 	spillMB := flag.Int("spill", 240, "spill threshold in MB for -store spill")
 	timeline := flag.Bool("timeline", false, "print the task-count timeline")
 	speculative := flag.Bool("speculative", false, "enable speculative map execution")
+	combine := flag.Bool("combine", false, "enable the map-side combiner (aggregation-class apps only; uses the app's merger)")
 	snapshot := flag.Float64("snapshot", 0, "pipelined progress snapshot period in virtual seconds (0 = off)")
 	flag.Parse()
 
@@ -82,7 +83,7 @@ func main() {
 	res := harness.Run(harness.RunSpec{
 		App: app, Data: ds, Mode: m, Reducers: *reducers, Store: kind,
 		Costs: costs, HeapBudgetMB: *heapMB, SpillThresholdMB: *spillMB, KVCacheMB: 512,
-		Speculative: *speculative, SnapshotPeriod: *snapshot,
+		Speculative: *speculative, Combine: *combine, SnapshotPeriod: *snapshot,
 	})
 
 	fmt.Printf("app=%s mode=%s store=%s reducers=%d\n", app.Name, m, kind, *reducers)
@@ -90,8 +91,8 @@ func main() {
 	if res.Failed {
 		fmt.Printf("JOB FAILED: %s\n", res.FailReason)
 	}
-	fmt.Printf("map tasks: %d (retries %d, backups %d/%d won)  output records: %d  spills: %d  peak partials: %d MB\n",
-		res.MapTasks, res.MapRetries, res.BackupsWon, res.BackupsLaunched, len(res.Output), res.Spills, res.PeakMemVirt>>20)
+	fmt.Printf("map tasks: %d (retries %d, backups %d/%d won)  output records: %d  spills: %d  peak partials: %d MB  shuffle: %d MB\n",
+		res.MapTasks, res.MapRetries, res.BackupsWon, res.BackupsLaunched, len(res.Output), res.Spills, res.PeakMemVirt>>20, res.ShuffleBytes>>20)
 	if len(res.Snapshots) > 0 {
 		fmt.Printf("progress snapshots: %d (first %.1fs, last %.1fs)\n",
 			len(res.Snapshots), res.Snapshots[0].T, res.Snapshots[len(res.Snapshots)-1].T)

@@ -12,6 +12,13 @@
 // benchmark applications (apps), and an experiment harness reproducing
 // every table and figure of the evaluation (harness).
 //
-// See README.md for a guided tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results.
+// The real-concurrency engine's shuffle is batched and allocation-lean:
+// mr.Options.BatchSize sets the records-per-channel-send granularity
+// (default 256; 1 reproduces record-at-a-time shuffling), mr.Options.QueueCap
+// the per-reducer buffering in batches, and mr.Job.Combiner — parity with
+// simmr.JobSpec.Combiner — enables map-side folding of same-key records
+// (bounded by mr.Options.CombineKeys distinct keys per buffer) so
+// aggregation-class jobs shuffle a fraction of their intermediate records.
+//
+// See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

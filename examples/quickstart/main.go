@@ -30,14 +30,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pipelined, err := mr.Run(job, input, mr.Options{Mode: mr.Pipelined})
+	// The pipelined shuffle moves records in batches (Options.BatchSize);
+	// BatchSize 1 reproduces record-at-a-time shuffling for comparison.
+	pipelined, err := mr.Run(job, input, mr.Options{Mode: mr.Pipelined, BatchSize: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A map-side combiner (the app's merger) folds duplicate words before
+	// they are shuffled at all.
+	combined := job
+	combined.Combiner = app.Merger
+	withCombiner, err := mr.Run(combined, input, mr.Options{Mode: mr.Pipelined, BatchSize: 256})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("distinct words: %d\n", len(barrier.Output))
-	fmt.Printf("barrier:    %v (map %v)\n", barrier.Wall, barrier.MapWall)
-	fmt.Printf("pipelined:  %v (reduce overlapped the maps)\n", pipelined.Wall)
+	fmt.Printf("barrier:    %v (map %v, %d records shuffled)\n", barrier.Wall, barrier.MapWall, barrier.ShuffleRecords)
+	fmt.Printf("pipelined:  %v (reduce overlapped the maps, %d records shuffled)\n", pipelined.Wall, pipelined.ShuffleRecords)
+	fmt.Printf("+combiner:  %v (map-side folding, %d records shuffled)\n", withCombiner.Wall, withCombiner.ShuffleRecords)
 
 	mr.SortOutput(pipelined.Output)
 	fmt.Println("\ntop of the output:")

@@ -1,0 +1,3 @@
+module blmr
+
+go 1.24

@@ -80,8 +80,20 @@ func WordCount() App {
 		Name:  "wordcount",
 		Class: core.ClassAggregation,
 		Mapper: core.MapperFunc(func(key, value string, emit core.Emitter) {
-			for _, w := range strings.Fields(value) {
-				emit.Emit(w, "1")
+			// Scan fields in place: emitting substrings avoids the
+			// per-line []string that strings.Fields would allocate.
+			for i := 0; i < len(value); {
+				for i < len(value) && asciiSpace(value[i]) {
+					i++
+				}
+				j := i
+				for j < len(value) && !asciiSpace(value[j]) {
+					j++
+				}
+				if j > i {
+					emit.Emit(value[i:j], "1")
+				}
+				i = j
 			}
 		}),
 		NewGroup: func() core.GroupReducer {
@@ -92,6 +104,16 @@ func WordCount() App {
 		},
 		Merger: reducers.SumMerger,
 	}
+}
+
+// asciiSpace reports whether c is ASCII whitespace (the corpus generators
+// only emit single spaces; tabs and newlines are accepted for robustness).
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
 }
 
 // KNN returns the k-nearest-neighbors app (Section 4.4): each training

@@ -85,6 +85,13 @@ type RunSpec struct {
 	FetchParallelism int
 	// Speculative enables backup execution of straggling map tasks.
 	Speculative bool
+	// Combine enables the map-side combiner, using the app's spill Merger
+	// as the combine function (the paper notes they are often the same).
+	// Only aggregation-class apps combine safely — their reduce is the
+	// same fold — so Run ignores the flag for every other class (e.g.
+	// sort counts record arrivals; folding duplicates map-side would
+	// silently drop them).
+	Combine bool
 	// SnapshotPeriod enables pipelined progress snapshots (virtual seconds).
 	SnapshotPeriod float64
 }
@@ -123,6 +130,9 @@ func Run(spec RunSpec) *simmr.Result {
 		Costs:          spec.Costs,
 		Speculative:    spec.Speculative,
 		SnapshotPeriod: spec.SnapshotPeriod,
+	}
+	if spec.Combine && spec.App.Class == core.ClassAggregation {
+		job.Combiner = spec.App.Merger
 	}
 	return eng.Run(job, f)
 }

@@ -3,14 +3,18 @@
 // workers feed per-reducer channels; in barrier mode reducers wait for all
 // map output and merge-sort it first (Figure 2), in pipelined mode they
 // consume records as they arrive, holding partial results in a store
-// (Figure 3). Channels map directly onto the paper's pipelined shuffle.
+// (Figure 3). Channels map directly onto the paper's pipelined shuffle;
+// records travel in batches (Options.BatchSize) so channel synchronization
+// amortizes over many records instead of being paid per record.
 package mr
 
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blmr/internal/core"
@@ -36,6 +40,14 @@ type Job struct {
 	NewGroup  func() core.GroupReducer
 	NewStream func(st store.Store) core.StreamReducer
 	Merger    store.Merger
+	// Combiner, when non-nil, folds same-key intermediate records on the
+	// map side before they are shuffled (Hadoop's combiner; parity with
+	// simmr.JobSpec.Combiner). In barrier mode each mapper's per-reducer
+	// run is combined once after mapping; in pipelined mode each batch is
+	// combined as it is flushed. It must be commutative and associative,
+	// and the reduce function must tolerate pre-combined values (true for
+	// aggregation-class jobs whose reduce is the same fold).
+	Combiner store.Merger
 }
 
 // Options tunes an execution.
@@ -52,8 +64,19 @@ type Options struct {
 	SpillThresholdBytes int64
 	// KVCacheBytes bounds the KV store cache.
 	KVCacheBytes int64
-	// QueueCap is the per-reducer channel buffer (default 1024).
+	// QueueCap is the per-reducer channel buffer in batches (default 64,
+	// mirroring simmr.Config.QueueCapBatches). Total per-reducer
+	// buffering is QueueCap*BatchSize records.
 	QueueCap int
+	// BatchSize is the number of records a mapper accumulates per reducer
+	// before sending one batch over the channel (default 256). 1
+	// reproduces the original record-at-a-time shuffle.
+	BatchSize int
+	// CombineKeys bounds the distinct keys a mapper's per-reducer combine
+	// buffer holds before it flushes (default max(BatchSize, 4096)). Only
+	// used when Job.Combiner is set; larger buffers fold more duplicates
+	// map-side at the cost of mapper memory (Hadoop's io.sort.mb role).
+	CombineKeys int
 }
 
 func (o *Options) normalize() {
@@ -64,7 +87,16 @@ func (o *Options) normalize() {
 		o.Reducers = runtime.NumCPU()
 	}
 	if o.QueueCap <= 0 {
-		o.QueueCap = 1024
+		o.QueueCap = 64
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.CombineKeys <= 0 {
+		o.CombineKeys = 4096
+		if o.BatchSize > o.CombineKeys {
+			o.CombineKeys = o.BatchSize
+		}
 	}
 	if o.SpillThresholdBytes <= 0 {
 		o.SpillThresholdBytes = 64 << 20
@@ -87,6 +119,10 @@ type Result struct {
 	Wall time.Duration
 	// Spills counts spill-merge runs across reducers.
 	Spills int
+	// ShuffleRecords is the number of intermediate records shuffled from
+	// mappers to reducers, after map-side combining — the wall-clock
+	// engine's counterpart of simmr.Result.ShuffleBytes.
+	ShuffleRecords int64
 }
 
 // Run executes job over input and returns the result. The input slice is
@@ -149,15 +185,18 @@ func runBarrier(job Job, input []core.Record, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(m int, split []core.Record) {
 			defer wg.Done()
-			parts := make([][]core.Record, opts.Reducers)
-			em := core.EmitterFunc(func(k, v string) {
-				p := core.Partition(k, opts.Reducers)
-				parts[p] = append(parts[p], core.Record{Key: k, Value: v})
-			})
+			// Presize each run for an identity-shaped mapper; expanding
+			// mappers (WordCount) grow from there.
+			em := core.NewPartitionedEmitter(opts.Reducers, len(split)/opts.Reducers+1)
 			for _, r := range split {
 				job.Mapper.Map(r.Key, r.Value, em)
 			}
-			runs[m] = parts
+			if job.Combiner != nil {
+				for p, part := range em.Parts {
+					em.Parts[p] = sortx.Combine(part, job.Combiner)
+				}
+			}
+			runs[m] = em.Parts
 		}(m, split)
 	}
 	wg.Wait() // the map-side barrier
@@ -169,43 +208,160 @@ func runBarrier(job Job, input []core.Record, opts Options) (*Result, error) {
 		rwg.Add(1)
 		go func(r int) {
 			defer rwg.Done()
-			var all []core.Record
+			total := 0
+			for m := range runs {
+				total += len(runs[m][r])
+			}
+			all := make([]core.Record, 0, total)
 			for m := range runs {
 				all = append(all, runs[m][r]...)
 			}
 			sortx.ByKey(all)
-			sink := &recSink{}
+			sink := core.NewRecordSink(0)
 			gr := job.NewGroup()
 			sortx.Group(all, func(k string, vs []string) { gr.Reduce(k, vs, sink) })
 			if c, ok := gr.(core.Cleanup); ok {
 				c.Cleanup(sink)
 			}
-			outs[r] = sink.recs
+			outs[r] = sink.Recs
 		}(r)
 	}
 	rwg.Wait()
-	return &Result{Output: concat(outs), MapWall: mapWall}, nil
+	var shuffled int64
+	for m := range runs {
+		for _, part := range runs[m] {
+			shuffled += int64(len(part))
+		}
+	}
+	return &Result{Output: concat(outs), MapWall: mapWall, ShuffleRecords: shuffled}, nil
 }
 
 func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
 	splits := splitInput(input, opts.Mappers)
-	chans := make([]chan core.Record, opts.Reducers)
+	chans := make([]chan []core.Record, opts.Reducers)
 	for r := range chans {
-		chans[r] = make(chan core.Record, opts.QueueCap)
+		chans[r] = make(chan []core.Record, opts.QueueCap)
 	}
+	// free recycles batch buffers from reducers back to mappers, bounding
+	// steady-state allocation to roughly the in-flight batch count. A
+	// buffered channel doubles as a lock-free free list of slice headers.
+	freeCap := opts.Reducers * opts.QueueCap
+	if freeCap > 1<<14 {
+		freeCap = 1 << 14
+	}
+	free := make(chan []core.Record, freeCap)
+
 	mapStart := time.Now()
 	var mapWall time.Duration
+	var shuffled int64
 	var mwg sync.WaitGroup
 	for _, split := range splits {
 		mwg.Add(1)
 		go func(split []core.Record) {
 			defer mwg.Done()
-			em := core.EmitterFunc(func(k, v string) {
-				chans[core.Partition(k, opts.Reducers)] <- core.Record{Key: k, Value: v}
-			})
+			var sent int64
+			defer func() { atomic.AddInt64(&shuffled, sent) }()
+			getBuf := func() []core.Record {
+				select {
+				case b := <-free:
+					return b
+				default:
+					return make([]core.Record, 0, opts.BatchSize)
+				}
+			}
+			var em core.Emitter
+			var flushAll func()
+			if job.Combiner == nil {
+				bufs := make([][]core.Record, opts.Reducers)
+				flush := func(p int) {
+					if len(bufs[p]) == 0 {
+						return
+					}
+					sent += int64(len(bufs[p]))
+					chans[p] <- bufs[p]
+					bufs[p] = nil
+				}
+				em = core.EmitterFunc(func(k, v string) {
+					p := core.Partition(k, opts.Reducers)
+					b := bufs[p]
+					if b == nil {
+						b = getBuf()
+					}
+					b = append(b, core.Record{Key: k, Value: v})
+					bufs[p] = b
+					if len(b) >= opts.BatchSize {
+						flush(p)
+					}
+				})
+				flushAll = func() {
+					for p := range bufs {
+						flush(p)
+					}
+				}
+			} else {
+				// Combiner path: per-reducer hash accumulators fold
+				// same-key records map-side; a buffer drains only when it
+				// reaches CombineKeys *distinct* keys (or mapper exit), so
+				// skewed streams combine across far more than one batch's
+				// worth of records. Draining re-batches to BatchSize.
+				// Presize modestly and let maps grow: a CombineKeys-sized
+				// map per (mapper, reducer) pair would cost quadratic
+				// memory in core count before any record arrives.
+				hint := opts.BatchSize
+				if opts.CombineKeys < hint {
+					hint = opts.CombineKeys
+				}
+				combufs := make([]map[string]string, opts.Reducers)
+				for p := range combufs {
+					combufs[p] = make(map[string]string, hint)
+				}
+				flush := func(p int) {
+					m := combufs[p]
+					if len(m) == 0 {
+						return
+					}
+					b := getBuf()
+					for k, v := range m {
+						b = append(b, core.Record{Key: k, Value: v})
+						if len(b) >= opts.BatchSize {
+							sent += int64(len(b))
+							chans[p] <- b
+							b = getBuf()
+						}
+					}
+					clear(m)
+					if len(b) > 0 {
+						sent += int64(len(b))
+						chans[p] <- b
+					} else {
+						select {
+						case free <- b:
+						default:
+						}
+					}
+				}
+				em = core.EmitterFunc(func(k, v string) {
+					p := core.Partition(k, opts.Reducers)
+					m := combufs[p]
+					if old, ok := m[k]; ok {
+						m[k] = job.Combiner(old, v)
+						return
+					}
+					m[k] = v
+					if len(m) >= opts.CombineKeys {
+						flush(p)
+					}
+				})
+				flushAll = func() {
+					for p := range combufs {
+						flush(p)
+					}
+				}
+			}
 			for _, r := range split {
 				job.Mapper.Map(r.Key, r.Value, em)
 			}
+			flushAll() // mapper-exit flush of partial batches
 		}(split)
 	}
 	go func() {
@@ -225,15 +381,22 @@ func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
 			defer rwg.Done()
 			st := newStore(job, opts)
 			sr := job.NewStream(st)
-			sink := &recSink{}
-			for rec := range chans[r] {
-				sr.Consume(rec, sink)
+			sink := core.NewRecordSink(0)
+			for batch := range chans[r] {
+				for _, rec := range batch {
+					sr.Consume(rec, sink)
+				}
+				clear(batch) // drop string refs before the buffer idles
+				select {
+				case free <- batch[:0]:
+				default: // free list full; let GC take it
+				}
 			}
 			sr.Finish(sink)
 			if sp, ok := st.(*store.SpillStore); ok {
 				spills[r] = sp.Spills
 			}
-			outs[r] = sink.recs
+			outs[r] = sink.Recs
 		}(r)
 	}
 	rwg.Wait()
@@ -241,7 +404,8 @@ func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
 	for _, s := range spills {
 		total += s
 	}
-	return &Result{Output: concat(outs), MapWall: mapWall, Spills: total}, nil
+	return &Result{Output: concat(outs), MapWall: mapWall, Spills: total,
+		ShuffleRecords: atomic.LoadInt64(&shuffled)}, nil
 }
 
 func newStore(job Job, opts Options) store.Store {
@@ -254,10 +418,6 @@ func newStore(job Job, opts Options) store.Store {
 		return store.NewMemStore()
 	}
 }
-
-type recSink struct{ recs []core.Record }
-
-func (s *recSink) Write(k, v string) { s.recs = append(s.recs, core.Record{Key: k, Value: v}) }
 
 func concat(parts [][]core.Record) []core.Record {
 	var n int
@@ -274,10 +434,10 @@ func concat(parts [][]core.Record) []core.Record {
 // SortOutput key-sorts a result's output in place (helper for callers
 // needing globally ordered results across reducers).
 func SortOutput(recs []core.Record) {
-	sort.Slice(recs, func(i, j int) bool {
-		if recs[i].Key != recs[j].Key {
-			return recs[i].Key < recs[j].Key
+	slices.SortFunc(recs, func(a, b core.Record) int {
+		if c := strings.Compare(a.Key, b.Key); c != 0 {
+			return c
 		}
-		return recs[i].Value < recs[j].Value
+		return strings.Compare(a.Value, b.Value)
 	})
 }

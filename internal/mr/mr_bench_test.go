@@ -1,0 +1,110 @@
+package mr
+
+// Wall-clock microbenchmarks of the real-concurrency data plane. The
+// headline comparison is pipelined WordCount over 1M input lines with
+// BatchSize=1 (the original record-at-a-time shuffle) against the batched
+// default: the batched path must be >=2x the unbatched throughput (see
+// scripts/bench.sh, which snapshots these numbers).
+
+import (
+	"sync"
+	"testing"
+
+	"blmr/internal/apps"
+	"blmr/internal/core"
+	"blmr/internal/workload"
+)
+
+var benchInput struct {
+	once sync.Once
+	recs []core.Record
+}
+
+// benchWordCountInput builds (once) a 1M-line Zipf corpus: 1M input
+// records, ~4M emitted intermediate records per run.
+func benchWordCountInput() []core.Record {
+	benchInput.once.Do(func() {
+		benchInput.recs = workload.Text(1, 1_000_000, 20_000, 4)
+	})
+	return benchInput.recs
+}
+
+func benchPipelinedWordCount(b *testing.B, batchSize int, combine bool) {
+	input := benchWordCountInput()
+	job := jobFor(apps.WordCount())
+	if combine {
+		job.Combiner = apps.WordCount().Merger
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(job, input, Options{
+			Mode: Pipelined, Mappers: 4, Reducers: 4, BatchSize: batchSize,
+			// The unbatched baseline gets the pre-batching engine's 1024
+			// records of per-reducer buffering (QueueCap now counts
+			// batches), so the comparison isolates batching itself.
+			QueueCap: queueCapFor(batchSize),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(input))/res.Wall.Seconds(), "recs/s")
+	}
+}
+
+func BenchmarkPipelinedWordCount1M_Batch1(b *testing.B)   { benchPipelinedWordCount(b, 1, false) }
+func BenchmarkPipelinedWordCount1M_Batch64(b *testing.B)  { benchPipelinedWordCount(b, 64, false) }
+func BenchmarkPipelinedWordCount1M_Batch256(b *testing.B) { benchPipelinedWordCount(b, 256, false) }
+func BenchmarkPipelinedWordCount1M_Batch256Combiner(b *testing.B) {
+	benchPipelinedWordCount(b, 256, true)
+}
+
+func BenchmarkBarrierWordCount1M(b *testing.B) {
+	input := benchWordCountInput()
+	job := jobFor(apps.WordCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(job, input, Options{Mode: Barrier, Mappers: 4, Reducers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarrierWordCount1MCombiner(b *testing.B) {
+	input := benchWordCountInput()
+	job := jobFor(apps.WordCount())
+	job.Combiner = apps.WordCount().Merger
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(job, input, Options{Mode: Barrier, Mappers: 4, Reducers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPipelinedSort(b *testing.B, batchSize int) {
+	input := workload.UniformKeys(2, 1_000_000, 1<<40)
+	job := jobFor(apps.Sort())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(job, input, Options{
+			Mode: Pipelined, Mappers: 4, Reducers: 4, BatchSize: batchSize,
+			QueueCap: queueCapFor(batchSize),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// queueCapFor keeps the unbatched baseline faithful to the pre-batching
+// engine: BatchSize=1 gets its original 1024-record channel buffer, batched
+// runs use the default (64 batches).
+func queueCapFor(batchSize int) int {
+	if batchSize == 1 {
+		return 1024
+	}
+	return 0
+}
+
+func BenchmarkPipelinedSort1M_Batch1(b *testing.B)   { benchPipelinedSort(b, 1) }
+func BenchmarkPipelinedSort1M_Batch256(b *testing.B) { benchPipelinedSort(b, 256) }

@@ -6,6 +6,8 @@
 // engine can account reducer heap usage and trigger spills.
 package rbtree
 
+import "strings"
+
 const (
 	red   = true
 	black = false
@@ -29,6 +31,13 @@ type Tree[V any] struct {
 	root   *node[V]
 	sizeOf func(V) int64
 	bytes  int64
+}
+
+// newNode clones the key so a long-lived tree never pins the (possibly much
+// larger) string a caller's key was sliced from — mapper output keys are
+// substrings of whole input lines.
+func newNode[V any](key string, val V) *node[V] {
+	return &node[V]{key: strings.Clone(key), val: val, color: red, n: 1}
 }
 
 // New creates a tree. sizeOf reports the accounted byte size of a value; a
@@ -84,7 +93,7 @@ func (t *Tree[V]) Put(key string, val V) {
 func (t *Tree[V]) put(h *node[V], key string, val V) *node[V] {
 	if h == nil {
 		t.bytes += int64(len(key)) + t.sizeOf(val) + nodeOverheadBytes
-		return &node[V]{key: key, val: val, color: red, n: 1}
+		return newNode[V](key, val)
 	}
 	switch {
 	case key < h.key:
@@ -95,6 +104,41 @@ func (t *Tree[V]) put(h *node[V], key string, val V) *node[V] {
 		t.bytes += t.sizeOf(val) - t.sizeOf(h.val)
 		h.val = val
 	}
+	return t.fixUp(h)
+}
+
+// Update inserts or modifies the value at key in a single descent — the
+// read-modify-write primitive for running aggregates (one tree walk where a
+// Get followed by a Put would take two). fn receives the current value and
+// whether the key was present, and returns the value to store.
+func (t *Tree[V]) Update(key string, fn func(old V, ok bool) V) {
+	t.root = t.update(t.root, key, fn)
+	t.root.color = black
+}
+
+func (t *Tree[V]) update(h *node[V], key string, fn func(V, bool) V) *node[V] {
+	if h == nil {
+		var zero V
+		val := fn(zero, false)
+		t.bytes += int64(len(key)) + t.sizeOf(val) + nodeOverheadBytes
+		return newNode[V](key, val)
+	}
+	switch {
+	case key < h.key:
+		h.left = t.update(h.left, key, fn)
+	case key > h.key:
+		h.right = t.update(h.right, key, fn)
+	default:
+		val := fn(h.val, true)
+		t.bytes += t.sizeOf(val) - t.sizeOf(h.val)
+		h.val = val
+	}
+	return t.fixUp(h)
+}
+
+// fixUp restores the left-leaning red-black invariants and subtree size on
+// the way back up an insertion path.
+func (t *Tree[V]) fixUp(h *node[V]) *node[V] {
 	if isRed(h.right) && !isRed(h.left) {
 		h = rotateLeft(h)
 	}

@@ -70,13 +70,10 @@ type SortingStream struct {
 // the store's spill merger.
 func NewSortingStream(st store.Store) *SortingStream { return &SortingStream{st: st} }
 
-// Consume implements core.StreamReducer.
+// Consume implements core.StreamReducer: one single-descent increment of
+// the key's duplicate count.
 func (s *SortingStream) Consume(rec core.Record, out core.Output) {
-	prev := int64(0)
-	if v, ok := s.st.Get(rec.Key); ok {
-		prev, _ = strconv.ParseInt(v, 10, 64)
-	}
-	s.st.Put(rec.Key, strconv.FormatInt(prev+1, 10))
+	s.st.Merge(rec.Key, "1", SumMerger)
 }
 
 // Finish implements core.StreamReducer: emit each key count times.
@@ -119,13 +116,10 @@ func NewAggregationStream(st store.Store, combine store.Merger) *AggregationStre
 	return &AggregationStream{st: st, combine: combine}
 }
 
-// Consume implements core.StreamReducer: the read-modify-update cycle.
+// Consume implements core.StreamReducer: the read-modify-update cycle, one
+// store descent per record via Merge.
 func (a *AggregationStream) Consume(rec core.Record, out core.Output) {
-	if prev, ok := a.st.Get(rec.Key); ok {
-		a.st.Put(rec.Key, a.combine(prev, rec.Value))
-	} else {
-		a.st.Put(rec.Key, rec.Value)
-	}
+	a.st.Merge(rec.Key, rec.Value, a.combine)
 }
 
 // Finish implements core.StreamReducer.

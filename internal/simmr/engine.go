@@ -213,17 +213,16 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, shuf
 // output is visible).
 func (e *Engine) runMapAttempt(p *sim.Proc, job *JobSpec, ch *dfs.Chunk, node *cluster.Node, injectFailure bool) *memoEntry {
 	recs := e.D.ReadChunk(p, node, ch)
-	parts := make([][]core.Record, job.Reducers)
-	partBytes := make([]int64, job.Reducers)
+	em := core.NewPartitionedEmitter(job.Reducers, len(recs)/job.Reducers+1)
 	var inBytes int64
 	for _, r := range recs {
 		inBytes += r.Size()
-		job.Mapper.Map(r.Key, r.Value, core.EmitterFunc(func(k, v string) {
-			pi := core.Partition(k, job.Reducers)
-			rec := core.Record{Key: k, Value: v}
-			parts[pi] = append(parts[pi], rec)
-			partBytes[pi] += e.virtBytes(rec.Size())
-		}))
+		job.Mapper.Map(r.Key, r.Value, em)
+	}
+	parts := em.Parts
+	partBytes := make([]int64, job.Reducers)
+	for pi, part := range parts {
+		partBytes[pi] = e.virtRecsBytes(part)
 	}
 	cpu := e.virtRecs(len(recs))*job.Costs.MapCPUPerRecord +
 		float64(e.virtBytes(inBytes))*job.Costs.MapCPUPerByte
@@ -322,25 +321,21 @@ func (e *Engine) publishMapOutput(now float64, node *cluster.Node, shuffle *shuf
 
 // combinePartition merges same-key records within one map-local partition,
 // deterministically (sorted by key), returning the combined records and
-// their virtual size.
+// their virtual size. The partition is freshly built by this attempt, so
+// sortx.Combine may sort and fold it in place.
 func (e *Engine) combinePartition(recs []core.Record, combine func(a, b string) string) ([]core.Record, int64) {
-	if len(recs) < 2 {
-		return recs, e.virtBytes(core.RecordsSize(recs))
+	out := sortx.Combine(recs, combine)
+	return out, e.virtRecsBytes(out)
+}
+
+// virtRecsBytes sums per-record virtual sizes (truncating per record, the
+// same accounting as emitting records one at a time).
+func (e *Engine) virtRecsBytes(recs []core.Record) int64 {
+	var b int64
+	for _, r := range recs {
+		b += e.virtBytes(r.Size())
 	}
-	sorted := append([]core.Record(nil), recs...)
-	sortx.ByKey(sorted)
-	out := sorted[:0]
-	var bytes int64
-	sortx.Group(sorted, func(key string, values []string) {
-		acc := values[0]
-		for _, v := range values[1:] {
-			acc = combine(acc, v)
-		}
-		rec := core.Record{Key: key, Value: acc}
-		out = append(out, rec)
-		bytes += e.virtBytes(rec.Size())
-	})
-	return out, bytes
+	return b
 }
 
 // sortCompareCost returns the virtual comparison count of merge-sorting n
@@ -361,8 +356,3 @@ func failJob(p *sim.Proc, res *Result, jobDone *sim.Event, reason string) {
 	}
 	jobDone.Fire()
 }
-
-// recSink accumulates reducer output.
-type recSink struct{ recs []core.Record }
-
-func (s *recSink) Write(k, v string) { s.recs = append(s.recs, core.Record{Key: k, Value: v}) }

@@ -44,7 +44,11 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 
 	// --- Sort: merge the buffered runs into key order. ---
 	sortTok := e.Col.TaskStart(metrics.StageSort, p.Now())
-	var all []core.Record
+	total := 0
+	for _, part := range fetched {
+		total += len(part)
+	}
+	all := make([]core.Record, 0, total)
 	for _, part := range fetched {
 		all = append(all, part...)
 	}
@@ -55,7 +59,7 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 
 	// --- Reduce: one grouped invocation per key. ---
 	redTok := e.Col.TaskStart(metrics.StageReduce, p.Now())
-	out := &recSink{}
+	out := core.NewRecordSink(0)
 	gr := job.NewGroup()
 	sortx.Group(all, func(key string, values []string) {
 		gr.Reduce(key, values, out)
@@ -66,7 +70,7 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 	node.Compute(p, e.virtRecs(len(all))*job.Costs.ReduceCPUPerRecord)
 	e.Col.TaskEnd(redTok, p.Now())
 
-	e.writeOutput(p, job, node, out.recs, res)
+	e.writeOutput(p, job, node, out.Recs, res)
 }
 
 // fetchBatch is one network chunk's worth of records heading for the
@@ -119,7 +123,7 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 
 	st := e.newStore(p, job, node)
 	sr := job.NewStream(st)
-	out := &recSink{}
+	out := core.NewRecordSink(0)
 	redTok := e.Col.TaskStart(metrics.StageReduce, p.Now())
 	consumed := 0
 	nextSnap := job.SnapshotPeriod
@@ -159,14 +163,14 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 	// Finalize: emit partial results (spill merges and KV reads charge
 	// their own disk time through the hooks).
 	sr.Finish(out)
-	node.Compute(p, e.virtRecs(len(out.recs))*job.Costs.FinalizeCPUPerRecord)
+	node.Compute(p, e.virtRecs(len(out.Recs))*job.Costs.FinalizeCPUPerRecord)
 	if sp, ok := st.(*store.SpillStore); ok {
 		res.Spills += sp.Spills
 	}
 	e.Col.MemSample(r, p.Now(), e.virtBytes(st.MemBytes()))
 	e.Col.TaskEnd(redTok, p.Now())
 
-	e.writeOutput(p, job, node, out.recs, res)
+	e.writeOutput(p, job, node, out.Recs, res)
 }
 
 // newStore builds the per-task partial-result store with hooks that charge

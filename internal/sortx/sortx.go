@@ -1,12 +1,12 @@
 // Package sortx provides the sorting machinery the MapReduce framework uses:
-// stable in-memory record sort, grouping of sorted runs by key, and a k-way
-// merge over sorted runs (the barrier shuffle's merge-sort and the spill
-// store's merge phase both build on it).
+// stable in-memory record sort, grouping of sorted runs by key, map-side
+// combining, and a k-way merge over sorted runs (the barrier shuffle's
+// merge-sort and the spill store's merge phase both build on it).
 package sortx
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
+	"strings"
 
 	"blmr/internal/core"
 )
@@ -15,7 +15,9 @@ import (
 // comparisons a merge sort would have performed (n log2 n), which the
 // simulator charges as CPU work.
 func ByKey(recs []core.Record) int64 {
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	slices.SortStableFunc(recs, func(a, b core.Record) int {
+		return strings.Compare(a.Key, b.Key)
+	})
 	return CompareCost(len(recs))
 }
 
@@ -52,6 +54,26 @@ func Group(recs []core.Record, fn func(key string, values []string)) {
 	}
 }
 
+// Combine key-sorts recs in place and folds same-key neighbours left to
+// right with merge, returning the combined prefix of the input slice (no
+// new allocation). It is the map-side combiner primitive: merge must be
+// commutative and associative, like a store.Merger.
+func Combine(recs []core.Record, merge func(a, b string) string) []core.Record {
+	if len(recs) < 2 {
+		return recs
+	}
+	ByKey(recs)
+	out := recs[:1]
+	for _, r := range recs[1:] {
+		if last := &out[len(out)-1]; r.Key == last.Key {
+			last.Value = merge(last.Value, r.Value)
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Run is a sorted sequence of records consumed incrementally.
 type Run interface {
 	// Next returns the next record; ok is false when the run is exhausted.
@@ -77,68 +99,95 @@ func (s *SliceRun) Next() (core.Record, bool) {
 	return r, true
 }
 
+// Rewind resets the run to its first record (so a merger can be Reset over
+// the same backing slices without reallocating).
+func (s *SliceRun) Rewind() { s.pos = 0 }
+
 type mergeEntry struct {
 	rec core.Record
 	src int
 }
 
-type mergeHeap struct {
-	entries []mergeEntry
-}
-
-func (h mergeHeap) Len() int { return len(h.entries) }
-func (h mergeHeap) Less(i, j int) bool {
-	a, b := h.entries[i], h.entries[j]
-	if a.rec.Key != b.rec.Key {
-		return a.rec.Key < b.rec.Key
-	}
-	return a.src < b.src // stable across runs: earlier run wins ties
-}
-func (h mergeHeap) Swap(i, j int) { h.entries[i], h.entries[j] = h.entries[j], h.entries[i] }
-func (h *mergeHeap) Push(x any)   { h.entries = append(h.entries, x.(mergeEntry)) }
-func (h *mergeHeap) Pop() any {
-	old := h.entries
-	n := len(old)
-	e := old[n-1]
-	h.entries = old[:n-1]
-	return e
-}
-
 // Merger merges any number of sorted runs into one globally key-sorted
 // stream. Ties between runs are broken by run index, making the merge
 // stable with respect to run order.
+//
+// The heap is a plain slice of mergeEntry with hand-rolled sift-down:
+// unlike container/heap there is no interface boxing, so Next performs zero
+// allocations per record merged.
 type Merger struct {
-	runs []Run
-	h    mergeHeap
+	runs    []Run
+	entries []mergeEntry
 	// Comparisons counts heap comparisons performed, for CPU cost models.
 	Comparisons int64
 }
 
 // NewMerger primes a merger with the given runs.
 func NewMerger(runs []Run) *Merger {
-	m := &Merger{runs: runs}
+	m := &Merger{}
+	m.Reset(runs)
+	return m
+}
+
+// Reset re-primes the merger over a new set of runs, reusing the heap's
+// backing storage (no allocation when the run count does not grow).
+func (m *Merger) Reset(runs []Run) {
+	m.runs = runs
+	m.entries = m.entries[:0]
+	m.Comparisons = 0
 	for i, r := range runs {
 		if rec, ok := r.Next(); ok {
-			m.h.entries = append(m.h.entries, mergeEntry{rec: rec, src: i})
+			m.entries = append(m.entries, mergeEntry{rec: rec, src: i})
 		}
 	}
-	heap.Init(&m.h)
-	return m
+	for i := len(m.entries)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+func (m *Merger) less(i, j int) bool {
+	a, b := &m.entries[i], &m.entries[j]
+	if a.rec.Key != b.rec.Key {
+		return a.rec.Key < b.rec.Key
+	}
+	return a.src < b.src // stable across runs: earlier run wins ties
+}
+
+func (m *Merger) siftDown(i int) {
+	n := len(m.entries)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && m.less(r, c) {
+			c = r
+		}
+		if !m.less(c, i) {
+			return
+		}
+		m.entries[i], m.entries[c] = m.entries[c], m.entries[i]
+		i = c
+	}
 }
 
 // Next returns the next record in global key order.
 func (m *Merger) Next() (core.Record, bool) {
-	if m.h.Len() == 0 {
+	if len(m.entries) == 0 {
 		return core.Record{}, false
 	}
-	e := m.h.entries[0]
+	e := m.entries[0]
 	if rec, ok := m.runs[e.src].Next(); ok {
-		m.h.entries[0] = mergeEntry{rec: rec, src: e.src}
-		heap.Fix(&m.h, 0)
+		m.entries[0].rec = rec
+		m.siftDown(0)
 	} else {
-		heap.Pop(&m.h)
+		n := len(m.entries) - 1
+		m.entries[0] = m.entries[n]
+		m.entries[n] = mergeEntry{} // release the strings
+		m.entries = m.entries[:n]
+		m.siftDown(0)
 	}
-	m.Comparisons += int64(bits(m.h.Len()))
+	m.Comparisons += int64(bits(len(m.entries)))
 	return e.rec, true
 }
 
@@ -150,7 +199,7 @@ func (m *Merger) NextGroup() (key string, values []string, ok bool) {
 	}
 	key = rec.Key
 	values = append(values, rec.Value)
-	for m.h.Len() > 0 && m.h.entries[0].rec.Key == key {
+	for len(m.entries) > 0 && m.entries[0].rec.Key == key {
 		rec, _ = m.Next()
 		values = append(values, rec.Value)
 	}

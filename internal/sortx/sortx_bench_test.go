@@ -1,0 +1,89 @@
+package sortx
+
+// Allocation-focused microbenchmarks of the k-way merge. The slice-heap
+// Merger must do zero allocations per record merged (the container/heap
+// predecessor boxed every entry through `any` in Push/Pop).
+
+import (
+	"math/rand"
+	"testing"
+
+	"blmr/internal/core"
+)
+
+func buildRuns(nRuns, perRun int, seed int64) []*SliceRun {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*SliceRun, nRuns)
+	for i := range out {
+		recs := make([]core.Record, perRun)
+		for j := range recs {
+			recs[j] = core.Record{Key: core.EncodeUint64(rng.Uint64()), Value: "v"}
+		}
+		ByKey(recs)
+		out[i] = NewSliceRun(recs)
+	}
+	return out
+}
+
+// BenchmarkMergerNext measures one Next call per op; allocs/op must be 0.
+// The merger is Reset in-place (runs rewound) whenever it drains, so setup
+// cost is amortized out of the per-record numbers.
+func BenchmarkMergerNext(b *testing.B) {
+	sliceRuns := buildRuns(8, 4096, 7)
+	runs := make([]Run, len(sliceRuns))
+	for i, r := range sliceRuns {
+		runs[i] = r
+	}
+	m := NewMerger(runs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Next(); !ok {
+			b.StopTimer()
+			for _, r := range sliceRuns {
+				r.Rewind()
+			}
+			m.Reset(runs)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkMergerDrain measures a full 8x4096 merge per op, amortizing the
+// (reused) heap setup into the run.
+func BenchmarkMergerDrain(b *testing.B) {
+	sliceRuns := buildRuns(8, 4096, 8)
+	runs := make([]Run, len(sliceRuns))
+	for i, r := range sliceRuns {
+		runs[i] = r
+	}
+	m := NewMerger(runs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			if _, ok := m.Next(); !ok {
+				break
+			}
+		}
+		for _, r := range sliceRuns {
+			r.Rewind()
+		}
+		m.Reset(runs)
+	}
+}
+
+func BenchmarkCombine(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	base := make([]core.Record, 1<<13)
+	for i := range base {
+		base[i] = core.Record{Key: core.EncodeUint64(rng.Uint64() % 512), Value: "1"}
+	}
+	work := make([]core.Record, len(base))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		Combine(work, func(a, _ string) string { return a })
+	}
+}

@@ -158,6 +158,53 @@ func TestMergeEqualsSortProperty(t *testing.T) {
 	}
 }
 
+func TestCombine(t *testing.T) {
+	in := recs("b", "1", "a", "2", "b", "3", "a", "4", "c", "5")
+	out := Combine(in, func(a, b string) string { return a + "+" + b })
+	want := recs("a", "2+4", "b", "1+3", "c", "5")
+	if len(out) != len(want) {
+		t.Fatalf("combined = %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("combined[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// Degenerate sizes pass through untouched.
+	if got := Combine(nil, SumConcat); got != nil {
+		t.Fatalf("Combine(nil) = %v", got)
+	}
+	one := recs("x", "1")
+	if got := Combine(one, SumConcat); len(got) != 1 || got[0] != one[0] {
+		t.Fatalf("Combine(single) = %v", got)
+	}
+}
+
+func SumConcat(a, b string) string { return a + b }
+
+func TestMergerReset(t *testing.T) {
+	r1 := NewSliceRun(recs("a", "1", "c", "1"))
+	r2 := NewSliceRun(recs("b", "2"))
+	runs := []Run{r1, r2}
+	m := NewMerger(runs)
+	first := m.Drain()
+	if len(first) != 3 {
+		t.Fatalf("first drain = %v", first)
+	}
+	r1.Rewind()
+	r2.Rewind()
+	m.Reset(runs)
+	second := m.Drain()
+	if len(second) != 3 {
+		t.Fatalf("second drain = %v", second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("drains differ at %d: %v vs %v", i, first[i], second[i])
+		}
+	}
+}
+
 func TestMergerCountsComparisons(t *testing.T) {
 	var big []core.Record
 	for i := 0; i < 1000; i++ {

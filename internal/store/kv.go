@@ -28,6 +28,16 @@ func (s *KVStore) Get(key string) (string, bool) { return s.kv.Get(key) }
 // Put implements Store.
 func (s *KVStore) Put(key, val string) { s.kv.Put(key, val) }
 
+// Merge implements Store as an explicit get-then-put: the off-the-shelf
+// store has no merge primitive, and paying the full read-modify-write
+// cycle per record is exactly the behaviour the paper measured.
+func (s *KVStore) Merge(key, val string, m Merger) {
+	if prev, ok := s.kv.Get(key); ok {
+		val = m(prev, val)
+	}
+	s.kv.Put(key, val)
+}
+
 // Len implements Store.
 func (s *KVStore) Len() int { return s.kv.Len() }
 

@@ -73,6 +73,21 @@ func (s *SpillStore) Put(key, val string) {
 	}
 }
 
+// Merge implements Store in a single tree descent. Spilled partials for the
+// key stay untouched; they are reunited with the in-memory partial by the
+// Merger at Emit, so folding into only the live tree is correct.
+func (s *SpillStore) Merge(key, val string, mg Merger) {
+	s.t.Update(key, func(old string, ok bool) string {
+		if !ok {
+			return val
+		}
+		return mg(old, val)
+	})
+	if s.t.Bytes() >= s.threshold {
+		s.spill()
+	}
+}
+
 // Len implements Store (in-memory keys only).
 func (s *SpillStore) Len() int { return s.t.Len() }
 
@@ -111,13 +126,13 @@ func (s *SpillStore) Emit(out core.Output) {
 		s.t.Clear()
 		return
 	}
-	var runs []sortx.Run
+	runs := make([]sortx.Run, 0, len(s.runs)+1)
 	for _, r := range s.runs {
 		s.hooks.SpillRead(int64(len(r)))
 		runs = append(runs, codec.NewReader(r))
 	}
 	// The live tree is itself a key-sorted run.
-	var live []core.Record
+	live := make([]core.Record, 0, s.t.Len())
 	s.t.Ascend(func(k, v string) bool {
 		live = append(live, core.Record{Key: k, Value: v})
 		return true

@@ -33,6 +33,12 @@ type Store interface {
 	Get(key string) (string, bool)
 	// Put records the partial result for key.
 	Put(key, val string)
+	// Merge folds val into the partial result for key with m (the
+	// read-modify-write cycle of a running aggregate): absent keys store
+	// val directly. Tree-backed stores do this in one descent where a
+	// Get+Put pair would take two; the KV store keeps its off-the-shelf
+	// get-then-put cost, which is the point of that strategy.
+	Merge(key, val string, m Merger)
 	// Len returns the number of keys currently reachable without a merge
 	// (in-memory keys for SpillMerge, all keys otherwise).
 	Len() int
@@ -84,6 +90,16 @@ func (m *MemStore) Get(key string) (string, bool) { return m.t.Get(key) }
 
 // Put implements Store.
 func (m *MemStore) Put(key, val string) { m.t.Put(key, val) }
+
+// Merge implements Store in a single tree descent.
+func (m *MemStore) Merge(key, val string, mg Merger) {
+	m.t.Update(key, func(old string, ok bool) string {
+		if !ok {
+			return val
+		}
+		return mg(old, val)
+	})
+}
 
 // Len implements Store.
 func (m *MemStore) Len() int { return m.t.Len() }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-trajectory benchmarks and snapshot the raw
+# `go test -bench` output as BENCH_<n>.json at the repo root.
+#
+#   scripts/bench.sh [n]
+#
+# n defaults to the next unused snapshot index. The snapshot covers the
+# paper's headline figures (Fig4 WordCount barrier vs pipelined, Fig6
+# representative points) and the wall-clock fast-path microbenchmarks
+# this repo gates perf PRs on: the batched pipelined shuffle
+# (internal/mr) and the zero-alloc k-way merger (internal/sortx).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [[ -z "$n" ]]; then
+  n=1
+  while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
+fi
+out="BENCH_${n}.json"
+
+run_bench() { # run_bench <pkg> <pattern> <benchtime>
+  local raw
+  if ! raw="$(go test -run 'XXX' -bench "$2" -benchtime "$3" -benchmem "$1" 2>&1)"; then
+    echo "bench.sh: benchmark run failed for $1 ($2):" >&2
+    printf '%s\n' "$raw" >&2
+    exit 1
+  fi
+  printf '%s\n' "$raw" | grep -E '^(Benchmark|PASS|ok)' || true
+}
+
+tmp="$(mktemp)"
+{
+  echo "== figures (simulated cluster, vsec/job) =="
+  run_bench . 'Fig4WordCount3GB|Fig6Sort8GB|Fig6WordCount8GB' 1x
+  echo "== wall-clock fast paths (real-concurrency engine) =="
+  run_bench ./internal/mr/ 'PipelinedWordCount1M_(Batch1$|Batch256$|Batch256Combiner)|PipelinedSort1M' 3x
+  echo "== merge kernel =="
+  run_bench ./internal/sortx/ 'MergerNext|MergerDrain|ByKey' 2s
+} | tee "$tmp"
+
+# Emit a JSON snapshot: one {name, value, unit} triple per reported
+# metric line, parsed from the standard benchmark output format.
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+  name = $1
+  for (i = 3; i < NF; i += 2) {
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"value\": %s, \"unit\": \"%s\"}", name, $i, $(i + 1)
+  }
+}
+END { print "\n]" }
+' "$tmp" >"$out"
+rm -f "$tmp"
+echo "wrote $out"
