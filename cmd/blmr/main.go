@@ -31,6 +31,7 @@ func main() {
 	reducers := flag.Int("reducers", 60, "number of reduce tasks")
 	heapMB := flag.Int("heap", 0, "per-reducer heap cap in MB (0 = unlimited)")
 	spillMB := flag.Int("spill", 240, "spill threshold in MB for -store spill")
+	spillBytes := flag.Int64("spill-bytes", 0, "per-task intermediate buffer budget in bytes: map outputs spill to sorted runs and reducers merge externally (0 = all in RAM)")
 	timeline := flag.Bool("timeline", false, "print the task-count timeline")
 	speculative := flag.Bool("speculative", false, "enable speculative map execution")
 	combine := flag.Bool("combine", false, "enable the map-side combiner (aggregation-class apps only; uses the app's merger)")
@@ -83,6 +84,7 @@ func main() {
 	res := harness.Run(harness.RunSpec{
 		App: app, Data: ds, Mode: m, Reducers: *reducers, Store: kind,
 		Costs: costs, HeapBudgetMB: *heapMB, SpillThresholdMB: *spillMB, KVCacheMB: 512,
+		SpillBytes:  *spillBytes,
 		Speculative: *speculative, Combine: *combine, SnapshotPeriod: *snapshot,
 	})
 
@@ -93,6 +95,9 @@ func main() {
 	}
 	fmt.Printf("map tasks: %d (retries %d, backups %d/%d won)  output records: %d  spills: %d  peak partials: %d MB  shuffle: %d MB\n",
 		res.MapTasks, res.MapRetries, res.BackupsWon, res.BackupsLaunched, len(res.Output), res.Spills, res.PeakMemVirt>>20, res.ShuffleBytes>>20)
+	if *spillBytes > 0 {
+		fmt.Printf("external shuffle: budget %d KB, %d map-side spill runs\n", *spillBytes>>10, res.SpillRuns)
+	}
 	if len(res.Snapshots) > 0 {
 		fmt.Printf("progress snapshots: %d (first %.1fs, last %.1fs)\n",
 			len(res.Snapshots), res.Snapshots[0].T, res.Snapshots[len(res.Snapshots)-1].T)

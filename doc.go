@@ -20,5 +20,16 @@
 // (bounded by mr.Options.CombineKeys distinct keys per buffer) so
 // aggregation-class jobs shuffle a fraction of their intermediate records.
 //
+// The shuffle is also memory-bounded on demand: mr.Options.SpillBytes caps
+// each task's buffered intermediate data. Barrier mappers spill sorted,
+// codec-encoded runs to disk (dfs.RunDir) whenever they cross the budget
+// and reducers stream an external k-way merge (sortx.Merger over streaming
+// sortx.Sources) straight into the reduce function; pipelined reducers
+// hold partials in a disk-backed spill-merge store with the same budget.
+// Datasets whose intermediate data dwarfs RAM complete with partial-result
+// memory pinned near the budget (see examples/spill), at byte-identical
+// output. simmr.JobSpec.SpillBytes models the same discipline's I/O cost
+// on the simulated cluster (harness.SpillTradeoff sweeps the trade-off).
+//
 // See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

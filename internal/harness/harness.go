@@ -78,7 +78,11 @@ type RunSpec struct {
 	HeapBudgetMB     int
 	SpillThresholdMB int
 	KVCacheMB        int
-	Cluster          cluster.Config
+	// SpillBytes bounds each task's buffered intermediate data (virtual
+	// bytes): map outputs spill to sorted runs and barrier reducers merge
+	// externally (simmr.JobSpec.SpillBytes). 0 = all in RAM.
+	SpillBytes int64
+	Cluster    cluster.Config
 	// Replication overrides the DFS replication factor (default 3).
 	Replication int
 	// FetchParallelism overrides the barrier-mode parallel copies (default 5).
@@ -126,6 +130,7 @@ func Run(spec RunSpec) *simmr.Result {
 		Store:          spec.Store,
 		HeapBudget:     int64(spec.HeapBudgetMB) << 20,
 		SpillThreshold: int64(spec.SpillThresholdMB) << 20,
+		SpillBytes:     spec.SpillBytes,
 		KVCacheBytes:   int64(spec.KVCacheMB) << 20,
 		Costs:          spec.Costs,
 		Speculative:    spec.Speculative,

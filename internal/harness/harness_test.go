@@ -274,3 +274,23 @@ func TestHeterogeneityExperiment(t *testing.T) {
 		t.Fatal("render broken")
 	}
 }
+
+func TestSpillTradeoffSweep(t *testing.T) {
+	sw := SpillTradeoff([]float64{0, 64, 8})
+	if len(sw.Series) != 2 {
+		t.Fatalf("series = %d, want barrier + pipelined", len(sw.Series))
+	}
+	for _, ser := range sw.Series {
+		// Unlimited must be fastest; an 8MB budget must cost more than 64MB
+		// (more runs, more seeks) and must actually have sealed runs.
+		if !(ser.Y[0] < ser.Y[1] && ser.Y[1] < ser.Y[2]) {
+			t.Fatalf("%s: completion not monotone in budget pressure: %v", ser.Label, ser.Y)
+		}
+		if ser.Note[2] == "" {
+			t.Fatalf("%s: tightest budget sealed no spill runs", ser.Label)
+		}
+	}
+	if !strings.Contains(sw.Render(), "SpillTradeoff") {
+		t.Fatal("render broken")
+	}
+}

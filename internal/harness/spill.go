@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+)
+
+// SpillTradeoff sweeps the external-shuffle buffer budget (JobSpec
+// .SpillBytes) over an 8GB WordCount and reports the memory/throughput
+// trade-off the spill architecture buys: completion time rises as the
+// budget falls (more runs, more seeks, an extra merge pass) while the
+// sort-phase memory bound falls with it. budgetsMB of 0 means unlimited
+// (the all-in-RAM engine). The sweep is the harness-level reproduction
+// hook for the disk-spill design — the simulated sibling of the wall-clock
+// spill benchmarks in internal/mr.
+func SpillTradeoff(budgetsMB []float64) Sweep {
+	ds := WordCountData(8)
+	modes := []struct {
+		label string
+		mode  simmr.Mode
+	}{
+		{"barrier", simmr.Barrier},
+		{"pipelined", simmr.Pipelined},
+	}
+	sw := Sweep{
+		ID:     "SpillTradeoff",
+		Title:  "WordCount 8GB: completion vs spill buffer budget",
+		XLabel: "budget (MB)",
+	}
+	costs := CalibWordCount
+	if costs.SpillRunDelay == 0 {
+		costs.SpillRunDelay = simmr.DefaultCosts().SpillRunDelay
+	}
+	for _, m := range modes {
+		ser := Series{Label: m.label}
+		for _, mb := range budgetsMB {
+			res := Run(RunSpec{
+				App: apps.WordCount(), Data: ds, Mode: m.mode,
+				Reducers: 60, Costs: costs,
+				SpillBytes: int64(mb * (1 << 20)),
+			})
+			ser.X = append(ser.X, mb)
+			ser.Y = append(ser.Y, res.Completion)
+			note := ""
+			if res.SpillRuns > 0 {
+				note = fmt.Sprintf("%d runs", res.SpillRuns)
+			}
+			ser.Note = append(ser.Note, note)
+		}
+		sw.Series = append(sw.Series, ser)
+	}
+	return sw
+}

@@ -17,7 +17,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"blmr/internal/codec"
 	"blmr/internal/core"
+	"blmr/internal/dfs"
 	"blmr/internal/kvstore"
 	"blmr/internal/sortx"
 	"blmr/internal/store"
@@ -77,6 +79,19 @@ type Options struct {
 	// used when Job.Combiner is set; larger buffers fold more duplicates
 	// map-side at the cost of mapper memory (Hadoop's io.sort.mb role).
 	CombineKeys int
+	// SpillBytes, when > 0, bounds each task's buffered intermediate data
+	// (accounted with store.ApproxRecordBytes) and turns the shuffle into
+	// an external one: barrier mappers sort, encode and seal runs to disk
+	// whenever their buffers cross the budget, and reducers stream an
+	// external k-way merge over all sealed runs straight into the group
+	// reducer — intermediate data never has to fit in RAM. Pipelined
+	// reducers hold partial results in a disk-backed spill-merge store
+	// with the same budget (Job.Merger required). 0 keeps everything in
+	// memory (the pre-spill behaviour).
+	SpillBytes int64
+	// SpillDir is the directory for spill-run files. Empty means a fresh
+	// temporary directory, removed when Run returns.
+	SpillDir string
 }
 
 func (o *Options) normalize() {
@@ -123,6 +138,37 @@ type Result struct {
 	// mappers to reducers, after map-side combining — the wall-clock
 	// engine's counterpart of simmr.Result.ShuffleBytes.
 	ShuffleRecords int64
+	// SpilledBytes is the total encoded bytes sealed into spill-run files
+	// (0 when SpillBytes is unset or nothing crossed the budget).
+	SpilledBytes int64
+	// PeakPartialBytes is the largest partial-result store footprint
+	// (store.Store.ApproxBytes) observed across pipelined reducers,
+	// sampled once per consumed batch — the number to compare against
+	// Options.SpillBytes to see the memory bound holding.
+	PeakPartialBytes int64
+}
+
+// errOnce records the first error across concurrent tasks.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
 }
 
 // Run executes job over input and returns the result. The input slice is
@@ -141,16 +187,36 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 	if opts.Mode == Pipelined && opts.Store == store.SpillMerge && job.Merger == nil {
 		return nil, fmt.Errorf("mr: job %q needs a merger for spill-merge", job.Name)
 	}
+	if opts.Mode == Pipelined && opts.SpillBytes > 0 && opts.Store != store.KV && job.Merger == nil {
+		return nil, fmt.Errorf("mr: job %q needs a merger for a bounded-memory pipelined run", job.Name)
+	}
+	var spillDir *dfs.RunDir
+	// Pipelined KV runs manage memory through the KV cache and never write
+	// spill runs, so they skip the RunDir (mirrors newStore's exclusion).
+	if opts.SpillBytes > 0 && (opts.Mode == Barrier || opts.Store != store.KV) {
+		var err error
+		spillDir, err = dfs.NewRunDir(opts.SpillDir)
+		if err != nil {
+			return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
+		}
+		defer spillDir.Close()
+	}
 	start := time.Now()
 	var res *Result
 	var err error
-	if opts.Mode == Barrier {
+	switch {
+	case opts.Mode == Barrier && opts.SpillBytes > 0:
+		res, err = runBarrierSpill(job, input, opts, spillDir)
+	case opts.Mode == Barrier:
 		res, err = runBarrier(job, input, opts)
-	} else {
-		res, err = runPipelined(job, input, opts)
+	default:
+		res, err = runPipelined(job, input, opts, spillDir)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if spillDir != nil {
+		res.SpilledBytes = spillDir.SpilledBytes()
 	}
 	res.Wall = time.Since(start)
 	return res, nil
@@ -236,7 +302,191 @@ func runBarrier(job Job, input []core.Record, opts Options) (*Result, error) {
 	return &Result{Output: concat(outs), MapWall: mapWall, ShuffleRecords: shuffled}, nil
 }
 
-func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
+// spillFile is one sealed multi-partition spill file: every non-empty
+// partition's sorted run back to back (Hadoop's io.sort spill layout),
+// with the per-partition byte spans remembered in memory instead of an
+// on-disk index block.
+type spillFile struct {
+	path string
+	segs []span // per partition; n == 0 means the partition was empty
+}
+
+type span struct{ off, n int64 }
+
+// runBarrierSpill is barrier mode with the external, memory-bounded
+// shuffle. Each mapper accounts its buffered intermediate records
+// (store.ApproxRecordBytes); crossing Options.SpillBytes sorts every
+// partition buffer (stably, so equal keys keep emission order), optionally
+// combines it, encodes it via codec, and seals ONE spill file per crossing
+// holding all partitions' runs back to back — so the file count tracks
+// ceil(output/budget), matching the simulator's model, not
+// crossings x reducers. The under-budget tail of each partition stays in
+// memory as a final sorted run. After the map barrier, reducer r streams a
+// k-way merge over all of partition r's segments — ordered (mapper, seal
+// order), ties broken by run index, which reproduces the in-memory path's
+// stable sort exactly — feeding groups straight into the reduce function,
+// so neither side ever materializes the full partition.
+func runBarrierSpill(job Job, input []core.Record, opts Options, spillDir *dfs.RunDir) (*Result, error) {
+	splits := splitInput(input, opts.Mappers)
+	nm := len(splits)
+	seals := make([][]spillFile, nm)    // [mapper] sealed files, in seal order
+	live := make([][][]core.Record, nm) // [mapper][reducer] in-memory tail run
+	var firstErr errOnce
+	var shuffled int64
+
+	mapStart := time.Now()
+	var wg sync.WaitGroup
+	for m, split := range splits {
+		wg.Add(1)
+		go func(m int, split []core.Record) {
+			defer wg.Done()
+			em := core.NewPartitionedEmitter(opts.Reducers, 0)
+			var sent int64
+			var buffered int64
+			var scratch []byte
+			// sortPart sorts/combines partition p's buffer in place.
+			sortPart := func(p int) []core.Record {
+				part := em.Parts[p]
+				if job.Combiner != nil {
+					part = sortx.Combine(part, job.Combiner)
+				} else {
+					sortx.ByKey(part)
+				}
+				em.Parts[p] = part
+				return part
+			}
+			// seal writes every partition's sorted run into one new spill
+			// file and resets the buffers.
+			seal := func() bool {
+				w, err := spillDir.Create(fmt.Sprintf("m%d", m))
+				if err != nil {
+					firstErr.set(err)
+					return false
+				}
+				sf := spillFile{segs: make([]span, opts.Reducers)}
+				for p := range em.Parts {
+					part := sortPart(p)
+					if len(part) == 0 {
+						continue
+					}
+					scratch = codec.AppendRecords(scratch[:0], part)
+					off := w.Bytes()
+					if _, err := w.Write(scratch); err != nil {
+						firstErr.set(err)
+						w.Abort()
+						return false
+					}
+					sf.segs[p] = span{off: off, n: int64(len(scratch))}
+					sent += int64(len(part))
+					em.Parts[p] = part[:0]
+				}
+				if err := w.Close(); err != nil {
+					firstErr.set(err)
+					w.Abort()
+					return false
+				}
+				sf.path = w.Path()
+				seals[m] = append(seals[m], sf)
+				buffered = 0
+				return true
+			}
+			aborted := false
+			acct := core.EmitterFunc(func(k, v string) {
+				if aborted {
+					return
+				}
+				em.Emit(k, v)
+				buffered += store.ApproxRecordBytes(k, v)
+				if buffered >= opts.SpillBytes && !seal() {
+					aborted = true // checked between input records
+				}
+			})
+			for _, r := range split {
+				if aborted {
+					return
+				}
+				job.Mapper.Map(r.Key, r.Value, acct)
+			}
+			for p := range em.Parts {
+				sortPart(p)
+				sent += int64(len(em.Parts[p]))
+			}
+			live[m] = em.Parts
+			atomic.AddInt64(&shuffled, sent)
+		}(m, split)
+	}
+	wg.Wait() // the map-side barrier
+	mapWall := time.Since(mapStart)
+	if err := firstErr.get(); err != nil {
+		return nil, fmt.Errorf("mr: job %q map spill: %w", job.Name, err)
+	}
+
+	spills := 0
+	for m := range seals {
+		spills += len(seals[m])
+	}
+	outs := make([][]core.Record, opts.Reducers)
+	var rwg sync.WaitGroup
+	for r := 0; r < opts.Reducers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			var runs []sortx.Run
+			var open []*dfs.RunReader
+			defer func() {
+				for _, rr := range open {
+					_ = rr.Close()
+				}
+			}()
+			for m := 0; m < nm; m++ {
+				for _, sf := range seals[m] {
+					sp := sf.segs[r]
+					if sp.n == 0 {
+						continue
+					}
+					rr, err := dfs.OpenRunAt(sf.path, sp.off, sp.n)
+					if err != nil {
+						firstErr.set(err)
+						return
+					}
+					open = append(open, rr)
+					runs = append(runs, rr)
+				}
+				if len(live[m][r]) > 0 {
+					runs = append(runs, sortx.NewSliceRun(live[m][r]))
+				}
+			}
+			merger := sortx.NewMerger(runs)
+			sink := core.NewRecordSink(0)
+			gr := job.NewGroup()
+			for {
+				key, values, ok := merger.NextGroup()
+				if !ok {
+					break
+				}
+				gr.Reduce(key, values, sink)
+			}
+			if err := merger.Err(); err != nil {
+				firstErr.set(err)
+				return
+			}
+			if c, ok := gr.(core.Cleanup); ok {
+				c.Cleanup(sink)
+			}
+			outs[r] = sink.Recs
+		}(r)
+	}
+	rwg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, fmt.Errorf("mr: job %q external merge: %w", job.Name, err)
+	}
+	// Spill files are shared by all reducers; RunDir.Close (deferred in
+	// Run) removes them after the job, owned temp dir or not.
+	return &Result{Output: concat(outs), MapWall: mapWall, Spills: spills,
+		ShuffleRecords: atomic.LoadInt64(&shuffled)}, nil
+}
+
+func runPipelined(job Job, input []core.Record, opts Options, spillDir *dfs.RunDir) (*Result, error) {
 	splits := splitInput(input, opts.Mappers)
 	chans := make([]chan []core.Record, opts.Reducers)
 	for r := range chans {
@@ -374,17 +624,23 @@ func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
 
 	outs := make([][]core.Record, opts.Reducers)
 	spills := make([]int, opts.Reducers)
+	peaks := make([]int64, opts.Reducers)
+	var firstErr errOnce
 	var rwg sync.WaitGroup
 	for r := 0; r < opts.Reducers; r++ {
 		rwg.Add(1)
 		go func(r int) {
 			defer rwg.Done()
-			st := newStore(job, opts)
+			st := newStore(job, opts, spillDir, r)
 			sr := job.NewStream(st)
 			sink := core.NewRecordSink(0)
+			var myPeak int64
 			for batch := range chans[r] {
 				for _, rec := range batch {
 					sr.Consume(rec, sink)
+				}
+				if b := st.ApproxBytes(); b > myPeak {
+					myPeak = b
 				}
 				clear(batch) // drop string refs before the buffer idles
 				select {
@@ -395,20 +651,39 @@ func runPipelined(job Job, input []core.Record, opts Options) (*Result, error) {
 			sr.Finish(sink)
 			if sp, ok := st.(*store.SpillStore); ok {
 				spills[r] = sp.Spills
+				firstErr.set(sp.Err())
 			}
+			peaks[r] = myPeak
 			outs[r] = sink.Recs
 		}(r)
 	}
 	rwg.Wait()
+	if err := firstErr.get(); err != nil {
+		return nil, fmt.Errorf("mr: job %q reducer spill: %w", job.Name, err)
+	}
 	total := 0
 	for _, s := range spills {
 		total += s
 	}
+	var peak int64
+	for _, p := range peaks {
+		if p > peak {
+			peak = p
+		}
+	}
 	return &Result{Output: concat(outs), MapWall: mapWall, Spills: total,
-		ShuffleRecords: atomic.LoadInt64(&shuffled)}, nil
+		ShuffleRecords: atomic.LoadInt64(&shuffled), PeakPartialBytes: peak}, nil
 }
 
-func newStore(job Job, opts Options) store.Store {
+// newStore builds reducer r's partial-result store. With SpillBytes set,
+// tree-backed stores become disk-backed spill-merge stores budgeted at
+// SpillBytes, so pipelined partial results leave the heap for real; the KV
+// store already bounds its own memory through its cache.
+func newStore(job Job, opts Options, spillDir *dfs.RunDir, r int) store.Store {
+	if opts.SpillBytes > 0 && opts.Store != store.KV {
+		return store.NewSpillStoreOn(opts.SpillBytes, job.Merger, nil,
+			spillDir.NewRunSet(fmt.Sprintf("red%d", r)))
+	}
 	switch opts.Store {
 	case store.SpillMerge:
 		return store.NewSpillStore(opts.SpillThresholdBytes, job.Merger, nil)

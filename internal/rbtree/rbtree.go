@@ -13,9 +13,12 @@ const (
 	black = false
 )
 
-// nodeOverheadBytes approximates the per-node allocation overhead (pointers,
-// color, string headers) used for memory accounting.
-const nodeOverheadBytes = 64
+// NodeOverheadBytes approximates the per-node allocation overhead (pointers,
+// color, string headers) used for memory accounting. It is exported so
+// every layer that budgets "one buffered record" — the tree itself, the
+// engines' mapper-side spill triggers, the examples' reports — charges the
+// same per-entry overhead (see store.ApproxRecordBytes).
+const NodeOverheadBytes = 64
 
 type node[V any] struct {
 	key         string
@@ -92,7 +95,7 @@ func (t *Tree[V]) Put(key string, val V) {
 
 func (t *Tree[V]) put(h *node[V], key string, val V) *node[V] {
 	if h == nil {
-		t.bytes += int64(len(key)) + t.sizeOf(val) + nodeOverheadBytes
+		t.bytes += int64(len(key)) + t.sizeOf(val) + NodeOverheadBytes
 		return newNode[V](key, val)
 	}
 	switch {
@@ -120,7 +123,7 @@ func (t *Tree[V]) update(h *node[V], key string, fn func(V, bool) V) *node[V] {
 	if h == nil {
 		var zero V
 		val := fn(zero, false)
-		t.bytes += int64(len(key)) + t.sizeOf(val) + nodeOverheadBytes
+		t.bytes += int64(len(key)) + t.sizeOf(val) + NodeOverheadBytes
 		return newNode[V](key, val)
 	}
 	switch {
@@ -177,14 +180,14 @@ func (t *Tree[V]) delete(h *node[V], key string) *node[V] {
 			h = rotateRight(h)
 		}
 		if key == h.key && h.right == nil {
-			t.bytes -= int64(len(h.key)) + t.sizeOf(h.val) + nodeOverheadBytes
+			t.bytes -= int64(len(h.key)) + t.sizeOf(h.val) + NodeOverheadBytes
 			return nil
 		}
 		if !isRed(h.right) && !isRed(h.right.left) {
 			h = moveRedRight(h)
 		}
 		if key == h.key {
-			t.bytes -= int64(len(h.key)) + t.sizeOf(h.val) + nodeOverheadBytes
+			t.bytes -= int64(len(h.key)) + t.sizeOf(h.val) + NodeOverheadBytes
 			m := min(h.right)
 			h.key, h.val = m.key, m.val
 			h.right = deleteMin(h.right)

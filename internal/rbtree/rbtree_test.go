@@ -157,17 +157,17 @@ func TestDelete(t *testing.T) {
 func TestBytesAccounting(t *testing.T) {
 	tr := New[string](func(v string) int64 { return int64(len(v)) })
 	tr.Put("key1", "value1")
-	want := int64(4+6) + nodeOverheadBytes
+	want := int64(4+6) + NodeOverheadBytes
 	if tr.Bytes() != want {
 		t.Fatalf("Bytes = %d, want %d", tr.Bytes(), want)
 	}
 	tr.Put("key2", "v")
-	want += int64(4+1) + nodeOverheadBytes
+	want += int64(4+1) + NodeOverheadBytes
 	if tr.Bytes() != want {
 		t.Fatalf("Bytes = %d, want %d", tr.Bytes(), want)
 	}
 	tr.Delete("key1")
-	want -= int64(4+6) + nodeOverheadBytes
+	want -= int64(4+6) + NodeOverheadBytes
 	if tr.Bytes() != want {
 		t.Fatalf("Bytes = %d, want %d", tr.Bytes(), want)
 	}

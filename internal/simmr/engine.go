@@ -10,6 +10,7 @@ import (
 	"blmr/internal/metrics"
 	"blmr/internal/sim"
 	"blmr/internal/sortx"
+	"blmr/internal/store"
 )
 
 // Engine runs one MapReduce job on a freshly built simulated cluster.
@@ -108,6 +109,15 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		job.OutputReplication = e.Cfg.Replication
 	}
 	res := &Result{Metrics: e.Col, MapTasks: len(input.Chunks)}
+	if job.Mode == Pipelined && job.SpillBytes > 0 && job.Store != store.KV && job.Merger == nil {
+		// Same contract as mr.Run: a bounded-memory pipelined run needs a
+		// merger to reunite spilled partials. The simulator reports it as
+		// a failed job (its error channel) rather than silently running
+		// unbounded.
+		res.Failed = true
+		res.FailReason = fmt.Sprintf("job %q needs a merger for a bounded-memory pipelined run", job.Name)
+		return res
+	}
 	shuffle := newShuffleState(e.K, len(input.Chunks), job.Reducers)
 	jobDone := sim.NewEvent(e.K, "job-done")
 	reducersLeft := sim.NewWaitGroup(e.K, "reducers", job.Reducers)
@@ -200,6 +210,7 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, shuf
 		if e.Cfg.Memo != nil {
 			e.Cfg.Memo.insert(memoKeyStr, entry)
 		}
+		res.SpillRuns += entry.spillRuns
 		e.publishMapOutput(p.Now(), node, shuffle, shuffle.maps[idx], entry, res)
 		e.Col.TaskEnd(tok, p.Now())
 		node.MapSlots.Release(1)
@@ -245,8 +256,26 @@ func (e *Engine) runMapAttempt(p *sim.Proc, job *JobSpec, ch *dfs.Chunk, node *c
 	for _, b := range partBytes {
 		outVirt += b
 	}
+	// External shuffle (JobSpec.SpillBytes): output that outgrows the
+	// buffer budget is sealed as ceil(out/budget) sorted runs, then merged
+	// into the final partitioned file in one extra pass — a full re-read
+	// and re-write of the output, per-run fixed latency (seek/open), and
+	// the k-way merge's comparisons. This is the throughput price of the
+	// memory bound; the final write below is charged either way.
+	spillRuns := 0
+	if job.SpillBytes > 0 && outVirt > job.SpillBytes {
+		spillRuns = int((outVirt + job.SpillBytes - 1) / job.SpillBytes)
+		outRecs := 0
+		for _, part := range parts {
+			outRecs += len(part)
+		}
+		node.DiskWrite(p, outVirt) // seal the spill runs
+		p.Sleep(float64(spillRuns) * job.Costs.SpillRunDelay)
+		node.DiskRead(p, outVirt) // merge pass reads every run back
+		node.Compute(p, e.virtRecs(outRecs)*math.Log2(float64(spillRuns))*job.Costs.SortCPUPerCompare)
+	}
 	node.DiskWrite(p, outVirt)
-	return &memoEntry{parts: parts, partBytes: partBytes, outVirt: outVirt}
+	return &memoEntry{parts: parts, partBytes: partBytes, outVirt: outVirt, spillRuns: spillRuns}
 }
 
 // speculator waits for the arming threshold, then launches one backup
@@ -270,6 +299,7 @@ func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle 
 			}
 			tok := e.Col.TaskStart(metrics.StageMap, bp.Now())
 			entry := e.runMapAttempt(bp, job, ch, backupNode, false)
+			res.SpillRuns += entry.spillRuns
 			if e.publishMapOutput(bp.Now(), backupNode, shuffle, mo, entry, res) {
 				res.BackupsWon++
 			}

@@ -57,6 +57,11 @@ type CostModel struct {
 	// FinalizeCPUPerRecord is per-output-record cost of the barrier-less
 	// finalize pass (emitting the partial-result structure).
 	FinalizeCPUPerRecord float64
+	// SpillRunDelay is the per-spill-run fixed latency (seek + file open)
+	// charged when JobSpec.SpillBytes forces a task's output into multiple
+	// runs — the knob that makes the memory/throughput trade-off visible:
+	// smaller budgets mean more runs, more seeks, slower jobs.
+	SpillRunDelay float64
 	// KVOpDelay is the per-operation latency of the off-the-shelf KV store
 	// (the paper observed ~30,000 inserts/s => ~33µs/op). Applied only
 	// when Store == store.KV.
@@ -73,6 +78,7 @@ func DefaultCosts() CostModel {
 		StoreCPUPerOp:        1.2e-6,
 		SortCPUPerCompare:    70e-9,
 		FinalizeCPUPerRecord: 1e-6,
+		SpillRunDelay:        4e-3,
 		KVOpDelay:            1.0 / 30000,
 	}
 }
@@ -109,6 +115,16 @@ type JobSpec struct {
 	// SpillThreshold is the in-memory partial-results budget (virtual
 	// bytes) for the spill-merge store (paper: 240 MB).
 	SpillThreshold int64
+	// SpillBytes, when > 0, bounds every task's buffered intermediate
+	// data in virtual bytes — the simulated counterpart of
+	// mr.Options.SpillBytes. Map tasks whose output exceeds the budget
+	// seal multiple sorted runs and pay an extra merge pass (full output
+	// re-read + re-write, per-run SpillRunDelay, merge comparisons);
+	// barrier reducers merge fetched runs externally, so their sort-phase
+	// memory is sampled at min(fetched, SpillBytes); pipelined reducers
+	// with an InMemory store and a Merger are upgraded to a spill-merge
+	// store budgeted at SpillBytes. 0 models the all-in-RAM engine.
+	SpillBytes int64
 	// KVCacheBytes is the KV store's cache budget (virtual bytes).
 	KVCacheBytes int64
 	// Costs are the CPU rates; zero value uses DefaultCosts.
@@ -150,6 +166,9 @@ type Result struct {
 	Metrics *metrics.Collector
 	// Spills counts spill-merge runs written across reducers.
 	Spills int
+	// SpillRuns counts map-side spill runs sealed under JobSpec.SpillBytes
+	// (losing speculative attempts included: they did the disk work).
+	SpillRuns int
 	// MapTasks and ReduceWaves aid analysis.
 	MapTasks    int
 	MapRetries  int

@@ -26,6 +26,7 @@ type memoEntry struct {
 	parts     [][]core.Record
 	partBytes []int64
 	outVirt   int64
+	spillRuns int // runs sealed while producing this output (not replayed on hits)
 }
 
 // NewMemoCache creates an empty cache, shared across Engine runs.

@@ -55,6 +55,17 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 	node.DiskRead(p, fetchedVirt) // read runs back for the merge
 	sortx.ByKey(all)
 	node.Compute(p, sortCompareCost(e.virtRecs(len(all)))*job.Costs.SortCPUPerCompare)
+	// Sort-phase memory: unbounded, the reducer materializes every fetched
+	// partition; with a budget, the fetched runs are streamed through an
+	// external k-way merge instead, so the sample is capped at the budget
+	// — at the price of one open run (seek) per fetched map output. The
+	// comparison and read costs above are the same either way.
+	memVirt := fetchedVirt
+	if job.SpillBytes > 0 && memVirt > job.SpillBytes {
+		memVirt = job.SpillBytes
+		p.Sleep(float64(len(shuffle.maps)) * job.Costs.SpillRunDelay)
+	}
+	e.Col.MemSample(r, p.Now(), memVirt)
 	e.Col.TaskEnd(sortTok, p.Now())
 
 	// --- Reduce: one grouped invocation per key. ---
@@ -138,7 +149,11 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 			sr.Consume(rec, out)
 		}
 		consumed += len(batch.recs)
-		memVirt := e.virtBytes(st.MemBytes())
+		// ApproxBytes, not MemBytes: the footprint compared against the
+		// heap budget includes the spill store's encode scratch, the same
+		// accounting the wall-clock engine reports (store.ApproxRecordBytes
+		// per entry), so thresholds and reports agree across engines.
+		memVirt := e.virtBytes(st.ApproxBytes())
 		e.Col.MemSample(r, p.Now(), memVirt)
 		if job.SnapshotPeriod > 0 && p.Now() >= nextSnap {
 			res.Snapshots = append(res.Snapshots, Snapshot{
@@ -167,7 +182,7 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 	if sp, ok := st.(*store.SpillStore); ok {
 		res.Spills += sp.Spills
 	}
-	e.Col.MemSample(r, p.Now(), e.virtBytes(st.MemBytes()))
+	e.Col.MemSample(r, p.Now(), e.virtBytes(st.ApproxBytes()))
 	e.Col.TaskEnd(redTok, p.Now())
 
 	e.writeOutput(p, job, node, out.Recs, res)
@@ -176,6 +191,18 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 // newStore builds the per-task partial-result store with hooks that charge
 // simulated disk and per-op time on the reducer's node.
 func (e *Engine) newStore(p *sim.Proc, job *JobSpec, node *cluster.Node) store.Store {
+	if job.SpillBytes > 0 && job.Store != store.KV {
+		// Bounded-memory parity with mr.Options.SpillBytes: every
+		// tree-backed store becomes spill-merge budgeted at the buffer
+		// budget (overriding SpillThreshold, exactly as the wall-clock
+		// engine does); the KV store keeps its own cache management.
+		// Merger presence was validated by Engine.Run.
+		thresholdReal := int64(float64(job.SpillBytes) / e.Cfg.ByteScale)
+		if thresholdReal <= 0 {
+			thresholdReal = 1
+		}
+		return store.NewSpillStore(thresholdReal, job.Merger, &simSpillHooks{e: e, p: p, node: node})
+	}
 	switch job.Store {
 	case store.SpillMerge:
 		thresholdReal := int64(float64(job.SpillThreshold) / e.Cfg.ByteScale)

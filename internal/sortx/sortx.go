@@ -80,6 +80,17 @@ type Run interface {
 	Next() (core.Record, bool)
 }
 
+// Source is a Run that can fail mid-stream — the contract of disk-backed
+// spill runs, whose reads can hit I/O errors or truncated files. A failed
+// Source reports ok=false from Next (indistinguishable from exhaustion to
+// the merge loop) and surfaces the cause through Err. Merge drivers must
+// check Merger.Err after draining a merge that includes Sources.
+type Source interface {
+	Run
+	// Err returns the error that ended the stream early, or nil.
+	Err() error
+}
+
 // SliceRun adapts a pre-sorted slice to the Run interface.
 type SliceRun struct {
 	recs []core.Record
@@ -204,6 +215,20 @@ func (m *Merger) NextGroup() (key string, values []string, ok bool) {
 		values = append(values, rec.Value)
 	}
 	return key, values, true
+}
+
+// Err returns the first deferred error of any merged run that implements
+// Source (disk-backed runs). A non-nil Err means the merged stream ended
+// early and its output is incomplete.
+func (m *Merger) Err() error {
+	for _, r := range m.runs {
+		if s, ok := r.(Source); ok {
+			if err := s.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Drain returns all remaining records (for tests and small merges).

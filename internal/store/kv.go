@@ -44,6 +44,9 @@ func (s *KVStore) Len() int { return s.kv.Len() }
 // MemBytes implements Store: only the bounded cache occupies heap.
 func (s *KVStore) MemBytes() int64 { return s.kv.CacheBytes() }
 
+// ApproxBytes implements Store.
+func (s *KVStore) ApproxBytes() int64 { return s.kv.CacheBytes() }
+
 // SpilledBytes implements Store.
 func (s *KVStore) SpilledBytes() int64 { return s.kv.Stats().LogBytes }
 

@@ -24,26 +24,82 @@ func (NopSpillHooks) SpillWrite(int64) {}
 // SpillRead implements SpillHooks.
 func (NopSpillHooks) SpillRead(int64) {}
 
+// RunStore persists sealed spill runs — immutable key-sorted encoded record
+// streams — and streams them back for the final merge. The default is
+// in-memory (the simulator charges virtual disk time through SpillHooks
+// instead of doing real I/O); the wall-clock engine plugs in a disk-backed
+// implementation (dfs.RunSet) so spilled data actually leaves the heap.
+// Append and Runs are phase-separated: all appends happen before the single
+// Runs call, matching the spill lifecycle.
+type RunStore interface {
+	// Append seals buf as one immutable run. The buffer is owned by the
+	// caller and may be reused after Append returns.
+	Append(buf []byte) error
+	// Runs returns one streaming reader per sealed run, in append order.
+	// Disk-backed readers are sortx.Sources: the merge driver must check
+	// Merger.Err after draining.
+	Runs() ([]sortx.Run, error)
+	// Release frees all sealed runs and any readers Runs returned.
+	Release() error
+}
+
+// memRuns is the in-memory RunStore: runs live on the heap as flat encoded
+// buffers. Used by the simulator, where spill I/O is virtual time, and as
+// the default when no disk backing is configured.
+type memRuns struct {
+	runs [][]byte
+}
+
+func (m *memRuns) Append(buf []byte) error {
+	m.runs = append(m.runs, append([]byte(nil), buf...))
+	return nil
+}
+
+func (m *memRuns) Runs() ([]sortx.Run, error) {
+	out := make([]sortx.Run, len(m.runs))
+	for i, r := range m.runs {
+		out[i] = codec.NewReader(r)
+	}
+	return out, nil
+}
+
+func (m *memRuns) Release() error {
+	m.runs = nil
+	return nil
+}
+
 // SpillStore implements the paper's disk spill and merge scheme. Partial
 // results accumulate in a red-black tree; when the tree's footprint crosses
-// the threshold, its contents are serialized in key order to a new spill
-// run and the tree is cleared. Emit k-way merges the runs and the live tree,
-// combining same-key partials with the Merger.
+// the threshold, its contents are serialized in key order into a sealed run
+// in the RunStore and the tree is cleared. Emit k-way merges the runs and
+// the live tree, combining same-key partials with the Merger.
 type SpillStore struct {
 	t         *rbtree.Tree[string]
 	merger    Merger
 	threshold int64
 	hooks     SpillHooks
-	runs      [][]byte // each run is a key-sorted encoded record stream
+	runs      RunStore
+	runLens   []int64 // encoded size of each sealed run, for read accounting
+	scratch   []byte  // reusable encode buffer (~threshold bytes once warm)
 	spilled   int64
+	err       error
 	// Spills counts how many spill runs were written (for tests/metrics).
 	Spills int
 }
 
-// NewSpillStore creates a spill-and-merge store. threshold is the in-memory
-// partial-results budget in bytes (the paper used 240 MB); merger combines
-// same-key partials at merge time; hooks may be nil.
+// NewSpillStore creates a spill-and-merge store with in-memory run storage
+// (the simulator's configuration: spill I/O cost is charged through hooks).
+// threshold is the in-memory partial-results budget in bytes (the paper
+// used 240 MB); merger combines same-key partials at merge time; hooks may
+// be nil.
 func NewSpillStore(threshold int64, merger Merger, hooks SpillHooks) *SpillStore {
+	return NewSpillStoreOn(threshold, merger, hooks, nil)
+}
+
+// NewSpillStoreOn is NewSpillStore with explicit run storage. A nil runs
+// falls back to in-memory storage; the wall-clock engine passes a
+// disk-backed RunStore so spilled partials leave the heap for real.
+func NewSpillStoreOn(threshold int64, merger Merger, hooks SpillHooks, runs RunStore) *SpillStore {
 	if merger == nil {
 		panic("store: SpillStore requires a Merger")
 	}
@@ -53,11 +109,15 @@ func NewSpillStore(threshold int64, merger Merger, hooks SpillHooks) *SpillStore
 	if threshold <= 0 {
 		threshold = 1 << 20
 	}
+	if runs == nil {
+		runs = &memRuns{}
+	}
 	return &SpillStore{
 		t:         rbtree.New[string](strSize),
 		merger:    merger,
 		threshold: threshold,
 		hooks:     hooks,
+		runs:      runs,
 	}
 }
 
@@ -94,30 +154,48 @@ func (s *SpillStore) Len() int { return s.t.Len() }
 // MemBytes implements Store.
 func (s *SpillStore) MemBytes() int64 { return s.t.Bytes() }
 
+// ApproxBytes implements Store: the live tree plus the retained encode
+// scratch (which grows to roughly one threshold's worth of encoded bytes).
+func (s *SpillStore) ApproxBytes() int64 { return s.t.Bytes() + int64(cap(s.scratch)) }
+
 // SpilledBytes implements Store.
 func (s *SpillStore) SpilledBytes() int64 { return s.spilled }
 
-// spill serializes the tree in key order into a new run and clears it.
+// Err returns the first spill-storage failure (disk-backed stores only).
+// A store with a non-nil Err keeps partials in memory instead of spilling,
+// so output stays correct but memory is no longer bounded; engines should
+// surface the error after Emit.
+func (s *SpillStore) Err() error { return s.err }
+
+// spill serializes the tree in key order into a new sealed run and clears
+// it. On storage failure the tree is kept (correctness over memory bounds)
+// and the error is recorded.
 func (s *SpillStore) spill() {
-	if s.t.Len() == 0 {
+	if s.t.Len() == 0 || s.err != nil {
 		return
 	}
-	buf := make([]byte, 0, s.t.Bytes())
+	buf := s.scratch[:0]
 	s.t.Ascend(func(k, v string) bool {
 		buf = codec.AppendRecord(buf, core.Record{Key: k, Value: v})
 		return true
 	})
-	s.runs = append(s.runs, buf)
+	s.scratch = buf
+	if err := s.runs.Append(buf); err != nil {
+		s.err = err
+		return
+	}
+	s.runLens = append(s.runLens, int64(len(buf)))
 	s.spilled += int64(len(buf))
 	s.Spills++
 	s.hooks.SpillWrite(int64(len(buf)))
 	s.t.Clear()
 }
 
-// Emit implements Store: merge every spill run plus the live tree, combine
-// same-key partials, and write final results in key order.
+// Emit implements Store: merge every sealed run plus the live tree, combine
+// same-key partials, and write final results in key order. Check Err
+// afterwards when the run storage can fail.
 func (s *SpillStore) Emit(out core.Output) {
-	if len(s.runs) == 0 {
+	if s.Spills == 0 {
 		// Fast path: nothing ever spilled.
 		s.t.Ascend(func(k, v string) bool {
 			out.Write(k, v)
@@ -126,10 +204,14 @@ func (s *SpillStore) Emit(out core.Output) {
 		s.t.Clear()
 		return
 	}
-	runs := make([]sortx.Run, 0, len(s.runs)+1)
-	for _, r := range s.runs {
-		s.hooks.SpillRead(int64(len(r)))
-		runs = append(runs, codec.NewReader(r))
+	runs, err := s.runs.Runs()
+	if err != nil {
+		s.err = err
+		_ = s.runs.Release() // best-effort: don't leak sealed runs
+		return
+	}
+	for _, n := range s.runLens {
+		s.hooks.SpillRead(n)
 	}
 	// The live tree is itself a key-sorted run.
 	live := make([]core.Record, 0, s.t.Len())
@@ -150,6 +232,12 @@ func (s *SpillStore) Emit(out core.Output) {
 		}
 		out.Write(key, acc)
 	}
-	s.runs = nil
+	if err := m.Err(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if err := s.runs.Release(); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.runLens = nil
 	s.t.Clear()
 }

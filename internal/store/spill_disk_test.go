@@ -1,0 +1,118 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"blmr/internal/dfs"
+	"blmr/internal/sortx"
+)
+
+// diskSpillStore builds a SpillStore whose runs live in real files under a
+// test temp dir, via the dfs.RunSet implementation of RunStore.
+func diskSpillStore(t *testing.T, threshold int64) (*SpillStore, *dfs.RunDir) {
+	t.Helper()
+	rd, err := dfs.NewRunDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	return NewSpillStoreOn(threshold, sumMerger, nil, rd.NewRunSet("test")), rd
+}
+
+// TestDiskSpillStoreMatchesMemory drives identical aggregation streams
+// through a memory-backed and a disk-backed spill store; outputs must be
+// identical, and the disk-backed one must have really written files.
+func TestDiskSpillStoreMatchesMemory(t *testing.T) {
+	mem := NewSpillStore(2048, sumMerger, nil)
+	disk, rd := diskSpillStore(t, 2048)
+
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("word%03d", (i*13)%151)
+		mem.Merge(key, "1", sumMerger)
+		disk.Merge(key, "1", sumMerger)
+	}
+	if disk.Spills == 0 {
+		t.Fatal("disk store never spilled; threshold too high for the stream")
+	}
+	if rd.SpilledBytes() == 0 {
+		t.Fatal("no bytes reached the run files")
+	}
+	memOut, diskOut := &sink{}, &sink{}
+	mem.Emit(memOut)
+	disk.Emit(diskOut)
+	if err := disk.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(memOut.recs) != len(diskOut.recs) {
+		t.Fatalf("disk emitted %d records, memory %d", len(diskOut.recs), len(memOut.recs))
+	}
+	for i := range memOut.recs {
+		if memOut.recs[i] != diskOut.recs[i] {
+			t.Fatalf("record %d: disk %v vs memory %v", i, diskOut.recs[i], memOut.recs[i])
+		}
+	}
+	// Emit released the runs: no files left behind.
+	left, _ := filepath.Glob(filepath.Join(rd.Dir(), "*.run"))
+	if len(left) != 0 {
+		t.Fatalf("%d run files left after Emit", len(left))
+	}
+}
+
+// failingRuns fails Append after n successes.
+type failingRuns struct {
+	n   int
+	err error
+}
+
+func (f *failingRuns) Append([]byte) error {
+	if f.n <= 0 {
+		return f.err
+	}
+	f.n--
+	return nil
+}
+func (f *failingRuns) Runs() ([]sortx.Run, error) { return nil, nil }
+func (f *failingRuns) Release() error             { return nil }
+
+// TestSpillStoreSurvivesStorageFailure: when run storage starts failing,
+// the store must keep partials in memory (no data loss) and report the
+// error through Err.
+func TestSpillStoreSurvivesStorageFailure(t *testing.T) {
+	boom := errors.New("disk full")
+	s := NewSpillStoreOn(512, sumMerger, nil, &failingRuns{n: 0, err: boom})
+	for i := 0; i < 500; i++ {
+		s.Merge(fmt.Sprintf("k%04d", i), "1", sumMerger)
+	}
+	if !errors.Is(s.Err(), boom) {
+		t.Fatalf("Err() = %v, want the storage failure", s.Err())
+	}
+	// All 500 keys still reachable in memory despite the failed spill.
+	if s.Len() != 500 {
+		t.Fatalf("live keys = %d, want 500 (partials must not be dropped)", s.Len())
+	}
+}
+
+func TestApproxBytesConsistent(t *testing.T) {
+	// The flat-record rule and the tree's own accounting must agree, so
+	// engines can budget slice buffers and tree stores against the same
+	// threshold.
+	m := NewMemStore()
+	var want int64
+	for i := 0; i < 100; i++ {
+		k, v := fmt.Sprintf("key%04d", i), "12"
+		m.Put(k, v)
+		want += ApproxRecordBytes(k, v)
+	}
+	if m.ApproxBytes() != want {
+		t.Fatalf("MemStore.ApproxBytes = %d, ApproxRecordBytes sum = %d", m.ApproxBytes(), want)
+	}
+	// SpillStore: ApproxBytes covers tree + retained scratch.
+	s := NewSpillStore(1<<20, sumMerger, nil)
+	s.Put("a", "1")
+	if s.ApproxBytes() < s.MemBytes() {
+		t.Fatal("ApproxBytes must include MemBytes")
+	}
+}

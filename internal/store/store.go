@@ -19,6 +19,17 @@ import (
 	"blmr/internal/rbtree"
 )
 
+// ApproxRecordBytes is the framework's single per-buffered-record memory
+// accounting rule: payload bytes plus the red-black tree's per-node
+// overhead. The engines' mapper-side spill triggers use it for their flat
+// record buffers too, so "SpillBytes of buffered data" means the same
+// number of records whether the buffer is a tree or a slice — spill
+// triggering and memory reports stay consistent (the numbers examples
+// print are directly comparable to the thresholds they were run with).
+func ApproxRecordBytes(key, val string) int64 {
+	return int64(len(key)) + int64(len(val)) + rbtree.NodeOverheadBytes
+}
+
 // Merger combines two partial results for the same key into one. It must be
 // commutative and associative — the same requirement the paper places on
 // the merge function ("often functionally the same as the combiner").
@@ -42,9 +53,15 @@ type Store interface {
 	// Len returns the number of keys currently reachable without a merge
 	// (in-memory keys for SpillMerge, all keys otherwise).
 	Len() int
-	// MemBytes returns the accounted in-memory footprint, charged against
-	// the reducer's heap budget.
+	// MemBytes returns the accounted in-memory footprint of the partial
+	// results themselves, charged against the reducer's heap budget.
 	MemBytes() int64
+	// ApproxBytes returns the store's total approximate heap footprint:
+	// MemBytes plus transient machinery (spill encode scratch). Engines
+	// compare this — not MemBytes — against memory budgets and report it in
+	// examples, so triggering and reporting agree; the per-entry accounting
+	// underneath is ApproxRecordBytes for every implementation.
+	ApproxBytes() int64
 	// SpilledBytes returns bytes written to spill storage so far.
 	SpilledBytes() int64
 	// Emit merges all partial results and writes one record per key, in
@@ -106,6 +123,9 @@ func (m *MemStore) Len() int { return m.t.Len() }
 
 // MemBytes implements Store.
 func (m *MemStore) MemBytes() int64 { return m.t.Bytes() }
+
+// ApproxBytes implements Store: the tree is the whole footprint.
+func (m *MemStore) ApproxBytes() int64 { return m.t.Bytes() }
 
 // SpilledBytes implements Store.
 func (m *MemStore) SpilledBytes() int64 { return 0 }

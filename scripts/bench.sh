@@ -17,7 +17,9 @@ if [[ -z "$n" ]]; then
   n=1
   while [[ -e "BENCH_${n}.json" ]]; do n=$((n + 1)); done
 fi
-out="BENCH_${n}.json"
+# BENCH_OUT overrides the snapshot path (bench_compare.sh writes to a temp
+# file instead of claiming the next index).
+out="${BENCH_OUT:-BENCH_${n}.json}"
 
 run_bench() { # run_bench <pkg> <pattern> <benchtime>
   local raw
@@ -34,9 +36,11 @@ tmp="$(mktemp)"
   echo "== figures (simulated cluster, vsec/job) =="
   run_bench . 'Fig4WordCount3GB|Fig6Sort8GB|Fig6WordCount8GB' 1x
   echo "== wall-clock fast paths (real-concurrency engine) =="
-  run_bench ./internal/mr/ 'PipelinedWordCount1M_(Batch1$|Batch256$|Batch256Combiner)|PipelinedSort1M' 3x
+  run_bench ./internal/mr/ 'PipelinedWordCount1M_(Batch1$|Batch256$|Batch256Combiner)|PipelinedSort1M_Batch(1|256)$' 3x
   echo "== merge kernel =="
   run_bench ./internal/sortx/ 'MergerNext|MergerDrain|ByKey' 2s
+  echo "== external shuffle (disk-spilling, bounded memory) =="
+  run_bench ./internal/mr/ 'Sort1M_Spill' 1x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported

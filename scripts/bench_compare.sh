@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench_compare.sh — regression gate over the perf-trajectory snapshots.
+#
+# Runs a fresh scripts/bench.sh pass into a temp file and diffs it against
+# the latest committed BENCH_<n>.json. Metrics present in both snapshots
+# are compared by unit:
+#
+#   ns/op, vsec/job   lower is better: fail if new > old * (1 + TOLERANCE)
+#   recs/s            higher is better: fail if new < old / (1 + TOLERANCE)
+#
+# Other units (B/op, allocs/op, the spill MB gauges) are informational
+# only. Exits 1 on any regression beyond TOLERANCE (default 25%) — run it
+# as a non-blocking CI job: shared-runner noise makes it advisory, not a
+# merge gate.
+#
+#   scripts/bench_compare.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${TOLERANCE:-0.25}"
+
+baseline="${1:-}"
+if [[ -z "$baseline" ]]; then
+  latest=0
+  for f in BENCH_*.json; do
+    [[ -e "$f" ]] || continue
+    n="${f#BENCH_}"
+    n="${n%.json}"
+    [[ "$n" =~ ^[0-9]+$ ]] && ((n > latest)) && latest=$n
+  done
+  if ((latest == 0)); then
+    echo "bench_compare.sh: no BENCH_*.json baseline found" >&2
+    exit 1
+  fi
+  baseline="BENCH_${latest}.json"
+fi
+echo "baseline: $baseline (tolerance: $TOLERANCE)"
+
+fresh="$(mktemp)"
+trap 'rm -f "$fresh"' EXIT
+BENCH_OUT="$fresh" scripts/bench.sh >/dev/null
+
+# Flatten a snapshot to "name|unit value" lines (first occurrence wins).
+# Quote-split fields of an entry line:
+#   {"name": "X", "value": 42.5, "unit": "ns/op"}
+#    1    2  3 4  5  6     7      8   9  10
+flatten() {
+  awk -F'"' '/"name"/ {
+    name = $4; unit = $10
+    value = $7; gsub(/[^0-9.eE+-]/, "", value)
+    key = name "|" unit
+    if (!seen[key]++) print key, value
+  }' "$1"
+}
+
+join <(flatten "$baseline" | sort) <(flatten "$fresh" | sort) |
+  awk -v tol="$TOLERANCE" '
+  {
+    split($1, key, "|")
+    name = key[1]; unit = key[2]
+    old = $2; new = $3
+    if (old == 0) next
+    ratio = new / old
+    verdict = "ok"
+    if (unit == "ns/op" || unit == "vsec/job") {
+      if (ratio > 1 + tol) { verdict = "REGRESSION"; bad++ }
+    } else if (unit == "recs/s") {
+      if (ratio < 1 / (1 + tol)) { verdict = "REGRESSION"; bad++ }
+    } else {
+      verdict = "info"
+    }
+    printf "%-60s %12s %14.4g %14.4g %7.2fx %s\n", name, unit, old, new, ratio, verdict
+  }
+  END {
+    if (bad > 0) {
+      printf "\n%d metric(s) regressed beyond %.0f%%\n", bad, tol * 100
+      exit 1
+    }
+    print "\nno throughput regressions beyond tolerance"
+  }'
