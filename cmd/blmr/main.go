@@ -1,23 +1,41 @@
-// Command blmr runs a single MapReduce application on the simulated
-// cluster in either execution mode, printing completion time, stage
-// bounds, and memory behaviour — a workbench for exploring the barrier-less
-// framework beyond the canned experiments.
+// Command blmr runs a single MapReduce application on any of the three
+// engines:
+//
+//   - the simulated cluster (default): virtual time/memory, the paper's
+//     testbed shape;
+//   - the real-concurrency in-process engine (-transport inproc|spill|tcp):
+//     wall-clock execution with the chosen shuffle transport;
+//   - the multi-process cluster engine (-workers N -transport tcp): N
+//     worker subprocesses register with a coordinator, exchange sealed
+//     spill runs through per-worker loopback TCP run-servers, and return
+//     reduce outputs over the control connection.
 //
 // Usage:
 //
 //	blmr -app wordcount -size 8 -mode pipelined -store spill -reducers 40
 //	blmr -app blackscholes -mappers 100 -mode barrier
 //	blmr -app wordcount -size 4 -timeline
+//	blmr -app wordcount -transport tcp -verify          # real engine, loopback TCP shuffle
+//	blmr -app sort -workers 3 -transport tcp -verify    # 3 worker subprocesses
+//	blmr -app wordcount -workers 8                      # simulator, 8-worker sub-cluster
+//
+// -verify re-runs the job on the single-process in-memory path and checks
+// the outputs match (byte-identical in barrier mode).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"blmr/internal/apps"
+	"blmr/internal/core"
 	"blmr/internal/harness"
 	"blmr/internal/metrics"
+	"blmr/internal/mpexec"
+	"blmr/internal/mr"
+	"blmr/internal/shuffle"
 	"blmr/internal/simmr"
 	"blmr/internal/store"
 )
@@ -36,67 +54,236 @@ func main() {
 	speculative := flag.Bool("speculative", false, "enable speculative map execution")
 	combine := flag.Bool("combine", false, "enable the map-side combiner (aggregation-class apps only; uses the app's merger)")
 	snapshot := flag.Float64("snapshot", 0, "pipelined progress snapshot period in virtual seconds (0 = off)")
+	transport := flag.String("transport", "", "run on the REAL engine with this shuffle transport: inproc|spill|tcp (empty = simulator)")
+	workers := flag.Int("workers", 0, "with -transport tcp: run N worker subprocesses (multi-process cluster mode); with the simulator: place tasks on an N-node sub-cluster (0 = all nodes)")
+	mapTasks := flag.Int("map-tasks", 0, "real engine: number of map tasks (0 = NumCPU)")
+	fanIn := flag.Int("merge-fan-in", 0, "real engine: external merge fan-in cap (0 = default 64)")
+	verify := flag.Bool("verify", false, "real engine: check output against the single-process in-memory path (byte-identical in barrier mode)")
+	workerCoord := flag.String("worker-coord", "", "internal: run as a cluster worker, dialing this coordinator address")
 	flag.Parse()
 
-	var app apps.App
-	var ds harness.Dataset
-	var costs simmr.CostModel
-	switch *appName {
-	case "grep":
-		app, ds, costs = apps.Grep("word00042"), harness.WordCountData(*sizeGB), harness.CalibWordCount
-	case "sort":
-		app, ds, costs = apps.Sort(), harness.SortData(*sizeGB), harness.CalibSort
-	case "wordcount":
-		app, ds, costs = apps.WordCount(), harness.WordCountData(*sizeGB), harness.CalibWordCount
-	case "knn":
-		var exp []uint64
-		ds, exp = harness.KNNData(*sizeGB)
-		app, costs = apps.KNN(10, exp), harness.CalibKNN
-	case "lastfm":
-		app, ds, costs = apps.LastFM(), harness.LastFMData(*sizeGB), harness.CalibLastFM
-	case "ga":
-		app, ds, costs = apps.GA(200), harness.GAData(*mappers), harness.CalibGA
-	case "blackscholes":
-		app, ds, costs = apps.BlackScholes(harness.BSPaperParams()), harness.BSData(*mappers), harness.CalibBS
-		*reducers = 1
-	default:
+	app, ds, costs, ok := buildApp(*appName, *sizeGB, *mappers)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
 		os.Exit(2)
 	}
-
-	m := simmr.Pipelined
-	if *mode == "barrier" {
-		m = simmr.Barrier
+	if app.Name == "blackscholes" {
+		*reducers = 1
 	}
-	var kind store.Kind
-	switch *storeKind {
-	case "memory":
-		kind = store.InMemory
-	case "spill":
-		kind = store.SpillMerge
-	case "kv":
-		kind = store.KV
-	default:
+
+	simMode := simmr.Pipelined
+	realMode := mr.Pipelined
+	if *mode == "barrier" {
+		simMode = simmr.Barrier
+		realMode = mr.Barrier
+	}
+	kind, ok := parseStore(*storeKind)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown store %q\n", *storeKind)
 		os.Exit(2)
 	}
 
+	if *workerCoord != "" {
+		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn)
+		if err := mpexec.Serve(*workerCoord, mrJob(app, *combine), opts); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *transport != "" {
+		runReal(app, ds, realMode, kind, *transport, *reducers, *mapTasks,
+			*spillBytes, *spillMB, *fanIn, *workers, *combine, *verify)
+		return
+	}
+
+	runSim(app, ds, costs, simMode, kind, *reducers, *heapMB, *spillMB, *spillBytes,
+		*workers, *speculative, *combine, *snapshot, *timeline)
+}
+
+func buildApp(name string, sizeGB float64, mappers int) (apps.App, harness.Dataset, simmr.CostModel, bool) {
+	switch name {
+	case "grep":
+		return apps.Grep("word00042"), harness.WordCountData(sizeGB), harness.CalibWordCount, true
+	case "sort":
+		return apps.Sort(), harness.SortData(sizeGB), harness.CalibSort, true
+	case "wordcount":
+		return apps.WordCount(), harness.WordCountData(sizeGB), harness.CalibWordCount, true
+	case "knn":
+		ds, exp := harness.KNNData(sizeGB)
+		return apps.KNN(10, exp), ds, harness.CalibKNN, true
+	case "lastfm":
+		return apps.LastFM(), harness.LastFMData(sizeGB), harness.CalibLastFM, true
+	case "ga":
+		return apps.GA(200), harness.GAData(mappers), harness.CalibGA, true
+	case "blackscholes":
+		return apps.BlackScholes(harness.BSPaperParams()), harness.BSData(mappers), harness.CalibBS, true
+	}
+	return apps.App{}, harness.Dataset{}, simmr.CostModel{}, false
+}
+
+func parseStore(s string) (store.Kind, bool) {
+	switch s {
+	case "memory":
+		return store.InMemory, true
+	case "spill":
+		return store.SpillMerge, true
+	case "kv":
+		return store.KV, true
+	}
+	return 0, false
+}
+
+func mrJob(app apps.App, combine bool) mr.Job {
+	job := mr.Job{Name: app.Name, Mapper: app.Mapper, NewGroup: app.NewGroup,
+		NewStream: app.NewStream, Merger: app.Merger}
+	if combine && app.Class == core.ClassAggregation {
+		job.Combiner = app.Merger
+	}
+	return job
+}
+
+func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn int) mr.Options {
+	return mr.Options{
+		Mappers: mapTasks, Reducers: reducers, Mode: mode, Store: kind,
+		SpillBytes: spillBytes, SpillThresholdBytes: int64(spillMB) << 20,
+		MergeFanIn: fanIn,
+	}
+}
+
+// runReal executes the job on the real-concurrency engine — in-process over
+// the chosen transport, or across worker subprocesses when -workers > 0.
+func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, combine, verify bool) {
+	tkind, err := shuffle.ParseKind(transportName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	input := flatten(ds)
+	job := mrJob(app, combine)
+	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn)
+	opts.Transport = tkind
+
+	var res *mr.Result
+	if workers > 0 {
+		if tkind != shuffle.TCP {
+			fmt.Fprintln(os.Stderr, "multi-process mode needs -transport tcp (sealed runs are the only cross-process exchange)")
+			os.Exit(2)
+		}
+		res, err = runCluster(job, input, opts, workers)
+	} else {
+		res, err = mr.Run(job, input, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "job failed:", err)
+		os.Exit(1)
+	}
+
+	engine := "real/" + tkind.String()
+	if workers > 0 {
+		engine = fmt.Sprintf("cluster/%d-workers", workers)
+	}
+	fmt.Printf("app=%s engine=%s mode=%s store=%s reducers=%d\n", app.Name, engine, mode, kind, reducers)
+	fmt.Printf("records: in=%d out=%d shuffled=%d\n", len(input), len(res.Output), res.ShuffleRecords)
+	fmt.Printf("wall: %.1fms (map %.1fms)  spills: %d (%d KB sealed)  merge passes: %d  peak partials: %d KB\n",
+		res.Wall.Seconds()*1e3, res.MapWall.Seconds()*1e3,
+		res.Spills, res.SpilledBytes>>10, res.MergePasses, res.PeakPartialBytes>>10)
+
+	if verify {
+		ref, err := mr.Run(job, input, mr.Options{
+			Mappers: mapTasks, Reducers: reducers, Mode: mode, Store: kind,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "verify run failed:", err)
+			os.Exit(1)
+		}
+		if err := compareOutputs(ref.Output, res.Output, mode == mr.Barrier,
+			app.Class == core.ClassCrossKey); err != nil {
+			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+		how := "sorted multisets match"
+		if mode == mr.Barrier {
+			how = "byte-identical"
+		} else if app.Class == core.ClassCrossKey {
+			how = "record counts match; cross-key output is arrival-order-dependent"
+		}
+		fmt.Printf("verify: OK — output matches the single-process in-memory path (%s)\n", how)
+	}
+}
+
+// runCluster spawns worker subprocesses (this binary re-executed with the
+// same flags plus -worker-coord; workers rebuild the same app/job from
+// those flags) and coordinates the job across them.
+func runCluster(job mr.Job, input []core.Record, opts mr.Options, workers int) (*mr.Result, error) {
+	coord, teardown, err := mpexec.SpawnLocal(os.Args[1:], workers, 60*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer teardown()
+	return coord.Run(job, input, opts)
+}
+
+func flatten(ds harness.Dataset) []core.Record {
+	var n int
+	for _, s := range ds.Splits {
+		n += len(s)
+	}
+	out := make([]core.Record, 0, n)
+	for _, s := range ds.Splits {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// compareOutputs checks b against the reference a: byte-identical when
+// exact (barrier mode), as key-sorted multisets otherwise. countOnly
+// (cross-key apps like GA, whose pipelined output depends on arrival
+// order) compares record counts.
+func compareOutputs(a, b []core.Record, exact, countOnly bool) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d records vs reference's %d", len(b), len(a))
+	}
+	if countOnly && !exact {
+		return nil
+	}
+	if !exact {
+		a = append([]core.Record(nil), a...)
+		b = append([]core.Record(nil), b...)
+		mr.SortOutput(a)
+		mr.SortOutput(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("record %d: %v vs reference's %v", i, b[i], a[i])
+		}
+	}
+	return nil
+}
+
+func runSim(app apps.App, ds harness.Dataset, costs simmr.CostModel, m simmr.Mode, kind store.Kind, reducers, heapMB, spillMB int, spillBytes int64, workers int, speculative, combine bool, snapshot float64, timeline bool) {
 	res := harness.Run(harness.RunSpec{
-		App: app, Data: ds, Mode: m, Reducers: *reducers, Store: kind,
-		Costs: costs, HeapBudgetMB: *heapMB, SpillThresholdMB: *spillMB, KVCacheMB: 512,
-		SpillBytes:  *spillBytes,
-		Speculative: *speculative, Combine: *combine, SnapshotPeriod: *snapshot,
+		App: app, Data: ds, Mode: m, Reducers: reducers, Store: kind,
+		Costs: costs, HeapBudgetMB: heapMB, SpillThresholdMB: spillMB, KVCacheMB: 512,
+		SpillBytes:  spillBytes,
+		Workers:     workers,
+		Speculative: speculative, Combine: combine, SnapshotPeriod: snapshot,
 	})
 
-	fmt.Printf("app=%s mode=%s store=%s reducers=%d\n", app.Name, m, kind, *reducers)
+	fmt.Printf("app=%s mode=%s store=%s reducers=%d", app.Name, m, kind, reducers)
+	if workers > 0 {
+		fmt.Printf(" workers=%d", workers)
+	}
+	fmt.Println()
 	fmt.Printf("completion: %.1fs  (map outputs ready: %.1fs)\n", res.Completion, res.MapOutputsReady)
 	if res.Failed {
 		fmt.Printf("JOB FAILED: %s\n", res.FailReason)
 	}
 	fmt.Printf("map tasks: %d (retries %d, backups %d/%d won)  output records: %d  spills: %d  peak partials: %d MB  shuffle: %d MB\n",
 		res.MapTasks, res.MapRetries, res.BackupsWon, res.BackupsLaunched, len(res.Output), res.Spills, res.PeakMemVirt>>20, res.ShuffleBytes>>20)
-	if *spillBytes > 0 {
-		fmt.Printf("external shuffle: budget %d KB, %d map-side spill runs\n", *spillBytes>>10, res.SpillRuns)
+	if spillBytes > 0 {
+		fmt.Printf("external shuffle: budget %d KB, %d map-side spill runs\n", spillBytes>>10, res.SpillRuns)
 	}
 	if len(res.Snapshots) > 0 {
 		fmt.Printf("progress snapshots: %d (first %.1fs, last %.1fs)\n",
@@ -107,7 +294,7 @@ func main() {
 			fmt.Printf("  %-8s %8.1fs .. %8.1fs\n", st, first, last)
 		}
 	}
-	if *timeline {
+	if timeline {
 		step := res.Completion / 40
 		fmt.Println(metrics.RenderTimeline(res.Metrics,
 			[]metrics.Stage{metrics.StageMap, metrics.StageShuffle, metrics.StageSort, metrics.StageReduce, metrics.StageOutput}, step))

@@ -6,11 +6,16 @@
 //
 // The implementation lives under internal/: a discrete-event cluster
 // simulator (sim, cluster, dfs) carrying the full MapReduce engine (simmr),
-// a real-concurrency in-process engine (mr), the seven Reduce-operation
-// classes (reducers), partial-result stores including disk spill-and-merge
-// and a BerkeleyDB-style KV store (store, kvstore), the paper's six
-// benchmark applications (apps), and an experiment harness reproducing
-// every table and figure of the evaluation (harness).
+// a real-concurrency engine split into an execution plane (exec: task
+// bodies plus a slot-aware scheduler), pluggable shuffle transports
+// (shuffle: in-process batched channels, a sealed spill-run exchange, and
+// the same exchange over a loopback TCP run-server) and a thin composition
+// (mr), a multi-process engine running worker subprocesses over that wire
+// format (mpexec), the seven Reduce-operation classes (reducers),
+// partial-result stores including disk spill-and-merge and a
+// BerkeleyDB-style KV store (store, kvstore), the paper's six benchmark
+// applications (apps), and an experiment harness reproducing every table
+// and figure of the evaluation (harness).
 //
 // The real-concurrency engine's shuffle is batched and allocation-lean:
 // mr.Options.BatchSize sets the records-per-channel-send granularity
@@ -30,6 +35,19 @@
 // memory pinned near the budget (see examples/spill), at byte-identical
 // output. simmr.JobSpec.SpillBytes models the same discipline's I/O cost
 // on the simulated cluster (harness.SpillTradeoff sweeps the trade-off).
+//
+// The shuffle data plane is pluggable: mr.Options.Transport selects
+// shuffle.InProc (shared memory), shuffle.SpillExchange (every map output
+// wave sealed as a spill-run segment file and re-read from disk) or
+// shuffle.TCP (sections fetched from a loopback run-server) — all three
+// byte-identical in barrier mode. mr.Options.MergeFanIn (default 64) caps
+// how many runs the external merge opens at once, folding the excess
+// through intermediate passes (mr.Result.MergePasses). Multi-process
+// execution composes the same task bodies across worker subprocesses:
+// `blmr -workers N -transport tcp` (internal/mpexec, examples/cluster).
+// The simulator mirrors the knobs with simmr.JobSpec.Workers (N-node
+// sub-cluster placement), JobSpec.Transport and Costs.RunFetchDelay
+// (harness.WorkerScaling sweeps worker counts).
 //
 // See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

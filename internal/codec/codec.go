@@ -4,6 +4,7 @@
 package codec
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -104,6 +105,12 @@ type StreamReader struct {
 
 // NewStreamReader wraps r.
 func NewStreamReader(r ByteScanner) *StreamReader { return &StreamReader{r: r} }
+
+// NewStreamReaderBytes wraps an in-memory encoded buffer. Unlike Reader it
+// returns errors instead of panicking — the right decoder for buffers of
+// untrusted provenance (network frames), where truncation is an input
+// condition, not a framework bug.
+func NewStreamReaderBytes(b []byte) *StreamReader { return NewStreamReader(bytes.NewReader(b)) }
 
 // Next decodes the next record. ok is false at end of stream or on error;
 // check Err to distinguish. The returned record's strings do not alias the

@@ -1,0 +1,174 @@
+// Package exec is the engine-agnostic execution plane of the real-
+// concurrency engine: task descriptors (MapTask/ReduceTask), the canonical
+// task bodies (RunMapTask/RunReduceTask) that run user Map/Reduce code
+// against a pluggable shuffle transport, and a Scheduler that assigns tasks
+// to Workers with per-worker slot limits and first-error propagation.
+//
+// internal/mr composes these pieces with a shuffle.Transport and a
+// LocalWorker into the in-process engine; internal/mpexec composes the same
+// task bodies and Scheduler with remote worker proxies into the
+// multi-process engine. Job and Options live here so every engine shares
+// one vocabulary (internal/mr aliases them for its public API).
+package exec
+
+import (
+	"runtime"
+
+	"blmr/internal/core"
+	"blmr/internal/shuffle"
+	"blmr/internal/store"
+)
+
+// Mode selects barrier or pipelined execution.
+type Mode int
+
+// Execution modes.
+const (
+	Barrier Mode = iota
+	Pipelined
+)
+
+func (m Mode) String() string {
+	if m == Barrier {
+		return "barrier"
+	}
+	return "pipelined"
+}
+
+// Job bundles the user code for one MapReduce job (the same shape as
+// apps.App, decoupled so the engines stay reusable as standalone libraries).
+type Job struct {
+	Name      string
+	Mapper    core.Mapper
+	NewGroup  func() core.GroupReducer
+	NewStream func(st store.Store) core.StreamReducer
+	Merger    store.Merger
+	// Combiner, when non-nil, folds same-key intermediate records on the
+	// map side before they are shuffled (Hadoop's combiner; parity with
+	// simmr.JobSpec.Combiner). In run-discipline map tasks each published
+	// wave is combined before sealing; in stream-discipline (in-process
+	// pipelined) tasks a hash accumulator bounded by Options.CombineKeys
+	// folds records before batching. It must be commutative and
+	// associative, and the reduce function must tolerate pre-combined
+	// values (true for aggregation-class jobs whose reduce is the same
+	// fold).
+	Combiner store.Merger
+}
+
+// Options tunes an execution.
+type Options struct {
+	// Mappers is the number of map tasks / concurrent map workers
+	// (default NumCPU).
+	Mappers int
+	// Reducers is the number of reduce tasks (default NumCPU).
+	Reducers int
+	// Mode selects barrier or pipelined shuffle (default Barrier).
+	Mode Mode
+	// Transport selects the shuffle data plane (default shuffle.InProc).
+	// The run-exchange transports (shuffle.SpillExchange, shuffle.TCP) seal
+	// every map output wave to disk and exchange runs instead of batches.
+	Transport shuffle.Kind
+	// Store picks the partial-result strategy for pipelined mode.
+	Store store.Kind
+	// SpillThresholdBytes bounds in-memory partials for SpillMerge.
+	SpillThresholdBytes int64
+	// KVCacheBytes bounds the KV store cache.
+	KVCacheBytes int64
+	// QueueCap is the per-reducer channel buffer in batches (default 64,
+	// mirroring simmr.Config.QueueCapBatches). Total per-reducer
+	// buffering is QueueCap*BatchSize records.
+	QueueCap int
+	// BatchSize is the number of records a mapper accumulates per reducer
+	// before sending one batch over the channel (default 256). 1
+	// reproduces the original record-at-a-time shuffle.
+	BatchSize int
+	// CombineKeys bounds the distinct keys a mapper's per-reducer combine
+	// buffer holds before it flushes (default max(BatchSize, 4096)). Only
+	// used when Job.Combiner is set; larger buffers fold more duplicates
+	// map-side at the cost of mapper memory (Hadoop's io.sort.mb role).
+	CombineKeys int
+	// SpillBytes, when > 0, bounds each task's buffered intermediate data
+	// (accounted with store.ApproxRecordBytes) and turns the shuffle into
+	// an external one: run-discipline map tasks sort, encode and seal runs
+	// to disk whenever their buffers cross the budget, and reducers stream
+	// an external k-way merge over all sealed runs straight into the group
+	// reducer — intermediate data never has to fit in RAM. Pipelined
+	// reducers hold partial results in a disk-backed spill-merge store
+	// with the same budget (Job.Merger required). 0 keeps everything in
+	// memory (on the in-proc transport; the run-exchange transports always
+	// materialize map output).
+	SpillBytes int64
+	// SpillDir is the directory for spill-run files. Empty means a fresh
+	// temporary directory, removed when the run returns.
+	SpillDir string
+	// MergeFanIn caps how many runs the external merge opens at once
+	// (default 64, Hadoop's io.sort.factor). When a partition has more
+	// runs, intermediate merge passes fold the excess into merged runs
+	// first, bounding merge memory (runs x 64KiB read buffers) and — over
+	// the TCP exchange — concurrently open fetch connections.
+	MergeFanIn int
+}
+
+// Normalize fills defaulted fields in place.
+func (o *Options) Normalize() {
+	if o.Mappers <= 0 {
+		o.Mappers = runtime.NumCPU()
+	}
+	if o.Reducers <= 0 {
+		o.Reducers = runtime.NumCPU()
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 64
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.CombineKeys <= 0 {
+		o.CombineKeys = 4096
+		if o.BatchSize > o.CombineKeys {
+			o.CombineKeys = o.BatchSize
+		}
+	}
+	if o.SpillThresholdBytes <= 0 {
+		o.SpillThresholdBytes = 64 << 20
+	}
+	if o.KVCacheBytes <= 0 {
+		o.KVCacheBytes = 16 << 20
+	}
+	if o.MergeFanIn <= 1 {
+		o.MergeFanIn = 64
+	}
+}
+
+// StreamDiscipline reports whether map tasks stream batches (the in-process
+// pipelined fast path) instead of publishing sorted waves.
+func (o *Options) StreamDiscipline() bool {
+	return o.Mode == Pipelined && o.Transport == shuffle.InProc
+}
+
+// SplitMaps carves input into one contiguous map task per concurrency slot
+// (at most n tasks; fewer when input is small).
+func SplitMaps(input []core.Record, n int) []MapTask {
+	per := (len(input) + n - 1) / n
+	if per == 0 {
+		per = 1
+	}
+	var out []MapTask
+	for lo := 0; lo < len(input); lo += per {
+		hi := lo + per
+		if hi > len(input) {
+			hi = len(input)
+		}
+		out = append(out, MapTask{Index: len(out), Split: input[lo:hi]})
+	}
+	return out
+}
+
+// ReduceTasks returns one reduce task per partition.
+func ReduceTasks(n int) []ReduceTask {
+	out := make([]ReduceTask, n)
+	for r := range out {
+		out[r] = ReduceTask{Partition: r}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"blmr/internal/core"
+)
+
+// stubWorker scripts per-task outcomes for scheduler tests.
+type stubWorker struct {
+	name      string
+	failMap   int // index of the map task to fail, -1 = none
+	block     chan struct{}
+	mapsRun   atomic.Int64
+	reduceRun atomic.Int64
+}
+
+func (w *stubWorker) String() string { return w.name }
+
+func (w *stubWorker) RunMap(t MapTask) (MapStats, error) {
+	w.mapsRun.Add(1)
+	if t.Index == w.failMap {
+		return MapStats{}, errors.New("injected map failure")
+	}
+	return MapStats{ShuffleRecords: int64(len(t.Split))}, nil
+}
+
+func (w *stubWorker) RunReduce(t ReduceTask) (ReduceResult, error) {
+	w.reduceRun.Add(1)
+	if w.block != nil {
+		// Simulates a reduce task blocked in the transport until OnFail.
+		<-w.block
+		return ReduceResult{}, errors.New("transport aborted")
+	}
+	return ReduceResult{Output: []core.Record{{Key: fmt.Sprintf("r%d", t.Partition)}}}, nil
+}
+
+func TestSchedulerRunsEverything(t *testing.T) {
+	w := &stubWorker{name: "w0", failMap: -1}
+	s := Scheduler{Workers: []Assignment{{W: w, MapSlots: 2, ReduceSlots: 2}}}
+	maps := SplitMaps(make([]core.Record, 100), 7)
+	sum, err := s.Run(maps, ReduceTasks(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.ShuffleRecords != 100 {
+		t.Fatalf("shuffle records %d, want 100", sum.ShuffleRecords)
+	}
+	if len(sum.Reduces) != 3 || len(sum.Reduces[2].Output) != 1 {
+		t.Fatalf("reduce results incomplete: %+v", sum.Reduces)
+	}
+	if sum.MapWall <= 0 {
+		t.Fatal("map wall not recorded")
+	}
+}
+
+// TestSchedulerMapFailureAborts: a failing map task must propagate its
+// error, unblock reduce tasks through OnFail, and leave no goroutine
+// waiting — the in-process half of the worker-fault contract.
+func TestSchedulerMapFailureAborts(t *testing.T) {
+	block := make(chan struct{})
+	w := &stubWorker{name: "w0", failMap: 3, block: block}
+	var failed atomic.Int64
+	s := Scheduler{
+		Workers: []Assignment{{W: w, MapSlots: 2, ReduceSlots: 2}},
+		OnFail: func(err error) {
+			failed.Add(1)
+			close(block) // the transport's Fail: wake blocked consumers
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(SplitMaps(make([]core.Record, 80), 8), ReduceTasks(2))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected the injected map failure")
+		}
+		if failed.Load() != 1 {
+			t.Fatalf("OnFail ran %d times, want 1", failed.Load())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduler hung after worker failure")
+	}
+}
+
+// TestSchedulerSpreadsAcrossWorkers: every worker with slots participates.
+func TestSchedulerSpreadsAcrossWorkers(t *testing.T) {
+	w0 := &stubWorker{name: "w0", failMap: -1}
+	w1 := &stubWorker{name: "w1", failMap: -1}
+	s := Scheduler{Workers: []Assignment{
+		{W: w0, MapSlots: 1, ReduceSlots: 1},
+		{W: w1, MapSlots: 1, ReduceSlots: 1},
+	}}
+	// Enough tasks that a single slot cannot plausibly win every race.
+	maps := SplitMaps(make([]core.Record, 512), 64)
+	if _, err := s.Run(maps, ReduceTasks(16)); err != nil {
+		t.Fatal(err)
+	}
+	if w0.mapsRun.Load()+w1.mapsRun.Load() != 64 {
+		t.Fatalf("ran %d+%d map tasks, want 64", w0.mapsRun.Load(), w1.mapsRun.Load())
+	}
+	if w0.reduceRun.Load()+w1.reduceRun.Load() != 16 {
+		t.Fatalf("ran %d+%d reduce tasks, want 16", w0.reduceRun.Load(), w1.reduceRun.Load())
+	}
+}
+
+func TestSplitMaps(t *testing.T) {
+	maps := SplitMaps(make([]core.Record, 10), 4)
+	if len(maps) != 4 {
+		t.Fatalf("got %d tasks", len(maps))
+	}
+	total := 0
+	for i, m := range maps {
+		if m.Index != i {
+			t.Fatalf("task %d has index %d", i, m.Index)
+		}
+		total += len(m.Split)
+	}
+	if total != 10 {
+		t.Fatalf("split %d records, want 10", total)
+	}
+	if got := SplitMaps(nil, 4); len(got) != 0 {
+		t.Fatalf("empty input produced %d tasks", len(got))
+	}
+}

@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"blmr/internal/dfs"
+	"blmr/internal/shuffle"
+)
+
+// LocalWorker runs tasks in-process against a shuffle transport — the
+// single-process engine's worker. One LocalWorker serves every slot; the
+// task bodies carry no per-worker state.
+type LocalWorker struct {
+	Job       Job
+	Opts      Options
+	Transport shuffle.Transport
+	// Scratch backs intermediate merge passes and disk-backed partial
+	// stores (nil when the execution never touches disk).
+	Scratch *dfs.RunDir
+}
+
+// String implements Worker.
+func (w *LocalWorker) String() string { return "local" }
+
+// RunMap implements Worker.
+func (w *LocalWorker) RunMap(t MapTask) (MapStats, error) {
+	return RunMapTask(w.Job, w.Opts, t, w.Transport.MapSink(t.Index))
+}
+
+// RunReduce implements Worker.
+func (w *LocalWorker) RunReduce(t ReduceTask) (ReduceResult, error) {
+	src := w.Transport.ReduceSource(t.Partition)
+	defer src.Close()
+	return RunReduceTask(w.Job, w.Opts, t, src, w.Scratch)
+}

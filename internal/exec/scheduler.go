@@ -1,0 +1,167 @@
+package exec
+
+// The scheduler: assigns map and reduce tasks to workers with per-worker
+// slot limits, tracks per-task lifecycle, and propagates the first task
+// error — the control plane the monolithic engine's hand-rolled WaitGroups
+// grew into. Map and reduce tasks are dispatched concurrently: pipelined
+// reduce tasks overlap the map wave (blocking inside the transport until
+// records arrive), barrier reduce tasks block on the transport's map
+// barrier. On the in-proc stream transport every partition must be able to
+// run concurrently (reduce slots >= reduce tasks), or backpressure from an
+// unscheduled partition's full queue could wedge the map wave; run-exchange
+// transports have no such constraint, because sealed runs park on disk.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Worker executes tasks, one per slot at a time. Implementations: the
+// in-process LocalWorker below and internal/mpexec's remote worker proxy.
+type Worker interface {
+	// String names the worker in error messages.
+	String() string
+	// RunMap executes one map task to completion.
+	RunMap(t MapTask) (MapStats, error)
+	// RunReduce executes one reduce task to completion.
+	RunReduce(t ReduceTask) (ReduceResult, error)
+}
+
+// Assignment is one worker plus its task-slot budget (Hadoop's map/reduce
+// slots; the simulator's cluster.Node has the same shape).
+type Assignment struct {
+	W Worker
+	// MapSlots / ReduceSlots bound the worker's concurrent tasks per kind
+	// (minimum 1 each).
+	MapSlots    int
+	ReduceSlots int
+}
+
+// Summary aggregates one scheduled execution.
+type Summary struct {
+	// MapWall is the wall-clock duration from scheduling start until the
+	// last map task returned.
+	MapWall time.Duration
+	// ShuffleRecords sums the map tasks' post-combine shuffle volume.
+	ShuffleRecords int64
+	// MapSpills sums the map tasks' sealed spill waves.
+	MapSpills int
+	// Reduces holds each reduce task's result, indexed by partition.
+	Reduces []ReduceResult
+}
+
+// Scheduler drives one job execution over a set of workers.
+type Scheduler struct {
+	Workers []Assignment
+	// OnFail is invoked once, with the first task error, before the
+	// scheduler waits out in-flight tasks — wire it to the transport's Fail
+	// so tasks blocked in the shuffle wake up and drain.
+	OnFail func(error)
+}
+
+// Run dispatches every task and blocks until all have settled, returning
+// the aggregate summary or the first task error. After an error, unstarted
+// tasks are skipped and in-flight tasks are waited for (they unblock via
+// OnFail), so no goroutines outlive the call.
+func (s *Scheduler) Run(maps []MapTask, reduces []ReduceTask) (*Summary, error) {
+	if len(s.Workers) == 0 {
+		return nil, fmt.Errorf("exec: no workers")
+	}
+	mapCh := make(chan MapTask, len(maps))
+	for _, t := range maps {
+		mapCh <- t
+	}
+	close(mapCh)
+	reduceCh := make(chan ReduceTask, len(reduces))
+	for _, t := range reduces {
+		reduceCh <- t
+	}
+	close(reduceCh)
+
+	sum := &Summary{Reduces: make([]ReduceResult, len(reduces))}
+	start := time.Now()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		mapsLeft = len(maps)
+		aborted  = make(chan struct{})
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			close(aborted)
+			if s.OnFail != nil {
+				// Called under mu: OnFail must not call back into the
+				// scheduler (transports' Fail does not).
+				s.OnFail(err)
+			}
+		}
+		mu.Unlock()
+	}
+	stop := func() bool {
+		select {
+		case <-aborted:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, a := range s.Workers {
+		a := a
+		for i := 0; i < max(1, a.MapSlots); i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range mapCh {
+					if stop() {
+						continue
+					}
+					stats, err := a.W.RunMap(t)
+					if err != nil {
+						fail(fmt.Errorf("map task %d on %s: %w", t.Index, a.W, err))
+						continue
+					}
+					mu.Lock()
+					sum.ShuffleRecords += stats.ShuffleRecords
+					sum.MapSpills += stats.Spills
+					mapsLeft--
+					if mapsLeft == 0 {
+						sum.MapWall = time.Since(start)
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for i := 0; i < max(1, a.ReduceSlots); i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range reduceCh {
+					if stop() {
+						continue
+					}
+					res, err := a.W.RunReduce(t)
+					if err != nil {
+						fail(fmt.Errorf("reduce task %d on %s: %w", t.Partition, a.W, err))
+						continue
+					}
+					mu.Lock()
+					sum.Reduces[t.Partition] = res
+					mu.Unlock()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
+}

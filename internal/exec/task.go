@@ -1,0 +1,424 @@
+package exec
+
+// The canonical task bodies. RunMapTask and RunReduceTask contain the whole
+// per-task data path of the real engine — mapping, map-side combining,
+// spill accounting, wave sealing, external merging, stream reduction — so
+// the in-process engine (internal/mr) and the multi-process workers
+// (internal/mpexec) execute byte-identical task logic and differ only in
+// how tasks are dispatched and runs are exchanged.
+
+import (
+	"fmt"
+	"io"
+
+	"blmr/internal/codec"
+	"blmr/internal/core"
+	"blmr/internal/dfs"
+	"blmr/internal/kvstore"
+	"blmr/internal/shuffle"
+	"blmr/internal/sortx"
+	"blmr/internal/store"
+)
+
+// MapTask is one schedulable map unit: a contiguous slice of job input.
+type MapTask struct {
+	Index int
+	Split []core.Record
+}
+
+// MapStats reports one completed map task.
+type MapStats struct {
+	// ShuffleRecords is the task's post-combine intermediate record count.
+	ShuffleRecords int64
+	// Spills counts sealed spill waves (SpillBytes crossings).
+	Spills int
+}
+
+// ReduceTask is one schedulable reduce unit: a partition.
+type ReduceTask struct {
+	Partition int
+}
+
+// ReduceResult reports one completed reduce task.
+type ReduceResult struct {
+	// Output is the task's final records.
+	Output []core.Record
+	// Spills counts partial-result store spill runs (pipelined mode).
+	Spills int
+	// PeakPartialBytes is the largest partial-result store footprint
+	// observed (pipelined mode).
+	PeakPartialBytes int64
+	// MergePasses counts intermediate merge passes forced by
+	// Options.MergeFanIn (barrier mode).
+	MergePasses int
+}
+
+// RunMapTask executes one map task against the sink, picking the stream or
+// run discipline from opts, and closes the sink on success.
+func RunMapTask(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapStats, error) {
+	if opts.StreamDiscipline() {
+		return runMapStream(job, opts, t, sink)
+	}
+	return runMapRuns(job, opts, t, sink)
+}
+
+// runMapRuns is the run-discipline map body: partition, sort (or combine),
+// and publish key-sorted waves — sealing a wave early whenever buffered
+// records cross Options.SpillBytes (accounted with store.ApproxRecordBytes,
+// Hadoop's io.sort spill), and publishing the under-budget tail as the
+// final wave.
+func runMapRuns(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapStats, error) {
+	hint := 0
+	if opts.SpillBytes <= 0 {
+		// Presize each run for an identity-shaped mapper; expanding
+		// mappers (WordCount) grow from there.
+		hint = len(t.Split)/opts.Reducers + 1
+	}
+	em := core.NewPartitionedEmitter(opts.Reducers, hint)
+	var stats MapStats
+	// sortPart sorts/combines partition p's buffer in place (stably, so
+	// equal keys keep emission order).
+	sortPart := func(p int) {
+		if job.Combiner != nil {
+			em.Parts[p] = sortx.Combine(em.Parts[p], job.Combiner)
+		} else {
+			sortx.ByKey(em.Parts[p])
+		}
+	}
+	publish := func(sealed bool) error {
+		for p := range em.Parts {
+			sortPart(p)
+			stats.ShuffleRecords += int64(len(em.Parts[p]))
+		}
+		if err := sink.PublishWave(em.Parts, sealed); err != nil {
+			return err
+		}
+		if sealed {
+			for p := range em.Parts {
+				em.Parts[p] = em.Parts[p][:0]
+			}
+			stats.Spills++
+		}
+		return nil
+	}
+
+	var firstErr error
+	if opts.SpillBytes > 0 {
+		var buffered int64
+		acct := core.EmitterFunc(func(k, v string) {
+			if firstErr != nil {
+				return
+			}
+			em.Emit(k, v)
+			buffered += store.ApproxRecordBytes(k, v)
+			if buffered >= opts.SpillBytes {
+				if err := publish(true); err != nil {
+					firstErr = err // checked between input records
+					return
+				}
+				buffered = 0
+			}
+		})
+		for _, r := range t.Split {
+			if firstErr != nil {
+				return stats, firstErr
+			}
+			job.Mapper.Map(r.Key, r.Value, acct)
+		}
+		if firstErr != nil {
+			return stats, firstErr
+		}
+	} else {
+		for _, r := range t.Split {
+			job.Mapper.Map(r.Key, r.Value, em)
+		}
+	}
+	if err := publish(false); err != nil {
+		return stats, err
+	}
+	return stats, sink.Close()
+}
+
+// runMapStream is the stream-discipline map body (the in-process pipelined
+// fast path): emitted records accumulate in per-partition batches — or, with
+// a combiner, in per-partition hash accumulators bounded by CombineKeys
+// distinct keys — and go to the transport one batch per Send.
+func runMapStream(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapStats, error) {
+	var stats MapStats
+	var firstErr error
+	send := func(p int, b []core.Record) {
+		if firstErr != nil {
+			return
+		}
+		stats.ShuffleRecords += int64(len(b))
+		if err := sink.Send(p, b); err != nil {
+			firstErr = err
+		}
+	}
+	var em core.Emitter
+	var flushAll func()
+	if job.Combiner == nil {
+		bufs := make([][]core.Record, opts.Reducers)
+		flush := func(p int) {
+			if len(bufs[p]) == 0 {
+				return
+			}
+			send(p, bufs[p])
+			bufs[p] = nil
+		}
+		em = core.EmitterFunc(func(k, v string) {
+			p := core.Partition(k, opts.Reducers)
+			b := bufs[p]
+			if b == nil {
+				b = sink.Batch()
+			}
+			b = append(b, core.Record{Key: k, Value: v})
+			bufs[p] = b
+			if len(b) >= opts.BatchSize {
+				flush(p)
+			}
+		})
+		flushAll = func() {
+			for p := range bufs {
+				flush(p)
+			}
+		}
+	} else {
+		// Combiner path: per-reducer hash accumulators fold same-key
+		// records map-side; a buffer drains only when it reaches
+		// CombineKeys *distinct* keys (or mapper exit), so skewed streams
+		// combine across far more than one batch's worth of records.
+		// Draining re-batches to BatchSize. Presize modestly and let maps
+		// grow: a CombineKeys-sized map per (mapper, reducer) pair would
+		// cost quadratic memory in core count before any record arrives.
+		hint := opts.BatchSize
+		if opts.CombineKeys < hint {
+			hint = opts.CombineKeys
+		}
+		combufs := make([]map[string]string, opts.Reducers)
+		for p := range combufs {
+			combufs[p] = make(map[string]string, hint)
+		}
+		flush := func(p int) {
+			m := combufs[p]
+			if len(m) == 0 {
+				return
+			}
+			b := sink.Batch()
+			for k, v := range m {
+				b = append(b, core.Record{Key: k, Value: v})
+				if len(b) >= opts.BatchSize {
+					send(p, b)
+					b = sink.Batch()
+				}
+			}
+			clear(m)
+			if len(b) > 0 {
+				send(p, b)
+			}
+		}
+		em = core.EmitterFunc(func(k, v string) {
+			p := core.Partition(k, opts.Reducers)
+			m := combufs[p]
+			if old, ok := m[k]; ok {
+				m[k] = job.Combiner(old, v)
+				return
+			}
+			m[k] = v
+			if len(m) >= opts.CombineKeys {
+				flush(p)
+			}
+		})
+		flushAll = func() {
+			for p := range combufs {
+				flush(p)
+			}
+		}
+	}
+	for _, r := range t.Split {
+		if firstErr != nil {
+			return stats, firstErr
+		}
+		job.Mapper.Map(r.Key, r.Value, em)
+	}
+	flushAll() // mapper-exit flush of partial batches
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	return stats, sink.Close()
+}
+
+// RunReduceTask executes one reduce task over the source. scratch (may be
+// nil) backs intermediate merge passes and disk-backed partial stores.
+func RunReduceTask(job Job, opts Options, t ReduceTask, src shuffle.ReduceSource, scratch *dfs.RunDir) (ReduceResult, error) {
+	if opts.Mode == Barrier {
+		return runReduceBarrier(job, opts, t, src, scratch)
+	}
+	return runReducePipelined(job, opts, t, src, scratch)
+}
+
+// closeRuns closes every run that owns a resource.
+func closeRuns(runs []sortx.Run) {
+	for _, r := range runs {
+		if c, ok := r.(io.Closer); ok {
+			_ = c.Close()
+		}
+	}
+}
+
+// runReduceBarrier waits for the map barrier, folds the partition's runs to
+// at most MergeFanIn with intermediate passes, then streams the final
+// k-way merge group by group into the grouped reducer. Runs are ordered
+// (map task, publish order) with merge ties broken by run index, which
+// reproduces the in-memory engine's stable sort exactly; intermediate
+// passes merge contiguous prefixes, preserving that order.
+func runReduceBarrier(job Job, opts Options, t ReduceTask, src shuffle.ReduceSource, scratch *dfs.RunDir) (ReduceResult, error) {
+	var res ReduceResult
+	runs, err := src.Runs()
+	if err != nil {
+		return res, err
+	}
+	defer func() { closeRuns(runs) }()
+	runs, res.MergePasses, err = mergeToFanIn(runs, opts.MergeFanIn, scratch, t.Partition)
+	if err != nil {
+		return res, err
+	}
+	merger := sortx.NewMerger(runs)
+	sink := core.NewRecordSink(0)
+	gr := job.NewGroup()
+	for {
+		key, values, ok := merger.NextGroup()
+		if !ok {
+			break
+		}
+		gr.Reduce(key, values, sink)
+	}
+	if err := merger.Err(); err != nil {
+		return res, err
+	}
+	if c, ok := gr.(core.Cleanup); ok {
+		c.Cleanup(sink)
+	}
+	res.Output = sink.Recs
+	return res, nil
+}
+
+// mergeToFanIn folds runs down to at most fanIn with intermediate merge
+// passes. Each pass merges the first fanIn runs — a contiguous prefix, so
+// stable tie-breaking by run index is preserved — into one merged run:
+// sealed to scratch when available (bounded memory), in memory otherwise.
+// Consumed runs are closed eagerly; the returned slice replaces runs.
+func mergeToFanIn(runs []sortx.Run, fanIn int, scratch *dfs.RunDir, part int) ([]sortx.Run, int, error) {
+	passes := 0
+	for len(runs) > fanIn {
+		group := runs[:fanIn]
+		merged, err := mergeOnce(group, scratch, part)
+		closeRuns(group)
+		if err != nil {
+			return runs, passes, err
+		}
+		rest := runs[fanIn:]
+		runs = append([]sortx.Run{merged}, rest...)
+		passes++
+	}
+	return runs, passes, nil
+}
+
+// mergeOnce merges a group of runs into a single run.
+func mergeOnce(group []sortx.Run, scratch *dfs.RunDir, part int) (sortx.Run, error) {
+	m := sortx.NewMerger(group)
+	if scratch == nil {
+		recs := m.Drain()
+		if err := m.Err(); err != nil {
+			return nil, err
+		}
+		return sortx.NewSliceRun(recs), nil
+	}
+	w, err := scratch.Create(fmt.Sprintf("merge-r%d", part))
+	if err != nil {
+		return nil, err
+	}
+	var buf []byte
+	for {
+		rec, ok := m.Next()
+		if !ok {
+			break
+		}
+		buf = codec.AppendRecord(buf, rec)
+		if len(buf) >= 64<<10 {
+			if _, err := w.Write(buf); err != nil {
+				w.Abort()
+				return nil, err
+			}
+			buf = buf[:0]
+		}
+	}
+	if err := m.Err(); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return shuffle.NewLazyRun(shuffle.Segment{Path: w.Path(), Off: 0, N: w.Bytes()}), nil
+}
+
+// runReducePipelined consumes arriving batches through the stream reducer,
+// holding partial results in the configured store.
+func runReducePipelined(job Job, opts Options, t ReduceTask, src shuffle.ReduceSource, scratch *dfs.RunDir) (ReduceResult, error) {
+	var res ReduceResult
+	st := NewTaskStore(job, opts, scratch, t.Partition)
+	sr := job.NewStream(st)
+	sink := core.NewRecordSink(0)
+	for {
+		batch, ok, err := src.NextBatch()
+		if err != nil {
+			return res, err
+		}
+		if !ok {
+			break
+		}
+		for _, rec := range batch {
+			sr.Consume(rec, sink)
+		}
+		if b := st.ApproxBytes(); b > res.PeakPartialBytes {
+			res.PeakPartialBytes = b
+		}
+		src.Recycle(batch)
+	}
+	sr.Finish(sink)
+	if sp, ok := st.(*store.SpillStore); ok {
+		res.Spills = sp.Spills
+		if err := sp.Err(); err != nil {
+			return res, err
+		}
+	}
+	res.Output = sink.Recs
+	return res, nil
+}
+
+// NewTaskStore builds reduce task r's partial-result store. With SpillBytes
+// set, tree-backed stores become disk-backed spill-merge stores budgeted at
+// SpillBytes, so pipelined partial results leave the heap for real; the KV
+// store already bounds its own memory through its cache.
+func NewTaskStore(job Job, opts Options, spillDir *dfs.RunDir, r int) store.Store {
+	if opts.SpillBytes > 0 && opts.Store != store.KV {
+		return store.NewSpillStoreOn(opts.SpillBytes, job.Merger, nil,
+			spillDir.NewRunSet(fmt.Sprintf("red%d", r)))
+	}
+	switch opts.Store {
+	case store.SpillMerge:
+		return store.NewSpillStore(opts.SpillThresholdBytes, job.Merger, nil)
+	case store.KV:
+		return store.NewKVStore(kvstore.New(kvstore.Config{CacheBytes: opts.KVCacheBytes}))
+	default:
+		return store.NewMemStore()
+	}
+}

@@ -82,7 +82,13 @@ type RunSpec struct {
 	// bytes): map outputs spill to sorted runs and barrier reducers merge
 	// externally (simmr.JobSpec.SpillBytes). 0 = all in RAM.
 	SpillBytes int64
-	Cluster    cluster.Config
+	// Workers confines tasks to an N-node sub-cluster (simmr.JobSpec
+	// .Workers; 0 = whole cluster, locality-driven placement).
+	Workers int
+	// Transport selects the simulated shuffle data plane
+	// (simmr.JobSpec.Transport; default in-process).
+	Transport simmr.Transport
+	Cluster   cluster.Config
 	// Replication overrides the DFS replication factor (default 3).
 	Replication int
 	// FetchParallelism overrides the barrier-mode parallel copies (default 5).
@@ -127,6 +133,8 @@ func Run(spec RunSpec) *simmr.Result {
 		Merger:         spec.App.Merger,
 		Reducers:       spec.Reducers,
 		Mode:           spec.Mode,
+		Workers:        spec.Workers,
+		Transport:      spec.Transport,
 		Store:          spec.Store,
 		HeapBudget:     int64(spec.HeapBudgetMB) << 20,
 		SpillThreshold: int64(spec.SpillThresholdMB) << 20,

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+)
+
+// WorkerScaling sweeps the worker-pool size over a WordCount job on the
+// TCP run-exchange transport — the simulated counterpart of
+// `blmr -workers N -transport tcp` — and reports completion time in both
+// modes. Small pools serialize tasks on few nodes and lose chunk locality;
+// the curve shows how much cluster the barrier-less win survives on, and
+// where run-fetch RPC latency starts to matter.
+func WorkerScaling(workerCounts []int) Sweep {
+	ds := WordCountData(4)
+	modes := []struct {
+		label string
+		mode  simmr.Mode
+	}{
+		{"barrier", simmr.Barrier},
+		{"pipelined", simmr.Pipelined},
+	}
+	sw := Sweep{
+		ID:     "WorkerScaling",
+		Title:  "WordCount 4GB over the TCP run exchange: completion vs worker count",
+		XLabel: "workers",
+	}
+	costs := CalibWordCount
+	if costs.RunFetchDelay == 0 {
+		costs.RunFetchDelay = simmr.DefaultCosts().RunFetchDelay
+	}
+	for _, m := range modes {
+		ser := Series{Label: m.label}
+		for _, w := range workerCounts {
+			res := Run(RunSpec{
+				App: apps.WordCount(), Data: ds, Mode: m.mode,
+				Reducers: 60, Costs: costs,
+				Workers: w, Transport: simmr.TCPRunExchange,
+			})
+			ser.X = append(ser.X, float64(w))
+			ser.Y = append(ser.Y, res.Completion)
+			note := ""
+			if res.Failed {
+				note = "FAILED"
+			}
+			ser.Note = append(ser.Note, note)
+		}
+		sw.Series = append(sw.Series, ser)
+	}
+	return sw
+}
+
+// TransportOverhead compares the three simulated transports at a fixed
+// worker pool, quantifying what materializing and fetching sealed runs
+// costs next to the in-process shuffle.
+func TransportOverhead(workers int) Sweep {
+	ds := WordCountData(4)
+	costs := CalibWordCount
+	if costs.RunFetchDelay == 0 {
+		costs.RunFetchDelay = simmr.DefaultCosts().RunFetchDelay
+	}
+	sw := Sweep{
+		ID:     "TransportOverhead",
+		Title:  fmt.Sprintf("WordCount 4GB, %d workers: completion by transport", workers),
+		XLabel: "transport(0=inproc,1=runx,2=tcp)",
+	}
+	for _, m := range []struct {
+		label string
+		mode  simmr.Mode
+	}{{"barrier", simmr.Barrier}, {"pipelined", simmr.Pipelined}} {
+		ser := Series{Label: m.label}
+		for _, tr := range []simmr.Transport{simmr.InProcShuffle, simmr.RunExchange, simmr.TCPRunExchange} {
+			res := Run(RunSpec{
+				App: apps.WordCount(), Data: ds, Mode: m.mode,
+				Reducers: 60, Costs: costs,
+				Workers: workers, Transport: tr,
+			})
+			ser.X = append(ser.X, float64(tr))
+			ser.Y = append(ser.Y, res.Completion)
+			ser.Note = append(ser.Note, "")
+		}
+		sw.Series = append(sw.Series, ser)
+	}
+	return sw
+}

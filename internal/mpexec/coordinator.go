@@ -1,0 +1,260 @@
+package mpexec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"blmr/internal/core"
+	"blmr/internal/exec"
+	"blmr/internal/mr"
+	"blmr/internal/shuffle"
+)
+
+// Coordinator drives one multi-process job execution. It listens for worker
+// registrations, then schedules map and reduce tasks over the registered
+// workers through the same exec.Scheduler the in-process engine uses. The
+// reduce wave is dispatched after the map wave completes (the coordinator
+// needs every sealed-run location before it can route a partition), so
+// pipelined mode keeps its streaming reduce semantics on the workers but
+// not cross-wave overlap — the trade the control plane makes for a
+// stateless request/response protocol.
+type Coordinator struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	workers []*remoteWorker
+	waves   map[int][]waveMeta // map task index -> sealed waves
+}
+
+// remoteWorker proxies one worker process as an exec.Worker. The control
+// connection carries one request/response at a time under mu.
+type remoteWorker struct {
+	c    *Coordinator
+	id   int
+	conn net.Conn
+	br   *bufio.Reader
+	addr string // the worker's run-server
+
+	mu sync.Mutex
+
+	// reduce-phase aggregation (written under c.mu)
+	spilledBytes int64
+}
+
+// Listen opens the coordinator's registration listener on an ephemeral
+// loopback port.
+func Listen() (*Coordinator, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("mpexec: listen: %w", err)
+	}
+	return &Coordinator{ln: ln, waves: make(map[int][]waveMeta)}, nil
+}
+
+// Addr returns the address workers dial (pass it to Serve / -worker-coord).
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// WaitWorkers blocks until n workers have registered or the timeout lapses.
+func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for len(c.workers) < n {
+		if tl, ok := c.ln.(*net.TCPListener); ok {
+			_ = tl.SetDeadline(deadline)
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpexec: waiting for worker %d/%d: %w", len(c.workers)+1, n, err)
+		}
+		br := bufio.NewReader(conn)
+		typ, payload, err := readMsg(br)
+		if err != nil || typ != msgHello {
+			_ = conn.Close()
+			return fmt.Errorf("mpexec: bad registration (type %q): %v", typ, err)
+		}
+		d := &dec{buf: payload}
+		addr := d.str()
+		if d.err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("mpexec: bad hello: %w", d.err)
+		}
+		c.workers = append(c.workers, &remoteWorker{
+			c: c, id: len(c.workers), conn: conn, br: br, addr: addr,
+		})
+	}
+	return nil
+}
+
+// Close severs every worker connection (after sending a best-effort bye)
+// and stops the listener. Workers exit when their control connection ends.
+func (c *Coordinator) Close() error {
+	for _, w := range c.workers {
+		w.mu.Lock()
+		_ = writeMsg(w.conn, msgBye, nil)
+		_ = w.conn.Close()
+		w.mu.Unlock()
+	}
+	return c.ln.Close()
+}
+
+// Run executes job over input across the registered workers and returns the
+// assembled result. opts follow mr.Options semantics; the transport is
+// forcibly the TCP run exchange (the only one that crosses process
+// boundaries). A worker that dies mid-task fails the job with an error —
+// the scheduler drains cleanly, no goroutine outlives the call.
+func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) (*mr.Result, error) {
+	opts.Transport = shuffle.TCP
+	opts.Normalize()
+	if err := mr.Validate(job, opts); err != nil {
+		return nil, err
+	}
+	if len(c.workers) == 0 {
+		return nil, fmt.Errorf("mpexec: no workers registered")
+	}
+	start := time.Now()
+	assignments := make([]exec.Assignment, len(c.workers))
+	for i, w := range c.workers {
+		assignments[i] = exec.Assignment{W: w, MapSlots: 1, ReduceSlots: 1}
+	}
+	maps := exec.SplitMaps(input, opts.Mappers)
+
+	// Map wave. The reduce wave needs the full sealed-run routing table, so
+	// the phases are scheduled back to back.
+	mapSched := exec.Scheduler{Workers: assignments}
+	mapSum, err := mapSched.Run(maps, nil)
+	if err != nil {
+		return nil, fmt.Errorf("mpexec: job %q: %w", job.Name, err)
+	}
+
+	redSched := exec.Scheduler{Workers: assignments}
+	redSum, err := redSched.Run(nil, exec.ReduceTasks(opts.Reducers))
+	if err != nil {
+		return nil, fmt.Errorf("mpexec: job %q: %w", job.Name, err)
+	}
+
+	mapSum.Reduces = redSum.Reduces
+	res := mr.Assemble(mapSum)
+	for _, w := range c.workers {
+		res.SpilledBytes += w.spilledBytes
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// segmentsFor routes partition r: every completed map task's waves in (map
+// task, publish order) order — the ordering whose stable merge reproduces
+// the single-process engine byte for byte.
+func (c *Coordinator) segmentsFor(r, nMaps int) []shuffle.Segment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var segs []shuffle.Segment
+	for m := 0; m < nMaps; m++ {
+		for _, w := range c.waves[m] {
+			sp := w.spans[r]
+			if sp.N == 0 {
+				continue
+			}
+			segs = append(segs, shuffle.Segment{
+				Addr: w.addr, FileID: w.fileID, Off: sp.Off, N: sp.N,
+			})
+		}
+	}
+	return segs
+}
+
+// String implements exec.Worker.
+func (w *remoteWorker) String() string { return fmt.Sprintf("worker-%d@%s", w.id, w.addr) }
+
+// call sends one request frame and reads the worker's reply, serializing
+// use of the control connection.
+func (w *remoteWorker) call(typ byte, payload []byte) (byte, []byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := writeMsg(w.conn, typ, payload); err != nil {
+		return 0, nil, fmt.Errorf("send to %s: %w", w, err)
+	}
+	rtyp, rpayload, err := readMsg(w.br)
+	if err != nil {
+		// A dead worker (killed mid-task) surfaces here as EOF/reset.
+		return 0, nil, fmt.Errorf("worker %s died: %w", w, err)
+	}
+	if rtyp == msgError {
+		d := &dec{buf: rpayload}
+		return 0, nil, fmt.Errorf("%s: %s", w, d.str())
+	}
+	return rtyp, rpayload, nil
+}
+
+// RunMap implements exec.Worker: ship the split, collect sealed-run
+// metadata.
+func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
+	b := binary.AppendUvarint(nil, uint64(t.Index))
+	b = putRecords(b, t.Split)
+	rtyp, payload, err := w.call(msgMapTask, b)
+	if err != nil {
+		return exec.MapStats{}, err
+	}
+	if rtyp != msgMapDone {
+		return exec.MapStats{}, fmt.Errorf("%s: unexpected reply %q to map task", w, rtyp)
+	}
+	index, shuffled, spills, spilledBytes, waves, err := decodeMapDone(payload, w.addr)
+	if err != nil {
+		return exec.MapStats{}, fmt.Errorf("%s: %w", w, err)
+	}
+	if index != t.Index {
+		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d, want %d", w, index, t.Index)
+	}
+	w.c.mu.Lock()
+	w.c.waves[t.Index] = waves
+	w.spilledBytes += spilledBytes
+	w.c.mu.Unlock()
+	return exec.MapStats{ShuffleRecords: shuffled, Spills: spills}, nil
+}
+
+// RunReduce implements exec.Worker: ship the partition's routing table,
+// collect output records.
+func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
+	segs := w.c.segmentsFor(t.Partition, w.c.mapCount())
+	rtyp, payload, err := w.call(msgReduceTask, encodeReduceTask(t.Partition, segs))
+	if err != nil {
+		return exec.ReduceResult{}, err
+	}
+	if rtyp != msgReduceDone {
+		return exec.ReduceResult{}, fmt.Errorf("%s: unexpected reply %q to reduce task", w, rtyp)
+	}
+	d := &dec{buf: payload}
+	partition := int(d.uvarint())
+	res := exec.ReduceResult{
+		Spills:           int(d.uvarint()),
+		PeakPartialBytes: int64(d.uvarint()),
+		MergePasses:      int(d.uvarint()),
+	}
+	spilledBytes := int64(d.uvarint())
+	res.Output = d.records()
+	if d.err != nil {
+		return exec.ReduceResult{}, fmt.Errorf("%s: %w", w, d.err)
+	}
+	if partition != t.Partition {
+		return exec.ReduceResult{}, fmt.Errorf("%s: reduce reply for partition %d, want %d", w, partition, t.Partition)
+	}
+	w.c.mu.Lock()
+	w.spilledBytes += spilledBytes
+	w.c.mu.Unlock()
+	return res, nil
+}
+
+// mapCount returns how many map tasks have published waves.
+func (c *Coordinator) mapCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for m := range c.waves {
+		if m+1 > n {
+			n = m + 1
+		}
+	}
+	return n
+}

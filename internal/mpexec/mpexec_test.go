@@ -1,0 +1,237 @@
+package mpexec_test
+
+// Multi-process execution tests. Worker processes are this test binary
+// re-executed with MPEXEC_WORKER set (the standard helper-process pattern),
+// so the suite exercises real subprocesses, real TCP control and run-fetch
+// traffic, and real worker death — not in-process simulations.
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"blmr/internal/apps"
+	"blmr/internal/core"
+	blexec "blmr/internal/exec"
+	"blmr/internal/mpexec"
+	"blmr/internal/mr"
+	"blmr/internal/workload"
+)
+
+// testJob builds the worker-side job from the environment, mirroring how
+// cmd/blmr workers rebuild the job from flags.
+func testJob() blexec.Job {
+	app := apps.WordCount()
+	if os.Getenv("MPEXEC_APP") == "sort" {
+		app = apps.Sort()
+	}
+	job := blexec.Job{Name: app.Name, Mapper: app.Mapper, NewGroup: app.NewGroup,
+		NewStream: app.NewStream, Merger: app.Merger}
+	if os.Getenv("MPEXEC_SLOW") != "" {
+		inner := job.Mapper
+		job.Mapper = core.MapperFunc(func(k, v string, emit core.Emitter) {
+			time.Sleep(2 * time.Millisecond)
+			inner.Map(k, v, emit)
+		})
+	}
+	return job
+}
+
+func testOpts() blexec.Options {
+	opts := blexec.Options{Mappers: 4, Reducers: 3}
+	if os.Getenv("MPEXEC_MODE") == "pipelined" {
+		opts.Mode = blexec.Pipelined
+	}
+	if os.Getenv("MPEXEC_SPILL") != "" {
+		opts.SpillBytes = 8 << 10
+	}
+	return opts
+}
+
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("MPEXEC_WORKER"); addr != "" {
+		if err := mpexec.Serve(addr, testJob(), testOpts()); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnWorkers re-executes the test binary as n worker processes.
+func spawnWorkers(t *testing.T, addr string, n int, extraEnv ...string) []*exec.Cmd {
+	t.Helper()
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "MPEXEC_WORKER="+addr)
+		cmd.Env = append(cmd.Env, extraEnv...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawn worker %d: %v", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	t.Cleanup(func() {
+		for _, c := range cmds {
+			_ = c.Process.Kill()
+			_, _ = c.Process.Wait()
+		}
+	})
+	return cmds
+}
+
+func runCluster(t *testing.T, job blexec.Job, input []core.Record, opts blexec.Options, workers int, env ...string) (*mr.Result, error) {
+	t.Helper()
+	c, err := mpexec.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	spawnWorkers(t, c.Addr(), workers, env...)
+	if err := c.WaitWorkers(workers, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c.Run(job, input, opts)
+}
+
+func jobFor(app apps.App) blexec.Job {
+	return blexec.Job{Name: app.Name, Mapper: app.Mapper, NewGroup: app.NewGroup,
+		NewStream: app.NewStream, Merger: app.Merger}
+}
+
+// TestClusterEquivalence: a 2-worker TCP-exchange job matches the
+// single-process in-memory engine — byte-identically in barrier mode.
+func TestClusterEquivalence(t *testing.T) {
+	input := workload.Text(21, 2000, 400, 8)
+	for _, tc := range []struct {
+		mode  blexec.Mode
+		env   []string
+		exact bool
+	}{
+		{mode: blexec.Barrier, env: nil, exact: true},
+		{mode: blexec.Pipelined, env: []string{"MPEXEC_MODE=pipelined"}, exact: false},
+	} {
+		ref, err := mr.Run(jobFor(apps.WordCount()), input,
+			blexec.Options{Mappers: 4, Reducers: 3, Mode: tc.mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := blexec.Options{Mappers: 4, Reducers: 3, Mode: tc.mode}
+		res, err := runCluster(t, jobFor(apps.WordCount()), input, opts, 2, tc.env...)
+		if err != nil {
+			t.Fatalf("mode %v: %v", tc.mode, err)
+		}
+		if tc.exact {
+			if len(res.Output) != len(ref.Output) {
+				t.Fatalf("%d records vs %d", len(res.Output), len(ref.Output))
+			}
+			for i := range res.Output {
+				if res.Output[i] != ref.Output[i] {
+					t.Fatalf("record %d: %v vs %v", i, res.Output[i], ref.Output[i])
+				}
+			}
+		} else {
+			requireSameSorted(t, ref.Output, res.Output)
+		}
+		if res.ShuffleRecords != ref.ShuffleRecords {
+			t.Fatalf("shuffled %d records, want %d", res.ShuffleRecords, ref.ShuffleRecords)
+		}
+		if res.SpilledBytes == 0 {
+			t.Fatal("workers sealed no runs — the exchange did not go through disk")
+		}
+	}
+}
+
+// TestClusterSpill: the external-shuffle budget composes with the
+// multi-process exchange (multiple waves per map task, fetched and merged
+// remotely, byte-identical output).
+func TestClusterSpill(t *testing.T) {
+	input := workload.Text(22, 1500, 300, 8)
+	ref, err := mr.Run(jobFor(apps.WordCount()), input,
+		blexec.Options{Mappers: 4, Reducers: 3, Mode: blexec.Barrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := blexec.Options{Mappers: 4, Reducers: 3, Mode: blexec.Barrier, SpillBytes: 8 << 10}
+	res, err := runCluster(t, jobFor(apps.WordCount()), input, opts, 2, "MPEXEC_SPILL=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Output {
+		if res.Output[i] != ref.Output[i] {
+			t.Fatalf("record %d: %v vs %v", i, res.Output[i], ref.Output[i])
+		}
+	}
+	if res.Spills == 0 {
+		t.Fatal("expected sealed spill waves at an 8KiB budget")
+	}
+}
+
+// TestClusterWorkerKilledMidMap is the fault half of the acceptance
+// criteria: killing a worker process mid-map must fail the job with an
+// error — promptly, with no hang and no goroutine leak in the driver.
+func TestClusterWorkerKilledMidMap(t *testing.T) {
+	before := runtime.NumGoroutine()
+	input := workload.Text(23, 3000, 400, 8)
+	c, err := mpexec.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Slow mappers give the kill a wide mid-task window.
+	cmds := spawnWorkers(t, c.Addr(), 2, "MPEXEC_SLOW=1")
+	if err := c.WaitWorkers(2, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		_ = cmds[0].Process.Kill()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(jobFor(apps.WordCount()), input,
+			blexec.Options{Mappers: 4, Reducers: 2, Mode: blexec.Barrier})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("job succeeded despite a killed worker")
+		}
+		if !strings.Contains(err.Error(), "died") && !strings.Contains(err.Error(), "worker") {
+			t.Fatalf("unexpected error shape: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("job hung after worker death")
+	}
+	// The scheduler must have drained every task goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutine leak: %d before, %d after", before, g)
+	}
+}
+
+func requireSameSorted(t *testing.T, a, b []core.Record) {
+	t.Helper()
+	sa := append([]core.Record(nil), a...)
+	sb := append([]core.Record(nil), b...)
+	mr.SortOutput(sa)
+	mr.SortOutput(sb)
+	if len(sa) != len(sb) {
+		t.Fatalf("%d vs %d records", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("record %d: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package mpexec runs a MapReduce job across worker subprocesses: a
+// Coordinator in the driver process dispatches map and reduce tasks over a
+// loopback TCP control connection to Serve loops in worker processes, and
+// workers exchange intermediate data as sealed spill runs served by each
+// worker's run-server (the same shuffle.Server wire format the in-process
+// TCP transport uses). The coordinator runs no user code — it ships input
+// splits out, collects sealed-run metadata, routes it to reduce tasks, and
+// concatenates their outputs — so the data plane is exactly the
+// exec.RunMapTask / exec.RunReduceTask bodies the single-process engine
+// runs, byte-identical output included.
+//
+// Control wire format (one frame per message, over the worker's dialed
+// connection; all integers unsigned varints, strings length-prefixed):
+//
+//	frame:       type byte | payloadLen | payload
+//	'H' hello:   runServerAddr                        (worker -> coord)
+//	'M' map:     index | recordCount | codec records  (coord -> worker)
+//	'm' mapDone: index | shuffleRecords | spills | spilledBytes |
+//	             waveCount | { fileID | spanCount | { off | n } }
+//	'R' reduce:  partition |
+//	             segCount | { addr | fileID | off | n }
+//	'r' redDone: partition | spills | peakPartialBytes | mergePasses |
+//	             spilledBytes | recordCount | codec records
+//	'E' error:   message                              (worker -> coord)
+//	'B' bye:     (empty)                              (coord -> worker)
+package mpexec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"blmr/internal/codec"
+	"blmr/internal/core"
+	"blmr/internal/shuffle"
+)
+
+// Message types.
+const (
+	msgHello      = 'H'
+	msgMapTask    = 'M'
+	msgMapDone    = 'm'
+	msgReduceTask = 'R'
+	msgReduceDone = 'r'
+	msgError      = 'E'
+	msgBye        = 'B'
+)
+
+// maxFrame guards against garbage length prefixes (1 GiB).
+const maxFrame = 1 << 30
+
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	hdr := []byte{typ}
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readMsg(br *bufio.Reader) (byte, []byte, error) {
+	typ, err := br.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, nil, fmt.Errorf("mpexec: bad frame length: %w", err)
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("mpexec: implausible frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return 0, nil, fmt.Errorf("mpexec: truncated frame: %w", err)
+	}
+	return typ, payload, nil
+}
+
+// dec is a cursor over one frame's payload with sticky errors.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("mpexec: corrupt uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.err = fmt.Errorf("mpexec: truncated string at offset %d", d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *dec) records() []core.Record {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// A record encodes to >= 2 bytes (two zero-length strings), so any
+	// count beyond remaining/2 is corrupt — reject it before allocating,
+	// instead of letting a garbage varint panic makeslice.
+	if n > uint64(len(d.buf)-d.off)/2 {
+		d.err = fmt.Errorf("mpexec: implausible record count %d for %d payload bytes", n, len(d.buf)-d.off)
+		return nil
+	}
+	out := make([]core.Record, 0, n)
+	rd := codec.NewStreamReaderBytes(d.buf[d.off:])
+	for i := uint64(0); i < n; i++ {
+		rec, ok := rd.Next()
+		if !ok {
+			d.err = fmt.Errorf("mpexec: truncated record stream: %v", rd.Err())
+			return nil
+		}
+		out = append(out, rec)
+	}
+	d.off = len(d.buf) // records are always the final field
+	return out
+}
+
+func putStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func putRecords(b []byte, recs []core.Record) []byte {
+	b = binary.AppendUvarint(b, uint64(len(recs)))
+	return codec.AppendRecords(b, recs)
+}
+
+// waveMeta is one sealed wave's location as the coordinator tracks it.
+type waveMeta struct {
+	addr   string
+	fileID uint64
+	spans  []shuffle.Span
+}
+
+func encodeMapDone(index int, shuffleRecords int64, spills int, spilledBytes int64, waves []shuffle.Wave) []byte {
+	b := binary.AppendUvarint(nil, uint64(index))
+	b = binary.AppendUvarint(b, uint64(shuffleRecords))
+	b = binary.AppendUvarint(b, uint64(spills))
+	b = binary.AppendUvarint(b, uint64(spilledBytes))
+	b = binary.AppendUvarint(b, uint64(len(waves)))
+	for _, w := range waves {
+		b = binary.AppendUvarint(b, w.FileID)
+		b = binary.AppendUvarint(b, uint64(len(w.Spans)))
+		for _, sp := range w.Spans {
+			b = binary.AppendUvarint(b, uint64(sp.Off))
+			b = binary.AppendUvarint(b, uint64(sp.N))
+		}
+	}
+	return b
+}
+
+func decodeMapDone(payload []byte, addr string) (index int, shuffleRecords int64, spills int, spilledBytes int64, waves []waveMeta, err error) {
+	d := &dec{buf: payload}
+	index = int(d.uvarint())
+	shuffleRecords = int64(d.uvarint())
+	spills = int(d.uvarint())
+	spilledBytes = int64(d.uvarint())
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		w := waveMeta{addr: addr, fileID: d.uvarint()}
+		spanN := d.uvarint()
+		for j := uint64(0); j < spanN && d.err == nil; j++ {
+			off := int64(d.uvarint())
+			ln := int64(d.uvarint())
+			w.spans = append(w.spans, shuffle.Span{Off: off, N: ln})
+		}
+		waves = append(waves, w)
+	}
+	return index, shuffleRecords, spills, spilledBytes, waves, d.err
+}
+
+func encodeReduceTask(partition int, segs []shuffle.Segment) []byte {
+	b := binary.AppendUvarint(nil, uint64(partition))
+	b = binary.AppendUvarint(b, uint64(len(segs)))
+	for _, s := range segs {
+		b = putStr(b, s.Addr)
+		b = binary.AppendUvarint(b, s.FileID)
+		b = binary.AppendUvarint(b, uint64(s.Off))
+		b = binary.AppendUvarint(b, uint64(s.N))
+	}
+	return b
+}
+
+func decodeReduceTask(payload []byte) (partition int, segs []shuffle.Segment, err error) {
+	d := &dec{buf: payload}
+	partition = int(d.uvarint())
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		s := shuffle.Segment{Addr: d.str()}
+		s.FileID = d.uvarint()
+		s.Off = int64(d.uvarint())
+		s.N = int64(d.uvarint())
+		segs = append(segs, s)
+	}
+	return partition, segs, d.err
+}

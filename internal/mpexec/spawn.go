@@ -1,0 +1,47 @@
+package mpexec
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+)
+
+// SpawnLocal starts a coordinator and re-executes the current binary n
+// times as worker processes, appending "-worker-coord <addr>" to args (the
+// caller's worker-mode flags). It blocks until every worker registers and
+// returns the coordinator plus a teardown function that kills the workers
+// and closes the coordinator — the local-cluster bootstrap shared by
+// cmd/blmr and examples/cluster.
+func SpawnLocal(args []string, n int, timeout time.Duration) (*Coordinator, func(), error) {
+	coord, err := Listen()
+	if err != nil {
+		return nil, nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	var cmds []*exec.Cmd
+	teardown := func() {
+		for _, c := range cmds {
+			_ = c.Process.Kill()
+			_, _ = c.Process.Wait()
+		}
+		_ = coord.Close()
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(self, append(append([]string(nil), args...), "-worker-coord", coord.Addr())...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			teardown()
+			return nil, nil, fmt.Errorf("mpexec: spawn worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	if err := coord.WaitWorkers(n, timeout); err != nil {
+		teardown()
+		return nil, nil, err
+	}
+	return coord, teardown, nil
+}

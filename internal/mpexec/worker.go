@@ -1,0 +1,123 @@
+package mpexec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+
+	"blmr/internal/dfs"
+	"blmr/internal/exec"
+	"blmr/internal/shuffle"
+)
+
+// Serve is a worker process's main loop: dial the coordinator, start a
+// run-server over a fresh local spill directory, register, and execute
+// tasks until the coordinator says bye or the connection ends. job must be
+// the same user code the driver was configured with (both sides of the
+// multi-process mode are launched from the same binary and flags); opts
+// carry the task-body knobs (mode, reducers, spill budget, merge fan-in).
+//
+// Map tasks seal every output wave into the local run directory and
+// register it with the run-server; reduce tasks fetch their partition's
+// segments from whichever workers' servers hold them. All spill files are
+// removed when Serve returns.
+func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
+	opts.Transport = shuffle.TCP // workers always exchange sealed runs
+	opts.Normalize()
+	conn, err := net.Dial("tcp", coordAddr)
+	if err != nil {
+		return fmt.Errorf("mpexec: dial coordinator %s: %w", coordAddr, err)
+	}
+	defer conn.Close()
+	dir, err := dfs.NewRunDir("")
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	srv, err := shuffle.NewServer()
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if err := writeMsg(conn, msgHello, putStr(nil, srv.Addr())); err != nil {
+		return fmt.Errorf("mpexec: register: %w", err)
+	}
+
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readMsg(br)
+		if err != nil {
+			return nil // coordinator gone: a worker's exit signal
+		}
+		switch typ {
+		case msgBye:
+			return nil
+		case msgMapTask:
+			reply, err := runMap(payload, job, opts, dir, srv)
+			if err != nil {
+				if werr := writeMsg(conn, msgError, putStr(nil, err.Error())); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeMsg(conn, msgMapDone, reply); err != nil {
+				return err
+			}
+		case msgReduceTask:
+			reply, err := runReduce(payload, job, opts, dir)
+			if err != nil {
+				if werr := writeMsg(conn, msgError, putStr(nil, err.Error())); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := writeMsg(conn, msgReduceDone, reply); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("mpexec: unexpected message %q from coordinator", typ)
+		}
+	}
+}
+
+// runMap executes one shipped map task through the canonical task body.
+func runMap(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir, srv *shuffle.Server) ([]byte, error) {
+	d := &dec{buf: payload}
+	index := int(d.uvarint())
+	split := d.records()
+	if d.err != nil {
+		return nil, d.err
+	}
+	before := dir.SpilledBytes()
+	sink := shuffle.NewRunSink(dir, srv, fmt.Sprintf("m%d", index))
+	stats, err := exec.RunMapTask(job, opts, exec.MapTask{Index: index, Split: split}, sink)
+	if err != nil {
+		return nil, err
+	}
+	return encodeMapDone(index, stats.ShuffleRecords, stats.Spills,
+		dir.SpilledBytes()-before, sink.Waves()), nil
+}
+
+// runReduce executes one routed reduce task through the canonical task
+// body, fetching segments from the owning workers' run-servers.
+func runReduce(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir) ([]byte, error) {
+	partition, segs, err := decodeReduceTask(payload)
+	if err != nil {
+		return nil, err
+	}
+	before := dir.SpilledBytes()
+	src := shuffle.NewStaticSegmentSource(segs, opts.BatchSize)
+	defer src.Close()
+	res, err := exec.RunReduceTask(job, opts, exec.ReduceTask{Partition: partition}, src, dir)
+	if err != nil {
+		return nil, err
+	}
+	b := binary.AppendUvarint(nil, uint64(partition))
+	b = binary.AppendUvarint(b, uint64(res.Spills))
+	b = binary.AppendUvarint(b, uint64(res.PeakPartialBytes))
+	b = binary.AppendUvarint(b, uint64(res.MergePasses))
+	b = binary.AppendUvarint(b, uint64(dir.SpilledBytes()-before))
+	b = putRecords(b, res.Output)
+	return b, nil
+}

@@ -1,125 +1,44 @@
-// Package mr is an in-process parallel MapReduce engine built on goroutines
-// and channels — the wall-clock counterpart of the simulated engine. Map
-// workers feed per-reducer channels; in barrier mode reducers wait for all
-// map output and merge-sort it first (Figure 2), in pipelined mode they
-// consume records as they arrive, holding partial results in a store
-// (Figure 3). Channels map directly onto the paper's pipelined shuffle;
-// records travel in batches (Options.BatchSize) so channel synchronization
-// amortizes over many records instead of being paid per record.
+// Package mr is the real-concurrency MapReduce engine — the wall-clock
+// counterpart of the simulated engine. Since the exec/shuffle split it is a
+// thin composition of three layers: the execution plane (internal/exec:
+// task descriptors, task bodies, a scheduler with per-worker slots and
+// first-error propagation), a pluggable shuffle transport (internal/shuffle:
+// in-process batched channels, a sealed spill-run exchange, or the same
+// exchange over a loopback TCP run-server), and this package's Run, which
+// wires a LocalWorker to a transport and assembles the Result. The
+// multi-process engine (internal/mpexec) composes the same layers with
+// remote workers instead.
 package mr
 
 import (
 	"fmt"
-	"runtime"
 	"slices"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/dfs"
-	"blmr/internal/kvstore"
-	"blmr/internal/sortx"
+	"blmr/internal/exec"
+	"blmr/internal/shuffle"
 	"blmr/internal/store"
 )
 
-// Mode selects barrier or pipelined execution.
-type Mode int
+// Mode, Job and Options are the execution plane's vocabulary, aliased so
+// this package remains the engine's front door.
+type (
+	// Mode selects barrier or pipelined execution.
+	Mode = exec.Mode
+	// Job bundles the user code for one MapReduce job.
+	Job = exec.Job
+	// Options tunes an execution.
+	Options = exec.Options
+)
 
 // Execution modes.
 const (
-	Barrier Mode = iota
-	Pipelined
+	Barrier   = exec.Barrier
+	Pipelined = exec.Pipelined
 )
-
-// Job bundles the user code for one MapReduce job (the same shape as
-// apps.App, decoupled so mr stays reusable as a standalone library).
-type Job struct {
-	Name      string
-	Mapper    core.Mapper
-	NewGroup  func() core.GroupReducer
-	NewStream func(st store.Store) core.StreamReducer
-	Merger    store.Merger
-	// Combiner, when non-nil, folds same-key intermediate records on the
-	// map side before they are shuffled (Hadoop's combiner; parity with
-	// simmr.JobSpec.Combiner). In barrier mode each mapper's per-reducer
-	// run is combined once after mapping; in pipelined mode each batch is
-	// combined as it is flushed. It must be commutative and associative,
-	// and the reduce function must tolerate pre-combined values (true for
-	// aggregation-class jobs whose reduce is the same fold).
-	Combiner store.Merger
-}
-
-// Options tunes an execution.
-type Options struct {
-	// Mappers is the number of concurrent map workers (default NumCPU).
-	Mappers int
-	// Reducers is the number of reduce tasks (default NumCPU).
-	Reducers int
-	// Mode selects barrier or pipelined shuffle (default Barrier).
-	Mode Mode
-	// Store picks the partial-result strategy for pipelined mode.
-	Store store.Kind
-	// SpillThresholdBytes bounds in-memory partials for SpillMerge.
-	SpillThresholdBytes int64
-	// KVCacheBytes bounds the KV store cache.
-	KVCacheBytes int64
-	// QueueCap is the per-reducer channel buffer in batches (default 64,
-	// mirroring simmr.Config.QueueCapBatches). Total per-reducer
-	// buffering is QueueCap*BatchSize records.
-	QueueCap int
-	// BatchSize is the number of records a mapper accumulates per reducer
-	// before sending one batch over the channel (default 256). 1
-	// reproduces the original record-at-a-time shuffle.
-	BatchSize int
-	// CombineKeys bounds the distinct keys a mapper's per-reducer combine
-	// buffer holds before it flushes (default max(BatchSize, 4096)). Only
-	// used when Job.Combiner is set; larger buffers fold more duplicates
-	// map-side at the cost of mapper memory (Hadoop's io.sort.mb role).
-	CombineKeys int
-	// SpillBytes, when > 0, bounds each task's buffered intermediate data
-	// (accounted with store.ApproxRecordBytes) and turns the shuffle into
-	// an external one: barrier mappers sort, encode and seal runs to disk
-	// whenever their buffers cross the budget, and reducers stream an
-	// external k-way merge over all sealed runs straight into the group
-	// reducer — intermediate data never has to fit in RAM. Pipelined
-	// reducers hold partial results in a disk-backed spill-merge store
-	// with the same budget (Job.Merger required). 0 keeps everything in
-	// memory (the pre-spill behaviour).
-	SpillBytes int64
-	// SpillDir is the directory for spill-run files. Empty means a fresh
-	// temporary directory, removed when Run returns.
-	SpillDir string
-}
-
-func (o *Options) normalize() {
-	if o.Mappers <= 0 {
-		o.Mappers = runtime.NumCPU()
-	}
-	if o.Reducers <= 0 {
-		o.Reducers = runtime.NumCPU()
-	}
-	if o.QueueCap <= 0 {
-		o.QueueCap = 64
-	}
-	if o.BatchSize <= 0 {
-		o.BatchSize = 256
-	}
-	if o.CombineKeys <= 0 {
-		o.CombineKeys = 4096
-		if o.BatchSize > o.CombineKeys {
-			o.CombineKeys = o.BatchSize
-		}
-	}
-	if o.SpillThresholdBytes <= 0 {
-		o.SpillThresholdBytes = 64 << 20
-	}
-	if o.KVCacheBytes <= 0 {
-		o.KVCacheBytes = 16 << 20
-	}
-}
 
 // Result reports one execution.
 type Result struct {
@@ -132,89 +51,72 @@ type Result struct {
 	MapWall time.Duration
 	// Wall is the total wall-clock duration.
 	Wall time.Duration
-	// Spills counts spill-merge runs across reducers.
+	// Spills counts spill runs: sealed map-side waves (SpillBytes
+	// crossings) plus pipelined spill-merge store runs.
 	Spills int
 	// ShuffleRecords is the number of intermediate records shuffled from
 	// mappers to reducers, after map-side combining — the wall-clock
 	// engine's counterpart of simmr.Result.ShuffleBytes.
 	ShuffleRecords int64
-	// SpilledBytes is the total encoded bytes sealed into spill-run files
-	// (0 when SpillBytes is unset or nothing crossed the budget).
+	// SpilledBytes is the total encoded bytes sealed into run files. On the
+	// in-proc transport that is spill overflow only; the run-exchange
+	// transports materialize every map output wave, so it covers the whole
+	// shuffle volume.
 	SpilledBytes int64
 	// PeakPartialBytes is the largest partial-result store footprint
 	// (store.Store.ApproxBytes) observed across pipelined reducers,
 	// sampled once per consumed batch — the number to compare against
 	// Options.SpillBytes to see the memory bound holding.
 	PeakPartialBytes int64
-}
-
-// errOnce records the first error across concurrent tasks.
-type errOnce struct {
-	mu  sync.Mutex
-	err error
-}
-
-func (e *errOnce) set(err error) {
-	if err == nil {
-		return
-	}
-	e.mu.Lock()
-	if e.err == nil {
-		e.err = err
-	}
-	e.mu.Unlock()
-}
-
-func (e *errOnce) get() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.err
+	// MergePasses counts intermediate merge passes forced by
+	// Options.MergeFanIn across reduce tasks (0 = every partition fit in
+	// one merge wave).
+	MergePasses int
 }
 
 // Run executes job over input and returns the result. The input slice is
 // not modified.
 func Run(job Job, input []core.Record, opts Options) (*Result, error) {
-	opts.normalize()
-	if job.Mapper == nil {
-		return nil, fmt.Errorf("mr: job %q has no mapper", job.Name)
-	}
-	if opts.Mode == Barrier && job.NewGroup == nil {
-		return nil, fmt.Errorf("mr: job %q has no group reducer", job.Name)
-	}
-	if opts.Mode == Pipelined && job.NewStream == nil {
-		return nil, fmt.Errorf("mr: job %q has no stream reducer", job.Name)
-	}
-	if opts.Mode == Pipelined && opts.Store == store.SpillMerge && job.Merger == nil {
-		return nil, fmt.Errorf("mr: job %q needs a merger for spill-merge", job.Name)
-	}
-	if opts.Mode == Pipelined && opts.SpillBytes > 0 && opts.Store != store.KV && job.Merger == nil {
-		return nil, fmt.Errorf("mr: job %q needs a merger for a bounded-memory pipelined run", job.Name)
-	}
-	var spillDir *dfs.RunDir
-	// Pipelined KV runs manage memory through the KV cache and never write
-	// spill runs, so they skip the RunDir (mirrors newStore's exclusion).
-	if opts.SpillBytes > 0 && (opts.Mode == Barrier || opts.Store != store.KV) {
-		var err error
-		spillDir, err = dfs.NewRunDir(opts.SpillDir)
-		if err != nil {
-			return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
-		}
-		defer spillDir.Close()
-	}
-	start := time.Now()
-	var res *Result
-	var err error
-	switch {
-	case opts.Mode == Barrier && opts.SpillBytes > 0:
-		res, err = runBarrierSpill(job, input, opts, spillDir)
-	case opts.Mode == Barrier:
-		res, err = runBarrier(job, input, opts)
-	default:
-		res, err = runPipelined(job, input, opts, spillDir)
-	}
-	if err != nil {
+	opts.Normalize()
+	if err := Validate(job, opts); err != nil {
 		return nil, err
 	}
+	spillDir, err := OpenSpillDir(opts)
+	if err != nil {
+		return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
+	}
+	if spillDir != nil {
+		defer spillDir.Close()
+	}
+
+	start := time.Now()
+	maps := exec.SplitMaps(input, opts.Mappers)
+	tr, err := shuffle.New(opts.Transport, shuffle.Config{
+		Maps: len(maps), Parts: opts.Reducers,
+		QueueCap: opts.QueueCap, BatchSize: opts.BatchSize,
+		Dir: spillDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
+	}
+	defer tr.Close()
+
+	sched := exec.Scheduler{
+		Workers: []exec.Assignment{{
+			W:        &exec.LocalWorker{Job: job, Opts: opts, Transport: tr, Scratch: spillDir},
+			MapSlots: opts.Mappers,
+			// Every partition must be schedulable concurrently on the
+			// in-proc stream transport (see the scheduler's package note);
+			// in-process reduce tasks are goroutines, so grant all slots.
+			ReduceSlots: opts.Reducers,
+		}},
+		OnFail: tr.Fail,
+	}
+	sum, err := sched.Run(maps, exec.ReduceTasks(opts.Reducers))
+	if err != nil {
+		return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
+	}
+	res := Assemble(sum)
 	if spillDir != nil {
 		res.SpilledBytes = spillDir.SpilledBytes()
 	}
@@ -222,488 +124,59 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// splitInput carves input into one contiguous piece per map worker.
-func splitInput(input []core.Record, n int) [][]core.Record {
-	per := (len(input) + n - 1) / n
-	if per == 0 {
-		per = 1
+// Validate checks job/opts consistency (shared with the multi-process
+// coordinator). opts must be normalized.
+func Validate(job Job, opts Options) error {
+	if job.Mapper == nil {
+		return fmt.Errorf("mr: job %q has no mapper", job.Name)
 	}
-	var out [][]core.Record
-	for lo := 0; lo < len(input); lo += per {
-		hi := lo + per
-		if hi > len(input) {
-			hi = len(input)
-		}
-		out = append(out, input[lo:hi])
+	if opts.Mode == Barrier && job.NewGroup == nil {
+		return fmt.Errorf("mr: job %q has no group reducer", job.Name)
 	}
-	return out
+	if opts.Mode == Pipelined && job.NewStream == nil {
+		return fmt.Errorf("mr: job %q has no stream reducer", job.Name)
+	}
+	if opts.Mode == Pipelined && opts.Store == store.SpillMerge && job.Merger == nil {
+		return fmt.Errorf("mr: job %q needs a merger for spill-merge", job.Name)
+	}
+	if opts.Mode == Pipelined && opts.SpillBytes > 0 && opts.Store != store.KV && job.Merger == nil {
+		return fmt.Errorf("mr: job %q needs a merger for a bounded-memory pipelined run", job.Name)
+	}
+	return nil
 }
 
-func runBarrier(job Job, input []core.Record, opts Options) (*Result, error) {
-	splits := splitInput(input, opts.Mappers)
-	// Each mapper partitions into private per-reducer runs; runs are
-	// merged per reducer after the map barrier, keeping everything
-	// deterministic regardless of goroutine scheduling.
-	runs := make([][][]core.Record, len(splits)) // [mapper][reducer][]
-	mapStart := time.Now()
-	var wg sync.WaitGroup
-	for m, split := range splits {
-		wg.Add(1)
-		go func(m int, split []core.Record) {
-			defer wg.Done()
-			// Presize each run for an identity-shaped mapper; expanding
-			// mappers (WordCount) grow from there.
-			em := core.NewPartitionedEmitter(opts.Reducers, len(split)/opts.Reducers+1)
-			for _, r := range split {
-				job.Mapper.Map(r.Key, r.Value, em)
-			}
-			if job.Combiner != nil {
-				for p, part := range em.Parts {
-					em.Parts[p] = sortx.Combine(part, job.Combiner)
-				}
-			}
-			runs[m] = em.Parts
-		}(m, split)
+// OpenSpillDir opens the run directory an execution with these options
+// needs, or returns nil when the execution never touches disk: the
+// run-exchange transports always seal runs, and the in-proc transport needs
+// one only for spill overflow (pipelined KV runs manage memory through the
+// KV cache and never write spill runs).
+func OpenSpillDir(opts Options) (*dfs.RunDir, error) {
+	need := opts.Transport != shuffle.InProc ||
+		(opts.SpillBytes > 0 && (opts.Mode == Barrier || opts.Store != store.KV))
+	if !need {
+		return nil, nil
 	}
-	wg.Wait() // the map-side barrier
-	mapWall := time.Since(mapStart)
-
-	outs := make([][]core.Record, opts.Reducers)
-	var rwg sync.WaitGroup
-	for r := 0; r < opts.Reducers; r++ {
-		rwg.Add(1)
-		go func(r int) {
-			defer rwg.Done()
-			total := 0
-			for m := range runs {
-				total += len(runs[m][r])
-			}
-			all := make([]core.Record, 0, total)
-			for m := range runs {
-				all = append(all, runs[m][r]...)
-			}
-			sortx.ByKey(all)
-			sink := core.NewRecordSink(0)
-			gr := job.NewGroup()
-			sortx.Group(all, func(k string, vs []string) { gr.Reduce(k, vs, sink) })
-			if c, ok := gr.(core.Cleanup); ok {
-				c.Cleanup(sink)
-			}
-			outs[r] = sink.Recs
-		}(r)
-	}
-	rwg.Wait()
-	var shuffled int64
-	for m := range runs {
-		for _, part := range runs[m] {
-			shuffled += int64(len(part))
-		}
-	}
-	return &Result{Output: concat(outs), MapWall: mapWall, ShuffleRecords: shuffled}, nil
+	return dfs.NewRunDir(opts.SpillDir)
 }
 
-// spillFile is one sealed multi-partition spill file: every non-empty
-// partition's sorted run back to back (Hadoop's io.sort spill layout),
-// with the per-partition byte spans remembered in memory instead of an
-// on-disk index block.
-type spillFile struct {
-	path string
-	segs []span // per partition; n == 0 means the partition was empty
-}
-
-type span struct{ off, n int64 }
-
-// runBarrierSpill is barrier mode with the external, memory-bounded
-// shuffle. Each mapper accounts its buffered intermediate records
-// (store.ApproxRecordBytes); crossing Options.SpillBytes sorts every
-// partition buffer (stably, so equal keys keep emission order), optionally
-// combines it, encodes it via codec, and seals ONE spill file per crossing
-// holding all partitions' runs back to back — so the file count tracks
-// ceil(output/budget), matching the simulator's model, not
-// crossings x reducers. The under-budget tail of each partition stays in
-// memory as a final sorted run. After the map barrier, reducer r streams a
-// k-way merge over all of partition r's segments — ordered (mapper, seal
-// order), ties broken by run index, which reproduces the in-memory path's
-// stable sort exactly — feeding groups straight into the reduce function,
-// so neither side ever materializes the full partition.
-func runBarrierSpill(job Job, input []core.Record, opts Options, spillDir *dfs.RunDir) (*Result, error) {
-	splits := splitInput(input, opts.Mappers)
-	nm := len(splits)
-	seals := make([][]spillFile, nm)    // [mapper] sealed files, in seal order
-	live := make([][][]core.Record, nm) // [mapper][reducer] in-memory tail run
-	var firstErr errOnce
-	var shuffled int64
-
-	mapStart := time.Now()
-	var wg sync.WaitGroup
-	for m, split := range splits {
-		wg.Add(1)
-		go func(m int, split []core.Record) {
-			defer wg.Done()
-			em := core.NewPartitionedEmitter(opts.Reducers, 0)
-			var sent int64
-			var buffered int64
-			var scratch []byte
-			// sortPart sorts/combines partition p's buffer in place.
-			sortPart := func(p int) []core.Record {
-				part := em.Parts[p]
-				if job.Combiner != nil {
-					part = sortx.Combine(part, job.Combiner)
-				} else {
-					sortx.ByKey(part)
-				}
-				em.Parts[p] = part
-				return part
-			}
-			// seal writes every partition's sorted run into one new spill
-			// file and resets the buffers.
-			seal := func() bool {
-				w, err := spillDir.Create(fmt.Sprintf("m%d", m))
-				if err != nil {
-					firstErr.set(err)
-					return false
-				}
-				sf := spillFile{segs: make([]span, opts.Reducers)}
-				for p := range em.Parts {
-					part := sortPart(p)
-					if len(part) == 0 {
-						continue
-					}
-					scratch = codec.AppendRecords(scratch[:0], part)
-					off := w.Bytes()
-					if _, err := w.Write(scratch); err != nil {
-						firstErr.set(err)
-						w.Abort()
-						return false
-					}
-					sf.segs[p] = span{off: off, n: int64(len(scratch))}
-					sent += int64(len(part))
-					em.Parts[p] = part[:0]
-				}
-				if err := w.Close(); err != nil {
-					firstErr.set(err)
-					w.Abort()
-					return false
-				}
-				sf.path = w.Path()
-				seals[m] = append(seals[m], sf)
-				buffered = 0
-				return true
-			}
-			aborted := false
-			acct := core.EmitterFunc(func(k, v string) {
-				if aborted {
-					return
-				}
-				em.Emit(k, v)
-				buffered += store.ApproxRecordBytes(k, v)
-				if buffered >= opts.SpillBytes && !seal() {
-					aborted = true // checked between input records
-				}
-			})
-			for _, r := range split {
-				if aborted {
-					return
-				}
-				job.Mapper.Map(r.Key, r.Value, acct)
-			}
-			for p := range em.Parts {
-				sortPart(p)
-				sent += int64(len(em.Parts[p]))
-			}
-			live[m] = em.Parts
-			atomic.AddInt64(&shuffled, sent)
-		}(m, split)
-	}
-	wg.Wait() // the map-side barrier
-	mapWall := time.Since(mapStart)
-	if err := firstErr.get(); err != nil {
-		return nil, fmt.Errorf("mr: job %q map spill: %w", job.Name, err)
-	}
-
-	spills := 0
-	for m := range seals {
-		spills += len(seals[m])
-	}
-	outs := make([][]core.Record, opts.Reducers)
-	var rwg sync.WaitGroup
-	for r := 0; r < opts.Reducers; r++ {
-		rwg.Add(1)
-		go func(r int) {
-			defer rwg.Done()
-			var runs []sortx.Run
-			var open []*dfs.RunReader
-			defer func() {
-				for _, rr := range open {
-					_ = rr.Close()
-				}
-			}()
-			for m := 0; m < nm; m++ {
-				for _, sf := range seals[m] {
-					sp := sf.segs[r]
-					if sp.n == 0 {
-						continue
-					}
-					rr, err := dfs.OpenRunAt(sf.path, sp.off, sp.n)
-					if err != nil {
-						firstErr.set(err)
-						return
-					}
-					open = append(open, rr)
-					runs = append(runs, rr)
-				}
-				if len(live[m][r]) > 0 {
-					runs = append(runs, sortx.NewSliceRun(live[m][r]))
-				}
-			}
-			merger := sortx.NewMerger(runs)
-			sink := core.NewRecordSink(0)
-			gr := job.NewGroup()
-			for {
-				key, values, ok := merger.NextGroup()
-				if !ok {
-					break
-				}
-				gr.Reduce(key, values, sink)
-			}
-			if err := merger.Err(); err != nil {
-				firstErr.set(err)
-				return
-			}
-			if c, ok := gr.(core.Cleanup); ok {
-				c.Cleanup(sink)
-			}
-			outs[r] = sink.Recs
-		}(r)
-	}
-	rwg.Wait()
-	if err := firstErr.get(); err != nil {
-		return nil, fmt.Errorf("mr: job %q external merge: %w", job.Name, err)
-	}
-	// Spill files are shared by all reducers; RunDir.Close (deferred in
-	// Run) removes them after the job, owned temp dir or not.
-	return &Result{Output: concat(outs), MapWall: mapWall, Spills: spills,
-		ShuffleRecords: atomic.LoadInt64(&shuffled)}, nil
-}
-
-func runPipelined(job Job, input []core.Record, opts Options, spillDir *dfs.RunDir) (*Result, error) {
-	splits := splitInput(input, opts.Mappers)
-	chans := make([]chan []core.Record, opts.Reducers)
-	for r := range chans {
-		chans[r] = make(chan []core.Record, opts.QueueCap)
-	}
-	// free recycles batch buffers from reducers back to mappers, bounding
-	// steady-state allocation to roughly the in-flight batch count. A
-	// buffered channel doubles as a lock-free free list of slice headers.
-	freeCap := opts.Reducers * opts.QueueCap
-	if freeCap > 1<<14 {
-		freeCap = 1 << 14
-	}
-	free := make(chan []core.Record, freeCap)
-
-	mapStart := time.Now()
-	var mapWall time.Duration
-	var shuffled int64
-	var mwg sync.WaitGroup
-	for _, split := range splits {
-		mwg.Add(1)
-		go func(split []core.Record) {
-			defer mwg.Done()
-			var sent int64
-			defer func() { atomic.AddInt64(&shuffled, sent) }()
-			getBuf := func() []core.Record {
-				select {
-				case b := <-free:
-					return b
-				default:
-					return make([]core.Record, 0, opts.BatchSize)
-				}
-			}
-			var em core.Emitter
-			var flushAll func()
-			if job.Combiner == nil {
-				bufs := make([][]core.Record, opts.Reducers)
-				flush := func(p int) {
-					if len(bufs[p]) == 0 {
-						return
-					}
-					sent += int64(len(bufs[p]))
-					chans[p] <- bufs[p]
-					bufs[p] = nil
-				}
-				em = core.EmitterFunc(func(k, v string) {
-					p := core.Partition(k, opts.Reducers)
-					b := bufs[p]
-					if b == nil {
-						b = getBuf()
-					}
-					b = append(b, core.Record{Key: k, Value: v})
-					bufs[p] = b
-					if len(b) >= opts.BatchSize {
-						flush(p)
-					}
-				})
-				flushAll = func() {
-					for p := range bufs {
-						flush(p)
-					}
-				}
-			} else {
-				// Combiner path: per-reducer hash accumulators fold
-				// same-key records map-side; a buffer drains only when it
-				// reaches CombineKeys *distinct* keys (or mapper exit), so
-				// skewed streams combine across far more than one batch's
-				// worth of records. Draining re-batches to BatchSize.
-				// Presize modestly and let maps grow: a CombineKeys-sized
-				// map per (mapper, reducer) pair would cost quadratic
-				// memory in core count before any record arrives.
-				hint := opts.BatchSize
-				if opts.CombineKeys < hint {
-					hint = opts.CombineKeys
-				}
-				combufs := make([]map[string]string, opts.Reducers)
-				for p := range combufs {
-					combufs[p] = make(map[string]string, hint)
-				}
-				flush := func(p int) {
-					m := combufs[p]
-					if len(m) == 0 {
-						return
-					}
-					b := getBuf()
-					for k, v := range m {
-						b = append(b, core.Record{Key: k, Value: v})
-						if len(b) >= opts.BatchSize {
-							sent += int64(len(b))
-							chans[p] <- b
-							b = getBuf()
-						}
-					}
-					clear(m)
-					if len(b) > 0 {
-						sent += int64(len(b))
-						chans[p] <- b
-					} else {
-						select {
-						case free <- b:
-						default:
-						}
-					}
-				}
-				em = core.EmitterFunc(func(k, v string) {
-					p := core.Partition(k, opts.Reducers)
-					m := combufs[p]
-					if old, ok := m[k]; ok {
-						m[k] = job.Combiner(old, v)
-						return
-					}
-					m[k] = v
-					if len(m) >= opts.CombineKeys {
-						flush(p)
-					}
-				})
-				flushAll = func() {
-					for p := range combufs {
-						flush(p)
-					}
-				}
-			}
-			for _, r := range split {
-				job.Mapper.Map(r.Key, r.Value, em)
-			}
-			flushAll() // mapper-exit flush of partial batches
-		}(split)
-	}
-	go func() {
-		mwg.Wait()
-		mapWall = time.Since(mapStart)
-		for _, ch := range chans {
-			close(ch)
-		}
-	}()
-
-	outs := make([][]core.Record, opts.Reducers)
-	spills := make([]int, opts.Reducers)
-	peaks := make([]int64, opts.Reducers)
-	var firstErr errOnce
-	var rwg sync.WaitGroup
-	for r := 0; r < opts.Reducers; r++ {
-		rwg.Add(1)
-		go func(r int) {
-			defer rwg.Done()
-			st := newStore(job, opts, spillDir, r)
-			sr := job.NewStream(st)
-			sink := core.NewRecordSink(0)
-			var myPeak int64
-			for batch := range chans[r] {
-				for _, rec := range batch {
-					sr.Consume(rec, sink)
-				}
-				if b := st.ApproxBytes(); b > myPeak {
-					myPeak = b
-				}
-				clear(batch) // drop string refs before the buffer idles
-				select {
-				case free <- batch[:0]:
-				default: // free list full; let GC take it
-				}
-			}
-			sr.Finish(sink)
-			if sp, ok := st.(*store.SpillStore); ok {
-				spills[r] = sp.Spills
-				firstErr.set(sp.Err())
-			}
-			peaks[r] = myPeak
-			outs[r] = sink.Recs
-		}(r)
-	}
-	rwg.Wait()
-	if err := firstErr.get(); err != nil {
-		return nil, fmt.Errorf("mr: job %q reducer spill: %w", job.Name, err)
-	}
-	total := 0
-	for _, s := range spills {
-		total += s
-	}
-	var peak int64
-	for _, p := range peaks {
-		if p > peak {
-			peak = p
-		}
-	}
-	return &Result{Output: concat(outs), MapWall: mapWall, Spills: total,
-		ShuffleRecords: atomic.LoadInt64(&shuffled), PeakPartialBytes: peak}, nil
-}
-
-// newStore builds reducer r's partial-result store. With SpillBytes set,
-// tree-backed stores become disk-backed spill-merge stores budgeted at
-// SpillBytes, so pipelined partial results leave the heap for real; the KV
-// store already bounds its own memory through its cache.
-func newStore(job Job, opts Options, spillDir *dfs.RunDir, r int) store.Store {
-	if opts.SpillBytes > 0 && opts.Store != store.KV {
-		return store.NewSpillStoreOn(opts.SpillBytes, job.Merger, nil,
-			spillDir.NewRunSet(fmt.Sprintf("red%d", r)))
-	}
-	switch opts.Store {
-	case store.SpillMerge:
-		return store.NewSpillStore(opts.SpillThresholdBytes, job.Merger, nil)
-	case store.KV:
-		return store.NewKVStore(kvstore.New(kvstore.Config{CacheBytes: opts.KVCacheBytes}))
-	default:
-		return store.NewMemStore()
-	}
-}
-
-func concat(parts [][]core.Record) []core.Record {
+// Assemble folds a scheduler summary into a Result (shared with the
+// multi-process coordinator; SpilledBytes and Wall are the caller's).
+func Assemble(sum *exec.Summary) *Result {
+	res := &Result{MapWall: sum.MapWall, ShuffleRecords: sum.ShuffleRecords, Spills: sum.MapSpills}
 	var n int
-	for _, p := range parts {
-		n += len(p)
+	for _, rr := range sum.Reduces {
+		n += len(rr.Output)
 	}
-	out := make([]core.Record, 0, n)
-	for _, p := range parts {
-		out = append(out, p...)
+	res.Output = make([]core.Record, 0, n)
+	for _, rr := range sum.Reduces {
+		res.Output = append(res.Output, rr.Output...)
+		res.Spills += rr.Spills
+		res.MergePasses += rr.MergePasses
+		if rr.PeakPartialBytes > res.PeakPartialBytes {
+			res.PeakPartialBytes = rr.PeakPartialBytes
+		}
 	}
-	return out
+	return res
 }
 
 // SortOutput key-sorts a result's output in place (helper for callers

@@ -1,0 +1,166 @@
+package shuffle
+
+// runExchange is the sealed-run transport behind the SpillExchange and TCP
+// kinds: every wave a map task publishes — spill crossings and the final
+// wave alike — is sealed as a multi-partition segment file in Config.Dir,
+// and reduce tasks read partition sections back, either straight from the
+// filesystem (SpillExchange) or fetched from the loopback run-server (TCP).
+// Intermediate data therefore always leaves the mappers' heaps, the
+// Hadoop-style materialization discipline that makes the exchange work
+// across process boundaries.
+
+import (
+	"fmt"
+	"sync"
+
+	"blmr/internal/core"
+	"blmr/internal/dfs"
+)
+
+type runExchange struct {
+	cfg  Config
+	srv  *Server // non-nil for the TCP kind
+	fail *failState
+
+	mu       sync.Mutex
+	waves    [][]Wave // per map task, in publish order
+	closed   int
+	mapsDone chan struct{}
+	// completedByPart streams map indexes to each partition's source in
+	// completion order; buffered to Maps so Close never blocks.
+	completedByPart []chan int
+}
+
+func newRunExchange(cfg Config, srv *Server) *runExchange {
+	t := &runExchange{
+		cfg:             cfg,
+		srv:             srv,
+		fail:            newFailState(),
+		waves:           make([][]Wave, cfg.Maps),
+		mapsDone:        make(chan struct{}),
+		completedByPart: make([]chan int, cfg.Parts),
+	}
+	for r := range t.completedByPart {
+		t.completedByPart[r] = make(chan int, cfg.Maps)
+	}
+	if cfg.Maps == 0 {
+		close(t.mapsDone)
+	}
+	return t
+}
+
+// MapSink implements Transport.
+func (t *runExchange) MapSink(m int) MapSink {
+	s := NewRunSink(t.cfg.Dir, t.srv, fmt.Sprintf("m%d", m))
+	s.failed = t.fail.failed
+	s.onClose = func(waves []Wave) error {
+		t.mu.Lock()
+		t.waves[m] = waves
+		t.closed++
+		allDone := t.closed == t.cfg.Maps
+		t.mu.Unlock()
+		for _, ch := range t.completedByPart {
+			ch <- m // buffered to Maps: never blocks
+		}
+		if allDone {
+			close(t.mapsDone)
+		}
+		return nil
+	}
+	return s
+}
+
+// ReduceSource implements Transport.
+func (t *runExchange) ReduceSource(r int) ReduceSource {
+	return &SegmentSource{
+		nMaps: t.cfg.Maps,
+		segsOf: func(m int) []Segment {
+			t.mu.Lock()
+			waves := t.waves[m]
+			t.mu.Unlock()
+			segs := make([]Segment, 0, len(waves))
+			for _, w := range waves {
+				if seg, ok := w.SegmentOf(r); ok {
+					segs = append(segs, seg)
+				}
+			}
+			return segs
+		},
+		mapsDone:  t.mapsDone,
+		completed: t.completedByPart[r],
+		fail:      t.fail,
+		batchSize: t.cfg.BatchSize,
+	}
+}
+
+// Fail implements Transport.
+func (t *runExchange) Fail(err error) { t.fail.fail(err) }
+
+// Close implements Transport.
+func (t *runExchange) Close() error {
+	if t.srv != nil {
+		return t.srv.Close()
+	}
+	return nil
+}
+
+// RunSink is the run-discipline MapSink shared by the run-exchange
+// transports and the multi-process workers: every wave — sealed or final —
+// is persisted as a segment file in dir, registered with the run-server
+// when one is attached. Standalone users (internal/mpexec) read the sealed
+// metadata back with Waves after Close.
+type RunSink struct {
+	dir     *dfs.RunDir
+	srv     *Server
+	tag     string
+	scratch []byte
+	waves   []Wave
+	failed  func() error       // optional transport abort check
+	onClose func([]Wave) error // optional transport completion hook
+}
+
+// NewRunSink builds a standalone sink sealing waves into dir (registering
+// each file with srv when non-nil).
+func NewRunSink(dir *dfs.RunDir, srv *Server, tag string) *RunSink {
+	return &RunSink{dir: dir, srv: srv, tag: tag}
+}
+
+// Batch implements MapSink.
+func (s *RunSink) Batch() []core.Record { return make([]core.Record, 0, 256) }
+
+// Send implements MapSink: the run exchange has no stream discipline —
+// pipelined map tasks publish sorted waves instead.
+func (s *RunSink) Send(int, []core.Record) error {
+	return fmt.Errorf("shuffle: run exchange does not stream batches; publish waves")
+}
+
+// PublishWave implements MapSink. Both sealed and final waves persist: the
+// exchange's whole point is that reducers read runs, not task memory.
+func (s *RunSink) PublishWave(parts [][]core.Record, sealed bool) error {
+	if s.failed != nil {
+		if err := s.failed(); err != nil {
+			return err
+		}
+	}
+	w, scratch, ok, err := sealWave(s.dir, s.srv, s.tag, parts, s.scratch)
+	s.scratch = scratch
+	if err != nil {
+		return err
+	}
+	if ok {
+		s.waves = append(s.waves, w)
+	}
+	return nil
+}
+
+// Waves returns the sealed wave metadata (valid after Close).
+func (s *RunSink) Waves() []Wave { return s.waves }
+
+// Close implements MapSink: publish the task's wave metadata and signal
+// completion to the barrier and to every partition's stream.
+func (s *RunSink) Close() error {
+	if s.onClose != nil {
+		return s.onClose(s.waves)
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package shuffle
+
+// Segments: the unit of the run-exchange read path. A map task's sealed
+// wave is one multi-partition segment file; a Segment addresses one
+// partition's byte section of one wave, either on the local filesystem
+// (SpillExchange) or behind a run-server (TCP, multi-process workers).
+
+import (
+	"io"
+
+	"blmr/internal/codec"
+	"blmr/internal/core"
+	"blmr/internal/dfs"
+	"blmr/internal/sortx"
+)
+
+// Span is one partition's byte section within a sealed wave file.
+// N == 0 means the partition was empty in that wave.
+type Span struct{ Off, N int64 }
+
+// Wave is one sealed multi-partition segment file: every non-empty
+// partition's key-sorted run back to back (Hadoop's io.sort spill layout),
+// with per-partition spans kept as metadata instead of an on-disk index.
+type Wave struct {
+	// Path locates the file for local opens (empty for remote waves).
+	Path string
+	// FileID identifies the file on Addr's run-server (TCP exchange).
+	FileID uint64
+	// Addr is the serving run-server ("" = open Path locally).
+	Addr string
+	// Spans are the per-partition sections.
+	Spans []Span
+}
+
+// Segment addresses one partition's section of one sealed wave.
+type Segment struct {
+	Path   string // local file ("" = remote)
+	Addr   string // run-server address (remote)
+	FileID uint64
+	Off, N int64
+}
+
+// SegmentOf returns partition r's segment of the wave, ok=false when empty.
+func (w Wave) SegmentOf(r int) (Segment, bool) {
+	sp := w.Spans[r]
+	if sp.N == 0 {
+		return Segment{}, false
+	}
+	return Segment{Path: w.Path, Addr: w.Addr, FileID: w.FileID, Off: sp.Off, N: sp.N}, true
+}
+
+// RunCloser is a mergeable run that owns an underlying resource (file or
+// connection). dfs.RunReader and RemoteRun both satisfy it.
+type RunCloser interface {
+	sortx.Source
+	io.Closer
+}
+
+// Open opens the segment for streaming reads, locally or over the wire.
+func (s Segment) Open() (RunCloser, error) {
+	if s.Addr == "" {
+		return dfs.OpenRunAt(s.Path, s.Off, s.N)
+	}
+	return FetchSegment(s.Addr, s.FileID, s.Off, s.N)
+}
+
+// LazyRun is a Segment that opens on first Next. A fan-in-capped merge over
+// lazy runs therefore holds at most fan-in read buffers (and, for remote
+// segments, TCP connections) open at once, no matter how many runs the
+// partition has.
+type LazyRun struct {
+	seg    Segment
+	r      RunCloser
+	err    error
+	opened bool
+}
+
+// NewLazyRun wraps a segment.
+func NewLazyRun(seg Segment) *LazyRun { return &LazyRun{seg: seg} }
+
+// Next implements sortx.Run.
+func (l *LazyRun) Next() (core.Record, bool) {
+	if l.err != nil {
+		return core.Record{}, false
+	}
+	if !l.opened {
+		l.opened = true
+		l.r, l.err = l.seg.Open()
+		if l.err != nil {
+			return core.Record{}, false
+		}
+	}
+	rec, ok := l.r.Next()
+	if !ok {
+		l.err = l.r.Err()
+	}
+	return rec, ok
+}
+
+// Err implements sortx.Source.
+func (l *LazyRun) Err() error { return l.err }
+
+// Close releases the underlying reader, if one was ever opened.
+func (l *LazyRun) Close() error {
+	if l.r == nil {
+		return nil
+	}
+	r := l.r
+	l.r = nil
+	return r.Close()
+}
+
+// SegmentSource is the run-exchange ReduceSource for one partition: Runs
+// waits for the map barrier and returns every segment as a lazy run;
+// NextBatch streams each map task's segments as that task completes,
+// re-batched to batchSize records (pipelined consumption at map-task
+// granularity — the overlap a cross-process shuffle can actually offer).
+type SegmentSource struct {
+	nMaps     int
+	segsOf    func(m int) []Segment // valid once map m has completed
+	mapsDone  <-chan struct{}       // closed when every map task has closed
+	completed <-chan int            // map indexes in completion order
+	fail      *failState
+	batchSize int
+
+	// streaming state
+	seen  int
+	queue []Segment
+	cur   RunCloser
+}
+
+// NewStaticSegmentSource builds a source over a fixed, fully-available
+// segment list in merge order (the multi-process reduce path: by the time a
+// reduce task is dispatched, every map task has completed).
+func NewStaticSegmentSource(segs []Segment, batchSize int) *SegmentSource {
+	done := make(chan struct{})
+	close(done)
+	completed := make(chan int, 1)
+	completed <- 0
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	return &SegmentSource{
+		nMaps:     1,
+		segsOf:    func(int) []Segment { return segs },
+		mapsDone:  done,
+		completed: completed,
+		fail:      newFailState(),
+		batchSize: batchSize,
+	}
+}
+
+// Runs implements ReduceSource: block on the map barrier, then return every
+// segment as a lazy run in (map task, publish order) order.
+func (s *SegmentSource) Runs() ([]sortx.Run, error) {
+	select {
+	case <-s.mapsDone:
+	case <-s.fail.done:
+		return nil, s.fail.failed()
+	}
+	var runs []sortx.Run
+	for m := 0; m < s.nMaps; m++ {
+		for _, seg := range s.segsOf(m) {
+			runs = append(runs, NewLazyRun(seg))
+		}
+	}
+	return runs, nil
+}
+
+// NextBatch implements ReduceSource: stream records of completed map tasks.
+func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
+	var batch []core.Record
+	for {
+		if s.cur != nil {
+			if batch == nil {
+				batch = make([]core.Record, 0, s.batchSize)
+			}
+			for len(batch) < s.batchSize {
+				rec, ok := s.cur.Next()
+				if !ok {
+					break
+				}
+				batch = append(batch, rec)
+			}
+			if len(batch) == s.batchSize {
+				return batch, true, nil
+			}
+			err := s.cur.Err()
+			_ = s.cur.Close()
+			s.cur = nil
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		if len(s.queue) > 0 {
+			r, err := s.queue[0].Open()
+			s.queue = s.queue[1:]
+			if err != nil {
+				return nil, false, err
+			}
+			s.cur = r
+			continue
+		}
+		if s.seen == s.nMaps {
+			return batch, len(batch) > 0, nil
+		}
+		// About to block for the next completed map: flush what we have so
+		// the reducer overlaps with still-running maps.
+		if len(batch) > 0 {
+			return batch, true, nil
+		}
+		select {
+		case m := <-s.completed:
+			s.seen++
+			s.queue = s.segsOf(m)
+		case <-s.fail.done:
+			return nil, false, s.fail.failed()
+		}
+	}
+}
+
+// Recycle implements ReduceSource (run-exchange batches are not pooled).
+func (s *SegmentSource) Recycle([]core.Record) {}
+
+// Close implements ReduceSource.
+func (s *SegmentSource) Close() error {
+	if s.cur != nil {
+		err := s.cur.Close()
+		s.cur = nil
+		return err
+	}
+	return nil
+}
+
+// sealWave encodes one key-sorted run per partition into a single new
+// segment file in dir, returning the wave (registered with srv when
+// non-nil) and the reusable encode scratch. Waves with no records produce
+// no file (ok=false).
+func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, scratch []byte) (w Wave, out []byte, ok bool, err error) {
+	any := false
+	for _, part := range parts {
+		if len(part) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return Wave{}, scratch, false, nil
+	}
+	wr, err := dir.Create(tag)
+	if err != nil {
+		return Wave{}, scratch, false, err
+	}
+	w = Wave{Spans: make([]Span, len(parts))}
+	for p, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		scratch = codec.AppendRecords(scratch[:0], part)
+		off := wr.Bytes()
+		if _, err := wr.Write(scratch); err != nil {
+			wr.Abort()
+			return Wave{}, scratch, false, err
+		}
+		w.Spans[p] = Span{Off: off, N: int64(len(scratch))}
+	}
+	if err := wr.Close(); err != nil {
+		wr.Abort()
+		return Wave{}, scratch, false, err
+	}
+	w.Path = wr.Path()
+	if srv != nil {
+		w.FileID = srv.Register(wr.Path())
+		w.Addr = srv.Addr()
+		w.Path = "" // reads go through the server, like a remote peer's would
+	}
+	return w, scratch, true, nil
+}

@@ -1,0 +1,249 @@
+package shuffle
+
+// The run-server: sealed spill-run segment files served over loopback TCP.
+// This is the wire half of the TCP transport and of the multi-process mode
+// (internal/mpexec) — a worker seals runs into its local dfs.RunDir,
+// registers each file with its Server, and any reduce task (same process or
+// another worker) fetches a partition's byte section by (file ID, offset,
+// length).
+//
+// Wire format (all integers are unsigned varints):
+//
+//	request:  "BLR1" magic | fileID | off | n
+//	response: status byte (0 = ok, 1 = error)
+//	          ok:    exactly n bytes of the sealed run file at [off, off+n)
+//	          error: msgLen | msg bytes
+//
+// One request is served per connection; the section payload is the same
+// codec record stream dfs.OpenRunAt reads locally, so a truncated transfer
+// (killed worker, reset connection) surfaces codec.ErrCorrupt or a short-
+// section error from the fetching side's Err — never silent data loss.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+
+	"blmr/internal/codec"
+	"blmr/internal/core"
+)
+
+// serverMagic guards against stray connections to the run port.
+var serverMagic = [4]byte{'B', 'L', 'R', '1'}
+
+// Server serves registered sealed run files over loopback TCP.
+type Server struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	files  map[uint64]string
+	nextID uint64
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer listens on an ephemeral loopback port and starts serving.
+func NewServer() (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: start run-server: %w", err)
+	}
+	s := &Server{ln: ln, files: make(map[uint64]string), conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the server's dialable address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Register makes the sealed file at path fetchable and returns its ID.
+// Registered files must be immutable.
+func (s *Server) Register(path string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	s.files[s.nextID] = path
+	return s.nextID
+}
+
+// Close stops the listener, severs in-flight transfers, and waits for
+// handlers to finish. In-flight fetchers observe a reset/short section.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != serverMagic {
+		return
+	}
+	fileID, err1 := binary.ReadUvarint(br)
+	off, err2 := binary.ReadUvarint(br)
+	n, err3 := binary.ReadUvarint(br)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return
+	}
+	s.mu.Lock()
+	path, ok := s.files[fileID]
+	s.mu.Unlock()
+	if !ok {
+		writeFetchError(conn, fmt.Sprintf("unknown run file %d", fileID))
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeFetchError(conn, err.Error())
+		return
+	}
+	defer f.Close()
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	_ = bw.WriteByte(0)
+	if _, err := io.Copy(bw, io.NewSectionReader(f, int64(off), int64(n))); err != nil {
+		return // fetcher sees a short section
+	}
+	_ = bw.Flush()
+}
+
+func writeFetchError(w io.Writer, msg string) {
+	buf := []byte{1}
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	buf = append(buf, msg...)
+	_, _ = w.Write(buf)
+}
+
+// RemoteRun streams one fetched run section. It implements sortx.Source
+// (Next/Err) plus Close, like dfs.RunReader — a short or reset transfer
+// surfaces through Err, indistinguishable from a locally truncated run.
+type RemoteRun struct {
+	conn net.Conn
+	cr   *countingReader
+	sr   *codec.StreamReader
+	n    int64
+	err  error
+}
+
+// countingReader tracks how many payload bytes actually arrived, so a
+// transfer cut at a record boundary cannot masquerade as a clean end.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// FetchSegment dials addr and requests the section [off, off+n) of the
+// registered file fileID. The returned run streams records as the bytes
+// arrive; it holds the connection until Close.
+func FetchSegment(addr string, fileID uint64, off, n int64) (*RemoteRun, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: dial run-server %s: %w", addr, err)
+	}
+	req := append([]byte(nil), serverMagic[:]...)
+	req = binary.AppendUvarint(req, fileID)
+	req = binary.AppendUvarint(req, uint64(off))
+	req = binary.AppendUvarint(req, uint64(n))
+	if _, err := conn.Write(req); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("shuffle: request run section: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	status, err := br.ReadByte()
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("shuffle: fetch run section from %s: %w", addr, err)
+	}
+	if status != 0 {
+		msg := "unknown fetch error"
+		if l, err := binary.ReadUvarint(br); err == nil {
+			b := make([]byte, l)
+			if _, err := io.ReadFull(br, b); err == nil {
+				msg = string(b)
+			}
+		}
+		_ = conn.Close()
+		return nil, fmt.Errorf("shuffle: fetch run section from %s: %s", addr, msg)
+	}
+	cr := &countingReader{r: io.LimitReader(br, n)}
+	return &RemoteRun{
+		conn: conn,
+		cr:   cr,
+		sr:   codec.NewStreamReader(bufio.NewReader(cr)),
+		n:    n,
+	}, nil
+}
+
+// Next implements sortx.Run.
+func (r *RemoteRun) Next() (core.Record, bool) {
+	if r.err != nil {
+		return core.Record{}, false
+	}
+	rec, ok := r.sr.Next()
+	if !ok {
+		if err := r.sr.Err(); err != nil {
+			r.err = fmt.Errorf("shuffle: fetched run: %w", err)
+		} else if r.cr.n < r.n {
+			// The decoder saw a clean end but fewer bytes arrived than the
+			// section holds: the serving side died mid-transfer.
+			r.err = fmt.Errorf("shuffle: fetched run: %w: short section (%d of %d bytes)",
+				codec.ErrCorrupt, r.cr.n, r.n)
+		}
+	}
+	return rec, ok
+}
+
+// Err implements sortx.Source.
+func (r *RemoteRun) Err() error { return r.err }
+
+// Close releases the connection.
+func (r *RemoteRun) Close() error { return r.conn.Close() }

@@ -118,14 +118,25 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		res.FailReason = fmt.Sprintf("job %q needs a merger for a bounded-memory pipelined run", job.Name)
 		return res
 	}
+	if job.Workers > len(e.C.Nodes) {
+		job.Workers = len(e.C.Nodes)
+	}
 	shuffle := newShuffleState(e.K, len(input.Chunks), job.Reducers)
 	jobDone := sim.NewEvent(e.K, "job-done")
 	reducersLeft := sim.NewWaitGroup(e.K, "reducers", job.Reducers)
 
 	for i, ch := range input.Chunks {
 		i, ch := i, ch
+		// Workers > 0 confines placement to an N-node sub-cluster (the
+		// multi-process mode's worker pool), losing chunk locality when the
+		// assigned worker holds no replica — ReadChunk then pays the
+		// transfer, exactly the cost a small worker pool incurs.
+		var node *cluster.Node
+		if job.Workers > 0 {
+			node = e.C.Nodes[i%job.Workers]
+		}
 		e.K.Spawn(fmt.Sprintf("map-%d", i), func(p *sim.Proc) {
-			e.mapTask(p, &job, i, ch, shuffle, res)
+			e.mapTask(p, &job, i, ch, node, shuffle, res)
 		})
 	}
 	if job.Speculative && len(input.Chunks) > 1 {
@@ -143,7 +154,11 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 	}
 	for r := 0; r < job.Reducers; r++ {
 		r := r
-		node := e.C.Nodes[r%len(e.C.Nodes)]
+		pool := len(e.C.Nodes)
+		if job.Workers > 0 {
+			pool = job.Workers
+		}
+		node := e.C.Nodes[r%pool]
 		e.K.Spawn(fmt.Sprintf("reduce-%d", r), func(p *sim.Proc) {
 			defer reducersLeft.Done()
 			if job.Mode == Barrier {
@@ -174,8 +189,10 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 // configured): read the chunk locally, run the real mapper, partition the
 // intermediate records, write them to local disk, and publish to the
 // shuffle service.
-func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, shuffle *shuffleState, res *Result) {
-	node := ch.Primary()
+func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, node *cluster.Node, shuffle *shuffleState, res *Result) {
+	if node == nil {
+		node = ch.Primary()
+	}
 	for attempt := 0; ; attempt++ {
 		node.MapSlots.Acquire(p, 1)
 		tok := e.Col.TaskStart(metrics.StageMap, p.Now())
@@ -289,7 +306,14 @@ func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle 
 		}
 		i, mo := i, mo
 		ch := input.Chunks[i]
-		backupNode := e.pickBackupNode(ch.Primary())
+		// Avoid the node the original attempt actually runs on: under a
+		// Workers sub-cluster that is the assigned pool node, not the
+		// chunk's primary.
+		avoid := ch.Primary()
+		if job.Workers > 0 {
+			avoid = e.C.Nodes[i%job.Workers]
+		}
+		backupNode := e.pickBackupNode(avoid, job.Workers)
 		res.BackupsLaunched++
 		p.Kernel().Spawn(fmt.Sprintf("backup-map-%d", i), func(bp *sim.Proc) {
 			backupNode.MapSlots.Acquire(bp, 1)
@@ -309,11 +333,17 @@ func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle 
 }
 
 // pickBackupNode returns the node (other than avoid) with the fewest held
-// and queued map slots, ties broken by lowest ID.
-func (e *Engine) pickBackupNode(avoid *cluster.Node) *cluster.Node {
+// and queued map slots, ties broken by lowest ID. With a Workers
+// sub-cluster, backups stay inside the worker pool; a one-worker pool
+// backs up onto the same node (its only option).
+func (e *Engine) pickBackupNode(avoid *cluster.Node, workers int) *cluster.Node {
+	nodes := e.C.Nodes
+	if workers > 0 {
+		nodes = nodes[:workers]
+	}
 	var best *cluster.Node
 	var bestLoad int64 = 1 << 62
-	for _, n := range e.C.Nodes {
+	for _, n := range nodes {
 		if n == avoid {
 			continue
 		}
@@ -321,6 +351,9 @@ func (e *Engine) pickBackupNode(avoid *cluster.Node) *cluster.Node {
 		if load < bestLoad {
 			best, bestLoad = n, load
 		}
+	}
+	if best == nil {
+		return avoid
 	}
 	return best
 }

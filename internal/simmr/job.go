@@ -62,6 +62,14 @@ type CostModel struct {
 	// runs — the knob that makes the memory/throughput trade-off visible:
 	// smaller budgets mean more runs, more seeks, slower jobs.
 	SpillRunDelay float64
+	// RunFetchDelay is the per-section fixed latency (RPC + connection +
+	// seek) a reducer pays to fetch one map output's partition section over
+	// the run-exchange shuffle (JobSpec.Transport != InProcShuffle) — the
+	// simulated counterpart of the wall-clock engine's per-segment
+	// run-server fetch. Charged once per (map task, reducer) pair with a
+	// published section; the TCP exchange charges it for every fetch,
+	// the local run exchange only for sections on other workers.
+	RunFetchDelay float64
 	// KVOpDelay is the per-operation latency of the off-the-shelf KV store
 	// (the paper observed ~30,000 inserts/s => ~33µs/op). Applied only
 	// when Store == store.KV.
@@ -79,8 +87,37 @@ func DefaultCosts() CostModel {
 		SortCPUPerCompare:    70e-9,
 		FinalizeCPUPerRecord: 1e-6,
 		SpillRunDelay:        4e-3,
+		RunFetchDelay:        1.5e-3,
 		KVOpDelay:            1.0 / 30000,
 	}
+}
+
+// Transport names the shuffle data plane the simulated job models — the
+// counterpart of the wall-clock engine's shuffle.Kind.
+type Transport int
+
+// Available simulated transports.
+const (
+	// InProcShuffle moves intermediate data through memory (the default;
+	// the behaviour of every pre-split simulation).
+	InProcShuffle Transport = iota
+	// RunExchange seals map output as spill runs exchanged through local
+	// disk; reducers stream an external merge (sort-phase memory is bounded
+	// by read buffers) and pay RunFetchDelay for remote sections.
+	RunExchange
+	// TCPRunExchange is RunExchange with every section fetched through a
+	// run-server: RunFetchDelay applies to local sections too.
+	TCPRunExchange
+)
+
+func (t Transport) String() string {
+	switch t {
+	case RunExchange:
+		return "runx"
+	case TCPRunExchange:
+		return "tcp"
+	}
+	return "inproc"
 }
 
 // JobSpec describes one MapReduce job.
@@ -107,6 +144,17 @@ type JobSpec struct {
 	Reducers int
 	// Mode selects barrier or pipelined execution.
 	Mode Mode
+	// Workers, when > 0, confines every task to the first Workers cluster
+	// nodes — the simulated counterpart of `-workers N`: map task i runs on
+	// worker i mod Workers (losing data locality when that is not the
+	// chunk's home), reduce task r on worker r mod Workers. 0 uses the
+	// whole cluster with locality-driven placement.
+	Workers int
+	// Transport selects the simulated shuffle data plane (default
+	// InProcShuffle). The run-exchange transports charge the map output's
+	// materialization and per-section RunFetchDelay, and bound the barrier
+	// sort phase's memory at the external merge's read buffers.
+	Transport Transport
 	// Store selects the partial-result strategy for pipelined mode.
 	Store store.Kind
 	// HeapBudget is the per-reducer virtual heap cap in bytes; exceeding

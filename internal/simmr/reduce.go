@@ -33,6 +33,9 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 			mo.done.Wait(fp)
 			fetchSlots.Acquire(fp, 1)
 			defer fetchSlots.Release(1)
+			if d := e.runFetchDelay(job, mo.node, node); d > 0 && mo.partBytes[r] > 0 {
+				fp.Sleep(d) // run-exchange section fetch: RPC + seek
+			}
 			e.C.Transfer(fp, mo.node, node, mo.partBytes[r])
 			node.DiskWrite(fp, mo.partBytes[r]) // buffer run to local disk
 			fetched[m] = mo.parts[r]
@@ -64,6 +67,14 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 	if job.SpillBytes > 0 && memVirt > job.SpillBytes {
 		memVirt = job.SpillBytes
 		p.Sleep(float64(len(shuffle.maps)) * job.Costs.SpillRunDelay)
+	}
+	if job.Transport != InProcShuffle {
+		// The run exchange always merges externally: sort-phase memory is
+		// the merge's read buffers (64KiB per open run), never the
+		// materialized partition — the wall-clock TCP reducer's behaviour.
+		if b := e.virtBytes(int64(len(shuffle.maps)+1) * (64 << 10)); memVirt > b {
+			memVirt = b
+		}
 	}
 	e.Col.MemSample(r, p.Now(), memVirt)
 	e.Col.TaskEnd(sortTok, p.Now())
@@ -111,6 +122,9 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 			mo := shuffle.maps[m]
 			mo.done.Wait(fp)
 			recs := mo.parts[r]
+			if d := e.runFetchDelay(job, mo.node, node); d > 0 && len(recs) > 0 {
+				fp.Sleep(d) // run-exchange section fetch: RPC + seek
+			}
 			// Stream the partition chunk by chunk, releasing records to
 			// the reducer as each chunk lands.
 			start := 0
@@ -186,6 +200,21 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 	e.Col.TaskEnd(redTok, p.Now())
 
 	e.writeOutput(p, job, node, out.Recs, res)
+}
+
+// runFetchDelay returns the per-section fetch latency the transport
+// charges: every section over the TCP run exchange, only off-node sections
+// over the local run exchange, nothing for the in-process shuffle.
+func (e *Engine) runFetchDelay(job *JobSpec, from, to *cluster.Node) float64 {
+	switch job.Transport {
+	case TCPRunExchange:
+		return job.Costs.RunFetchDelay
+	case RunExchange:
+		if from != to {
+			return job.Costs.RunFetchDelay
+		}
+	}
+	return 0
 }
 
 // newStore builds the per-task partial-result store with hooks that charge

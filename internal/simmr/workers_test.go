@@ -1,0 +1,74 @@
+package simmr
+
+import (
+	"testing"
+
+	"blmr/internal/apps"
+	"blmr/internal/workload"
+)
+
+func workersTestRun(t *testing.T, workers int, tr Transport, mode Mode) *Result {
+	t.Helper()
+	eng := NewEngine(DefaultConfig())
+	recs := workload.Text(31, 2000, 400, 6)
+	f := eng.Ingest("in", workload.SplitEvenly(recs, 12))
+	app := apps.WordCount()
+	res := eng.Run(JobSpec{
+		Name: "wc", Mapper: app.Mapper, NewGroup: app.NewGroup,
+		NewStream: app.NewStream, Merger: app.Merger,
+		Reducers: 8, Mode: mode, Workers: workers, Transport: tr,
+	}, f)
+	if res.Failed {
+		t.Fatalf("workers=%d transport=%v failed: %s", workers, tr, res.FailReason)
+	}
+	return res
+}
+
+// TestWorkerPoolScaling: shrinking the worker pool must not change output
+// and must not speed the job up — fewer nodes means serialized slots and
+// lost locality.
+func TestWorkerPoolScaling(t *testing.T) {
+	for _, mode := range []Mode{Barrier, Pipelined} {
+		full := workersTestRun(t, 0, TCPRunExchange, mode)
+		var prev *Result
+		for _, w := range []int{15, 4, 1} {
+			res := workersTestRun(t, w, TCPRunExchange, mode)
+			if len(res.Output) != len(full.Output) {
+				t.Fatalf("mode=%v workers=%d: %d records, want %d",
+					mode, w, len(res.Output), len(full.Output))
+			}
+			if prev != nil && res.Completion < prev.Completion-1e-9 {
+				t.Fatalf("mode=%v: %d workers finished faster (%.2fs) than more workers (%.2fs)",
+					mode, w, res.Completion, prev.Completion)
+			}
+			prev = res
+		}
+	}
+}
+
+// TestTransportCosts: the run exchanges cost at least as much as the
+// in-process shuffle (materialization + per-section fetch RPC), with TCP
+// the most expensive, and identical outputs throughout.
+func TestTransportCosts(t *testing.T) {
+	inproc := workersTestRun(t, 4, InProcShuffle, Barrier)
+	runx := workersTestRun(t, 4, RunExchange, Barrier)
+	tcp := workersTestRun(t, 4, TCPRunExchange, Barrier)
+	if len(runx.Output) != len(inproc.Output) || len(tcp.Output) != len(inproc.Output) {
+		t.Fatalf("outputs diverge across transports: %d/%d/%d",
+			len(inproc.Output), len(runx.Output), len(tcp.Output))
+	}
+	if runx.Completion < inproc.Completion-1e-9 {
+		t.Fatalf("run exchange (%.3fs) cheaper than in-process (%.3fs)",
+			runx.Completion, inproc.Completion)
+	}
+	if tcp.Completion < runx.Completion-1e-9 {
+		t.Fatalf("tcp exchange (%.3fs) cheaper than local run exchange (%.3fs)",
+			tcp.Completion, runx.Completion)
+	}
+	// Run-exchange reducers merge externally: sort-phase memory must sit at
+	// the read-buffer bound, below the materialized partition.
+	if tcp.PeakMemVirt > inproc.PeakMemVirt {
+		t.Fatalf("external merge should not use more memory: tcp %d vs inproc %d",
+			tcp.PeakMemVirt, inproc.PeakMemVirt)
+	}
+}

@@ -8,7 +8,8 @@
 # paper's headline figures (Fig4 WordCount barrier vs pipelined, Fig6
 # representative points) and the wall-clock fast-path microbenchmarks
 # this repo gates perf PRs on: the batched pipelined shuffle
-# (internal/mr) and the zero-alloc k-way merger (internal/sortx).
+# (internal/mr), the zero-alloc k-way merger (internal/sortx), and the
+# shuffle-transport comparison (in-proc vs spill-run exchange vs TCP).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +42,8 @@ tmp="$(mktemp)"
   run_bench ./internal/sortx/ 'MergerNext|MergerDrain|ByKey' 2s
   echo "== external shuffle (disk-spilling, bounded memory) =="
   run_bench ./internal/mr/ 'Sort1M_Spill' 1x
+  echo "== shuffle transports (in-proc vs run exchange vs loopback TCP) =="
+  run_bench ./internal/mr/ 'WordCount250K_(InProc|Runx|TCP)' 2x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported
