@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"blmr/internal/apps"
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/harness"
 	"blmr/internal/metrics"
@@ -58,6 +59,7 @@ func main() {
 	workers := flag.Int("workers", 0, "with -transport tcp: run N worker subprocesses (multi-process cluster mode); with the simulator: place tasks on an N-node sub-cluster (0 = all nodes)")
 	mapTasks := flag.Int("map-tasks", 0, "real engine: number of map tasks (0 = NumCPU)")
 	fanIn := flag.Int("merge-fan-in", 0, "real engine: external merge fan-in cap (0 = default 64)")
+	compress := flag.String("compress", "none", "sealed-run codec: none|block|delta — compresses spill runs, run-exchange segments and TCP fetch bytes (delta front-codes sorted keys)")
 	verify := flag.Bool("verify", false, "real engine: check output against the single-process in-memory path (byte-identical in barrier mode)")
 	workerCoord := flag.String("worker-coord", "", "internal: run as a cluster worker, dialing this coordinator address")
 	flag.Parse()
@@ -82,9 +84,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown store %q\n", *storeKind)
 		os.Exit(2)
 	}
+	comp, err := codec.ParseCompression(*compress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *workerCoord != "" {
-		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn)
+		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, comp)
 		if err := mpexec.Serve(*workerCoord, mrJob(app, *combine), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
@@ -94,12 +101,12 @@ func main() {
 
 	if *transport != "" {
 		runReal(app, ds, realMode, kind, *transport, *reducers, *mapTasks,
-			*spillBytes, *spillMB, *fanIn, *workers, *combine, *verify)
+			*spillBytes, *spillMB, *fanIn, *workers, comp, *combine, *verify)
 		return
 	}
 
 	runSim(app, ds, costs, simMode, kind, *reducers, *heapMB, *spillMB, *spillBytes,
-		*workers, *speculative, *combine, *snapshot, *timeline)
+		*workers, comp, *speculative, *combine, *snapshot, *timeline)
 }
 
 func buildApp(name string, sizeGB float64, mappers int) (apps.App, harness.Dataset, simmr.CostModel, bool) {
@@ -144,17 +151,17 @@ func mrJob(app apps.App, combine bool) mr.Job {
 	return job
 }
 
-func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn int) mr.Options {
+func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn int, comp codec.Compression) mr.Options {
 	return mr.Options{
 		Mappers: mapTasks, Reducers: reducers, Mode: mode, Store: kind,
 		SpillBytes: spillBytes, SpillThresholdBytes: int64(spillMB) << 20,
-		MergeFanIn: fanIn,
+		MergeFanIn: fanIn, Compression: comp,
 	}
 }
 
 // runReal executes the job on the real-concurrency engine — in-process over
 // the chosen transport, or across worker subprocesses when -workers > 0.
-func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, combine, verify bool) {
+func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, comp codec.Compression, combine, verify bool) {
 	tkind, err := shuffle.ParseKind(transportName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -162,7 +169,7 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 	}
 	input := flatten(ds)
 	job := mrJob(app, combine)
-	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn)
+	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn, comp)
 	opts.Transport = tkind
 
 	var res *mr.Result
@@ -189,6 +196,11 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 	fmt.Printf("wall: %.1fms (map %.1fms)  spills: %d (%d KB sealed)  merge passes: %d  peak partials: %d KB\n",
 		res.Wall.Seconds()*1e3, res.MapWall.Seconds()*1e3,
 		res.Spills, res.SpilledBytes>>10, res.MergePasses, res.PeakPartialBytes>>10)
+	if comp != codec.None && res.CompressedSpillBytes > 0 {
+		fmt.Printf("compression (%s): %d KB raw -> %d KB sealed (%.2fx)  fetched: %d KB\n",
+			comp, res.RawSpillBytes>>10, res.CompressedSpillBytes>>10,
+			float64(res.RawSpillBytes)/float64(res.CompressedSpillBytes), res.FetchBytes>>10)
+	}
 
 	if verify {
 		ref, err := mr.Run(job, input, mr.Options{
@@ -262,12 +274,13 @@ func compareOutputs(a, b []core.Record, exact, countOnly bool) error {
 	return nil
 }
 
-func runSim(app apps.App, ds harness.Dataset, costs simmr.CostModel, m simmr.Mode, kind store.Kind, reducers, heapMB, spillMB int, spillBytes int64, workers int, speculative, combine bool, snapshot float64, timeline bool) {
+func runSim(app apps.App, ds harness.Dataset, costs simmr.CostModel, m simmr.Mode, kind store.Kind, reducers, heapMB, spillMB int, spillBytes int64, workers int, comp codec.Compression, speculative, combine bool, snapshot float64, timeline bool) {
 	res := harness.Run(harness.RunSpec{
 		App: app, Data: ds, Mode: m, Reducers: reducers, Store: kind,
 		Costs: costs, HeapBudgetMB: heapMB, SpillThresholdMB: spillMB, KVCacheMB: 512,
 		SpillBytes:  spillBytes,
 		Workers:     workers,
+		Compression: comp,
 		Speculative: speculative, Combine: combine, SnapshotPeriod: snapshot,
 	})
 

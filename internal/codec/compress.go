@@ -1,0 +1,558 @@
+package codec
+
+// Block-compressed spill runs. A sealed run is normally a flat stream of
+// uvarint-framed records (the None codec: exactly the historical format).
+// The compressed codecs wrap that stream in a self-describing run header
+// followed by independently decodable fixed-size blocks, so section reads
+// (dfs.OpenRunAt, the run-server wire path) stream block by block and only
+// ever decompress the blocks they touch:
+//
+//	run    := "BLC1" | kind byte | block*
+//	block  := uvarint(rawLen) | uvarint(encLen<<1 | lz) | encLen bytes
+//
+// rawLen is the block payload's size before byte compression; lz=1 means
+// the payload is LZ-compressed (lz=0: stored verbatim, used when
+// compression would not shrink the block). Blocks always hold whole
+// records — a record never straddles a block boundary.
+//
+// The LZ layer is snappy-shaped but dependency-free: a greedy byte-window
+// compressor emitting varint literal/copy tags, window reset per block:
+//
+//	op     := uvarint(n<<1)   | n literal bytes          (literal run)
+//	        | uvarint(n<<1|1) | uvarint(distance)        (copy, n >= 4)
+//
+// Block payloads use the standard record framing. DeltaBlock additionally
+// front-codes keys before compression, exploiting that spill runs are
+// always key-sorted: each record stores the length of the prefix it shares
+// with the previous key in the block plus the suffix, which collapses the
+// long shared prefixes sorted text keys have. Front-coding state resets at
+// every block boundary so blocks stay independently decodable:
+//
+//	deltaRec := uvarint(shared) | uvarint(len(suffix)) | suffix |
+//	            uvarint(len(value)) | value
+//
+// Decoders never panic on malformed input: every structural violation —
+// bad magic, impossible lengths, truncated payloads, copies reaching
+// before the window — surfaces as ErrCorrupt, the same contract
+// StreamReader gives raw runs.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"blmr/internal/core"
+)
+
+// Compression selects the sealed-run codec.
+type Compression uint8
+
+// Available codecs.
+const (
+	// None seals runs as flat uvarint-framed record streams (the historical
+	// format; zero overhead, no header).
+	None Compression = iota
+	// Block seals runs as LZ-compressed fixed-size blocks.
+	Block
+	// DeltaBlock is Block with sorted-key front-coding inside each block.
+	DeltaBlock
+)
+
+var compressionNames = [...]string{"none", "block", "delta"}
+
+func (c Compression) String() string {
+	if int(c) >= len(compressionNames) {
+		return "unknown"
+	}
+	return compressionNames[c]
+}
+
+// ParseCompression converts a flag string (none|block|delta) to a
+// Compression.
+func ParseCompression(s string) (Compression, error) {
+	for i, n := range compressionNames {
+		if s == n {
+			return Compression(i), nil
+		}
+	}
+	return 0, fmt.Errorf("codec: unknown compression %q (want none|block|delta)", s)
+}
+
+// runMagic opens every compressed run.
+var runMagic = [4]byte{'B', 'L', 'C', '1'}
+
+const (
+	// blockTargetBytes is the raw payload size at which a block is sealed.
+	// Small enough that partial section reads decompress little beyond what
+	// they consume, large enough for the byte-window to find repetition.
+	blockTargetBytes = 32 << 10
+	// maxBlockRawBytes rejects implausible block headers before allocating.
+	// A single oversized record can legitimately exceed the target (blocks
+	// hold whole records), so the cap mirrors StreamReader's string cap.
+	maxBlockRawBytes = 1 << 30
+	// minMatch is the shortest copy the LZ layer emits.
+	minMatch = 4
+	// lzTableBits sizes the match hash table.
+	lzTableBits = 13
+)
+
+// lzCoder is the reusable byte-window compressor state.
+type lzCoder struct {
+	table [1 << lzTableBits]int32 // position+1 of the last occurrence of a hash
+}
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - lzTableBits)
+}
+
+// appendLiterals emits one literal run (no-op for an empty run).
+func appendLiterals(dst, lit []byte) []byte {
+	if len(lit) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(lit))<<1)
+	return append(dst, lit...)
+}
+
+// compress appends the LZ encoding of src to dst. The window is src itself
+// (reset per block).
+func (z *lzCoder) compress(dst, src []byte) []byte {
+	for i := range z.table {
+		z.table[i] = 0
+	}
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		h := hash4(src[i:])
+		cand := int(z.table[h]) - 1
+		z.table[h] = int32(i) + 1
+		if cand < 0 || src[cand] != src[i] || src[cand+1] != src[i+1] ||
+			src[cand+2] != src[i+2] || src[cand+3] != src[i+3] {
+			i++
+			continue
+		}
+		length := minMatch
+		for i+length < len(src) && src[cand+length] == src[i+length] {
+			length++
+		}
+		dst = appendLiterals(dst, src[litStart:i])
+		dst = binary.AppendUvarint(dst, uint64(length)<<1|1)
+		dst = binary.AppendUvarint(dst, uint64(i-cand))
+		// Seed the table inside the match so adjacent repetitions still
+		// find each other, without paying a full per-byte insertion.
+		for j := i + 1; j < i+length && j+minMatch <= len(src); j += 7 {
+			z.table[hash4(src[j:])] = int32(j) + 1
+		}
+		i += length
+		litStart = i
+	}
+	return appendLiterals(dst, src[litStart:])
+}
+
+// lzDecompress appends the decompression of src to dst; the result must be
+// exactly rawLen bytes or the block is corrupt.
+func lzDecompress(dst, src []byte, rawLen int) ([]byte, error) {
+	base := len(dst)
+	for off := 0; off < len(src); {
+		tag, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return dst, fmt.Errorf("%w: bad LZ tag", ErrCorrupt)
+		}
+		off += n
+		ln := int(tag >> 1)
+		if tag&1 == 0 {
+			if ln <= 0 || off+ln > len(src) || len(dst)-base+ln > rawLen {
+				return dst, fmt.Errorf("%w: bad literal run", ErrCorrupt)
+			}
+			dst = append(dst, src[off:off+ln]...)
+			off += ln
+			continue
+		}
+		d, n := binary.Uvarint(src[off:])
+		if n <= 0 {
+			return dst, fmt.Errorf("%w: bad copy distance", ErrCorrupt)
+		}
+		off += n
+		// Compare the distance as uint64: converting first would let a
+		// huge corrupt value wrap negative and slip past the bound.
+		if ln < minMatch || d == 0 || d > uint64(len(dst)-base) || len(dst)-base+ln > rawLen {
+			return dst, fmt.Errorf("%w: bad copy", ErrCorrupt)
+		}
+		// Byte-at-a-time: copies may overlap their own output (run-length
+		// shapes encode as distance < length).
+		start := len(dst) - int(d)
+		for k := 0; k < ln; k++ {
+			dst = append(dst, dst[start+k])
+		}
+	}
+	if len(dst)-base != rawLen {
+		return dst, fmt.Errorf("%w: block decompressed to %d bytes, want %d", ErrCorrupt, len(dst)-base, rawLen)
+	}
+	return dst, nil
+}
+
+// commonPrefixLen returns the length of the longest common prefix.
+func commonPrefixLen(a []byte, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// RunEncoder seals one key-sorted record stream as a (possibly compressed)
+// run. With a writer, completed blocks stream out incrementally so large
+// runs never need run-sized memory; with a nil writer the encoded run
+// accumulates internally and Bytes returns it after Flush. Reset reuses
+// every internal buffer for the next run. Not safe for concurrent use.
+type RunEncoder struct {
+	w           io.Writer
+	comp        Compression
+	blockTarget int
+	raw         []byte // current block payload (pre-LZ framing)
+	lastKey     []byte // front-coding reference, reset per block
+	out         []byte // pending encoded run bytes
+	lz          *lzCoder
+	scratch     []byte // LZ output scratch
+	rawBytes    int64
+	headerDone  bool
+	err         error
+}
+
+// NewRunEncoder creates an encoder for one run. w may be nil (in-memory
+// runs: read the result with Bytes after Flush).
+func NewRunEncoder(w io.Writer, comp Compression) *RunEncoder {
+	e := &RunEncoder{blockTarget: blockTargetBytes}
+	e.comp = comp
+	if comp != None {
+		e.lz = &lzCoder{}
+	}
+	e.Reset(w)
+	return e
+}
+
+// Reset prepares the encoder for a new run written to w, keeping the codec
+// and the internal buffers.
+func (e *RunEncoder) Reset(w io.Writer) {
+	e.w = w
+	e.raw = e.raw[:0]
+	e.lastKey = e.lastKey[:0]
+	e.out = e.out[:0]
+	e.rawBytes = 0
+	e.headerDone = false
+	e.err = nil
+}
+
+// RawBytes returns the standard (uncompressed) encoded size of every record
+// appended since Reset — the number to compare against the sealed size for
+// the compression ratio.
+func (e *RunEncoder) RawBytes() int64 { return e.rawBytes }
+
+// ScratchBytes approximates the encoder's retained buffer footprint, for
+// memory accounting.
+func (e *RunEncoder) ScratchBytes() int64 {
+	return int64(cap(e.raw) + cap(e.out) + cap(e.scratch))
+}
+
+// Append adds one record to the run. Records must arrive in key order for
+// DeltaBlock (the spill invariant); None and Block accept any order.
+func (e *RunEncoder) Append(r core.Record) error {
+	if e.err != nil {
+		return e.err
+	}
+	e.rawBytes += EncodedSize(r)
+	switch e.comp {
+	case None:
+		e.out = AppendRecord(e.out, r)
+		return e.maybeWrite()
+	case DeltaBlock:
+		shared := commonPrefixLen(e.lastKey, r.Key)
+		e.raw = binary.AppendUvarint(e.raw, uint64(shared))
+		e.raw = binary.AppendUvarint(e.raw, uint64(len(r.Key)-shared))
+		e.raw = append(e.raw, r.Key[shared:]...)
+		e.raw = binary.AppendUvarint(e.raw, uint64(len(r.Value)))
+		e.raw = append(e.raw, r.Value...)
+		e.lastKey = append(e.lastKey[:0], r.Key...)
+	default: // Block
+		e.raw = AppendRecord(e.raw, r)
+	}
+	if len(e.raw) >= e.blockTarget {
+		e.sealBlock()
+	}
+	return e.err
+}
+
+// sealBlock compresses and frames the pending payload as one block.
+func (e *RunEncoder) sealBlock() {
+	if !e.headerDone {
+		e.out = append(e.out, runMagic[:]...)
+		e.out = append(e.out, byte(e.comp))
+		e.headerDone = true
+	}
+	if len(e.raw) == 0 {
+		return
+	}
+	e.scratch = e.lz.compress(e.scratch[:0], e.raw)
+	e.out = binary.AppendUvarint(e.out, uint64(len(e.raw)))
+	if len(e.scratch) < len(e.raw) {
+		e.out = binary.AppendUvarint(e.out, uint64(len(e.scratch))<<1|1)
+		e.out = append(e.out, e.scratch...)
+	} else {
+		e.out = binary.AppendUvarint(e.out, uint64(len(e.raw))<<1)
+		e.out = append(e.out, e.raw...)
+	}
+	e.raw = e.raw[:0]
+	e.lastKey = e.lastKey[:0] // front-coding restarts per block
+	_ = e.maybeWrite()
+}
+
+// maybeWrite streams pending output once it is a write's worth.
+func (e *RunEncoder) maybeWrite() error {
+	if e.w == nil || len(e.out) < 64<<10 {
+		return e.err
+	}
+	return e.writeOut()
+}
+
+func (e *RunEncoder) writeOut() error {
+	if e.err != nil {
+		return e.err
+	}
+	if _, err := e.w.Write(e.out); err != nil {
+		e.err = err
+		return err
+	}
+	e.out = e.out[:0]
+	return nil
+}
+
+// Flush seals the partial tail block (and the header, so even an empty
+// compressed run is self-describing) and writes everything pending. The run
+// is complete once Flush returns.
+func (e *RunEncoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.comp != None {
+		e.sealBlock() // writes the header even when no payload is pending
+	}
+	if e.w != nil {
+		return e.writeOut()
+	}
+	return e.err
+}
+
+// Bytes returns the complete encoded run (nil-writer mode, after Flush).
+// The slice is owned by the encoder and valid until the next Reset.
+func (e *RunEncoder) Bytes() []byte { return e.out }
+
+// RecordReader is the streaming decode interface shared by the raw
+// StreamReader and the compressed block reader: Next is false at end of
+// stream or on error, Err distinguishes the two.
+type RecordReader interface {
+	Next() (core.Record, bool)
+	Err() error
+}
+
+// NewRunDecoder decodes a sealed run of the given codec from r. For None it
+// is the raw StreamReader; for the compressed codecs the run header is
+// validated and its kind governs decoding (the header self-describes, so a
+// Block reader given a DeltaBlock run still decodes correctly).
+func NewRunDecoder(r ByteScanner, comp Compression) RecordReader {
+	if comp == None {
+		return NewStreamReader(r)
+	}
+	return &blockReader{r: r}
+}
+
+// NewRunDecoderBytes decodes a sealed in-memory run. Like
+// NewStreamReaderBytes it returns errors instead of panicking — the only
+// sanctioned decoder for buffers of on-disk or wire provenance.
+func NewRunDecoderBytes(b []byte, comp Compression) RecordReader {
+	return NewRunDecoder(bytes.NewReader(b), comp)
+}
+
+// blockReader streams records out of a compressed run, decompressing one
+// block at a time.
+type blockReader struct {
+	r          ByteScanner
+	delta      bool
+	headerDone bool
+	block      []byte // decompressed current block payload
+	off        int    // cursor within block
+	prevKey    []byte // front-coding state within block
+	payload    []byte // compressed payload scratch
+	err        error
+}
+
+// Next implements RecordReader.
+func (b *blockReader) Next() (core.Record, bool) {
+	if b.err != nil {
+		return core.Record{}, false
+	}
+	for b.off >= len(b.block) {
+		if !b.nextBlock() {
+			return core.Record{}, false
+		}
+	}
+	if b.delta {
+		return b.nextDelta()
+	}
+	key, ok := b.str()
+	if !ok {
+		return core.Record{}, false
+	}
+	val, ok := b.str()
+	if !ok {
+		return core.Record{}, false
+	}
+	return core.Record{Key: key, Value: val}, true
+}
+
+// Err implements RecordReader.
+func (b *blockReader) Err() error { return b.err }
+
+// corrupt latches a corruption error.
+func (b *blockReader) corrupt(format string, args ...any) bool {
+	b.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	return false
+}
+
+// nextBlock reads, validates and decompresses the next block. false at
+// clean end of run or on error.
+func (b *blockReader) nextBlock() bool {
+	if !b.headerDone {
+		var hdr [5]byte
+		if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
+			return b.corrupt("truncated run header: %v", err)
+		}
+		if [4]byte(hdr[:4]) != runMagic {
+			return b.corrupt("bad run magic %q", hdr[:4])
+		}
+		kind := Compression(hdr[4])
+		if kind != Block && kind != DeltaBlock {
+			return b.corrupt("bad run codec %d", hdr[4])
+		}
+		b.delta = kind == DeltaBlock
+		b.headerDone = true
+	}
+	rawLen, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		if err == io.EOF {
+			return false // clean end: the run stops at a block boundary
+		}
+		return b.corrupt("bad block length: %v", err)
+	}
+	encTag, err := binary.ReadUvarint(b.r)
+	if err != nil {
+		return b.corrupt("truncated block header: %v", err)
+	}
+	encLen, lz := encTag>>1, encTag&1 == 1
+	if rawLen == 0 || rawLen > maxBlockRawBytes || encLen == 0 || encLen > rawLen {
+		return b.corrupt("implausible block sizes raw=%d enc=%d", rawLen, encLen)
+	}
+	if !b.readPayload(encLen) {
+		return false
+	}
+	if lz {
+		b.block, err = lzDecompress(b.block[:0], b.payload, int(rawLen))
+		if err != nil {
+			b.err = err
+			return false
+		}
+	} else {
+		if encLen != rawLen {
+			return b.corrupt("stored block %d bytes, header says %d", encLen, rawLen)
+		}
+		b.block = append(b.block[:0], b.payload...)
+	}
+	b.off = 0
+	b.prevKey = b.prevKey[:0]
+	return true
+}
+
+// readPayload fills b.payload with n compressed bytes, chunked so a corrupt
+// (huge) length fails at the first missing byte rather than allocating the
+// claimed size up front.
+func (b *blockReader) readPayload(n uint64) bool {
+	const chunk = 64 << 10
+	b.payload = b.payload[:0]
+	for remaining := n; remaining > 0; {
+		c := uint64(chunk)
+		if remaining < c {
+			c = remaining
+		}
+		start := len(b.payload)
+		b.payload = append(b.payload, make([]byte, c)...)
+		if _, err := io.ReadFull(b.r, b.payload[start:]); err != nil {
+			return b.corrupt("truncated block payload: %v", err)
+		}
+		remaining -= c
+	}
+	return true
+}
+
+// uvarint decodes one varint from the current block.
+func (b *blockReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(b.block[b.off:])
+	if n <= 0 {
+		return 0, b.corrupt("bad varint in block at offset %d", b.off)
+	}
+	b.off += n
+	return v, true
+}
+
+// bytesN slices n payload bytes from the current block.
+func (b *blockReader) bytesN(n uint64) ([]byte, bool) {
+	if uint64(len(b.block)-b.off) < n {
+		return nil, b.corrupt("truncated record in block at offset %d", b.off)
+	}
+	s := b.block[b.off : b.off+int(n)]
+	b.off += int(n)
+	return s, true
+}
+
+// str decodes one length-prefixed string from the current block.
+func (b *blockReader) str() (string, bool) {
+	n, ok := b.uvarint()
+	if !ok {
+		return "", false
+	}
+	s, ok := b.bytesN(n)
+	if !ok {
+		return "", false
+	}
+	return string(s), true
+}
+
+// nextDelta decodes one front-coded record.
+func (b *blockReader) nextDelta() (core.Record, bool) {
+	shared, ok := b.uvarint()
+	if !ok {
+		return core.Record{}, false
+	}
+	if shared > uint64(len(b.prevKey)) {
+		return core.Record{}, b.corrupt("shared prefix %d exceeds previous key length %d", shared, len(b.prevKey))
+	}
+	sufLen, ok := b.uvarint()
+	if !ok {
+		return core.Record{}, false
+	}
+	suffix, ok := b.bytesN(sufLen)
+	if !ok {
+		return core.Record{}, false
+	}
+	b.prevKey = append(b.prevKey[:int(shared)], suffix...)
+	val, ok := b.str()
+	if !ok {
+		return core.Record{}, false
+	}
+	return core.Record{Key: string(b.prevKey), Value: val}, true
+}

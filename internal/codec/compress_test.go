@@ -1,0 +1,338 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"blmr/internal/core"
+)
+
+var allCompressions = []Compression{None, Block, DeltaBlock}
+
+// encodeRun seals recs with comp at the given block target (0 = default),
+// returning the encoded run and the encoder's reported raw size.
+func encodeRun(t *testing.T, recs []core.Record, comp Compression, blockTarget int) ([]byte, int64) {
+	t.Helper()
+	e := NewRunEncoder(nil, comp)
+	if blockTarget > 0 {
+		e.blockTarget = blockTarget
+	}
+	for _, r := range recs {
+		if err := e.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return append([]byte(nil), e.Bytes()...), e.RawBytes()
+}
+
+// decodeRun drains a decoder, failing the test on any decode error.
+func decodeRun(t *testing.T, buf []byte, comp Compression) []core.Record {
+	t.Helper()
+	rd := NewRunDecoderBytes(buf, comp)
+	var out []core.Record
+	for {
+		r, ok := rd.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if err := rd.Err(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return out
+}
+
+func requireRecords(t *testing.T, name string, want, got []core.Record) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d records, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: record %d = %+v, want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// randomRecords builds n records with random sizes including zero-byte keys
+// and values, key-sorted (the spill invariant DeltaBlock exploits).
+func randomRecords(rng *rand.Rand, n int) []core.Record {
+	const alphabet = "abcdefgh"
+	recs := make([]core.Record, n)
+	for i := range recs {
+		klen := rng.Intn(24)
+		if rng.Intn(10) == 0 {
+			klen = 0
+		}
+		vlen := rng.Intn(40)
+		if rng.Intn(10) == 0 {
+			vlen = 0
+		}
+		k := make([]byte, klen)
+		for j := range k {
+			k[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		v := make([]byte, vlen)
+		rng.Read(v)
+		recs[i] = core.Record{Key: string(k), Value: string(v)}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return recs
+}
+
+func TestCompressedRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		recs := randomRecords(rng, 1+rng.Intn(400))
+		raw := AppendRecords(nil, recs)
+		for _, comp := range allCompressions {
+			buf, rawBytes := encodeRun(t, recs, comp, 0)
+			if rawBytes != int64(len(raw)) {
+				t.Fatalf("%v: RawBytes=%d, standard encoding is %d", comp, rawBytes, len(raw))
+			}
+			if comp == None && !bytes.Equal(buf, raw) {
+				t.Fatalf("None encoding diverged from AppendRecords")
+			}
+			requireRecords(t, fmt.Sprintf("trial%d-%v", trial, comp), recs, decodeRun(t, buf, comp))
+		}
+	}
+}
+
+// TestCompressedRoundTripBlockBoundaries forces records to land on every
+// block-boundary shape: tiny targets seal a block per record (and mid-run
+// boundaries at every position), larger ones exercise partial tail blocks
+// and records bigger than a whole block.
+func TestCompressedRoundTripBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recs := randomRecords(rng, 200)
+	recs = append(recs, core.Record{Key: strings.Repeat("k", 500), Value: strings.Repeat("v", 700)})
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		for _, target := range []int{1, 2, 3, 7, 16, 64, 257, 1 << 20} {
+			buf, _ := encodeRun(t, recs, comp, target)
+			requireRecords(t, fmt.Sprintf("%v-target%d", comp, target), recs, decodeRun(t, buf, comp))
+		}
+	}
+}
+
+// TestCompressedEmptyRun: a flushed empty compressed run is just the
+// self-describing header and decodes to zero records.
+func TestCompressedEmptyRun(t *testing.T) {
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf, _ := encodeRun(t, nil, comp, 0)
+		if len(buf) != 5 {
+			t.Fatalf("%v: empty run is %d bytes, want 5 (header)", comp, len(buf))
+		}
+		if got := decodeRun(t, buf, comp); len(got) != 0 {
+			t.Fatalf("%v: empty run decoded %d records", comp, len(got))
+		}
+	}
+}
+
+// TestCompressedStreamingMatchesBuffered: the writer-backed encoder must
+// produce byte-identical output to the in-memory encoder, through arbitrary
+// incremental writes.
+func TestCompressedStreamingMatchesBuffered(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := randomRecords(rng, 3000)
+	for _, comp := range allCompressions {
+		want, _ := encodeRun(t, recs, comp, 0)
+		var sink bytes.Buffer
+		e := NewRunEncoder(&sink, comp)
+		for _, r := range recs {
+			if err := e.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sink.Bytes(), want) {
+			t.Fatalf("%v: streamed encoding diverges from buffered", comp)
+		}
+	}
+}
+
+// blockBoundaries returns every offset at which a compressed run may
+// legitimately end (after the header and after each whole block), by
+// re-walking the framing.
+func blockBoundaries(t *testing.T, buf []byte) map[int]bool {
+	t.Helper()
+	bounds := map[int]bool{}
+	off := 5 // header
+	bounds[off] = true
+	for off < len(buf) {
+		rawLen, n := uvarintAt(t, buf, off)
+		off += n
+		encTag, n := uvarintAt(t, buf, off)
+		off += n
+		_ = rawLen
+		off += int(encTag >> 1)
+		bounds[off] = true
+	}
+	return bounds
+}
+
+func uvarintAt(t *testing.T, buf []byte, off int) (uint64, int) {
+	t.Helper()
+	var v uint64
+	var shift uint
+	for i := off; i < len(buf); i++ {
+		b := buf[i]
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i - off + 1
+		}
+		shift += 7
+	}
+	t.Fatalf("bad varint at %d", off)
+	return 0, 0
+}
+
+// TestCompressedTruncationEveryOffset cuts a compressed run at every byte
+// offset: decoding must never panic, and must surface ErrCorrupt for every
+// cut that is not a clean block boundary. Cuts at block boundaries decode
+// (without error) to a strict prefix of the records — the same undetectable
+// case a raw run truncated at a record boundary has, which the transports
+// catch with section-length accounting.
+func TestCompressedTruncationEveryOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	recs := randomRecords(rng, 120)
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf, _ := encodeRun(t, recs, comp, 64)
+		bounds := blockBoundaries(t, buf)
+		for cut := 0; cut < len(buf); cut++ {
+			rd := NewRunDecoderBytes(buf[:cut], comp)
+			var got []core.Record
+			for {
+				r, ok := rd.Next()
+				if !ok {
+					break
+				}
+				got = append(got, r)
+			}
+			err := rd.Err()
+			if bounds[cut] {
+				if err != nil {
+					t.Fatalf("%v: cut at block boundary %d errored: %v", comp, cut, err)
+				}
+				if len(got) > len(recs) || !slices.Equal(got, recs[:len(got)]) {
+					t.Fatalf("%v: cut at %d decoded a non-prefix", comp, cut)
+				}
+				continue
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%v: cut at %d: err=%v, want ErrCorrupt", comp, cut, err)
+			}
+		}
+	}
+}
+
+// TestCompressedCorruptHeader: bad magic and bad codec bytes are rejected.
+func TestCompressedCorruptHeader(t *testing.T) {
+	buf, _ := encodeRun(t, []core.Record{{Key: "k", Value: "v"}}, Block, 0)
+	for _, mut := range []struct {
+		name string
+		at   int
+		to   byte
+	}{
+		{"magic", 0, 'X'},
+		{"codec", 4, 99},
+	} {
+		bad := append([]byte(nil), buf...)
+		bad[mut.at] = mut.to
+		rd := NewRunDecoderBytes(bad, Block)
+		if _, ok := rd.Next(); ok {
+			t.Fatalf("%s: decoded a record from a corrupt header", mut.name)
+		}
+		if !errors.Is(rd.Err(), ErrCorrupt) {
+			t.Fatalf("%s: err=%v, want ErrCorrupt", mut.name, rd.Err())
+		}
+	}
+}
+
+// TestDeltaBlockCompresses: sorted text keys (the WordCount spill shape)
+// must shrink substantially under DeltaBlock — the ratio the spill and
+// fetch paths bank on.
+func TestDeltaBlockCompresses(t *testing.T) {
+	var recs []core.Record
+	for i := 0; i < 4000; i++ {
+		recs = append(recs, core.Record{Key: fmt.Sprintf("word%08d", i/3), Value: "1"})
+	}
+	raw := int64(len(AppendRecords(nil, recs)))
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf, rawBytes := encodeRun(t, recs, comp, 0)
+		if rawBytes != raw {
+			t.Fatalf("%v: raw accounting %d != %d", comp, rawBytes, raw)
+		}
+		ratio := float64(raw) / float64(len(buf))
+		if ratio < 1.5 {
+			t.Fatalf("%v: ratio %.2f < 1.5 (raw=%d sealed=%d)", comp, ratio, raw, len(buf))
+		}
+		t.Logf("%v: %d -> %d bytes (%.1fx)", comp, raw, len(buf), ratio)
+	}
+}
+
+// TestIncompressibleStoredBlocks: random payloads take the stored-block
+// path and still round-trip (sealed size ≈ raw + framing, never corrupt).
+func TestIncompressibleStoredBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	recs := make([]core.Record, 50)
+	for i := range recs {
+		k := make([]byte, 32)
+		v := make([]byte, 200)
+		rng.Read(k)
+		rng.Read(v)
+		recs[i] = core.Record{Key: string(k), Value: string(v)}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf, rawBytes := encodeRun(t, recs, comp, 0)
+		requireRecords(t, comp.String(), recs, decodeRun(t, buf, comp))
+		if int64(len(buf)) > rawBytes+rawBytes/8+64 {
+			t.Fatalf("%v: incompressible run expanded %d -> %d", comp, rawBytes, len(buf))
+		}
+	}
+}
+
+// TestCorruptCopyDistance: a copy op whose distance uvarint exceeds int64
+// must surface ErrCorrupt, not wrap negative and panic on a slice index.
+func TestCorruptCopyDistance(t *testing.T) {
+	var buf []byte
+	buf = append(buf, runMagic[:]...)
+	buf = append(buf, byte(Block))
+	payload := binary.AppendUvarint(nil, 4<<1|1)               // copy, len 4
+	payload = binary.AppendUvarint(payload, uint64(1)<<63)     // distance 2^63
+	buf = binary.AppendUvarint(buf, 100)                       // rawLen
+	buf = binary.AppendUvarint(buf, uint64(len(payload))<<1|1) // lz-compressed
+	buf = append(buf, payload...)
+	rd := NewRunDecoderBytes(buf, Block)
+	if _, ok := rd.Next(); ok {
+		t.Fatal("decoded a record from a corrupt copy distance")
+	}
+	if !errors.Is(rd.Err(), ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", rd.Err())
+	}
+}
+
+func TestParseCompression(t *testing.T) {
+	for _, comp := range allCompressions {
+		got, err := ParseCompression(comp.String())
+		if err != nil || got != comp {
+			t.Fatalf("ParseCompression(%q) = %v, %v", comp.String(), got, err)
+		}
+	}
+	if _, err := ParseCompression("zstd"); err == nil {
+		t.Fatal("expected an error for an unknown codec")
+	}
+}

@@ -42,42 +42,64 @@ var dirSeq atomic.Int64
 
 // RunDir is a directory of spill-run files shared by every task of one job
 // execution. Create/OpenRun are safe for concurrent use by multiple tasks;
-// individual writers and readers are single-owner.
+// individual writers and readers are single-owner. The directory carries
+// the job's sealed-run codec: every run sealed into it uses the same
+// codec.Compression, and comp-aware readers (RunSet.Runs) decode with it.
 type RunDir struct {
 	dir     string
 	uniq    string // per-instance filename component: pid + instance seq
 	own     bool   // created by us => Close removes the whole directory
+	comp    codec.Compression
 	seq     atomic.Int64
 	spilled atomic.Int64
+	raw     atomic.Int64
 
 	mu      sync.Mutex
 	closed  bool
 	created []string // every run file created, for non-owned-dir cleanup
 }
 
-// NewRunDir opens a spill directory. An empty dir creates a fresh temporary
-// directory that Close will remove; a caller-provided dir is used as-is and
-// only the run files created through this RunDir are cleaned up.
-func NewRunDir(dir string) (*RunDir, error) {
+// NewRunDir opens an uncompressed spill directory. An empty dir creates a
+// fresh temporary directory that Close will remove; a caller-provided dir
+// is used as-is and only the run files created through this RunDir are
+// cleaned up.
+func NewRunDir(dir string) (*RunDir, error) { return NewRunDirComp(dir, codec.None) }
+
+// NewRunDirComp is NewRunDir with an explicit sealed-run codec.
+func NewRunDirComp(dir string, comp codec.Compression) (*RunDir, error) {
 	uniq := fmt.Sprintf("%d-%d", os.Getpid(), dirSeq.Add(1))
 	if dir == "" {
 		d, err := os.MkdirTemp("", "blmr-spill-")
 		if err != nil {
 			return nil, fmt.Errorf("dfs: create spill dir: %w", err)
 		}
-		return &RunDir{dir: d, uniq: uniq, own: true}, nil
+		return &RunDir{dir: d, uniq: uniq, own: true, comp: comp}, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dfs: open spill dir: %w", err)
 	}
-	return &RunDir{dir: dir, uniq: uniq}, nil
+	return &RunDir{dir: dir, uniq: uniq, comp: comp}, nil
 }
 
 // Dir returns the directory path.
 func (d *RunDir) Dir() string { return d.dir }
 
-// SpilledBytes returns the total bytes sealed into run files so far.
+// Compression returns the sealed-run codec every run in this directory
+// uses.
+func (d *RunDir) Compression() codec.Compression { return d.comp }
+
+// SpilledBytes returns the total bytes sealed into run files so far (the
+// on-disk, post-compression volume).
 func (d *RunDir) SpilledBytes() int64 { return d.spilled.Load() }
+
+// AddRawBytes accounts n raw (pre-compression) encoded bytes toward the
+// directory's totals. Sealers call it once per sealed run so the
+// compression ratio is observable job-wide.
+func (d *RunDir) AddRawBytes(n int64) { d.raw.Add(n) }
+
+// RawSpilledBytes returns the total raw (pre-compression) encoded bytes
+// behind the sealed runs — equal to SpilledBytes when the codec is None.
+func (d *RunDir) RawSpilledBytes() int64 { return d.raw.Load() }
 
 // Create opens a new run file for writing. tag labels the file for
 // debugging (e.g. "m3-p7"); uniqueness comes from an internal sequence.
@@ -175,17 +197,20 @@ func (w *RunWriter) Abort() {
 // Err distinguishes the two. Not safe for concurrent use.
 type RunReader struct {
 	f   *os.File
-	sr  *codec.StreamReader
+	sr  codec.RecordReader
 	err error
 }
 
-// OpenRun reopens a sealed run file for streaming reads.
-func OpenRun(path string) (*RunReader, error) {
+// OpenRun reopens a sealed uncompressed run file for streaming reads.
+func OpenRun(path string) (*RunReader, error) { return OpenRunComp(path, codec.None) }
+
+// OpenRunComp reopens a sealed run file written with the given codec.
+func OpenRunComp(path string, comp codec.Compression) (*RunReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dfs: open spill run: %w", err)
 	}
-	return &RunReader{f: f, sr: codec.NewStreamReader(bufio.NewReaderSize(f, readBufBytes))}, nil
+	return &RunReader{f: f, sr: codec.NewRunDecoder(bufio.NewReaderSize(f, readBufBytes), comp)}, nil
 }
 
 // OpenRunAt reopens the byte range [off, off+n) of a sealed spill file as
@@ -194,12 +219,19 @@ func OpenRun(path string) (*RunReader, error) {
 // sorted run back to back (Hadoop's io.sort spill layout) and the writer
 // remembers per-partition offsets.
 func OpenRunAt(path string, off, n int64) (*RunReader, error) {
+	return OpenRunAtComp(path, off, n, codec.None)
+}
+
+// OpenRunAtComp is OpenRunAt for a section sealed with the given codec.
+// Each section is a complete self-contained run (header and whole blocks),
+// so only the blocks the read actually touches are decompressed.
+func OpenRunAtComp(path string, off, n int64, comp codec.Compression) (*RunReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("dfs: open spill segment: %w", err)
 	}
 	sec := io.NewSectionReader(f, off, n)
-	return &RunReader{f: f, sr: codec.NewStreamReader(bufio.NewReaderSize(sec, readBufBytes))}, nil
+	return &RunReader{f: f, sr: codec.NewRunDecoder(bufio.NewReaderSize(sec, readBufBytes), comp)}, nil
 }
 
 // Next implements sortx.Run.
@@ -236,10 +268,12 @@ type RunSet struct {
 // NewRunSet creates an empty run set writing into d.
 func (d *RunDir) NewRunSet(tag string) *RunSet { return &RunSet{d: d, tag: tag} }
 
-// Append seals buf (one complete, key-sorted, codec-encoded run) as a new
-// run file. The write goes through the buffered partial-write path so large
-// runs never need a single syscall-sized buffer.
-func (s *RunSet) Append(buf []byte) error {
+// Append seals buf (one complete, key-sorted run, already encoded with the
+// directory's codec) as a new run file. rawBytes is the run's standard
+// (pre-compression) encoded size, for ratio accounting; pass len(buf) for
+// uncompressed runs. The write goes through the buffered partial-write path
+// so large runs never need a single syscall-sized buffer.
+func (s *RunSet) Append(buf []byte, rawBytes int64) error {
 	w, err := s.d.Create(s.tag)
 	if err != nil {
 		return err
@@ -260,6 +294,7 @@ func (s *RunSet) Append(buf []byte) error {
 		w.Abort()
 		return err
 	}
+	s.d.AddRawBytes(rawBytes)
 	s.paths = append(s.paths, w.Path())
 	s.bytes += int64(len(buf))
 	return nil
@@ -279,7 +314,7 @@ func (s *RunSet) Bytes() int64 { return s.bytes }
 func (s *RunSet) Runs() ([]sortx.Run, error) {
 	runs := make([]sortx.Run, 0, len(s.paths))
 	for _, p := range s.paths {
-		r, err := OpenRun(p)
+		r, err := OpenRunComp(p, s.d.comp)
 		if err != nil {
 			_ = s.Release()
 			return nil, err

@@ -160,7 +160,7 @@ func TestRunSetLifecycle(t *testing.T) {
 	want := 0
 	for run := 0; run < 3; run++ {
 		recs := mkRecs(50, fmt.Sprintf("run%d-", run))
-		if err := s.Append(encodeRun(recs)); err != nil {
+		if err := s.Append(encodeRun(recs), int64(len(encodeRun(recs)))); err != nil {
 			t.Fatal(err)
 		}
 		want += len(recs)

@@ -14,6 +14,7 @@ package exec
 import (
 	"runtime"
 
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/shuffle"
 	"blmr/internal/store"
@@ -107,6 +108,16 @@ type Options struct {
 	// first, bounding merge memory (runs x 64KiB read buffers) and — over
 	// the TCP exchange — concurrently open fetch connections.
 	MergeFanIn int
+	// Compression selects the sealed-run codec (default codec.None).
+	// Every run the execution seals — spill waves, run-exchange segments,
+	// intermediate merge runs, pipelined store spills — is block-compressed
+	// with it, and compressed sections travel compressed over the TCP
+	// exchange, shrinking both spill I/O and fetch bytes.
+	// codec.DeltaBlock additionally front-codes the sorted keys inside each
+	// block, the big win for text-heavy keys (WordCount-class workloads).
+	// Decompressed merge order is unchanged, so outputs stay byte-identical
+	// across codecs.
+	Compression codec.Compression
 }
 
 // Normalize fills defaulted fields in place.

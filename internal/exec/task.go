@@ -51,6 +51,10 @@ type ReduceResult struct {
 	// MergePasses counts intermediate merge passes forced by
 	// Options.MergeFanIn (barrier mode).
 	MergePasses int
+	// FetchBytes counts wire bytes fetched from run-servers for this task
+	// (compressed sections count their on-the-wire size; 0 off the TCP
+	// exchange).
+	FetchBytes int64
 }
 
 // RunMapTask executes one map task against the sink, picking the stream or
@@ -251,10 +255,17 @@ func runMapStream(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapSt
 // RunReduceTask executes one reduce task over the source. scratch (may be
 // nil) backs intermediate merge passes and disk-backed partial stores.
 func RunReduceTask(job Job, opts Options, t ReduceTask, src shuffle.ReduceSource, scratch *dfs.RunDir) (ReduceResult, error) {
+	var res ReduceResult
+	var err error
 	if opts.Mode == Barrier {
-		return runReduceBarrier(job, opts, t, src, scratch)
+		res, err = runReduceBarrier(job, opts, t, src, scratch)
+	} else {
+		res, err = runReducePipelined(job, opts, t, src, scratch)
 	}
-	return runReducePipelined(job, opts, t, src, scratch)
+	if fb, ok := src.(interface{ FetchBytes() int64 }); ok {
+		res.FetchBytes = fb.FetchBytes()
+	}
+	return res, err
 }
 
 // closeRuns closes every run that owns a resource.
@@ -307,12 +318,18 @@ func runReduceBarrier(job Job, opts Options, t ReduceTask, src shuffle.ReduceSou
 // passes. Each pass merges the first fanIn runs — a contiguous prefix, so
 // stable tie-breaking by run index is preserved — into one merged run:
 // sealed to scratch when available (bounded memory), in memory otherwise.
-// Consumed runs are closed eagerly; the returned slice replaces runs.
+// One run encoder is reused across every pass, matching the other sealing
+// sites' reuse discipline. Consumed runs are closed eagerly; the returned
+// slice replaces runs.
 func mergeToFanIn(runs []sortx.Run, fanIn int, scratch *dfs.RunDir, part int) ([]sortx.Run, int, error) {
 	passes := 0
+	var enc *codec.RunEncoder
+	if scratch != nil && len(runs) > fanIn {
+		enc = codec.NewRunEncoder(nil, scratch.Compression())
+	}
 	for len(runs) > fanIn {
 		group := runs[:fanIn]
-		merged, err := mergeOnce(group, scratch, part)
+		merged, err := mergeOnce(group, scratch, part, enc)
 		closeRuns(group)
 		if err != nil {
 			return runs, passes, err
@@ -324,8 +341,10 @@ func mergeToFanIn(runs []sortx.Run, fanIn int, scratch *dfs.RunDir, part int) ([
 	return runs, passes, nil
 }
 
-// mergeOnce merges a group of runs into a single run.
-func mergeOnce(group []sortx.Run, scratch *dfs.RunDir, part int) (sortx.Run, error) {
+// mergeOnce merges a group of runs into a single run, sealed through enc
+// with the scratch directory's codec when disk-backed (enc is non-nil iff
+// scratch is).
+func mergeOnce(group []sortx.Run, scratch *dfs.RunDir, part int, enc *codec.RunEncoder) (sortx.Run, error) {
 	m := sortx.NewMerger(group)
 	if scratch == nil {
 		recs := m.Drain()
@@ -338,36 +357,33 @@ func mergeOnce(group []sortx.Run, scratch *dfs.RunDir, part int) (sortx.Run, err
 	if err != nil {
 		return nil, err
 	}
-	var buf []byte
+	enc.Reset(w)
 	for {
 		rec, ok := m.Next()
 		if !ok {
 			break
 		}
-		buf = codec.AppendRecord(buf, rec)
-		if len(buf) >= 64<<10 {
-			if _, err := w.Write(buf); err != nil {
-				w.Abort()
-				return nil, err
-			}
-			buf = buf[:0]
+		if err := enc.Append(rec); err != nil {
+			w.Abort()
+			return nil, err
 		}
 	}
 	if err := m.Err(); err != nil {
 		w.Abort()
 		return nil, err
 	}
-	if len(buf) > 0 {
-		if _, err := w.Write(buf); err != nil {
-			w.Abort()
-			return nil, err
-		}
+	if err := enc.Flush(); err != nil {
+		w.Abort()
+		return nil, err
 	}
 	if err := w.Close(); err != nil {
 		w.Abort()
 		return nil, err
 	}
-	return shuffle.NewLazyRun(shuffle.Segment{Path: w.Path(), Off: 0, N: w.Bytes()}), nil
+	scratch.AddRawBytes(enc.RawBytes())
+	return shuffle.NewLazyRun(shuffle.Segment{
+		Path: w.Path(), Off: 0, N: w.Bytes(), Comp: scratch.Compression(),
+	}), nil
 }
 
 // runReducePipelined consumes arriving batches through the stream reducer,
@@ -410,12 +426,12 @@ func runReducePipelined(job Job, opts Options, t ReduceTask, src shuffle.ReduceS
 // store already bounds its own memory through its cache.
 func NewTaskStore(job Job, opts Options, spillDir *dfs.RunDir, r int) store.Store {
 	if opts.SpillBytes > 0 && opts.Store != store.KV {
-		return store.NewSpillStoreOn(opts.SpillBytes, job.Merger, nil,
-			spillDir.NewRunSet(fmt.Sprintf("red%d", r)))
+		return store.NewSpillStoreComp(opts.SpillBytes, job.Merger, nil,
+			spillDir.NewRunSet(fmt.Sprintf("red%d", r)), spillDir.Compression())
 	}
 	switch opts.Store {
 	case store.SpillMerge:
-		return store.NewSpillStore(opts.SpillThresholdBytes, job.Merger, nil)
+		return store.NewSpillStoreComp(opts.SpillThresholdBytes, job.Merger, nil, nil, opts.Compression)
 	case store.KV:
 		return store.NewKVStore(kvstore.New(kvstore.Config{CacheBytes: opts.KVCacheBytes}))
 	default:

@@ -16,6 +16,7 @@ import (
 
 	"blmr/internal/apps"
 	"blmr/internal/cluster"
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/simmr"
 	"blmr/internal/store"
@@ -88,7 +89,10 @@ type RunSpec struct {
 	// Transport selects the simulated shuffle data plane
 	// (simmr.JobSpec.Transport; default in-process).
 	Transport simmr.Transport
-	Cluster   cluster.Config
+	// Compression enables the sealed-run codec model
+	// (simmr.JobSpec.Compression; default none).
+	Compression codec.Compression
+	Cluster     cluster.Config
 	// Replication overrides the DFS replication factor (default 3).
 	Replication int
 	// FetchParallelism overrides the barrier-mode parallel copies (default 5).
@@ -135,6 +139,7 @@ func Run(spec RunSpec) *simmr.Result {
 		Mode:           spec.Mode,
 		Workers:        spec.Workers,
 		Transport:      spec.Transport,
+		Compression:    spec.Compression,
 		Store:          spec.Store,
 		HeapBudget:     int64(spec.HeapBudgetMB) << 20,
 		SpillThreshold: int64(spec.SpillThresholdMB) << 20,

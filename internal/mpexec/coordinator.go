@@ -41,8 +41,9 @@ type remoteWorker struct {
 
 	mu sync.Mutex
 
-	// reduce-phase aggregation (written under c.mu)
-	spilledBytes int64
+	// per-worker byte aggregation (written under c.mu)
+	spilledBytes    int64
+	rawSpilledBytes int64
 }
 
 // Listen opens the coordinator's registration listener on an ephemeral
@@ -139,7 +140,9 @@ func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) 
 	res := mr.Assemble(mapSum)
 	for _, w := range c.workers {
 		res.SpilledBytes += w.spilledBytes
+		res.RawSpillBytes += w.rawSpilledBytes
 	}
+	res.CompressedSpillBytes = res.SpilledBytes
 	res.Wall = time.Since(start)
 	return res, nil
 }
@@ -158,7 +161,7 @@ func (c *Coordinator) segmentsFor(r, nMaps int) []shuffle.Segment {
 				continue
 			}
 			segs = append(segs, shuffle.Segment{
-				Addr: w.addr, FileID: w.fileID, Off: sp.Off, N: sp.N,
+				Addr: w.addr, FileID: w.fileID, Off: sp.Off, N: sp.N, Comp: w.comp,
 			})
 		}
 	}
@@ -200,18 +203,19 @@ func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	if rtyp != msgMapDone {
 		return exec.MapStats{}, fmt.Errorf("%s: unexpected reply %q to map task", w, rtyp)
 	}
-	index, shuffled, spills, spilledBytes, waves, err := decodeMapDone(payload, w.addr)
+	md, err := decodeMapDone(payload, w.addr)
 	if err != nil {
 		return exec.MapStats{}, fmt.Errorf("%s: %w", w, err)
 	}
-	if index != t.Index {
-		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d, want %d", w, index, t.Index)
+	if md.index != t.Index {
+		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d, want %d", w, md.index, t.Index)
 	}
 	w.c.mu.Lock()
-	w.c.waves[t.Index] = waves
-	w.spilledBytes += spilledBytes
+	w.c.waves[t.Index] = md.waves
+	w.spilledBytes += md.spilledBytes
+	w.rawSpilledBytes += md.rawSpilledBytes
 	w.c.mu.Unlock()
-	return exec.MapStats{ShuffleRecords: shuffled, Spills: spills}, nil
+	return exec.MapStats{ShuffleRecords: md.shuffleRecords, Spills: md.spills}, nil
 }
 
 // RunReduce implements exec.Worker: ship the partition's routing table,
@@ -233,6 +237,8 @@ func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 		MergePasses:      int(d.uvarint()),
 	}
 	spilledBytes := int64(d.uvarint())
+	rawSpilledBytes := int64(d.uvarint())
+	res.FetchBytes = int64(d.uvarint())
 	res.Output = d.records()
 	if d.err != nil {
 		return exec.ReduceResult{}, fmt.Errorf("%s: %w", w, d.err)
@@ -242,6 +248,7 @@ func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	}
 	w.c.mu.Lock()
 	w.spilledBytes += spilledBytes
+	w.rawSpilledBytes += rawSpilledBytes
 	w.c.mu.Unlock()
 	return res, nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"blmr/internal/apps"
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	blexec "blmr/internal/exec"
 	"blmr/internal/mpexec"
@@ -48,6 +49,13 @@ func testOpts() blexec.Options {
 	}
 	if os.Getenv("MPEXEC_SPILL") != "" {
 		opts.SpillBytes = 8 << 10
+	}
+	if c := os.Getenv("MPEXEC_COMPRESS"); c != "" {
+		comp, err := codec.ParseCompression(c)
+		if err != nil {
+			panic(err)
+		}
+		opts.Compression = comp
 	}
 	return opts
 }
@@ -171,6 +179,48 @@ func TestClusterSpill(t *testing.T) {
 	if res.Spills == 0 {
 		t.Fatal("expected sealed spill waves at an 8KiB budget")
 	}
+}
+
+// TestClusterCompressed: sealed-run compression composes with the
+// multi-process exchange — waves seal compressed on the mapping worker,
+// travel compressed between run-servers, and decompress at the consuming
+// merger, byte-identical to the uncompressed single-process engine. The
+// coordinator's assembled Result must carry the ratio and wire-byte
+// accounting shipped back over the control protocol.
+func TestClusterCompressed(t *testing.T) {
+	input := workload.Text(24, 1500, 300, 8)
+	ref, err := mr.Run(jobFor(apps.WordCount()), input,
+		blexec.Options{Mappers: 4, Reducers: 3, Mode: blexec.Barrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := blexec.Options{
+		Mappers: 4, Reducers: 3, Mode: blexec.Barrier,
+		SpillBytes: 8 << 10, Compression: codec.DeltaBlock,
+	}
+	res, err := runCluster(t, jobFor(apps.WordCount()), input, opts, 2,
+		"MPEXEC_SPILL=1", "MPEXEC_COMPRESS=delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != len(ref.Output) {
+		t.Fatalf("%d records vs %d", len(res.Output), len(ref.Output))
+	}
+	for i := range res.Output {
+		if res.Output[i] != ref.Output[i] {
+			t.Fatalf("record %d: %v vs %v", i, res.Output[i], ref.Output[i])
+		}
+	}
+	if res.RawSpillBytes <= res.CompressedSpillBytes {
+		t.Fatalf("no compression win reported: raw=%d sealed=%d",
+			res.RawSpillBytes, res.CompressedSpillBytes)
+	}
+	if res.FetchBytes == 0 || res.FetchBytes > res.CompressedSpillBytes {
+		t.Fatalf("fetch accounting off: fetched=%d sealed=%d",
+			res.FetchBytes, res.CompressedSpillBytes)
+	}
+	t.Logf("cluster compression: raw=%dKB sealed=%dKB fetched=%dKB",
+		res.RawSpillBytes>>10, res.CompressedSpillBytes>>10, res.FetchBytes>>10)
 }
 
 // TestClusterWorkerKilledMidMap is the fault half of the acceptance

@@ -16,13 +16,19 @@
 //	'H' hello:   runServerAddr                        (worker -> coord)
 //	'M' map:     index | recordCount | codec records  (coord -> worker)
 //	'm' mapDone: index | shuffleRecords | spills | spilledBytes |
-//	             waveCount | { fileID | spanCount | { off | n } }
+//	             rawSpilledBytes |
+//	             waveCount | { fileID | comp | spanCount | { off | n } }
 //	'R' reduce:  partition |
-//	             segCount | { addr | fileID | off | n }
+//	             segCount | { addr | fileID | off | n | comp }
 //	'r' redDone: partition | spills | peakPartialBytes | mergePasses |
-//	             spilledBytes | recordCount | codec records
+//	             spilledBytes | rawSpilledBytes | fetchBytes |
+//	             recordCount | codec records
 //	'E' error:   message                              (worker -> coord)
 //	'B' bye:     (empty)                              (coord -> worker)
+//
+// comp is the wave/segment's sealed-run codec (codec.Compression): sealed
+// runs travel compressed between workers' run-servers and decompress only
+// at the consuming merger.
 package mpexec
 
 import (
@@ -153,17 +159,30 @@ func putRecords(b []byte, recs []core.Record) []byte {
 type waveMeta struct {
 	addr   string
 	fileID uint64
+	comp   codec.Compression
 	spans  []shuffle.Span
 }
 
-func encodeMapDone(index int, shuffleRecords int64, spills int, spilledBytes int64, waves []shuffle.Wave) []byte {
+// mapDone carries one completed map task's stats alongside its waves.
+type mapDone struct {
+	index           int
+	shuffleRecords  int64
+	spills          int
+	spilledBytes    int64
+	rawSpilledBytes int64
+	waves           []waveMeta
+}
+
+func encodeMapDone(index int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes int64, waves []shuffle.Wave) []byte {
 	b := binary.AppendUvarint(nil, uint64(index))
 	b = binary.AppendUvarint(b, uint64(shuffleRecords))
 	b = binary.AppendUvarint(b, uint64(spills))
 	b = binary.AppendUvarint(b, uint64(spilledBytes))
+	b = binary.AppendUvarint(b, uint64(rawSpilledBytes))
 	b = binary.AppendUvarint(b, uint64(len(waves)))
 	for _, w := range waves {
 		b = binary.AppendUvarint(b, w.FileID)
+		b = binary.AppendUvarint(b, uint64(w.Comp))
 		b = binary.AppendUvarint(b, uint64(len(w.Spans)))
 		for _, sp := range w.Spans {
 			b = binary.AppendUvarint(b, uint64(sp.Off))
@@ -173,24 +192,27 @@ func encodeMapDone(index int, shuffleRecords int64, spills int, spilledBytes int
 	return b
 }
 
-func decodeMapDone(payload []byte, addr string) (index int, shuffleRecords int64, spills int, spilledBytes int64, waves []waveMeta, err error) {
+func decodeMapDone(payload []byte, addr string) (mapDone, error) {
 	d := &dec{buf: payload}
-	index = int(d.uvarint())
-	shuffleRecords = int64(d.uvarint())
-	spills = int(d.uvarint())
-	spilledBytes = int64(d.uvarint())
+	md := mapDone{
+		index:           int(d.uvarint()),
+		shuffleRecords:  int64(d.uvarint()),
+		spills:          int(d.uvarint()),
+		spilledBytes:    int64(d.uvarint()),
+		rawSpilledBytes: int64(d.uvarint()),
+	}
 	n := d.uvarint()
 	for i := uint64(0); i < n && d.err == nil; i++ {
-		w := waveMeta{addr: addr, fileID: d.uvarint()}
+		w := waveMeta{addr: addr, fileID: d.uvarint(), comp: codec.Compression(d.uvarint())}
 		spanN := d.uvarint()
 		for j := uint64(0); j < spanN && d.err == nil; j++ {
 			off := int64(d.uvarint())
 			ln := int64(d.uvarint())
 			w.spans = append(w.spans, shuffle.Span{Off: off, N: ln})
 		}
-		waves = append(waves, w)
+		md.waves = append(md.waves, w)
 	}
-	return index, shuffleRecords, spills, spilledBytes, waves, d.err
+	return md, d.err
 }
 
 func encodeReduceTask(partition int, segs []shuffle.Segment) []byte {
@@ -201,6 +223,7 @@ func encodeReduceTask(partition int, segs []shuffle.Segment) []byte {
 		b = binary.AppendUvarint(b, s.FileID)
 		b = binary.AppendUvarint(b, uint64(s.Off))
 		b = binary.AppendUvarint(b, uint64(s.N))
+		b = binary.AppendUvarint(b, uint64(s.Comp))
 	}
 	return b
 }
@@ -214,6 +237,7 @@ func decodeReduceTask(payload []byte) (partition int, segs []shuffle.Segment, er
 		s.FileID = d.uvarint()
 		s.Off = int64(d.uvarint())
 		s.N = int64(d.uvarint())
+		s.Comp = codec.Compression(d.uvarint())
 		segs = append(segs, s)
 	}
 	return partition, segs, d.err

@@ -30,7 +30,7 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 		return fmt.Errorf("mpexec: dial coordinator %s: %w", coordAddr, err)
 	}
 	defer conn.Close()
-	dir, err := dfs.NewRunDir("")
+	dir, err := dfs.NewRunDirComp("", opts.Compression)
 	if err != nil {
 		return err
 	}
@@ -90,13 +90,14 @@ func runMap(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir, sr
 		return nil, d.err
 	}
 	before := dir.SpilledBytes()
+	beforeRaw := dir.RawSpilledBytes()
 	sink := shuffle.NewRunSink(dir, srv, fmt.Sprintf("m%d", index))
 	stats, err := exec.RunMapTask(job, opts, exec.MapTask{Index: index, Split: split}, sink)
 	if err != nil {
 		return nil, err
 	}
 	return encodeMapDone(index, stats.ShuffleRecords, stats.Spills,
-		dir.SpilledBytes()-before, sink.Waves()), nil
+		dir.SpilledBytes()-before, dir.RawSpilledBytes()-beforeRaw, sink.Waves()), nil
 }
 
 // runReduce executes one routed reduce task through the canonical task
@@ -107,6 +108,7 @@ func runReduce(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir)
 		return nil, err
 	}
 	before := dir.SpilledBytes()
+	beforeRaw := dir.RawSpilledBytes()
 	src := shuffle.NewStaticSegmentSource(segs, opts.BatchSize)
 	defer src.Close()
 	res, err := exec.RunReduceTask(job, opts, exec.ReduceTask{Partition: partition}, src, dir)
@@ -118,6 +120,8 @@ func runReduce(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir)
 	b = binary.AppendUvarint(b, uint64(res.PeakPartialBytes))
 	b = binary.AppendUvarint(b, uint64(res.MergePasses))
 	b = binary.AppendUvarint(b, uint64(dir.SpilledBytes()-before))
+	b = binary.AppendUvarint(b, uint64(dir.RawSpilledBytes()-beforeRaw))
+	b = binary.AppendUvarint(b, uint64(res.FetchBytes))
 	b = putRecords(b, res.Output)
 	return b, nil
 }

@@ -58,11 +58,22 @@ type Result struct {
 	// mappers to reducers, after map-side combining — the wall-clock
 	// engine's counterpart of simmr.Result.ShuffleBytes.
 	ShuffleRecords int64
-	// SpilledBytes is the total encoded bytes sealed into run files. On the
-	// in-proc transport that is spill overflow only; the run-exchange
-	// transports materialize every map output wave, so it covers the whole
-	// shuffle volume.
+	// SpilledBytes is the total encoded bytes sealed into run files (post-
+	// compression — the bytes that actually hit disk). On the in-proc
+	// transport that is spill overflow only; the run-exchange transports
+	// materialize every map output wave, so it covers the whole shuffle
+	// volume.
 	SpilledBytes int64
+	// RawSpillBytes is the standard (pre-compression) encoded size of the
+	// sealed runs behind SpilledBytes; RawSpillBytes/CompressedSpillBytes
+	// is the job's spill compression ratio (1 under codec.None).
+	RawSpillBytes int64
+	// CompressedSpillBytes equals SpilledBytes, named for the ratio pair.
+	CompressedSpillBytes int64
+	// FetchBytes is the total wire bytes reduce tasks fetched from
+	// run-servers (TCP exchange; compressed sections travel — and count —
+	// compressed). 0 for transports that read runs locally.
+	FetchBytes int64
 	// PeakPartialBytes is the largest partial-result store footprint
 	// (store.Store.ApproxBytes) observed across pipelined reducers,
 	// sampled once per consumed batch — the number to compare against
@@ -119,6 +130,8 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 	res := Assemble(sum)
 	if spillDir != nil {
 		res.SpilledBytes = spillDir.SpilledBytes()
+		res.CompressedSpillBytes = spillDir.SpilledBytes()
+		res.RawSpillBytes = spillDir.RawSpilledBytes()
 	}
 	res.Wall = time.Since(start)
 	return res, nil
@@ -156,7 +169,7 @@ func OpenSpillDir(opts Options) (*dfs.RunDir, error) {
 	if !need {
 		return nil, nil
 	}
-	return dfs.NewRunDir(opts.SpillDir)
+	return dfs.NewRunDirComp(opts.SpillDir, opts.Compression)
 }
 
 // Assemble folds a scheduler summary into a Result (shared with the
@@ -172,6 +185,7 @@ func Assemble(sum *exec.Summary) *Result {
 		res.Output = append(res.Output, rr.Output...)
 		res.Spills += rr.Spills
 		res.MergePasses += rr.MergePasses
+		res.FetchBytes += rr.FetchBytes
 		if rr.PeakPartialBytes > res.PeakPartialBytes {
 			res.PeakPartialBytes = rr.PeakPartialBytes
 		}

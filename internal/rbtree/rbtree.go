@@ -4,13 +4,32 @@
 //
 // The tree tracks an approximate byte footprint of its contents so the
 // engine can account reducer heap usage and trigger spills.
+//
+// Allocation is slab-backed: nodes come from fixed-size chunks and key
+// clones from append-only byte slabs, so inserting a million fresh keys
+// costs thousands of allocations instead of millions (two per key — the
+// node and the defensive key copy — dominated the pipelined Sort
+// benchmark's ~2M allocs/op before slabs). ClearReuse recycles the slabs
+// across spill cycles, the free-list discipline the spill store's
+// fill/seal/clear loop wants.
 package rbtree
 
-import "strings"
+import (
+	"strings"
+	"unsafe"
+)
 
 const (
 	red   = true
 	black = false
+
+	// keySlabBytes is the size of one key-bytes slab.
+	keySlabBytes = 64 << 10
+	// maxSlabKeyBytes is the largest key cloned into a slab; bigger keys
+	// get their own allocation so one giant key cannot waste a slab.
+	maxSlabKeyBytes = 4 << 10
+	// nodeChunkLen is the number of nodes per allocation chunk.
+	nodeChunkLen = 256
 )
 
 // NodeOverheadBytes approximates the per-node allocation overhead (pointers,
@@ -34,13 +53,73 @@ type Tree[V any] struct {
 	root   *node[V]
 	sizeOf func(V) int64
 	bytes  int64
+
+	// Slab state. keySlab/nodeChunk are the partially filled current
+	// slabs; used* hold filled slabs whose contents the live tree may
+	// still reference; spare* hold recycled slabs (ClearReuse) that are
+	// provably unreferenced and safe to overwrite.
+	keySlab     []byte
+	usedSlabs   [][]byte
+	spareSlabs  [][]byte
+	nodeChunk   []node[V] // unallocated remainder of curChunk
+	curChunk    []node[V] // the full current chunk, for recycling
+	usedChunks  [][]node[V]
+	spareChunks [][]node[V]
 }
 
-// newNode clones the key so a long-lived tree never pins the (possibly much
-// larger) string a caller's key was sliced from — mapper output keys are
+// newNode allocates a node from the chunk arena, cloning the key into the
+// key slab so a long-lived tree never pins the (possibly much larger)
+// string a caller's key was sliced from — mapper output keys are
 // substrings of whole input lines.
-func newNode[V any](key string, val V) *node[V] {
-	return &node[V]{key: strings.Clone(key), val: val, color: red, n: 1}
+func (t *Tree[V]) newNode(key string, val V) *node[V] {
+	if len(t.nodeChunk) == 0 {
+		if t.curChunk != nil {
+			t.usedChunks = append(t.usedChunks, t.curChunk)
+		}
+		if n := len(t.spareChunks); n > 0 {
+			t.curChunk = t.spareChunks[n-1]
+			t.spareChunks = t.spareChunks[:n-1]
+		} else {
+			t.curChunk = make([]node[V], nodeChunkLen)
+		}
+		t.nodeChunk = t.curChunk
+	}
+	h := &t.nodeChunk[0]
+	t.nodeChunk = t.nodeChunk[1:]
+	h.key = t.cloneKey(key)
+	h.val = val
+	h.left, h.right = nil, nil
+	h.color = red
+	h.n = 1
+	return h
+}
+
+// cloneKey copies key into the current key slab and returns a string view
+// of the copy. The slabs are append-only while referenced — bytes are
+// written exactly once, before the unsafe.String view is created, and
+// slabs are only recycled by ClearReuse, whose contract is that no tree
+// string escapes — so the no-mutation requirement of unsafe.String holds.
+func (t *Tree[V]) cloneKey(key string) string {
+	if len(key) == 0 {
+		return ""
+	}
+	if len(key) > maxSlabKeyBytes {
+		return strings.Clone(key)
+	}
+	if cap(t.keySlab)-len(t.keySlab) < len(key) {
+		if t.keySlab != nil {
+			t.usedSlabs = append(t.usedSlabs, t.keySlab)
+		}
+		if n := len(t.spareSlabs); n > 0 {
+			t.keySlab = t.spareSlabs[n-1][:0]
+			t.spareSlabs = t.spareSlabs[:n-1]
+		} else {
+			t.keySlab = make([]byte, 0, keySlabBytes)
+		}
+	}
+	off := len(t.keySlab)
+	t.keySlab = append(t.keySlab, key...)
+	return unsafe.String(&t.keySlab[off], len(key))
 }
 
 // New creates a tree. sizeOf reports the accounted byte size of a value; a
@@ -96,7 +175,7 @@ func (t *Tree[V]) Put(key string, val V) {
 func (t *Tree[V]) put(h *node[V], key string, val V) *node[V] {
 	if h == nil {
 		t.bytes += int64(len(key)) + t.sizeOf(val) + NodeOverheadBytes
-		return newNode[V](key, val)
+		return t.newNode(key, val)
 	}
 	switch {
 	case key < h.key:
@@ -124,7 +203,7 @@ func (t *Tree[V]) update(h *node[V], key string, fn func(V, bool) V) *node[V] {
 		var zero V
 		val := fn(zero, false)
 		t.bytes += int64(len(key)) + t.sizeOf(val) + NodeOverheadBytes
-		return newNode[V](key, val)
+		return t.newNode(key, val)
 	}
 	switch {
 	case key < h.key:
@@ -236,10 +315,52 @@ func ascend[V any](x *node[V], fn func(string, V) bool) bool {
 	return ascend(x.right, fn)
 }
 
-// Clear drops all entries.
+// Clear drops all entries and releases the slab arenas to the garbage
+// collector. Safe when strings obtained from the tree (keys, values) are
+// still referenced elsewhere: slabs are dropped, never overwritten.
 func (t *Tree[V]) Clear() {
 	t.root = nil
 	t.bytes = 0
+	t.keySlab = nil
+	t.usedSlabs = nil
+	t.spareSlabs = nil
+	t.nodeChunk = nil
+	t.curChunk = nil
+	t.usedChunks = nil
+	t.spareChunks = nil
+}
+
+// ClearReuse drops all entries but keeps the slab arenas on an internal
+// free list for the next fill — the right clear for fill/seal/clear spill
+// cycles, where the tree is refilled to the same footprint over and over.
+//
+// Contract: the caller must guarantee that NO string obtained from the
+// tree (a key passed to an Ascend callback, a stored value) is referenced
+// after the call — recycled key slabs are overwritten by future inserts.
+// The spill store qualifies: everything is encoded into the sealed run
+// buffer before the clear.
+func (t *Tree[V]) ClearReuse() {
+	t.root = nil
+	t.bytes = 0
+	if t.keySlab != nil {
+		t.spareSlabs = append(t.spareSlabs, t.keySlab[:0])
+		t.keySlab = nil
+	}
+	for _, s := range t.usedSlabs {
+		t.spareSlabs = append(t.spareSlabs, s[:0])
+	}
+	t.usedSlabs = nil
+	if t.curChunk != nil {
+		clear(t.curChunk) // drop stale key/value references
+		t.spareChunks = append(t.spareChunks, t.curChunk)
+		t.curChunk = nil
+		t.nodeChunk = nil
+	}
+	for _, c := range t.usedChunks {
+		clear(c)
+		t.spareChunks = append(t.spareChunks, c)
+	}
+	t.usedChunks = nil
 }
 
 // Keys returns all keys in order (for tests and small trees).

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/sortx"
 )
@@ -87,10 +88,10 @@ func (t *inproc) Fail(err error) { t.fail.fail(err) }
 func (t *inproc) Close() error { return nil }
 
 type inprocSink struct {
-	t       *inproc
-	m       int
-	waves   []inWave
-	scratch []byte
+	t     *inproc
+	m     int
+	waves []inWave
+	enc   *codec.RunEncoder
 }
 
 // Batch implements MapSink: hand back a recycled buffer when one is free.
@@ -127,8 +128,8 @@ func (s *inprocSink) PublishWave(parts [][]core.Record, sealed bool) error {
 	if s.t.cfg.Dir == nil {
 		return fmt.Errorf("shuffle: in-proc transport has no run directory for sealed waves")
 	}
-	w, scratch, ok, err := sealWave(s.t.cfg.Dir, nil, "m"+strconv.Itoa(s.m), parts, s.scratch)
-	s.scratch = scratch
+	w, enc, ok, err := sealWave(s.t.cfg.Dir, nil, "m"+strconv.Itoa(s.m), parts, s.enc)
+	s.enc = enc
 	if err != nil {
 		return err
 	}

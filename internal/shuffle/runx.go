@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/dfs"
 )
@@ -113,7 +114,7 @@ type RunSink struct {
 	dir     *dfs.RunDir
 	srv     *Server
 	tag     string
-	scratch []byte
+	enc     *codec.RunEncoder
 	waves   []Wave
 	failed  func() error       // optional transport abort check
 	onClose func([]Wave) error // optional transport completion hook
@@ -142,8 +143,8 @@ func (s *RunSink) PublishWave(parts [][]core.Record, sealed bool) error {
 			return err
 		}
 	}
-	w, scratch, ok, err := sealWave(s.dir, s.srv, s.tag, parts, s.scratch)
-	s.scratch = scratch
+	w, enc, ok, err := sealWave(s.dir, s.srv, s.tag, parts, s.enc)
+	s.enc = enc
 	if err != nil {
 		return err
 	}

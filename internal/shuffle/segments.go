@@ -7,6 +7,7 @@ package shuffle
 
 import (
 	"io"
+	"sync/atomic"
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
@@ -28,6 +29,8 @@ type Wave struct {
 	FileID uint64
 	// Addr is the serving run-server ("" = open Path locally).
 	Addr string
+	// Comp is the codec every span of the wave was sealed with.
+	Comp codec.Compression
 	// Spans are the per-partition sections.
 	Spans []Span
 }
@@ -38,6 +41,10 @@ type Segment struct {
 	Addr   string // run-server address (remote)
 	FileID uint64
 	Off, N int64
+	// Comp is the section's sealed-run codec. Compressed sections travel
+	// compressed over the wire (the server ships file bytes verbatim) and
+	// are decompressed by the reader on the fetching side.
+	Comp codec.Compression
 }
 
 // SegmentOf returns partition r's segment of the wave, ok=false when empty.
@@ -46,7 +53,7 @@ func (w Wave) SegmentOf(r int) (Segment, bool) {
 	if sp.N == 0 {
 		return Segment{}, false
 	}
-	return Segment{Path: w.Path, Addr: w.Addr, FileID: w.FileID, Off: sp.Off, N: sp.N}, true
+	return Segment{Path: w.Path, Addr: w.Addr, FileID: w.FileID, Off: sp.Off, N: sp.N, Comp: w.Comp}, true
 }
 
 // RunCloser is a mergeable run that owns an underlying resource (file or
@@ -57,11 +64,19 @@ type RunCloser interface {
 }
 
 // Open opens the segment for streaming reads, locally or over the wire.
-func (s Segment) Open() (RunCloser, error) {
+func (s Segment) Open() (RunCloser, error) { return s.open(nil) }
+
+// open is Open with optional wire-byte accounting: fetched (remote) section
+// lengths are added to fetchBytes when non-nil. Compressed sections count
+// their compressed size — the bytes that actually cross the wire.
+func (s Segment) open(fetchBytes *atomic.Int64) (RunCloser, error) {
 	if s.Addr == "" {
-		return dfs.OpenRunAt(s.Path, s.Off, s.N)
+		return dfs.OpenRunAtComp(s.Path, s.Off, s.N, s.Comp)
 	}
-	return FetchSegment(s.Addr, s.FileID, s.Off, s.N)
+	if fetchBytes != nil {
+		fetchBytes.Add(s.N)
+	}
+	return FetchSegment(s.Addr, s.FileID, s.Off, s.N, s.Comp)
 }
 
 // LazyRun is a Segment that opens on first Next. A fan-in-capped merge over
@@ -70,6 +85,7 @@ func (s Segment) Open() (RunCloser, error) {
 // partition has.
 type LazyRun struct {
 	seg    Segment
+	fetch  *atomic.Int64 // optional wire-byte counter
 	r      RunCloser
 	err    error
 	opened bool
@@ -85,7 +101,7 @@ func (l *LazyRun) Next() (core.Record, bool) {
 	}
 	if !l.opened {
 		l.opened = true
-		l.r, l.err = l.seg.Open()
+		l.r, l.err = l.seg.open(l.fetch)
 		if l.err != nil {
 			return core.Record{}, false
 		}
@@ -122,12 +138,18 @@ type SegmentSource struct {
 	completed <-chan int            // map indexes in completion order
 	fail      *failState
 	batchSize int
+	fetch     atomic.Int64 // wire bytes fetched from run-servers
 
 	// streaming state
 	seen  int
 	queue []Segment
 	cur   RunCloser
 }
+
+// FetchBytes reports how many bytes this partition fetched from remote
+// run-servers (compressed sections count their on-the-wire size; locally
+// opened sections count nothing).
+func (s *SegmentSource) FetchBytes() int64 { return s.fetch.Load() }
 
 // NewStaticSegmentSource builds a source over a fixed, fully-available
 // segment list in merge order (the multi-process reduce path: by the time a
@@ -161,7 +183,9 @@ func (s *SegmentSource) Runs() ([]sortx.Run, error) {
 	var runs []sortx.Run
 	for m := 0; m < s.nMaps; m++ {
 		for _, seg := range s.segsOf(m) {
-			runs = append(runs, NewLazyRun(seg))
+			lr := NewLazyRun(seg)
+			lr.fetch = &s.fetch
+			runs = append(runs, lr)
 		}
 	}
 	return runs, nil
@@ -193,7 +217,7 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 			}
 		}
 		if len(s.queue) > 0 {
-			r, err := s.queue[0].Open()
+			r, err := s.queue[0].open(&s.fetch)
 			s.queue = s.queue[1:]
 			if err != nil {
 				return nil, false, err
@@ -233,10 +257,12 @@ func (s *SegmentSource) Close() error {
 }
 
 // sealWave encodes one key-sorted run per partition into a single new
-// segment file in dir, returning the wave (registered with srv when
-// non-nil) and the reusable encode scratch. Waves with no records produce
-// no file (ok=false).
-func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, scratch []byte) (w Wave, out []byte, ok bool, err error) {
+// segment file in dir — each partition's section a self-contained run in
+// the directory's codec — returning the wave (registered with srv when
+// non-nil). enc is the caller's reusable encoder (nil on first use; the
+// returned encoder replaces it). Waves with no records produce no file
+// (ok=false).
+func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, enc *codec.RunEncoder) (w Wave, encOut *codec.RunEncoder, ok bool, err error) {
 	any := false
 	for _, part := range parts {
 		if len(part) > 0 {
@@ -245,34 +271,46 @@ func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, s
 		}
 	}
 	if !any {
-		return Wave{}, scratch, false, nil
+		return Wave{}, enc, false, nil
+	}
+	if enc == nil {
+		enc = codec.NewRunEncoder(nil, dir.Compression())
 	}
 	wr, err := dir.Create(tag)
 	if err != nil {
-		return Wave{}, scratch, false, err
+		return Wave{}, enc, false, err
 	}
-	w = Wave{Spans: make([]Span, len(parts))}
+	w = Wave{Comp: dir.Compression(), Spans: make([]Span, len(parts))}
+	var raw int64
 	for p, part := range parts {
 		if len(part) == 0 {
 			continue
 		}
-		scratch = codec.AppendRecords(scratch[:0], part)
 		off := wr.Bytes()
-		if _, err := wr.Write(scratch); err != nil {
-			wr.Abort()
-			return Wave{}, scratch, false, err
+		enc.Reset(wr)
+		for _, r := range part {
+			if err := enc.Append(r); err != nil {
+				wr.Abort()
+				return Wave{}, enc, false, err
+			}
 		}
-		w.Spans[p] = Span{Off: off, N: int64(len(scratch))}
+		if err := enc.Flush(); err != nil {
+			wr.Abort()
+			return Wave{}, enc, false, err
+		}
+		raw += enc.RawBytes()
+		w.Spans[p] = Span{Off: off, N: wr.Bytes() - off}
 	}
 	if err := wr.Close(); err != nil {
 		wr.Abort()
-		return Wave{}, scratch, false, err
+		return Wave{}, enc, false, err
 	}
+	dir.AddRawBytes(raw)
 	w.Path = wr.Path()
 	if srv != nil {
 		w.FileID = srv.Register(wr.Path())
 		w.Addr = srv.Addr()
 		w.Path = "" // reads go through the server, like a remote peer's would
 	}
-	return w, scratch, true, nil
+	return w, enc, true, nil
 }

@@ -160,10 +160,14 @@ func writeFetchError(w io.Writer, msg string) {
 // RemoteRun streams one fetched run section. It implements sortx.Source
 // (Next/Err) plus Close, like dfs.RunReader — a short or reset transfer
 // surfaces through Err, indistinguishable from a locally truncated run.
+// Compressed sections travel compressed (the server ships the sealed file
+// bytes verbatim) and are decompressed block by block here, on the
+// fetching side — the merger's side — so wire volume shrinks with the
+// sealed-run codec.
 type RemoteRun struct {
 	conn net.Conn
 	cr   *countingReader
-	sr   *codec.StreamReader
+	sr   codec.RecordReader
 	n    int64
 	err  error
 }
@@ -182,9 +186,10 @@ func (c *countingReader) Read(p []byte) (int, error) {
 }
 
 // FetchSegment dials addr and requests the section [off, off+n) of the
-// registered file fileID. The returned run streams records as the bytes
-// arrive; it holds the connection until Close.
-func FetchSegment(addr string, fileID uint64, off, n int64) (*RemoteRun, error) {
+// registered file fileID, decoding it with the given sealed-run codec. The
+// returned run streams records as the bytes arrive; it holds the
+// connection until Close.
+func FetchSegment(addr string, fileID uint64, off, n int64, comp codec.Compression) (*RemoteRun, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("shuffle: dial run-server %s: %w", addr, err)
@@ -218,7 +223,7 @@ func FetchSegment(addr string, fileID uint64, off, n int64) (*RemoteRun, error) 
 	return &RemoteRun{
 		conn: conn,
 		cr:   cr,
-		sr:   codec.NewStreamReader(bufio.NewReader(cr)),
+		sr:   codec.NewRunDecoder(bufio.NewReader(cr), comp),
 		n:    n,
 	}, nil
 }

@@ -80,7 +80,7 @@ func TestServerRoundTrip(t *testing.T) {
 		}
 	}
 
-	if _, err := FetchSegment(srv.Addr(), 999, 0, 10); err == nil || !strings.Contains(err.Error(), "unknown run file") {
+	if _, err := FetchSegment(srv.Addr(), 999, 0, 10, codec.None); err == nil || !strings.Contains(err.Error(), "unknown run file") {
 		t.Fatalf("bad fileID: %v", err)
 	}
 }
@@ -105,7 +105,7 @@ func TestFetchShortSection(t *testing.T) {
 	sp := w.Spans[0]
 	// Ask for more bytes than the file holds: the server sends what exists,
 	// the fetcher must notice the shortfall.
-	run, err := FetchSegment(w.Addr, w.FileID, sp.Off, sp.N+100)
+	run, err := FetchSegment(w.Addr, w.FileID, sp.Off, sp.N+100, codec.None)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"blmr/internal/cluster"
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/dfs"
 	"blmr/internal/metrics"
@@ -201,9 +202,9 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, node
 		// entirely; only the cached output's local disk read is charged.
 		var memoKeyStr string
 		if e.Cfg.Memo != nil {
-			memoKeyStr = memoKey(job.Name, job.Reducers, ch.Records)
+			memoKeyStr = memoKey(job.Name, job.Reducers, compressRatio(job), ch.Records)
 			if entry, ok := e.Cfg.Memo.lookup(memoKeyStr); ok {
-				node.DiskRead(p, entry.outVirt)
+				node.DiskRead(p, entry.outDisk)
 				res.MemoHits++
 				e.publishMapOutput(p.Now(), node, shuffle, shuffle.maps[idx], entry, res)
 				e.Col.TaskEnd(tok, p.Now())
@@ -273,6 +274,12 @@ func (e *Engine) runMapAttempt(p *sim.Proc, job *JobSpec, ch *dfs.Chunk, node *c
 	for _, b := range partBytes {
 		outVirt += b
 	}
+	// Sealed-run compression (JobSpec.Compression): every materialization
+	// of map output — spill runs, the merge pass, the final partitioned
+	// file — moves 1/ratio of the raw bytes, at CompressDelay per raw byte
+	// of sealing CPU charged once per write.
+	ratio := compressRatio(job)
+	outDisk := int64(float64(outVirt) / ratio)
 	// External shuffle (JobSpec.SpillBytes): output that outgrows the
 	// buffer budget is sealed as ceil(out/budget) sorted runs, then merged
 	// into the final partitioned file in one extra pass — a full re-read
@@ -286,13 +293,19 @@ func (e *Engine) runMapAttempt(p *sim.Proc, job *JobSpec, ch *dfs.Chunk, node *c
 		for _, part := range parts {
 			outRecs += len(part)
 		}
-		node.DiskWrite(p, outVirt) // seal the spill runs
+		node.DiskWrite(p, outDisk) // seal the spill runs
 		p.Sleep(float64(spillRuns) * job.Costs.SpillRunDelay)
-		node.DiskRead(p, outVirt) // merge pass reads every run back
+		node.DiskRead(p, outDisk) // merge pass reads every run back
 		node.Compute(p, e.virtRecs(outRecs)*math.Log2(float64(spillRuns))*job.Costs.SortCPUPerCompare)
+		if ratio > 1 { // seal + decode + re-seal of the merge pass
+			node.Compute(p, 2*float64(outVirt)*job.Costs.CompressDelay)
+		}
 	}
-	node.DiskWrite(p, outVirt)
-	return &memoEntry{parts: parts, partBytes: partBytes, outVirt: outVirt, spillRuns: spillRuns}
+	node.DiskWrite(p, outDisk)
+	if ratio > 1 {
+		node.Compute(p, float64(outVirt)*job.Costs.CompressDelay)
+	}
+	return &memoEntry{parts: parts, partBytes: partBytes, outDisk: outDisk, spillRuns: spillRuns}
 }
 
 // speculator waits for the arming threshold, then launches one backup
@@ -399,6 +412,19 @@ func (e *Engine) virtRecsBytes(recs []core.Record) int64 {
 		b += e.virtBytes(r.Size())
 	}
 	return b
+}
+
+// compressRatio returns the job's sealed-run compression ratio: 1 with the
+// codec off, the workload class's calibrated Costs.CompressRatio (or the
+// default) otherwise.
+func compressRatio(job *JobSpec) float64 {
+	if job.Compression == codec.None {
+		return 1
+	}
+	if job.Costs.CompressRatio > 1 {
+		return job.Costs.CompressRatio
+	}
+	return DefaultCosts().CompressRatio
 }
 
 // sortCompareCost returns the virtual comparison count of merge-sorting n

@@ -12,6 +12,7 @@ package simmr
 
 import (
 	"blmr/internal/cluster"
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/metrics"
 	"blmr/internal/store"
@@ -70,6 +71,19 @@ type CostModel struct {
 	// published section; the TCP exchange charges it for every fetch,
 	// the local run exchange only for sections on other workers.
 	RunFetchDelay float64
+	// CompressDelay is the CPU cost in seconds per virtual byte of
+	// sealed-run (de)compression work, charged on the sealing mapper for
+	// its output and on the consuming reducer for what it decodes — the
+	// simulated counterpart of the wall-clock block codecs
+	// (mr.Options.Compression). Only applies when JobSpec.Compression is
+	// enabled.
+	CompressDelay float64
+	// CompressRatio is the workload class's sealed-run compression ratio
+	// (raw/compressed bytes; e.g. sorted text keys front-code far better
+	// than uniform numeric ones). <= 1 falls back to the default ratio.
+	// Disk writes, re-reads and shuffle transfers of sealed map output are
+	// divided by it when JobSpec.Compression is enabled.
+	CompressRatio float64
 	// KVOpDelay is the per-operation latency of the off-the-shelf KV store
 	// (the paper observed ~30,000 inserts/s => ~33µs/op). Applied only
 	// when Store == store.KV.
@@ -88,6 +102,8 @@ func DefaultCosts() CostModel {
 		FinalizeCPUPerRecord: 1e-6,
 		SpillRunDelay:        4e-3,
 		RunFetchDelay:        1.5e-3,
+		CompressDelay:        0.6e-9, // ~1.6 GB/s LZ-class codec
+		CompressRatio:        2.0,
 		KVOpDelay:            1.0 / 30000,
 	}
 }
@@ -155,6 +171,12 @@ type JobSpec struct {
 	// materialization and per-section RunFetchDelay, and bound the barrier
 	// sort phase's memory at the external merge's read buffers.
 	Transport Transport
+	// Compression enables the sealed-run codec model, the simulated
+	// counterpart of mr.Options.Compression: map output is materialized,
+	// re-read and shuffled at 1/Costs.CompressRatio of its raw volume, and
+	// Costs.CompressDelay per raw byte of CPU is charged on the sealing
+	// and decoding sides. codec.None models the uncompressed engine.
+	Compression codec.Compression
 	// Store selects the partial-result strategy for pipelined mode.
 	Store store.Kind
 	// HeapBudget is the per-reducer virtual heap cap in bytes; exceeding

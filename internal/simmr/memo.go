@@ -25,8 +25,8 @@ type MemoCache struct {
 type memoEntry struct {
 	parts     [][]core.Record
 	partBytes []int64
-	outVirt   int64
-	spillRuns int // runs sealed while producing this output (not replayed on hits)
+	outDisk   int64 // materialized output size on disk (post-compression)
+	spillRuns int   // runs sealed while producing this output (not replayed on hits)
 }
 
 // NewMemoCache creates an empty cache, shared across Engine runs.
@@ -43,12 +43,14 @@ func (m *MemoCache) Misses() int { return m.misses }
 // Len returns the number of cached map outputs.
 func (m *MemoCache) Len() int { return len(m.entries) }
 
-// memoKey identifies a map execution by job name, reducer count, and the
-// chunk's content hash — a changed chunk or changed partitioning never
-// reuses stale output.
-func memoKey(jobName string, reducers int, recs []core.Record) string {
+// memoKey identifies a map execution by job name, reducer count, the
+// effective sealed-run compression ratio (a cached entry's disk size is
+// post-compression, so outputs sealed under different codecs or ratios
+// must not be confused), and the chunk's content hash — a changed chunk
+// or changed partitioning never reuses stale output.
+func memoKey(jobName string, reducers int, compressRatio float64, recs []core.Record) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%d/", jobName, reducers)
+	fmt.Fprintf(h, "%s/%d/%g/", jobName, reducers, compressRatio)
 	for _, r := range recs {
 		fmt.Fprintf(h, "%d:", len(r.Key))
 		h.Write([]byte(r.Key))

@@ -20,10 +20,14 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 	defer node.ReduceSlots.Release(1)
 
 	// --- Shuffle: fetch all partitions, buffering to local disk. ---
+	// Sealed-run compression: sections travel — and are buffered — at
+	// their compressed size; the decompress CPU is charged where the
+	// wall-clock engine pays it, at the consuming merger (the sort phase).
+	ratio := compressRatio(job)
 	shTok := e.Col.TaskStart(metrics.StageShuffle, p.Now())
 	fetchSlots := sim.NewResource(p.Kernel(), fmt.Sprintf("fetch-%d", r), int64(e.Cfg.FetchParallelism))
 	fetched := make([][]core.Record, len(shuffle.maps))
-	var fetchedVirt int64
+	var fetchedVirt, fetchedDisk int64
 	wg := sim.NewWaitGroup(p.Kernel(), fmt.Sprintf("fetchers-%d", r), len(shuffle.maps))
 	for m := range shuffle.maps {
 		m := m
@@ -36,10 +40,12 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 			if d := e.runFetchDelay(job, mo.node, node); d > 0 && mo.partBytes[r] > 0 {
 				fp.Sleep(d) // run-exchange section fetch: RPC + seek
 			}
-			e.C.Transfer(fp, mo.node, node, mo.partBytes[r])
-			node.DiskWrite(fp, mo.partBytes[r]) // buffer run to local disk
+			wire := int64(float64(mo.partBytes[r]) / ratio)
+			e.C.Transfer(fp, mo.node, node, wire)
+			node.DiskWrite(fp, wire) // buffer run to local disk
 			fetched[m] = mo.parts[r]
 			fetchedVirt += mo.partBytes[r]
+			fetchedDisk += wire
 		})
 	}
 	wg.Wait(p) // <-- the barrier
@@ -55,7 +61,10 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 	for _, part := range fetched {
 		all = append(all, part...)
 	}
-	node.DiskRead(p, fetchedVirt) // read runs back for the merge
+	node.DiskRead(p, fetchedDisk) // read runs back for the merge
+	if ratio > 1 {                // decompress fetched sections block by block
+		node.Compute(p, float64(fetchedVirt)*job.Costs.CompressDelay)
+	}
 	sortx.ByKey(all)
 	node.Compute(p, sortCompareCost(e.virtRecs(len(all)))*job.Costs.SortCPUPerCompare)
 	// Sort-phase memory: unbounded, the reducer materializes every fetched
@@ -111,6 +120,7 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 	defer node.ReduceSlots.Release(1)
 
 	k := p.Kernel()
+	ratio := compressRatio(job)
 	shTok := e.Col.TaskStart(metrics.StageShuffle, p.Now())
 	queue := sim.NewQueue[fetchBatch](k, fmt.Sprintf("rq-%d", r), e.Cfg.QueueCapBatches)
 	wg := sim.NewWaitGroup(k, fmt.Sprintf("pfetchers-%d", r), len(shuffle.maps))
@@ -126,13 +136,17 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 				fp.Sleep(d) // run-exchange section fetch: RPC + seek
 			}
 			// Stream the partition chunk by chunk, releasing records to
-			// the reducer as each chunk lands.
+			// the reducer as each chunk lands. Compressed sections travel
+			// compressed and decompress on arrival (reducer-node CPU).
 			start := 0
 			var batchVirt int64
 			for i, rec := range recs {
 				batchVirt += e.virtBytes(rec.Size())
 				if batchVirt >= chunk || i == len(recs)-1 {
-					e.C.Transfer(fp, mo.node, node, batchVirt)
+					e.C.Transfer(fp, mo.node, node, int64(float64(batchVirt)/ratio))
+					if ratio > 1 {
+						node.Compute(fp, float64(batchVirt)*job.Costs.CompressDelay)
+					}
 					queue.Put(fp, fetchBatch{recs: recs[start : i+1]})
 					start = i + 1
 					batchVirt = 0

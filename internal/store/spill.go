@@ -30,27 +30,32 @@ func (NopSpillHooks) SpillRead(int64) {}
 // instead of doing real I/O); the wall-clock engine plugs in a disk-backed
 // implementation (dfs.RunSet) so spilled data actually leaves the heap.
 // Append and Runs are phase-separated: all appends happen before the single
-// Runs call, matching the spill lifecycle.
+// Runs call, matching the spill lifecycle. Runs arrive already encoded with
+// the store's codec; implementations decode with the same codec on the way
+// back out.
 type RunStore interface {
-	// Append seals buf as one immutable run. The buffer is owned by the
-	// caller and may be reused after Append returns.
-	Append(buf []byte) error
+	// Append seals buf as one immutable run. rawBytes is the run's standard
+	// (pre-compression) encoded size, for compression-ratio accounting. The
+	// buffer is owned by the caller and may be reused after Append returns.
+	Append(buf []byte, rawBytes int64) error
 	// Runs returns one streaming reader per sealed run, in append order.
-	// Disk-backed readers are sortx.Sources: the merge driver must check
-	// Merger.Err after draining.
+	// Readers are sortx.Sources — they surface decode failures (truncated or
+	// corrupt runs) through Err, so the merge driver must check Merger.Err
+	// after draining; nothing in this path panics on bad bytes.
 	Runs() ([]sortx.Run, error)
 	// Release frees all sealed runs and any readers Runs returned.
 	Release() error
 }
 
 // memRuns is the in-memory RunStore: runs live on the heap as flat encoded
-// buffers. Used by the simulator, where spill I/O is virtual time, and as
-// the default when no disk backing is configured.
+// (possibly compressed) buffers. Used by the simulator, where spill I/O is
+// virtual time, and as the default when no disk backing is configured.
 type memRuns struct {
+	comp codec.Compression
 	runs [][]byte
 }
 
-func (m *memRuns) Append(buf []byte) error {
+func (m *memRuns) Append(buf []byte, rawBytes int64) error {
 	m.runs = append(m.runs, append([]byte(nil), buf...))
 	return nil
 }
@@ -58,7 +63,10 @@ func (m *memRuns) Append(buf []byte) error {
 func (m *memRuns) Runs() ([]sortx.Run, error) {
 	out := make([]sortx.Run, len(m.runs))
 	for i, r := range m.runs {
-		out[i] = codec.NewReader(r)
+		// The error-returning decoder, never the panicking codec.Reader:
+		// these buffers hold spill-lifecycle data, and a decode failure must
+		// fail the job, not crash the worker.
+		out[i] = codec.NewRunDecoderBytes(r, m.comp)
 	}
 	return out, nil
 }
@@ -79,9 +87,10 @@ type SpillStore struct {
 	threshold int64
 	hooks     SpillHooks
 	runs      RunStore
-	runLens   []int64 // encoded size of each sealed run, for read accounting
-	scratch   []byte  // reusable encode buffer (~threshold bytes once warm)
+	enc       *codec.RunEncoder // reusable run encoder (~threshold bytes once warm)
+	runLens   []int64           // sealed size of each run, for read accounting
 	spilled   int64
+	rawBytes  int64
 	err       error
 	// Spills counts how many spill runs were written (for tests/metrics).
 	Spills int
@@ -96,10 +105,20 @@ func NewSpillStore(threshold int64, merger Merger, hooks SpillHooks) *SpillStore
 	return NewSpillStoreOn(threshold, merger, hooks, nil)
 }
 
-// NewSpillStoreOn is NewSpillStore with explicit run storage. A nil runs
-// falls back to in-memory storage; the wall-clock engine passes a
-// disk-backed RunStore so spilled partials leave the heap for real.
+// NewSpillStoreOn is NewSpillStore with explicit uncompressed run storage.
+// A nil runs falls back to in-memory storage; the wall-clock engine passes
+// a disk-backed RunStore so spilled partials leave the heap for real.
 func NewSpillStoreOn(threshold int64, merger Merger, hooks SpillHooks, runs RunStore) *SpillStore {
+	return NewSpillStoreComp(threshold, merger, hooks, runs, codec.None)
+}
+
+// NewSpillStoreComp is NewSpillStoreOn with a sealed-run codec: spill runs
+// are compressed as they are encoded and decompressed block by block during
+// the final merge, so both spill I/O and (for in-memory run storage) the
+// spilled heap footprint shrink by the ratio. comp must match the codec the
+// RunStore's readers decode with (a dfs.RunSet inherits it from its
+// RunDir).
+func NewSpillStoreComp(threshold int64, merger Merger, hooks SpillHooks, runs RunStore, comp codec.Compression) *SpillStore {
 	if merger == nil {
 		panic("store: SpillStore requires a Merger")
 	}
@@ -110,7 +129,7 @@ func NewSpillStoreOn(threshold int64, merger Merger, hooks SpillHooks, runs RunS
 		threshold = 1 << 20
 	}
 	if runs == nil {
-		runs = &memRuns{}
+		runs = &memRuns{comp: comp}
 	}
 	return &SpillStore{
 		t:         rbtree.New[string](strSize),
@@ -118,6 +137,7 @@ func NewSpillStoreOn(threshold int64, merger Merger, hooks SpillHooks, runs RunS
 		threshold: threshold,
 		hooks:     hooks,
 		runs:      runs,
+		enc:       codec.NewRunEncoder(nil, comp),
 	}
 }
 
@@ -156,10 +176,14 @@ func (s *SpillStore) MemBytes() int64 { return s.t.Bytes() }
 
 // ApproxBytes implements Store: the live tree plus the retained encode
 // scratch (which grows to roughly one threshold's worth of encoded bytes).
-func (s *SpillStore) ApproxBytes() int64 { return s.t.Bytes() + int64(cap(s.scratch)) }
+func (s *SpillStore) ApproxBytes() int64 { return s.t.Bytes() + s.enc.ScratchBytes() }
 
-// SpilledBytes implements Store.
+// SpilledBytes implements Store (sealed, post-compression bytes).
 func (s *SpillStore) SpilledBytes() int64 { return s.spilled }
+
+// RawSpilledBytes returns the standard (pre-compression) encoded size of
+// everything spilled — equal to SpilledBytes under the None codec.
+func (s *SpillStore) RawSpilledBytes() int64 { return s.rawBytes }
 
 // Err returns the first spill-storage failure (disk-backed stores only).
 // A store with a non-nil Err keeps partials in memory instead of spilling,
@@ -167,28 +191,35 @@ func (s *SpillStore) SpilledBytes() int64 { return s.spilled }
 // surface the error after Emit.
 func (s *SpillStore) Err() error { return s.err }
 
-// spill serializes the tree in key order into a new sealed run and clears
-// it. On storage failure the tree is kept (correctness over memory bounds)
-// and the error is recorded.
+// spill serializes the tree in key order into a new sealed run (through
+// the store's codec) and clears it. On storage failure the tree is kept
+// (correctness over memory bounds) and the error is recorded.
 func (s *SpillStore) spill() {
 	if s.t.Len() == 0 || s.err != nil {
 		return
 	}
-	buf := s.scratch[:0]
+	s.enc.Reset(nil)
 	s.t.Ascend(func(k, v string) bool {
-		buf = codec.AppendRecord(buf, core.Record{Key: k, Value: v})
-		return true
+		return s.enc.Append(core.Record{Key: k, Value: v}) == nil
 	})
-	s.scratch = buf
-	if err := s.runs.Append(buf); err != nil {
+	if err := s.enc.Flush(); err != nil {
+		s.err = err
+		return
+	}
+	buf := s.enc.Bytes()
+	if err := s.runs.Append(buf, s.enc.RawBytes()); err != nil {
 		s.err = err
 		return
 	}
 	s.runLens = append(s.runLens, int64(len(buf)))
 	s.spilled += int64(len(buf))
+	s.rawBytes += s.enc.RawBytes()
 	s.Spills++
 	s.hooks.SpillWrite(int64(len(buf)))
-	s.t.Clear()
+	// Everything the tree held is now encoded in the sealed run, so its
+	// key slabs can be recycled for the next fill cycle (ClearReuse's
+	// no-escaped-strings contract holds).
+	s.t.ClearReuse()
 }
 
 // Emit implements Store: merge every sealed run plus the live tree, combine

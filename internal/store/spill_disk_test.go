@@ -67,7 +67,7 @@ type failingRuns struct {
 	err error
 }
 
-func (f *failingRuns) Append([]byte) error {
+func (f *failingRuns) Append([]byte, int64) error {
 	if f.n <= 0 {
 		return f.err
 	}

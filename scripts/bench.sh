@@ -44,6 +44,8 @@ tmp="$(mktemp)"
   run_bench ./internal/mr/ 'Sort1M_Spill' 1x
   echo "== shuffle transports (in-proc vs run exchange vs loopback TCP) =="
   run_bench ./internal/mr/ 'WordCount250K_(InProc|Runx|TCP)' 2x
+  echo "== spill-run compression (none vs block vs delta; spill-ratio = raw/sealed bytes) =="
+  run_bench ./internal/mr/ 'Spill1M_Comp(None|Block|Delta)' 1x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported
