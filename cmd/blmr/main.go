@@ -56,6 +56,7 @@ func main() {
 	combine := flag.Bool("combine", false, "enable the map-side combiner (aggregation-class apps only; uses the app's merger)")
 	snapshot := flag.Float64("snapshot", 0, "pipelined progress snapshot period in virtual seconds (0 = off)")
 	transport := flag.String("transport", "", "run on the REAL engine with this shuffle transport: inproc|spill|tcp (empty = simulator)")
+	staged := flag.Bool("staged", false, "disable cross-wave overlap: dispatch the reduce wave only after the whole map wave (multi-process engine and TCP-transport simulator; default overlapped)")
 	workers := flag.Int("workers", 0, "with -transport tcp: run N worker subprocesses (multi-process cluster mode); with the simulator: place tasks on an N-node sub-cluster (0 = all nodes)")
 	mapTasks := flag.Int("map-tasks", 0, "real engine: number of map tasks (0 = NumCPU)")
 	fanIn := flag.Int("merge-fan-in", 0, "real engine: external merge fan-in cap (0 = default 64)")
@@ -91,7 +92,7 @@ func main() {
 	}
 
 	if *workerCoord != "" {
-		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, comp)
+		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, comp, *staged)
 		if err := mpexec.Serve(*workerCoord, mrJob(app, *combine), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
@@ -101,12 +102,12 @@ func main() {
 
 	if *transport != "" {
 		runReal(app, ds, realMode, kind, *transport, *reducers, *mapTasks,
-			*spillBytes, *spillMB, *fanIn, *workers, comp, *combine, *verify)
+			*spillBytes, *spillMB, *fanIn, *workers, comp, *combine, *staged, *verify)
 		return
 	}
 
 	runSim(app, ds, costs, simMode, kind, *reducers, *heapMB, *spillMB, *spillBytes,
-		*workers, comp, *speculative, *combine, *snapshot, *timeline)
+		*workers, comp, *speculative, *combine, *staged, *snapshot, *timeline)
 }
 
 func buildApp(name string, sizeGB float64, mappers int) (apps.App, harness.Dataset, simmr.CostModel, bool) {
@@ -151,17 +152,17 @@ func mrJob(app apps.App, combine bool) mr.Job {
 	return job
 }
 
-func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn int, comp codec.Compression) mr.Options {
+func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn int, comp codec.Compression, staged bool) mr.Options {
 	return mr.Options{
 		Mappers: mapTasks, Reducers: reducers, Mode: mode, Store: kind,
 		SpillBytes: spillBytes, SpillThresholdBytes: int64(spillMB) << 20,
-		MergeFanIn: fanIn, Compression: comp,
+		MergeFanIn: fanIn, Compression: comp, Staged: staged,
 	}
 }
 
 // runReal executes the job on the real-concurrency engine — in-process over
 // the chosen transport, or across worker subprocesses when -workers > 0.
-func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, comp codec.Compression, combine, verify bool) {
+func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, comp codec.Compression, combine, staged, verify bool) {
 	tkind, err := shuffle.ParseKind(transportName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -169,7 +170,7 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 	}
 	input := flatten(ds)
 	job := mrJob(app, combine)
-	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn, comp)
+	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn, comp, staged)
 	opts.Transport = tkind
 
 	var res *mr.Result
@@ -190,12 +191,18 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 	engine := "real/" + tkind.String()
 	if workers > 0 {
 		engine = fmt.Sprintf("cluster/%d-workers", workers)
+		if staged {
+			engine += "/staged"
+		}
 	}
 	fmt.Printf("app=%s engine=%s mode=%s store=%s reducers=%d\n", app.Name, engine, mode, kind, reducers)
 	fmt.Printf("records: in=%d out=%d shuffled=%d\n", len(input), len(res.Output), res.ShuffleRecords)
 	fmt.Printf("wall: %.1fms (map %.1fms)  spills: %d (%d KB sealed)  merge passes: %d  peak partials: %d KB\n",
 		res.Wall.Seconds()*1e3, res.MapWall.Seconds()*1e3,
 		res.Spills, res.SpilledBytes>>10, res.MergePasses, res.PeakPartialBytes>>10)
+	if res.FetchDials > 0 {
+		fmt.Printf("fetch plane: %d KB over %d pooled run-server conns\n", res.FetchBytes>>10, res.FetchDials)
+	}
 	if comp != codec.None && res.CompressedSpillBytes > 0 {
 		fmt.Printf("compression (%s): %d KB raw -> %d KB sealed (%.2fx)  fetched: %d KB\n",
 			comp, res.RawSpillBytes>>10, res.CompressedSpillBytes>>10,
@@ -274,14 +281,14 @@ func compareOutputs(a, b []core.Record, exact, countOnly bool) error {
 	return nil
 }
 
-func runSim(app apps.App, ds harness.Dataset, costs simmr.CostModel, m simmr.Mode, kind store.Kind, reducers, heapMB, spillMB int, spillBytes int64, workers int, comp codec.Compression, speculative, combine bool, snapshot float64, timeline bool) {
+func runSim(app apps.App, ds harness.Dataset, costs simmr.CostModel, m simmr.Mode, kind store.Kind, reducers, heapMB, spillMB int, spillBytes int64, workers int, comp codec.Compression, speculative, combine, staged bool, snapshot float64, timeline bool) {
 	res := harness.Run(harness.RunSpec{
 		App: app, Data: ds, Mode: m, Reducers: reducers, Store: kind,
 		Costs: costs, HeapBudgetMB: heapMB, SpillThresholdMB: spillMB, KVCacheMB: 512,
 		SpillBytes:  spillBytes,
 		Workers:     workers,
 		Compression: comp,
-		Speculative: speculative, Combine: combine, SnapshotPeriod: snapshot,
+		Speculative: speculative, Combine: combine, Staged: staged, SnapshotPeriod: snapshot,
 	})
 
 	fmt.Printf("app=%s mode=%s store=%s reducers=%d", app.Name, m, kind, reducers)

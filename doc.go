@@ -65,5 +65,23 @@
 // sub-cluster placement), JobSpec.Transport and Costs.RunFetchDelay
 // (harness.WorkerScaling sweeps worker counts).
 //
+// The multi-process engine breaks the stage barrier: reduce tasks are
+// dispatched at job start and every completed map's sealed-run metadata is
+// streamed to them as push messages, so reducers fetch and consume runs
+// while later maps are still running (mr.Options.Staged — cmd/blmr
+// -staged — restores the back-to-back waves; barrier output stays
+// byte-identical either way). Pipelined run-exchange maps seal
+// partitioned-but-unsorted waves (stream reducers impose no input order),
+// deleting the map-side sort from the barrier-less path. Section fetches
+// ride a pooled, multiplexed "BLR2" plane (shuffle.FetchPool): one
+// connection per peer run-server with request-id-framed pipelining
+// (prefetch bounded by MergeFanIn) and per-connection reusable decode
+// buffers plus arena string allocation, so the fetch path stops
+// allocating per section (mr.Result.FetchDials counts dials; compressed
+// block headers carry a CRC32 verified at decode). simmr.JobSpec.Staged
+// and the per-pooled-peer Costs.RunFetchDelay model the same machinery
+// on the simulated cluster (harness.OverlapSweep sweeps staged vs
+// overlapped; overlap is never slower).
+//
 // See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

@@ -98,13 +98,25 @@ type ByteScanner interface {
 // errors instead of panicking: disk-backed runs can be truncated by crashes
 // or partial writes, and the merge path must surface that, not die.
 type StreamReader struct {
-	r   ByteScanner
-	buf []byte // scratch for key/value bytes, reused across records
-	err error
+	r     ByteScanner
+	buf   []byte // scratch for key/value bytes, reused across records
+	arena *Arena // optional: record strings cut from shared chunks
+	err   error
 }
 
 // NewStreamReader wraps r.
 func NewStreamReader(r ByteScanner) *StreamReader { return &StreamReader{r: r} }
+
+// Reset points the reader at a new stream, keeping its scratch buffer (and
+// arena) so one reader can decode many runs without reallocating.
+func (sr *StreamReader) Reset(r ByteScanner) {
+	sr.r = r
+	sr.err = nil
+}
+
+// SetArena makes the reader allocate record strings from a (nil restores
+// per-record allocation). See Arena for the retention trade-off.
+func (sr *StreamReader) SetArena(a *Arena) { sr.arena = a }
 
 // NewStreamReaderBytes wraps an in-memory encoded buffer. Unlike Reader it
 // returns errors instead of panicking — the right decoder for buffers of
@@ -155,6 +167,9 @@ func (sr *StreamReader) str(atRecordStart bool) (string, error) {
 		b := sr.buf[:n]
 		if _, err := io.ReadFull(sr.r, b); err != nil {
 			return "", fmt.Errorf("%w: truncated record body: %v", ErrCorrupt, err)
+		}
+		if sr.arena != nil {
+			return sr.arena.String(b), nil
 		}
 		return string(b), nil
 	}

@@ -7,13 +7,19 @@ package codec
 // (dfs.OpenRunAt, the run-server wire path) stream block by block and only
 // ever decompress the blocks they touch:
 //
-//	run    := "BLC1" | kind byte | block*
-//	block  := uvarint(rawLen) | uvarint(encLen<<1 | lz) | encLen bytes
+//	run    := "BLC2" | kind byte | block*
+//	block  := uvarint(rawLen) | uvarint(encLen<<1 | lz) | crc32c(4 bytes LE) | encLen bytes
 //
 // rawLen is the block payload's size before byte compression; lz=1 means
 // the payload is LZ-compressed (lz=0: stored verbatim, used when
-// compression would not shrink the block). Blocks always hold whole
-// records — a record never straddles a block boundary.
+// compression would not shrink the block). crc32c is the Castagnoli CRC of
+// the encLen payload bytes as they sit on disk/wire, verified before the
+// block is decompressed, so bit rot is caught at the block that broke
+// rather than surfacing as a confusing parse error records later (or, for
+// a corrupted stored block, not at all). Blocks always hold whole records
+// — a record never straddles a block boundary. Decoders also accept the
+// PR-4 "BLC1" header, whose blocks carry no CRC: old sealed runs stay
+// readable, new runs are checksummed.
 //
 // The LZ layer is snappy-shaped but dependency-free: a greedy byte-window
 // compressor emitting varint literal/copy tags, window reset per block:
@@ -40,6 +46,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"blmr/internal/core"
@@ -79,8 +86,16 @@ func ParseCompression(s string) (Compression, error) {
 	return 0, fmt.Errorf("codec: unknown compression %q (want none|block|delta)", s)
 }
 
-// runMagic opens every compressed run.
-var runMagic = [4]byte{'B', 'L', 'C', '1'}
+// runMagic opens every compressed run sealed by this version (per-block
+// CRCs); runMagicV1 is the PR-4 header (no CRCs), still accepted on decode.
+var (
+	runMagic   = [4]byte{'B', 'L', 'C', '2'}
+	runMagicV1 = [4]byte{'B', 'L', 'C', '1'}
+)
+
+// crcTable is the Castagnoli polynomial, the same choice snappy and iSCSI
+// made (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 const (
 	// blockTargetBytes is the raw payload size at which a block is sealed.
@@ -300,14 +315,16 @@ func (e *RunEncoder) sealBlock() {
 		return
 	}
 	e.scratch = e.lz.compress(e.scratch[:0], e.raw)
-	e.out = binary.AppendUvarint(e.out, uint64(len(e.raw)))
+	payload := e.raw
+	tag := uint64(len(e.raw)) << 1
 	if len(e.scratch) < len(e.raw) {
-		e.out = binary.AppendUvarint(e.out, uint64(len(e.scratch))<<1|1)
-		e.out = append(e.out, e.scratch...)
-	} else {
-		e.out = binary.AppendUvarint(e.out, uint64(len(e.raw))<<1)
-		e.out = append(e.out, e.raw...)
+		payload = e.scratch
+		tag = uint64(len(e.scratch))<<1 | 1
 	}
+	e.out = binary.AppendUvarint(e.out, uint64(len(e.raw)))
+	e.out = binary.AppendUvarint(e.out, tag)
+	e.out = binary.LittleEndian.AppendUint32(e.out, crc32.Checksum(payload, crcTable))
+	e.out = append(e.out, payload...)
 	e.raw = e.raw[:0]
 	e.lastKey = e.lastKey[:0] // front-coding restarts per block
 	_ = e.maybeWrite()
@@ -384,12 +401,25 @@ func NewRunDecoderBytes(b []byte, comp Compression) RecordReader {
 type blockReader struct {
 	r          ByteScanner
 	delta      bool
+	hasCRC     bool // false for v1 ("BLC1") runs, which carry no block CRCs
 	headerDone bool
 	block      []byte // decompressed current block payload
 	off        int    // cursor within block
 	prevKey    []byte // front-coding state within block
 	payload    []byte // compressed payload scratch
+	arena      *Arena // optional: record strings cut from shared chunks
 	err        error
+}
+
+// Reset points the reader at a new run, keeping its block and payload
+// buffers (and arena).
+func (b *blockReader) Reset(r ByteScanner) {
+	b.r = r
+	b.headerDone = false
+	b.block = b.block[:0]
+	b.off = 0
+	b.prevKey = b.prevKey[:0]
+	b.err = nil
 }
 
 // Next implements RecordReader.
@@ -433,7 +463,12 @@ func (b *blockReader) nextBlock() bool {
 		if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
 			return b.corrupt("truncated run header: %v", err)
 		}
-		if [4]byte(hdr[:4]) != runMagic {
+		switch [4]byte(hdr[:4]) {
+		case runMagic:
+			b.hasCRC = true
+		case runMagicV1:
+			b.hasCRC = false
+		default:
 			return b.corrupt("bad run magic %q", hdr[:4])
 		}
 		kind := Compression(hdr[4])
@@ -458,8 +493,21 @@ func (b *blockReader) nextBlock() bool {
 	if rawLen == 0 || rawLen > maxBlockRawBytes || encLen == 0 || encLen > rawLen {
 		return b.corrupt("implausible block sizes raw=%d enc=%d", rawLen, encLen)
 	}
+	var wantCRC uint32
+	if b.hasCRC {
+		var cb [4]byte
+		if _, err := io.ReadFull(b.r, cb[:]); err != nil {
+			return b.corrupt("truncated block checksum: %v", err)
+		}
+		wantCRC = binary.LittleEndian.Uint32(cb[:])
+	}
 	if !b.readPayload(encLen) {
 		return false
+	}
+	if b.hasCRC {
+		if got := crc32.Checksum(b.payload, crcTable); got != wantCRC {
+			return b.corrupt("block checksum mismatch: got %08x, want %08x", got, wantCRC)
+		}
 	}
 	if lz {
 		b.block, err = lzDecompress(b.block[:0], b.payload, int(rawLen))
@@ -529,6 +577,9 @@ func (b *blockReader) str() (string, bool) {
 	if !ok {
 		return "", false
 	}
+	if b.arena != nil {
+		return b.arena.String(s), true
+	}
 	return string(s), true
 }
 
@@ -554,5 +605,33 @@ func (b *blockReader) nextDelta() (core.Record, bool) {
 	if !ok {
 		return core.Record{}, false
 	}
-	return core.Record{Key: string(b.prevKey), Value: val}, true
+	key := string(b.prevKey)
+	if b.arena != nil {
+		key = b.arena.String(b.prevKey)
+	}
+	return core.Record{Key: key, Value: val}, true
+}
+
+// SectionDecoder is a reusable run decoder for section streams of varying
+// codecs — the shuffle fetch path resets one per pooled connection instead
+// of allocating a fresh decoder (plus block and scratch buffers) for every
+// fetched section. Not safe for concurrent use; one section at a time.
+type SectionDecoder struct {
+	sr StreamReader
+	br blockReader
+}
+
+// Reset prepares the decoder for one section of the given codec read from
+// r, and returns the RecordReader to drain it with (valid until the next
+// Reset). A non-nil arena makes record strings share chunk backing — see
+// Arena for the retention trade-off.
+func (d *SectionDecoder) Reset(r ByteScanner, comp Compression, arena *Arena) RecordReader {
+	if comp == None {
+		d.sr.Reset(r)
+		d.sr.arena = arena
+		return &d.sr
+	}
+	d.br.Reset(r)
+	d.br.arena = arena
+	return &d.br
 }

@@ -177,6 +177,7 @@ func blockBoundaries(t *testing.T, buf []byte) map[int]bool {
 		encTag, n := uvarintAt(t, buf, off)
 		off += n
 		_ = rawLen
+		off += 4 // crc32c
 		off += int(encTag >> 1)
 		bounds[off] = true
 	}

@@ -1,0 +1,170 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"blmr/internal/core"
+)
+
+func crcTestRecords(n int) []core.Record {
+	recs := make([]core.Record, n)
+	for i := range recs {
+		recs[i] = core.Record{
+			Key:   fmt.Sprintf("key-%05d", i),
+			Value: strings.Repeat("v", i%17),
+		}
+	}
+	return recs
+}
+
+func sealRun(t *testing.T, recs []core.Record, comp Compression) []byte {
+	t.Helper()
+	e := NewRunEncoder(nil, comp)
+	for _, r := range recs {
+		if err := e.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// TestBlockCRCCatchesBitRot: flipping any single payload byte of a sealed
+// run must surface ErrCorrupt naming the checksum — the corruption is
+// caught at the block that broke, before decompression can smear it into a
+// confusing parse error (or, for a stored block, silently altered data).
+func TestBlockCRCCatchesBitRot(t *testing.T) {
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf := sealRun(t, crcTestRecords(2000), comp)
+		// Flip bytes across the run body (past the 5-byte header, skipping
+		// the per-block length varints is unnecessary: a corrupt length is
+		// ErrCorrupt too — but for the checksum-specific assertion pick
+		// offsets inside the first block's payload).
+		for _, off := range []int{16, 64, len(buf) / 2, len(buf) - 3} {
+			mut := append([]byte(nil), buf...)
+			mut[off] ^= 0x20
+			rd := NewRunDecoderBytes(mut, comp)
+			for {
+				if _, ok := rd.Next(); !ok {
+					break
+				}
+			}
+			if err := rd.Err(); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("%v: flipped byte %d decoded cleanly (err=%v)", comp, off, err)
+			}
+		}
+		// Specifically: a flip in the middle of a stored/compressed payload
+		// is named a checksum mismatch.
+		mut := append([]byte(nil), buf...)
+		mut[20] ^= 0x01
+		rd := NewRunDecoderBytes(mut, comp)
+		for {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+		if err := rd.Err(); err == nil ||
+			(!strings.Contains(err.Error(), "checksum") && !errors.Is(err, ErrCorrupt)) {
+			t.Fatalf("%v: payload flip error = %v", comp, err)
+		}
+	}
+}
+
+// TestV1RunsStillDecode: runs sealed with the PR-4 "BLC1" header (no block
+// CRCs) must keep decoding — wire and disk compatibility for sealed runs
+// that predate the checksum.
+func TestV1RunsStillDecode(t *testing.T) {
+	recs := crcTestRecords(500)
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf := sealRun(t, recs, comp)
+		// Rewrite the run as v1: magic BLC1, blocks without the CRC field,
+		// by re-walking the v2 framing and stripping each block's CRC.
+		v1 := []byte{'B', 'L', 'C', '1', buf[4]}
+		src := buf[5:]
+		for len(src) > 0 {
+			rawLen, n1 := uvarint(t, src)
+			encTag, n2 := uvarint(t, src[n1:])
+			hdrLen := n1 + n2
+			encLen := int(encTag >> 1)
+			v1 = append(v1, src[:hdrLen]...)
+			v1 = append(v1, src[hdrLen+4:hdrLen+4+encLen]...)
+			src = src[hdrLen+4+encLen:]
+			_ = rawLen
+		}
+		dec := NewRunDecoderBytes(v1, comp)
+		var got []core.Record
+		for {
+			r, ok := dec.Next()
+			if !ok {
+				break
+			}
+			got = append(got, r)
+		}
+		if err := dec.Err(); err != nil {
+			t.Fatalf("%v: v1 run failed to decode: %v", comp, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%v: v1 run decoded %d records, want %d", comp, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("%v: v1 record %d: %v vs %v", comp, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+func uvarint(t *testing.T, b []byte) (uint64, int) {
+	t.Helper()
+	var v uint64
+	var shift uint
+	for i, c := range b {
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, i + 1
+		}
+		shift += 7
+	}
+	t.Fatal("bad varint")
+	return 0, 0
+}
+
+// TestSectionDecoderArena: decoding through a SectionDecoder with an arena
+// yields records equal to the plain decode, across codecs and across
+// Resets (the shuffle pool's per-connection reuse pattern).
+func TestSectionDecoderArena(t *testing.T) {
+	recs := crcTestRecords(1200)
+	var dec SectionDecoder
+	var arena Arena
+	for _, comp := range []Compression{None, Block, DeltaBlock} {
+		buf := sealRun(t, recs, comp)
+		for pass := 0; pass < 2; pass++ { // reuse across Resets
+			rr := dec.Reset(bytes.NewReader(buf), comp, &arena)
+			var got []core.Record
+			for {
+				r, ok := rr.Next()
+				if !ok {
+					break
+				}
+				got = append(got, r)
+			}
+			if err := rr.Err(); err != nil {
+				t.Fatalf("%v pass %d: %v", comp, pass, err)
+			}
+			if len(got) != len(recs) {
+				t.Fatalf("%v pass %d: %d records, want %d", comp, pass, len(got), len(recs))
+			}
+			for i := range got {
+				if got[i] != recs[i] {
+					t.Fatalf("%v pass %d record %d: %v vs %v", comp, pass, i, got[i], recs[i])
+				}
+			}
+		}
+	}
+}

@@ -108,6 +108,16 @@ type Options struct {
 	// first, bounding merge memory (runs x 64KiB read buffers) and — over
 	// the TCP exchange — concurrently open fetch connections.
 	MergeFanIn int
+	// Staged (multi-process engine only) restores the pre-overlap control
+	// plane: the reduce wave is dispatched only after the entire map wave
+	// completes. The default (false) dispatches reduce tasks at job start
+	// and streams sealed-run routes to them as map tasks finish, so
+	// reducers fetch and consume while later maps are still running —
+	// breaking the stage barrier across processes exactly as the pipelined
+	// in-process engine does. Barrier-mode output is byte-identical either
+	// way (reducers still seal the full routing table before merging).
+	// Ignored by the in-process engine, which always overlaps.
+	Staged bool
 	// Compression selects the sealed-run codec (default codec.None).
 	// Every run the execution seals — spill waves, run-exchange segments,
 	// intermediate merge runs, pipelined store spills — is block-compressed

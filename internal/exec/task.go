@@ -10,6 +10,7 @@ package exec
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
@@ -67,10 +68,16 @@ func RunMapTask(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapStat
 }
 
 // runMapRuns is the run-discipline map body: partition, sort (or combine),
-// and publish key-sorted waves — sealing a wave early whenever buffered
-// records cross Options.SpillBytes (accounted with store.ApproxRecordBytes,
-// Hadoop's io.sort spill), and publishing the under-budget tail as the
-// final wave.
+// and publish waves — sealing a wave early whenever buffered records cross
+// Options.SpillBytes (accounted with store.ApproxRecordBytes, Hadoop's
+// io.sort spill), and publishing the under-budget tail as the final wave.
+// Waves are key-sorted only where a consumer needs the order: barrier
+// reducers k-way-merge runs, and a combiner folds through a sort either
+// way. Pipelined reducers consume sections through a stream store that
+// imposes no input order, so pipelined maps seal unsorted waves — the
+// map-side sort is exactly the stage-barrier work the paper's barrier-less
+// mode deletes, and skipping it is where pipelined execution beats barrier
+// execution over the run-exchange transports.
 func runMapRuns(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapStats, error) {
 	hint := 0
 	if opts.SpillBytes <= 0 {
@@ -81,11 +88,12 @@ func runMapRuns(job Job, opts Options, t MapTask, sink shuffle.MapSink) (MapStat
 	em := core.NewPartitionedEmitter(opts.Reducers, hint)
 	var stats MapStats
 	// sortPart sorts/combines partition p's buffer in place (stably, so
-	// equal keys keep emission order).
+	// equal keys keep emission order). Pipelined waves skip the sort (see
+	// the function comment); combining implies one regardless of mode.
 	sortPart := func(p int) {
 		if job.Combiner != nil {
 			em.Parts[p] = sortx.Combine(em.Parts[p], job.Combiner)
-		} else {
+		} else if opts.Mode == Barrier {
 			sortx.ByKey(em.Parts[p])
 		}
 	}
@@ -302,7 +310,11 @@ func runReduceBarrier(job Job, opts Options, t ReduceTask, src shuffle.ReduceSou
 		if !ok {
 			break
 		}
-		gr.Reduce(key, values, sink)
+		// One small copy per group so a reducer that retains its key (most
+		// do, into the output) never pins what the key aliases — a whole
+		// input line on the in-proc transport, a 64KiB decode-arena chunk
+		// on the pooled TCP fetch path.
+		gr.Reduce(strings.Clone(key), values, sink)
 	}
 	if err := merger.Err(); err != nil {
 		return res, err

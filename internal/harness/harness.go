@@ -89,6 +89,10 @@ type RunSpec struct {
 	// Transport selects the simulated shuffle data plane
 	// (simmr.JobSpec.Transport; default in-process).
 	Transport simmr.Transport
+	// Staged restores the multi-process stage barrier on the TCP transport:
+	// no fetch starts until the whole map wave is done
+	// (simmr.JobSpec.Staged; default false = cross-wave overlap).
+	Staged bool
 	// Compression enables the sealed-run codec model
 	// (simmr.JobSpec.Compression; default none).
 	Compression codec.Compression
@@ -139,6 +143,7 @@ func Run(spec RunSpec) *simmr.Result {
 		Mode:           spec.Mode,
 		Workers:        spec.Workers,
 		Transport:      spec.Transport,
+		Staged:         spec.Staged,
 		Compression:    spec.Compression,
 		Store:          spec.Store,
 		HeapBudget:     int64(spec.HeapBudgetMB) << 20,

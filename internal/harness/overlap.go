@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+)
+
+// OverlapSweep compares the multi-process engine's staged control plane
+// (reduce wave dispatched after the whole map wave — PR 3's stage barrier)
+// against the overlapped one (reduce tasks dispatched at job start,
+// sealed-run routes streamed as maps finish) over the TCP run exchange, in
+// both execution modes — the simulated counterpart of mpexec's
+// exec.Options.Staged and the paper's Figure 4/6 claim at cluster scale.
+// Overlap releases each map's sections to the fetchers the moment it
+// publishes, so shuffle (and, pipelined, reduce work) hides under the map
+// runway instead of queueing behind it.
+func OverlapSweep(app apps.App, sizeGB float64, workerCounts []int) Sweep {
+	ds := WordCountData(sizeGB)
+	costs := CalibWordCount
+	if app.Name == "sort" {
+		ds = SortData(sizeGB)
+		costs = CalibSort
+	}
+	if costs.RunFetchDelay == 0 {
+		costs.RunFetchDelay = simmr.DefaultCosts().RunFetchDelay
+	}
+	sw := Sweep{
+		ID:     "OverlapSweep",
+		Title:  fmt.Sprintf("%s %.0fGB over the TCP run exchange: staged vs overlapped dispatch", app.Name, sizeGB),
+		XLabel: "workers",
+	}
+	for _, variant := range []struct {
+		label  string
+		mode   simmr.Mode
+		staged bool
+	}{
+		{"barrier/staged", simmr.Barrier, true},
+		{"barrier/overlap", simmr.Barrier, false},
+		{"pipelined/staged", simmr.Pipelined, true},
+		{"pipelined/overlap", simmr.Pipelined, false},
+	} {
+		ser := Series{Label: variant.label}
+		for _, w := range workerCounts {
+			res := Run(RunSpec{
+				App: app, Data: ds, Mode: variant.mode,
+				Reducers: 60, Costs: costs,
+				Workers: w, Transport: simmr.TCPRunExchange,
+				Staged: variant.staged,
+			})
+			ser.X = append(ser.X, float64(w))
+			ser.Y = append(ser.Y, res.Completion)
+			note := ""
+			if res.Failed {
+				note = "FAILED"
+			}
+			ser.Note = append(ser.Note, note)
+		}
+		sw.Series = append(sw.Series, ser)
+	}
+	return sw
+}

@@ -1,0 +1,92 @@
+package mpexec_test
+
+// Overlap benchmarks: the multi-process engine's staged control plane
+// (reduce wave after the whole map wave — the PR-3 baseline, kept behind
+// exec.Options.Staged) against the overlapped one (reduce tasks dispatched
+// at job start, sealed-run routes streamed as maps finish). Worker
+// processes are this binary re-executed (see TestMain); with one map slot
+// per worker the map wave is a real runway, so overlap hides fetch and
+// reduce work under it exactly as the paper's Figure 4/6 claims —
+// pipelined-TCP finally beats barrier-TCP across processes. Snapshotted by
+// scripts/bench.sh into BENCH_<n>.json.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"blmr/internal/apps"
+	"blmr/internal/core"
+	blexec "blmr/internal/exec"
+	"blmr/internal/mpexec"
+	"blmr/internal/workload"
+)
+
+var clusterBenchInput struct {
+	once sync.Once
+	recs []core.Record
+}
+
+func benchClusterInput() []core.Record {
+	clusterBenchInput.once.Do(func() {
+		clusterBenchInput.recs = workload.Text(3, 250_000, 20_000, 4)
+	})
+	return clusterBenchInput.recs
+}
+
+// benchCluster runs b.N jobs over a freshly spawned 2-worker cluster.
+func benchCluster(b *testing.B, appName string, mode blexec.Mode, staged bool) {
+	input := benchClusterInput()
+	app := apps.WordCount()
+	var env []string
+	if appName == "sort" {
+		app = apps.Sort()
+		env = append(env, "MPEXEC_APP=sort")
+	}
+	if mode == blexec.Pipelined {
+		env = append(env, "MPEXEC_MODE=pipelined")
+	}
+	c, err := mpexec.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	spawnWorkers(b, c.Addr(), 2, env...)
+	if err := c.WaitWorkers(2, 30*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	opts := blexec.Options{Mappers: 8, Reducers: 3, Mode: mode, Staged: staged}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Run(jobFor(app), input, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(input))/res.Wall.Seconds(), "recs/s")
+	}
+}
+
+func BenchmarkClusterWordCount250K_BarrierStaged(b *testing.B) {
+	benchCluster(b, "wordcount", blexec.Barrier, true)
+}
+
+func BenchmarkClusterWordCount250K_BarrierOverlap(b *testing.B) {
+	benchCluster(b, "wordcount", blexec.Barrier, false)
+}
+
+func BenchmarkClusterWordCount250K_PipelinedStaged(b *testing.B) {
+	benchCluster(b, "wordcount", blexec.Pipelined, true)
+}
+
+func BenchmarkClusterWordCount250K_PipelinedOverlap(b *testing.B) {
+	benchCluster(b, "wordcount", blexec.Pipelined, false)
+}
+
+func BenchmarkClusterSort250K_PipelinedStaged(b *testing.B) {
+	benchCluster(b, "sort", blexec.Pipelined, true)
+}
+
+func BenchmarkClusterSort250K_PipelinedOverlap(b *testing.B) {
+	benchCluster(b, "sort", blexec.Pipelined, false)
+}

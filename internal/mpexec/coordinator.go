@@ -16,22 +16,42 @@ import (
 
 // Coordinator drives one multi-process job execution. It listens for worker
 // registrations, then schedules map and reduce tasks over the registered
-// workers through the same exec.Scheduler the in-process engine uses. The
-// reduce wave is dispatched after the map wave completes (the coordinator
-// needs every sealed-run location before it can route a partition), so
-// pipelined mode keeps its streaming reduce semantics on the workers but
-// not cross-wave overlap — the trade the control plane makes for a
-// stateless request/response protocol.
+// workers through the same exec.Scheduler the in-process engine uses. By
+// default the two waves overlap: reduce tasks are dispatched at job start
+// and every completed map's sealed-run metadata is streamed to them as 'S'
+// pushes, so reducers fetch and consume runs while later maps are still
+// running — the cross-wave overlap the paper's pipelined mode is about,
+// now across process boundaries. exec.Options.Staged restores the PR-3
+// back-to-back waves (the baseline the overlap benchmarks compare against).
+// Each worker's control connection is demultiplexed by a reader goroutine,
+// so one worker can carry a map task, a reduce task and segment pushes
+// concurrently.
 type Coordinator struct {
 	ln net.Listener
 
 	mu      sync.Mutex
 	workers []*remoteWorker
-	waves   map[int][]waveMeta // map task index -> sealed waves
+	waves   map[int][]waveMeta    // map task index -> sealed waves
+	active  map[int]*remoteWorker // partition -> worker running its reduce
+	nMaps   int
 }
 
-// remoteWorker proxies one worker process as an exec.Worker. The control
-// connection carries one request/response at a time under mu.
+// pendKey identifies one awaited reply: the reply kind ('m' or 'r') plus
+// the task id (map index or partition).
+type pendKey struct {
+	kind byte
+	id   int
+}
+
+// asyncReply is one routed reply frame (or the task's failure).
+type asyncReply struct {
+	payload []byte
+	err     error
+}
+
+// remoteWorker proxies one worker process as an exec.Worker. Writes are
+// serialized by wmu; replies are routed to awaiting callers by the reader
+// goroutine, so multiple tasks can be in flight on one connection.
 type remoteWorker struct {
 	c    *Coordinator
 	id   int
@@ -39,11 +59,22 @@ type remoteWorker struct {
 	br   *bufio.Reader
 	addr string // the worker's run-server
 
-	mu sync.Mutex
+	wmu sync.Mutex // serializes frame writes
 
-	// per-worker byte aggregation (written under c.mu)
+	pmu     sync.Mutex
+	pending map[pendKey]chan asyncReply
+	dead    chan struct{} // closed when the connection is lost
+	deadErr error
+
+	// per-worker aggregation (written under c.mu). spilled/rawSpilled sum
+	// per-task deltas for the CURRENT job (reset at job start); fetchDials
+	// is the worker pool's lifetime dial total from its last reply, with
+	// dialsBase snapshotting the previous jobs' share so a reused worker
+	// pool reports per-job dials.
 	spilledBytes    int64
 	rawSpilledBytes int64
+	fetchDials      int64
+	dialsBase       int64
 }
 
 // Listen opens the coordinator's registration listener on an ephemeral
@@ -53,13 +84,15 @@ func Listen() (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: listen: %w", err)
 	}
-	return &Coordinator{ln: ln, waves: make(map[int][]waveMeta)}, nil
+	return &Coordinator{ln: ln, waves: make(map[int][]waveMeta), active: make(map[int]*remoteWorker)}, nil
 }
 
 // Addr returns the address workers dial (pass it to Serve / -worker-coord).
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
 // WaitWorkers blocks until n workers have registered or the timeout lapses.
+// Each registered worker gets a reader goroutine that routes its reply
+// frames until the connection closes.
 func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for len(c.workers) < n {
@@ -82,21 +115,24 @@ func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
 			_ = conn.Close()
 			return fmt.Errorf("mpexec: bad hello: %w", d.err)
 		}
-		c.workers = append(c.workers, &remoteWorker{
+		w := &remoteWorker{
 			c: c, id: len(c.workers), conn: conn, br: br, addr: addr,
-		})
+			pending: make(map[pendKey]chan asyncReply),
+			dead:    make(chan struct{}),
+		}
+		c.workers = append(c.workers, w)
+		go w.readLoop()
 	}
 	return nil
 }
 
 // Close severs every worker connection (after sending a best-effort bye)
-// and stops the listener. Workers exit when their control connection ends.
+// and stops the listener. Workers exit when their control connection ends;
+// reader goroutines exit with their connections.
 func (c *Coordinator) Close() error {
 	for _, w := range c.workers {
-		w.mu.Lock()
-		_ = writeMsg(w.conn, msgBye, nil)
+		_ = w.send(msgBye, nil)
 		_ = w.conn.Close()
-		w.mu.Unlock()
 	}
 	return c.ln.Close()
 }
@@ -104,8 +140,9 @@ func (c *Coordinator) Close() error {
 // Run executes job over input across the registered workers and returns the
 // assembled result. opts follow mr.Options semantics; the transport is
 // forcibly the TCP run exchange (the only one that crosses process
-// boundaries). A worker that dies mid-task fails the job with an error —
-// the scheduler drains cleanly, no goroutine outlives the call.
+// boundaries). A worker that dies mid-task fails the job with an error and
+// aborts the peers' in-flight reduce tasks — the scheduler drains cleanly,
+// no goroutine outlives the call.
 func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) (*mr.Result, error) {
 	opts.Transport = shuffle.TCP
 	opts.Normalize()
@@ -116,53 +153,107 @@ func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) 
 		return nil, fmt.Errorf("mpexec: no workers registered")
 	}
 	start := time.Now()
+	// Staged mode keeps PR 3's one reduce slot per worker (reduce tasks do
+	// all their work the moment they are dispatched). Overlapped reduce
+	// tasks spend the map runway parked on segment pushes — a blocked
+	// goroutine on the worker — so the whole reduce wave is dispatched up
+	// front, mirroring the in-process engine's all-partitions-concurrent
+	// scheduling; reducers then consume each map's output the moment it is
+	// routed instead of queueing behind a single slot.
+	redSlots := 1
+	if !opts.Staged {
+		redSlots = (opts.Reducers + len(c.workers) - 1) / len(c.workers)
+	}
 	assignments := make([]exec.Assignment, len(c.workers))
 	for i, w := range c.workers {
-		assignments[i] = exec.Assignment{W: w, MapSlots: 1, ReduceSlots: 1}
+		assignments[i] = exec.Assignment{W: w, MapSlots: 1, ReduceSlots: redSlots}
 	}
 	maps := exec.SplitMaps(input, opts.Mappers)
+	c.mu.Lock()
+	c.waves = make(map[int][]waveMeta, len(maps))
+	c.active = make(map[int]*remoteWorker)
+	c.nMaps = len(maps)
+	for _, w := range c.workers {
+		w.spilledBytes, w.rawSpilledBytes = 0, 0
+		w.dialsBase = w.fetchDials
+	}
+	c.mu.Unlock()
+	// Open the job on every worker: resets worker-side per-job state (a
+	// latched abort, buffered pushes) left by a previous job on this pool.
+	for _, w := range c.workers {
+		if err := w.send(msgJobStart, nil); err != nil {
+			return nil, fmt.Errorf("mpexec: job %q: open on %s: %w", job.Name, w, err)
+		}
+	}
 
-	// Map wave. The reduce wave needs the full sealed-run routing table, so
-	// the phases are scheduled back to back.
-	mapSched := exec.Scheduler{Workers: assignments}
-	mapSum, err := mapSched.Run(maps, nil)
+	var sum *exec.Summary
+	var err error
+	if opts.Staged {
+		// The pre-overlap control plane: the reduce wave needs the full
+		// sealed-run routing table, so the phases run back to back.
+		mapSched := exec.Scheduler{Workers: assignments, OnFail: c.abort}
+		sum, err = mapSched.Run(maps, nil)
+		if err == nil {
+			redSched := exec.Scheduler{Workers: assignments, OnFail: c.abort}
+			var redSum *exec.Summary
+			redSum, err = redSched.Run(nil, exec.ReduceTasks(opts.Reducers))
+			if err == nil {
+				sum.Reduces = redSum.Reduces
+			}
+		}
+	} else {
+		// Cross-wave overlap: one schedule dispatches both waves; reduce
+		// tasks receive their routing tables incrementally as maps finish.
+		sched := exec.Scheduler{Workers: assignments, OnFail: c.abort}
+		sum, err = sched.Run(maps, exec.ReduceTasks(opts.Reducers))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: job %q: %w", job.Name, err)
 	}
 
-	redSched := exec.Scheduler{Workers: assignments}
-	redSum, err := redSched.Run(nil, exec.ReduceTasks(opts.Reducers))
-	if err != nil {
-		return nil, fmt.Errorf("mpexec: job %q: %w", job.Name, err)
-	}
-
-	mapSum.Reduces = redSum.Reduces
-	res := mr.Assemble(mapSum)
+	res := mr.Assemble(sum)
 	for _, w := range c.workers {
 		res.SpilledBytes += w.spilledBytes
 		res.RawSpillBytes += w.rawSpilledBytes
+		res.FetchDials += w.fetchDials - w.dialsBase
 	}
 	res.CompressedSpillBytes = res.SpilledBytes
 	res.Wall = time.Since(start)
 	return res, nil
 }
 
-// segmentsFor routes partition r: every completed map task's waves in (map
-// task, publish order) order — the ordering whose stable merge reproduces
-// the single-process engine byte for byte.
-func (c *Coordinator) segmentsFor(r, nMaps int) []shuffle.Segment {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// abort tells every worker to fail its in-flight reduce sources (the
+// scheduler's OnFail): reduce tasks blocked waiting for segment pushes from
+// maps that will never finish wake up and error out, so a worker death
+// fails the whole job promptly instead of wedging the overlap.
+func (c *Coordinator) abort(err error) {
+	msg := putStr(nil, err.Error())
+	for _, w := range c.workers {
+		_ = w.send(msgAbort, msg) // best-effort; dead workers are already failing
+	}
+}
+
+// routedSegs snapshots partition r's segments of every completed map, in
+// (map task, publish order) order — the ordering whose stable merge
+// reproduces the single-process engine byte for byte. Callers hold c.mu.
+func (c *Coordinator) routedSegs(r int) []mapSegs {
+	var routed []mapSegs
+	for m := 0; m < c.nMaps; m++ {
+		waves, ok := c.waves[m]
+		if !ok {
+			continue
+		}
+		routed = append(routed, mapSegs{mapIndex: m, segs: segsForPartition(waves, r)})
+	}
+	return routed
+}
+
+// segsForPartition projects one map task's waves onto partition r.
+func segsForPartition(waves []waveMeta, r int) []shuffle.Segment {
 	var segs []shuffle.Segment
-	for m := 0; m < nMaps; m++ {
-		for _, w := range c.waves[m] {
-			sp := w.spans[r]
-			if sp.N == 0 {
-				continue
-			}
-			segs = append(segs, shuffle.Segment{
-				Addr: w.addr, FileID: w.fileID, Off: sp.Off, N: sp.N, Comp: w.comp,
-			})
+	for _, w := range waves {
+		if seg, ok := w.segmentOf(r); ok {
+			segs = append(segs, seg)
 		}
 	}
 	return segs
@@ -171,37 +262,113 @@ func (c *Coordinator) segmentsFor(r, nMaps int) []shuffle.Segment {
 // String implements exec.Worker.
 func (w *remoteWorker) String() string { return fmt.Sprintf("worker-%d@%s", w.id, w.addr) }
 
-// call sends one request frame and reads the worker's reply, serializing
-// use of the control connection.
-func (w *remoteWorker) call(typ byte, payload []byte) (byte, []byte, error) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := writeMsg(w.conn, typ, payload); err != nil {
-		return 0, nil, fmt.Errorf("send to %s: %w", w, err)
+// readLoop routes every reply frame from the worker to its awaiting task
+// until the connection ends, at which point all in-flight and future
+// awaits fail with "worker died".
+func (w *remoteWorker) readLoop() {
+	for {
+		typ, payload, err := readMsg(w.br)
+		if err != nil {
+			// A dead worker (killed mid-task) surfaces here as EOF/reset.
+			w.die(fmt.Errorf("worker %s died: %w", w, err))
+			return
+		}
+		switch typ {
+		case msgMapDone, msgReduceDone:
+			d := &dec{buf: payload}
+			id := int(d.uvarint())
+			if d.err != nil {
+				w.die(fmt.Errorf("worker %s: corrupt reply: %w", w, d.err))
+				return
+			}
+			w.deliver(pendKey{typ, id}, asyncReply{payload: payload})
+		case msgError:
+			kind, id, msg, err := decodeTaskError(payload)
+			if err != nil {
+				w.die(fmt.Errorf("worker %s: corrupt error frame: %w", w, err))
+				return
+			}
+			w.deliver(pendKey{kind, id}, asyncReply{err: fmt.Errorf("%s: %s", w, msg)})
+		default:
+			w.die(fmt.Errorf("worker %s: unexpected frame %q", w, typ))
+			return
+		}
 	}
-	rtyp, rpayload, err := readMsg(w.br)
-	if err != nil {
-		// A dead worker (killed mid-task) surfaces here as EOF/reset.
-		return 0, nil, fmt.Errorf("worker %s died: %w", w, err)
+}
+
+// die latches the connection-lost error and wakes every awaiting task.
+func (w *remoteWorker) die(err error) {
+	w.pmu.Lock()
+	defer w.pmu.Unlock()
+	select {
+	case <-w.dead:
+		return
+	default:
 	}
-	if rtyp == msgError {
-		d := &dec{buf: rpayload}
-		return 0, nil, fmt.Errorf("%s: %s", w, d.str())
+	w.deadErr = err
+	close(w.dead)
+}
+
+// deliver routes one reply to its awaiting task (stray replies are
+// dropped — the await may have failed already via die).
+func (w *remoteWorker) deliver(key pendKey, r asyncReply) {
+	w.pmu.Lock()
+	ch, ok := w.pending[key]
+	delete(w.pending, key)
+	w.pmu.Unlock()
+	if ok {
+		ch <- r // buffered: never blocks
 	}
-	return rtyp, rpayload, nil
+}
+
+// expect registers interest in one reply before its request is sent (so a
+// fast reply cannot race the registration).
+func (w *remoteWorker) expect(key pendKey) chan asyncReply {
+	ch := make(chan asyncReply, 1)
+	w.pmu.Lock()
+	w.pending[key] = ch
+	w.pmu.Unlock()
+	return ch
+}
+
+// send writes one frame, serialized against concurrent task requests,
+// pushes and aborts.
+func (w *remoteWorker) send(typ byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeMsg(w.conn, typ, payload)
+}
+
+// await blocks for the expected reply or the connection's death.
+func (w *remoteWorker) await(ch chan asyncReply) ([]byte, error) {
+	select {
+	case r := <-ch:
+		return r.payload, r.err
+	case <-w.dead:
+		return nil, w.deadErr
+	}
+}
+
+// call runs one request/reply exchange for the task identified by key.
+func (w *remoteWorker) call(typ byte, payload []byte, key pendKey) ([]byte, error) {
+	ch := w.expect(key)
+	if err := w.send(typ, payload); err != nil {
+		w.pmu.Lock()
+		delete(w.pending, key)
+		w.pmu.Unlock()
+		return nil, fmt.Errorf("send to %s: %w", w, err)
+	}
+	return w.await(ch)
 }
 
 // RunMap implements exec.Worker: ship the split, collect sealed-run
-// metadata.
+// metadata, and push the new routes to every in-flight reduce task.
 func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	b := binary.AppendUvarint(nil, uint64(t.Index))
 	b = putRecords(b, t.Split)
-	rtyp, payload, err := w.call(msgMapTask, b)
+	payload, err := w.call(msgMapTask, b, pendKey{msgMapDone, t.Index})
 	if err != nil {
 		return exec.MapStats{}, err
-	}
-	if rtyp != msgMapDone {
-		return exec.MapStats{}, fmt.Errorf("%s: unexpected reply %q to map task", w, rtyp)
 	}
 	md, err := decodeMapDone(payload, w.addr)
 	if err != nil {
@@ -210,24 +377,51 @@ func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	if md.index != t.Index {
 		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d, want %d", w, md.index, t.Index)
 	}
-	w.c.mu.Lock()
-	w.c.waves[t.Index] = md.waves
+	c := w.c
+	c.mu.Lock()
+	c.waves[t.Index] = md.waves
 	w.spilledBytes += md.spilledBytes
 	w.rawSpilledBytes += md.rawSpilledBytes
-	w.c.mu.Unlock()
+	// Route the completed map to every reduce task currently in flight —
+	// the streamed 'm' metadata that lets reducers start fetching while
+	// later maps are still running. Reduce tasks dispatched after this
+	// moment get the map in their 'R' snapshot instead (both under c.mu,
+	// so each reduce task sees every map exactly once).
+	type push struct {
+		w    *remoteWorker
+		part int
+	}
+	var pushes []push
+	for part, rw := range c.active {
+		pushes = append(pushes, push{rw, part})
+	}
+	c.mu.Unlock()
+	for _, p := range pushes {
+		_ = p.w.send(msgSegPush, encodeSegPush(p.part, t.Index, segsForPartition(md.waves, p.part)))
+	}
 	return exec.MapStats{ShuffleRecords: md.shuffleRecords, Spills: md.spills}, nil
 }
 
-// RunReduce implements exec.Worker: ship the partition's routing table,
-// collect output records.
+// RunReduce implements exec.Worker: ship the partition's routing snapshot
+// (later maps arrive as pushes), collect output records.
 func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
-	segs := w.c.segmentsFor(t.Partition, w.c.mapCount())
-	rtyp, payload, err := w.call(msgReduceTask, encodeReduceTask(t.Partition, segs))
+	c := w.c
+	c.mu.Lock()
+	nMaps := c.nMaps
+	routed := c.routedSegs(t.Partition)
+	c.active[t.Partition] = w
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.active[t.Partition] == w {
+			delete(c.active, t.Partition)
+		}
+		c.mu.Unlock()
+	}()
+	payload, err := w.call(msgReduceTask, encodeReduceTask(t.Partition, nMaps, routed),
+		pendKey{msgReduceDone, t.Partition})
 	if err != nil {
 		return exec.ReduceResult{}, err
-	}
-	if rtyp != msgReduceDone {
-		return exec.ReduceResult{}, fmt.Errorf("%s: unexpected reply %q to reduce task", w, rtyp)
 	}
 	d := &dec{buf: payload}
 	partition := int(d.uvarint())
@@ -239,6 +433,7 @@ func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	spilledBytes := int64(d.uvarint())
 	rawSpilledBytes := int64(d.uvarint())
 	res.FetchBytes = int64(d.uvarint())
+	dials := int64(d.uvarint())
 	res.Output = d.records()
 	if d.err != nil {
 		return exec.ReduceResult{}, fmt.Errorf("%s: %w", w, d.err)
@@ -246,22 +441,14 @@ func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	if partition != t.Partition {
 		return exec.ReduceResult{}, fmt.Errorf("%s: reduce reply for partition %d, want %d", w, partition, t.Partition)
 	}
-	w.c.mu.Lock()
+	c.mu.Lock()
 	w.spilledBytes += spilledBytes
 	w.rawSpilledBytes += rawSpilledBytes
-	w.c.mu.Unlock()
-	return res, nil
-}
-
-// mapCount returns how many map tasks have published waves.
-func (c *Coordinator) mapCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for m := range c.waves {
-		if m+1 > n {
-			n = m + 1
-		}
+	if dials > w.fetchDials {
+		// The worker reports its pool's lifetime dial count; the latest
+		// value is the worker's job total.
+		w.fetchDials = dials
 	}
-	return n
+	c.mu.Unlock()
+	return res, nil
 }

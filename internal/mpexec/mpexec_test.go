@@ -10,6 +10,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -57,6 +58,13 @@ func testOpts() blexec.Options {
 		}
 		opts.Compression = comp
 	}
+	if f := os.Getenv("MPEXEC_FANIN"); f != "" {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			panic(err)
+		}
+		opts.MergeFanIn = n
+	}
 	return opts
 }
 
@@ -72,7 +80,7 @@ func TestMain(m *testing.M) {
 }
 
 // spawnWorkers re-executes the test binary as n worker processes.
-func spawnWorkers(t *testing.T, addr string, n int, extraEnv ...string) []*exec.Cmd {
+func spawnWorkers(t testing.TB, addr string, n int, extraEnv ...string) []*exec.Cmd {
 	t.Helper()
 	var cmds []*exec.Cmd
 	for i := 0; i < n; i++ {
@@ -94,7 +102,7 @@ func spawnWorkers(t *testing.T, addr string, n int, extraEnv ...string) []*exec.
 	return cmds
 }
 
-func runCluster(t *testing.T, job blexec.Job, input []core.Record, opts blexec.Options, workers int, env ...string) (*mr.Result, error) {
+func runCluster(t testing.TB, job blexec.Job, input []core.Record, opts blexec.Options, workers int, env ...string) (*mr.Result, error) {
 	t.Helper()
 	c, err := mpexec.Listen()
 	if err != nil {

@@ -3,32 +3,54 @@
 // loopback TCP control connection to Serve loops in worker processes, and
 // workers exchange intermediate data as sealed spill runs served by each
 // worker's run-server (the same shuffle.Server wire format the in-process
-// TCP transport uses). The coordinator runs no user code — it ships input
-// splits out, collects sealed-run metadata, routes it to reduce tasks, and
-// concatenates their outputs — so the data plane is exactly the
-// exec.RunMapTask / exec.RunReduceTask bodies the single-process engine
-// runs, byte-identical output included.
+// TCP transport uses, fetched through each worker's pooled "BLR2" plane).
+// The coordinator runs no user code — it ships input splits out, collects
+// sealed-run metadata, routes it to reduce tasks, and concatenates their
+// outputs — so the data plane is exactly the exec.RunMapTask /
+// exec.RunReduceTask bodies the single-process engine runs, byte-identical
+// output included.
+//
+// The control plane breaks the stage barrier: reduce tasks are dispatched
+// at job start alongside the maps (unless exec.Options.Staged), and each
+// completed map's 'm' metadata is re-routed as 'S' push frames to every
+// running reduce task, so reducers fetch and consume sealed runs while
+// later maps are still running — the paper's cross-wave overlap at real
+// process granularity. The connection therefore carries concurrent
+// in-flight tasks: replies are matched to requests by task identity
+// (map index / partition), not by request/response order.
 //
 // Control wire format (one frame per message, over the worker's dialed
 // connection; all integers unsigned varints, strings length-prefixed):
 //
 //	frame:       type byte | payloadLen | payload
 //	'H' hello:   runServerAddr                        (worker -> coord)
+//	'J' job:     (empty)                              (coord -> worker)
 //	'M' map:     index | recordCount | codec records  (coord -> worker)
 //	'm' mapDone: index | shuffleRecords | spills | spilledBytes |
 //	             rawSpilledBytes |
 //	             waveCount | { fileID | comp | spanCount | { off | n } }
-//	'R' reduce:  partition |
-//	             segCount | { addr | fileID | off | n | comp }
+//	'R' reduce:  partition | nMaps |
+//	             mapCount | { mapIndex | segCount |
+//	                          { addr | fileID | off | n | comp } }
+//	'S' segPush: partition | mapIndex | segCount | { segment }
+//	                                                  (coord -> worker)
 //	'r' redDone: partition | spills | peakPartialBytes | mergePasses |
-//	             spilledBytes | rawSpilledBytes | fetchBytes |
+//	             spilledBytes | rawSpilledBytes | fetchBytes | fetchDials |
 //	             recordCount | codec records
-//	'E' error:   message                              (worker -> coord)
-//	'B' bye:     (empty)                              (coord -> worker)
+//	'E' error:   replyKind byte ('m'|'r') | id | message (worker -> coord)
+//	'F' abort:   message                               (coord -> worker)
+//	'B' bye:     (empty)                               (coord -> worker)
 //
-// comp is the wave/segment's sealed-run codec (codec.Compression): sealed
-// runs travel compressed between workers' run-servers and decompress only
-// at the consuming merger.
+// 'J' opens a job: workers reset per-job state (a latched abort, buffered
+// pushes) so one worker pool serves many sequential jobs. 'R' carries the
+// routing snapshot of every map already completed at dispatch; one 'S'
+// follows for each map that completes afterwards (empty segment lists
+// included — the reduce task counts distinct maps to know when its routing
+// table is sealed). 'F' aborts every running reduce task's source, the
+// cross-process mirror of a transport Fail. comp is the
+// wave/segment's sealed-run codec (codec.Compression): sealed runs travel
+// compressed between workers' run-servers and decompress only at the
+// consuming merger.
 package mpexec
 
 import (
@@ -45,11 +67,14 @@ import (
 // Message types.
 const (
 	msgHello      = 'H'
+	msgJobStart   = 'J'
 	msgMapTask    = 'M'
 	msgMapDone    = 'm'
 	msgReduceTask = 'R'
 	msgReduceDone = 'r'
+	msgSegPush    = 'S'
 	msgError      = 'E'
+	msgAbort      = 'F'
 	msgBye        = 'B'
 )
 
@@ -163,6 +188,15 @@ type waveMeta struct {
 	spans  []shuffle.Span
 }
 
+// segmentOf returns partition r's segment of the wave, ok=false when empty.
+func (w waveMeta) segmentOf(r int) (shuffle.Segment, bool) {
+	if r >= len(w.spans) || w.spans[r].N == 0 {
+		return shuffle.Segment{}, false
+	}
+	sp := w.spans[r]
+	return shuffle.Segment{Addr: w.addr, FileID: w.fileID, Off: sp.Off, N: sp.N, Comp: w.comp}, true
+}
+
 // mapDone carries one completed map task's stats alongside its waves.
 type mapDone struct {
 	index           int
@@ -215,8 +249,7 @@ func decodeMapDone(payload []byte, addr string) (mapDone, error) {
 	return md, d.err
 }
 
-func encodeReduceTask(partition int, segs []shuffle.Segment) []byte {
-	b := binary.AppendUvarint(nil, uint64(partition))
+func putSegs(b []byte, segs []shuffle.Segment) []byte {
 	b = binary.AppendUvarint(b, uint64(len(segs)))
 	for _, s := range segs {
 		b = putStr(b, s.Addr)
@@ -228,10 +261,9 @@ func encodeReduceTask(partition int, segs []shuffle.Segment) []byte {
 	return b
 }
 
-func decodeReduceTask(payload []byte) (partition int, segs []shuffle.Segment, err error) {
-	d := &dec{buf: payload}
-	partition = int(d.uvarint())
+func (d *dec) segs() []shuffle.Segment {
 	n := d.uvarint()
+	var segs []shuffle.Segment
 	for i := uint64(0); i < n && d.err == nil; i++ {
 		s := shuffle.Segment{Addr: d.str()}
 		s.FileID = d.uvarint()
@@ -240,5 +272,69 @@ func decodeReduceTask(payload []byte) (partition int, segs []shuffle.Segment, er
 		s.Comp = codec.Compression(d.uvarint())
 		segs = append(segs, s)
 	}
-	return partition, segs, d.err
+	return segs
+}
+
+// mapSegs is one completed map task's segments for one partition.
+type mapSegs struct {
+	mapIndex int
+	segs     []shuffle.Segment
+}
+
+func encodeReduceTask(partition, nMaps int, routed []mapSegs) []byte {
+	b := binary.AppendUvarint(nil, uint64(partition))
+	b = binary.AppendUvarint(b, uint64(nMaps))
+	b = binary.AppendUvarint(b, uint64(len(routed)))
+	for _, ms := range routed {
+		b = binary.AppendUvarint(b, uint64(ms.mapIndex))
+		b = putSegs(b, ms.segs)
+	}
+	return b
+}
+
+func decodeReduceTask(payload []byte) (partition, nMaps int, routed []mapSegs, err error) {
+	d := &dec{buf: payload}
+	partition = int(d.uvarint())
+	nMaps = int(d.uvarint())
+	n := d.uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		ms := mapSegs{mapIndex: int(d.uvarint())}
+		ms.segs = d.segs()
+		routed = append(routed, ms)
+	}
+	return partition, nMaps, routed, d.err
+}
+
+func encodeSegPush(partition, mapIndex int, segs []shuffle.Segment) []byte {
+	b := binary.AppendUvarint(nil, uint64(partition))
+	b = binary.AppendUvarint(b, uint64(mapIndex))
+	return putSegs(b, segs)
+}
+
+func decodeSegPush(payload []byte) (partition, mapIndex int, segs []shuffle.Segment, err error) {
+	d := &dec{buf: payload}
+	partition = int(d.uvarint())
+	mapIndex = int(d.uvarint())
+	segs = d.segs()
+	return partition, mapIndex, segs, d.err
+}
+
+// encodeTaskError frames a worker-side task failure: the reply kind the
+// coordinator is awaiting ('m' or 'r'), the task id, and the message.
+func encodeTaskError(replyKind byte, id int, msg string) []byte {
+	b := []byte{replyKind}
+	b = binary.AppendUvarint(b, uint64(id))
+	return putStr(b, msg)
+}
+
+func decodeTaskError(payload []byte) (replyKind byte, id int, msg string, err error) {
+	d := &dec{buf: payload}
+	if len(d.buf) == 0 {
+		return 0, 0, "", fmt.Errorf("mpexec: empty error frame")
+	}
+	replyKind = d.buf[0]
+	d.off = 1
+	id = int(d.uvarint())
+	msg = d.str()
+	return replyKind, id, msg, d.err
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sync"
 
 	"blmr/internal/dfs"
 	"blmr/internal/exec"
@@ -17,6 +18,14 @@ import (
 // the same user code the driver was configured with (both sides of the
 // multi-process mode are launched from the same binary and flags); opts
 // carry the task-body knobs (mode, reducers, spill budget, merge fan-in).
+//
+// Tasks run concurrently: the read loop dispatches each map and reduce
+// task to its own goroutine (the coordinator bounds concurrency with its
+// slot counts) and keeps routing 'S' segment pushes to in-flight reduce
+// sources, so a reduce task fetches and consumes sealed runs while this
+// worker — and every other — is still mapping. Section fetches from peer
+// run-servers go through one shared FetchPool: one multiplexed connection
+// per peer, reused across sections and tasks.
 //
 // Map tasks seal every output wave into the local run directory and
 // register it with the run-server; reduce tasks fetch their partition's
@@ -40,11 +49,45 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 		return err
 	}
 	defer srv.Close()
+	pool := shuffle.NewFetchPool()
+	defer pool.Close()
 	if err := writeMsg(conn, msgHello, putStr(nil, srv.Addr())); err != nil {
 		return fmt.Errorf("mpexec: register: %w", err)
 	}
 
-	br := bufio.NewReader(conn)
+	w := &workerState{conn: conn, job: job, opts: opts, dir: dir, srv: srv, pool: pool,
+		reds: make(map[int]*shuffle.PushSource), early: make(map[int][]mapSegs)}
+	err = w.loop(bufio.NewReader(conn))
+	// The control plane is gone (bye, coordinator exit, or a protocol
+	// error): fail any still-running reduce sources so their tasks unwind,
+	// then wait for every task goroutine before the deferred teardown
+	// closes the directory, server and pool they use.
+	w.failAll(fmt.Errorf("mpexec: coordinator connection closed"))
+	w.wg.Wait()
+	return err
+}
+
+// workerState is one Serve invocation's shared state.
+type workerState struct {
+	conn net.Conn
+	job  exec.Job
+	opts exec.Options
+	dir  *dfs.RunDir
+	srv  *shuffle.Server
+	pool *shuffle.FetchPool
+
+	wmu sync.Mutex // serializes reply/error frame writes
+	wg  sync.WaitGroup
+
+	mu      sync.Mutex
+	reds    map[int]*shuffle.PushSource // partition -> in-flight reduce source
+	early   map[int][]mapSegs           // pushes that raced ahead of their 'R'
+	aborted error                       // set by 'F': fail new reduce tasks fast
+}
+
+// loop dispatches control frames until the connection ends. A nil return
+// is a clean exit (bye or coordinator gone).
+func (w *workerState) loop(br *bufio.Reader) error {
 	for {
 		typ, payload, err := readMsg(br)
 		if err != nil {
@@ -53,75 +96,178 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 		switch typ {
 		case msgBye:
 			return nil
+		case msgJobStart:
+			w.resetJob()
 		case msgMapTask:
-			reply, err := runMap(payload, job, opts, dir, srv)
-			if err != nil {
-				if werr := writeMsg(conn, msgError, putStr(nil, err.Error())); werr != nil {
-					return werr
-				}
-				continue
-			}
-			if err := writeMsg(conn, msgMapDone, reply); err != nil {
-				return err
-			}
+			w.wg.Add(1)
+			go w.runMap(payload)
 		case msgReduceTask:
-			reply, err := runReduce(payload, job, opts, dir)
-			if err != nil {
-				if werr := writeMsg(conn, msgError, putStr(nil, err.Error())); werr != nil {
-					return werr
-				}
-				continue
-			}
-			if err := writeMsg(conn, msgReduceDone, reply); err != nil {
-				return err
-			}
+			// Decoded (and its source registered) synchronously, so pushes
+			// read off this same loop afterwards always find the source.
+			w.startReduce(payload)
+		case msgSegPush:
+			w.offer(payload)
+		case msgAbort:
+			d := &dec{buf: payload}
+			w.failAll(fmt.Errorf("mpexec: job aborted: %s", d.str()))
 		default:
 			return fmt.Errorf("mpexec: unexpected message %q from coordinator", typ)
 		}
 	}
 }
 
+// reply sends one frame back, serialized across task goroutines.
+func (w *workerState) reply(typ byte, payload []byte) {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	_ = writeMsg(w.conn, typ, payload)
+}
+
+// resetJob clears the per-job state a previous job on this worker pool may
+// have left: a latched abort and pushes buffered for reduce tasks that
+// never materialized. Any straggler reduce source is failed first (none
+// should exist — the coordinator's scheduler settles every task before Run
+// returns), so one pool serves sequential jobs without cross-talk.
+func (w *workerState) resetJob() {
+	w.failAll(fmt.Errorf("mpexec: superseded by a new job"))
+	w.mu.Lock()
+	w.aborted = nil
+	w.early = make(map[int][]mapSegs)
+	w.mu.Unlock()
+}
+
+// failAll aborts every in-flight reduce source and fails future reduce
+// tasks fast (map tasks are local work and run to completion harmlessly).
+func (w *workerState) failAll(err error) {
+	w.mu.Lock()
+	if w.aborted == nil {
+		w.aborted = err
+	}
+	srcs := make([]*shuffle.PushSource, 0, len(w.reds))
+	for _, s := range w.reds {
+		srcs = append(srcs, s)
+	}
+	w.mu.Unlock()
+	for _, s := range srcs {
+		s.Fail(err)
+	}
+}
+
+// offer routes one segment push to its partition's in-flight source,
+// buffering pushes whose 'R' frame is still in flight (a completed map may
+// be routed to a partition in the instant between the coordinator
+// registering the reduce task and its 'R' frame hitting the wire).
+func (w *workerState) offer(payload []byte) {
+	partition, mapIndex, segs, err := decodeSegPush(payload)
+	if err != nil {
+		// A corrupt push means the partition's routing table can never be
+		// sealed; fail every in-flight reduce source so the job errors
+		// instead of parking forever on an Offer that will not come.
+		w.failAll(fmt.Errorf("mpexec: corrupt segment push: %w", err))
+		return
+	}
+	w.mu.Lock()
+	src, ok := w.reds[partition]
+	if !ok {
+		w.early[partition] = append(w.early[partition], mapSegs{mapIndex: mapIndex, segs: segs})
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	if err := src.Offer(mapIndex, segs); err != nil {
+		src.Fail(err)
+	}
+}
+
 // runMap executes one shipped map task through the canonical task body.
-func runMap(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir, srv *shuffle.Server) ([]byte, error) {
+func (w *workerState) runMap(payload []byte) {
+	defer w.wg.Done()
 	d := &dec{buf: payload}
 	index := int(d.uvarint())
 	split := d.records()
 	if d.err != nil {
-		return nil, d.err
+		w.reply(msgError, encodeTaskError(msgMapDone, index, d.err.Error()))
+		return
 	}
-	before := dir.SpilledBytes()
-	beforeRaw := dir.RawSpilledBytes()
-	sink := shuffle.NewRunSink(dir, srv, fmt.Sprintf("m%d", index))
-	stats, err := exec.RunMapTask(job, opts, exec.MapTask{Index: index, Split: split}, sink)
+	before := w.dir.SpilledBytes()
+	beforeRaw := w.dir.RawSpilledBytes()
+	sink := shuffle.NewRunSink(w.dir, w.srv, fmt.Sprintf("m%d", index))
+	stats, err := exec.RunMapTask(w.job, w.opts, exec.MapTask{Index: index, Split: split}, sink)
 	if err != nil {
-		return nil, err
+		w.reply(msgError, encodeTaskError(msgMapDone, index, err.Error()))
+		return
 	}
-	return encodeMapDone(index, stats.ShuffleRecords, stats.Spills,
-		dir.SpilledBytes()-before, dir.RawSpilledBytes()-beforeRaw, sink.Waves()), nil
+	w.reply(msgMapDone, encodeMapDone(index, stats.ShuffleRecords, stats.Spills,
+		w.dir.SpilledBytes()-before, w.dir.RawSpilledBytes()-beforeRaw, sink.Waves()))
 }
 
-// runReduce executes one routed reduce task through the canonical task
-// body, fetching segments from the owning workers' run-servers.
-func runReduce(payload []byte, job exec.Job, opts exec.Options, dir *dfs.RunDir) ([]byte, error) {
-	partition, segs, err := decodeReduceTask(payload)
+// startReduce decodes one routed reduce task, registers its push source
+// (replaying any pushes that arrived early), and runs the canonical task
+// body in its own goroutine so the control loop keeps routing pushes.
+func (w *workerState) startReduce(payload []byte) {
+	partition, nMaps, routed, err := decodeReduceTask(payload)
 	if err != nil {
-		return nil, err
+		w.reply(msgError, encodeTaskError(msgReduceDone, partition, err.Error()))
+		return
 	}
-	before := dir.SpilledBytes()
-	beforeRaw := dir.RawSpilledBytes()
-	src := shuffle.NewStaticSegmentSource(segs, opts.BatchSize)
-	defer src.Close()
-	res, err := exec.RunReduceTask(job, opts, exec.ReduceTask{Partition: partition}, src, dir)
+	src := shuffle.NewPushSource(nMaps, w.opts.BatchSize)
+	src.SetPool(w.pool, w.opts.MergeFanIn)
+	w.mu.Lock()
+	aborted := w.aborted
+	buffered := w.early[partition]
+	delete(w.early, partition)
+	w.reds[partition] = src
+	w.mu.Unlock()
+	if aborted != nil {
+		// The job already failed; don't park a task on pushes that will
+		// never come.
+		w.unregister(partition, src)
+		w.reply(msgError, encodeTaskError(msgReduceDone, partition, aborted.Error()))
+		return
+	}
+	for _, ms := range append(routed, buffered...) {
+		if err := src.Offer(ms.mapIndex, ms.segs); err != nil {
+			src.Fail(err)
+			break
+		}
+	}
+	w.wg.Add(1)
+	go w.runReduce(partition, src)
+}
+
+// unregister drops a finished reduce task's source — only if it still owns
+// the slot, so a straggler from an aborted job cannot deregister a later
+// job's task for the same partition.
+func (w *workerState) unregister(partition int, src *shuffle.PushSource) {
+	w.mu.Lock()
+	if w.reds[partition] == src {
+		delete(w.reds, partition)
+	}
+	w.mu.Unlock()
+}
+
+// runReduce executes one reduce task through the canonical task body,
+// fetching segments from the owning workers' run-servers as their routes
+// arrive.
+func (w *workerState) runReduce(partition int, src *shuffle.PushSource) {
+	defer w.wg.Done()
+	defer w.unregister(partition, src)
+	before := w.dir.SpilledBytes()
+	beforeRaw := w.dir.RawSpilledBytes()
+	res, err := exec.RunReduceTask(w.job, w.opts, exec.ReduceTask{Partition: partition}, src, w.dir)
+	_ = src.Close()
 	if err != nil {
-		return nil, err
+		w.reply(msgError, encodeTaskError(msgReduceDone, partition, err.Error()))
+		return
 	}
 	b := binary.AppendUvarint(nil, uint64(partition))
 	b = binary.AppendUvarint(b, uint64(res.Spills))
 	b = binary.AppendUvarint(b, uint64(res.PeakPartialBytes))
 	b = binary.AppendUvarint(b, uint64(res.MergePasses))
-	b = binary.AppendUvarint(b, uint64(dir.SpilledBytes()-before))
-	b = binary.AppendUvarint(b, uint64(dir.RawSpilledBytes()-beforeRaw))
+	b = binary.AppendUvarint(b, uint64(w.dir.SpilledBytes()-before))
+	b = binary.AppendUvarint(b, uint64(w.dir.RawSpilledBytes()-beforeRaw))
 	b = binary.AppendUvarint(b, uint64(res.FetchBytes))
+	b = binary.AppendUvarint(b, uint64(w.pool.Dials()))
 	b = putRecords(b, res.Output)
-	return b, nil
+	w.reply(msgReduceDone, b)
 }

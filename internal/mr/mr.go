@@ -74,6 +74,12 @@ type Result struct {
 	// run-servers (TCP exchange; compressed sections travel — and count —
 	// compressed). 0 for transports that read runs locally.
 	FetchBytes int64
+	// FetchDials counts run-server connections dialed by the pooled fetch
+	// plane (TCP exchange). The pool keeps one multiplexed connection per
+	// peer and reuses it across sections and tasks, so this stays near
+	// peers × concurrent fetches — against one dial per fetched section
+	// before pooling. 0 for transports that read runs locally.
+	FetchDials int64
 	// PeakPartialBytes is the largest partial-result store footprint
 	// (store.Store.ApproxBytes) observed across pipelined reducers,
 	// sampled once per consumed batch — the number to compare against
@@ -105,7 +111,7 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 	tr, err := shuffle.New(opts.Transport, shuffle.Config{
 		Maps: len(maps), Parts: opts.Reducers,
 		QueueCap: opts.QueueCap, BatchSize: opts.BatchSize,
-		Dir: spillDir,
+		Dir: spillDir, MergeFanIn: opts.MergeFanIn,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
@@ -132,6 +138,9 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 		res.SpilledBytes = spillDir.SpilledBytes()
 		res.CompressedSpillBytes = spillDir.SpilledBytes()
 		res.RawSpillBytes = spillDir.RawSpilledBytes()
+	}
+	if dc, ok := tr.(interface{ FetchDials() int64 }); ok {
+		res.FetchDials = dc.FetchDials()
 	}
 	res.Wall = time.Since(start)
 	return res, nil

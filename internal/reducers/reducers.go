@@ -13,6 +13,7 @@ package reducers
 
 import (
 	"strconv"
+	"strings"
 
 	"blmr/internal/core"
 	"blmr/internal/store"
@@ -96,8 +97,17 @@ type AggregationGroup struct {
 
 // Reduce implements core.GroupReducer.
 func (a AggregationGroup) Reduce(key string, values []string, out core.Output) {
-	acc := values[0]
-	for _, v := range values[1:] {
+	if len(values) == 1 {
+		// Single-value groups skip the fold, so the retained value would
+		// alias the merge input — on the pooled TCP fetch path, a view
+		// into a shared 64KiB decode-arena chunk. Clone it: thousands of
+		// hapax keys each pinning a chunk would hold the whole fetched
+		// partition live for the lifetime of the output (see codec.Arena).
+		out.Write(key, strings.Clone(values[0]))
+		return
+	}
+	acc := a.Combine(values[0], values[1])
+	for _, v := range values[2:] {
 		acc = a.Combine(acc, v)
 	}
 	out.Write(key, acc)

@@ -2,6 +2,7 @@ package reducers
 
 import (
 	"sort"
+	"strings"
 
 	"blmr/internal/core"
 	"blmr/internal/store"
@@ -27,7 +28,13 @@ func (s SelectionGroup) Reduce(key string, values []string, out core.Output) {
 		sorted = sorted[:s.K]
 	}
 	for _, v := range sorted {
-		out.Write(key, v)
+		// Clone: top-k retains a sparse subset of the group's values, and
+		// on the pooled TCP fetch path those are views into shared 64KiB
+		// decode-arena chunks — keeping k short strings must not pin the
+		// whole fetched partition (see codec.Arena). Dense retainers
+		// (Identity) keep every value, so for them the chunks are all
+		// live anyway and no clone is needed.
+		out.Write(key, strings.Clone(v))
 	}
 }
 

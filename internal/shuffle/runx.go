@@ -20,7 +20,8 @@ import (
 
 type runExchange struct {
 	cfg  Config
-	srv  *Server // non-nil for the TCP kind
+	srv  *Server    // non-nil for the TCP kind
+	pool *FetchPool // non-nil for the TCP kind: pooled multiplexed fetches
 	fail *failState
 
 	mu       sync.Mutex
@@ -40,6 +41,9 @@ func newRunExchange(cfg Config, srv *Server) *runExchange {
 		waves:           make([][]Wave, cfg.Maps),
 		mapsDone:        make(chan struct{}),
 		completedByPart: make([]chan int, cfg.Parts),
+	}
+	if srv != nil {
+		t.pool = NewFetchPool()
 	}
 	for r := range t.completedByPart {
 		t.completedByPart[r] = make(chan int, cfg.Maps)
@@ -73,7 +77,7 @@ func (t *runExchange) MapSink(m int) MapSink {
 
 // ReduceSource implements Transport.
 func (t *runExchange) ReduceSource(r int) ReduceSource {
-	return &SegmentSource{
+	s := &SegmentSource{
 		nMaps: t.cfg.Maps,
 		segsOf: func(m int) []Segment {
 			t.mu.Lock()
@@ -92,13 +96,29 @@ func (t *runExchange) ReduceSource(r int) ReduceSource {
 		fail:      t.fail,
 		batchSize: t.cfg.BatchSize,
 	}
+	if t.pool != nil {
+		s.SetPool(t.pool, t.cfg.MergeFanIn)
+	}
+	return s
 }
 
 // Fail implements Transport.
 func (t *runExchange) Fail(err error) { t.fail.fail(err) }
 
+// FetchDials reports how many run-server connections the transport's fetch
+// pool dialed (0 off the TCP kind) — surfaced as mr.Result.FetchDials.
+func (t *runExchange) FetchDials() int64 {
+	if t.pool == nil {
+		return 0
+	}
+	return t.pool.Dials()
+}
+
 // Close implements Transport.
 func (t *runExchange) Close() error {
+	if t.pool != nil {
+		_ = t.pool.Close()
+	}
 	if t.srv != nil {
 		return t.srv.Close()
 	}

@@ -4,9 +4,14 @@ package shuffle
 // wave is one multi-partition segment file; a Segment addresses one
 // partition's byte section of one wave, either on the local filesystem
 // (SpillExchange) or behind a run-server (TCP, multi-process workers).
+// Remote sections go through a FetchPool when one is wired in — one
+// multiplexed connection per peer with pipelined prefetch — and fall back
+// to the one-dial-per-section "BLR1" fetch otherwise.
 
 import (
+	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"blmr/internal/codec"
@@ -81,18 +86,54 @@ func (s Segment) open(fetchBytes *atomic.Int64) (RunCloser, error) {
 
 // LazyRun is a Segment that opens on first Next. A fan-in-capped merge over
 // lazy runs therefore holds at most fan-in read buffers (and, for remote
-// segments, TCP connections) open at once, no matter how many runs the
-// partition has.
+// segments, checked-out pool connections) open at once, no matter how many
+// runs the partition has.
 type LazyRun struct {
-	seg    Segment
-	fetch  *atomic.Int64 // optional wire-byte counter
-	r      RunCloser
-	err    error
-	opened bool
+	seg      Segment
+	fetch    *atomic.Int64 // optional wire-byte counter
+	pool     *FetchPool    // optional pooled fetch plane for remote segments
+	useArena bool          // pooled fetches cut strings from the conn's arena
+	src      sortx.Source
+	release  func() error // returns the conn to the pool / closes the file
+	err      error
+	opened   bool
 }
 
 // NewLazyRun wraps a segment.
 func NewLazyRun(seg Segment) *LazyRun { return &LazyRun{seg: seg} }
+
+func (l *LazyRun) open() {
+	l.opened = true
+	if l.seg.Addr == "" || l.pool == nil {
+		r, err := l.seg.open(l.fetch)
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.src, l.release = r, r.Close
+		return
+	}
+	pc, err := l.pool.get(l.seg.Addr)
+	if err != nil {
+		l.err = err
+		return
+	}
+	if l.fetch != nil {
+		l.fetch.Add(l.seg.N)
+	}
+	var pr *pooledRun
+	err = pc.request(l.seg.FileID, l.seg.Off, l.seg.N)
+	if err == nil {
+		pr, err = pc.openSection(l.seg.Comp, l.useArena)
+	}
+	if err != nil {
+		l.pool.put(pc) // closed there if the conn is broken/desynced
+		l.err = err
+		return
+	}
+	l.src = pr
+	l.release = func() error { l.pool.put(pc); return nil } // burns if mid-section
+}
 
 // Next implements sortx.Run.
 func (l *LazyRun) Next() (core.Record, bool) {
@@ -100,15 +141,14 @@ func (l *LazyRun) Next() (core.Record, bool) {
 		return core.Record{}, false
 	}
 	if !l.opened {
-		l.opened = true
-		l.r, l.err = l.seg.open(l.fetch)
+		l.open()
 		if l.err != nil {
 			return core.Record{}, false
 		}
 	}
-	rec, ok := l.r.Next()
+	rec, ok := l.src.Next()
 	if !ok {
-		l.err = l.r.Err()
+		l.err = l.src.Err()
 	}
 	return rec, ok
 }
@@ -116,14 +156,22 @@ func (l *LazyRun) Next() (core.Record, bool) {
 // Err implements sortx.Source.
 func (l *LazyRun) Err() error { return l.err }
 
-// Close releases the underlying reader, if one was ever opened.
+// Close releases the underlying resource — closing the file reader, or
+// handing the pooled connection back — if one was ever opened.
 func (l *LazyRun) Close() error {
-	if l.r == nil {
+	if l.release == nil {
 		return nil
 	}
-	r := l.r
-	l.r = nil
-	return r.Close()
+	rel := l.release
+	l.src, l.release = nil, nil
+	return rel()
+}
+
+// queuedSeg is one pending streaming segment, possibly with a prefetch
+// request already pipelined on a pooled connection.
+type queuedSeg struct {
+	seg Segment
+	pc  *poolConn // non-nil once the section request is pipelined
 }
 
 // SegmentSource is the run-exchange ReduceSource for one partition: Runs
@@ -131,6 +179,8 @@ func (l *LazyRun) Close() error {
 // NextBatch streams each map task's segments as that task completes,
 // re-batched to batchSize records (pipelined consumption at map-task
 // granularity — the overlap a cross-process shuffle can actually offer).
+// With a FetchPool wired in, NextBatch keeps up to the merge fan-in of
+// section requests pipelined ahead of consumption on per-peer connections.
 type SegmentSource struct {
 	nMaps     int
 	segsOf    func(m int) []Segment // valid once map m has completed
@@ -138,12 +188,28 @@ type SegmentSource struct {
 	completed <-chan int            // map indexes in completion order
 	fail      *failState
 	batchSize int
+	pool      *FetchPool
+	prefetch  int          // max pipelined section requests (merge fan-in)
 	fetch     atomic.Int64 // wire bytes fetched from run-servers
 
 	// streaming state
-	seen  int
-	queue []Segment
-	cur   RunCloser
+	seen     int
+	queue    []queuedSeg
+	inflight int                  // queued sections already requested
+	conns    map[string]*poolConn // conns held for pipelined streaming
+	cur      sortx.Source
+	curDone  func() error // releases cur's resource
+}
+
+// SetPool wires the pooled fetch plane in: remote segments are fetched
+// over per-peer multiplexed connections, with up to fanIn section requests
+// pipelined ahead of streaming consumption.
+func (s *SegmentSource) SetPool(p *FetchPool, fanIn int) {
+	s.pool = p
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	s.prefetch = fanIn
 }
 
 // FetchBytes reports how many bytes this partition fetched from remote
@@ -151,29 +217,12 @@ type SegmentSource struct {
 // opened sections count nothing).
 func (s *SegmentSource) FetchBytes() int64 { return s.fetch.Load() }
 
-// NewStaticSegmentSource builds a source over a fixed, fully-available
-// segment list in merge order (the multi-process reduce path: by the time a
-// reduce task is dispatched, every map task has completed).
-func NewStaticSegmentSource(segs []Segment, batchSize int) *SegmentSource {
-	done := make(chan struct{})
-	close(done)
-	completed := make(chan int, 1)
-	completed <- 0
-	if batchSize <= 0 {
-		batchSize = 256
-	}
-	return &SegmentSource{
-		nMaps:     1,
-		segsOf:    func(int) []Segment { return segs },
-		mapsDone:  done,
-		completed: completed,
-		fail:      newFailState(),
-		batchSize: batchSize,
-	}
-}
-
 // Runs implements ReduceSource: block on the map barrier, then return every
-// segment as a lazy run in (map task, publish order) order.
+// segment as a lazy run in (map task, publish order) order. Remote runs go
+// through the pooled fetch plane when one is wired in, decoding through
+// each connection's reusable buffers and string arena (the merge's grouped
+// consumers fold or clone what they retain, so arena chunks stay
+// short-lived).
 func (s *SegmentSource) Runs() ([]sortx.Run, error) {
 	select {
 	case <-s.mapsDone:
@@ -185,10 +234,85 @@ func (s *SegmentSource) Runs() ([]sortx.Run, error) {
 		for _, seg := range s.segsOf(m) {
 			lr := NewLazyRun(seg)
 			lr.fetch = &s.fetch
+			lr.pool = s.pool
+			lr.useArena = true
 			runs = append(runs, lr)
 		}
 	}
 	return runs, nil
+}
+
+// connFor returns the held streaming connection for addr, checking one out
+// on first use.
+func (s *SegmentSource) connFor(addr string) (*poolConn, error) {
+	if pc, ok := s.conns[addr]; ok {
+		return pc, nil
+	}
+	pc, err := s.pool.get(addr)
+	if err != nil {
+		return nil, err
+	}
+	if s.conns == nil {
+		s.conns = make(map[string]*poolConn)
+	}
+	s.conns[addr] = pc
+	return pc, nil
+}
+
+// pump pipelines section requests for queued remote segments, bounded by
+// the prefetch budget. Requests go out in queue order per peer, matching
+// the order the responses will be consumed in.
+func (s *SegmentSource) pump() error {
+	if s.pool == nil {
+		return nil
+	}
+	for i := range s.queue {
+		if s.inflight >= s.prefetch {
+			return nil
+		}
+		q := &s.queue[i]
+		if q.pc != nil || q.seg.Addr == "" {
+			continue
+		}
+		pc, err := s.connFor(q.seg.Addr)
+		if err != nil {
+			return err
+		}
+		if err := pc.request(q.seg.FileID, q.seg.Off, q.seg.N); err != nil {
+			return err
+		}
+		s.fetch.Add(q.seg.N)
+		q.pc = pc
+		s.inflight++
+	}
+	return nil
+}
+
+// openHead opens the queue's head segment for streaming.
+func (s *SegmentSource) openHead() error {
+	q := s.queue[0]
+	s.queue = s.queue[1:]
+	if q.pc != nil {
+		// Arena decode is safe for streaming consumers too: the pipelined
+		// stores clone keys at node creation and fold values (aggregation)
+		// or retain them as live output payload (identity), so a chunk
+		// outlives its decode window only by what the task genuinely keeps.
+		pr, err := q.pc.openSection(q.seg.Comp, true)
+		if err != nil {
+			return err
+		}
+		s.inflight--
+		s.cur = pr
+		s.curDone = func() error { return nil } // conn returns at Close
+		return nil
+	}
+	r, err := q.seg.open(&s.fetch)
+	if err != nil {
+		return err
+	}
+	s.cur = r
+	s.curDone = r.Close
+	return nil
 }
 
 // NextBatch implements ReduceSource: stream records of completed map tasks.
@@ -210,19 +334,22 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 				return batch, true, nil
 			}
 			err := s.cur.Err()
-			_ = s.cur.Close()
-			s.cur = nil
+			cerr := s.curDone()
+			s.cur, s.curDone = nil, nil
+			if err == nil {
+				err = cerr
+			}
 			if err != nil {
 				return nil, false, err
 			}
 		}
+		if err := s.pump(); err != nil {
+			return nil, false, err
+		}
 		if len(s.queue) > 0 {
-			r, err := s.queue[0].open(&s.fetch)
-			s.queue = s.queue[1:]
-			if err != nil {
+			if err := s.openHead(); err != nil {
 				return nil, false, err
 			}
-			s.cur = r
 			continue
 		}
 		if s.seen == s.nMaps {
@@ -236,7 +363,9 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 		select {
 		case m := <-s.completed:
 			s.seen++
-			s.queue = s.segsOf(m)
+			for _, seg := range s.segsOf(m) {
+				s.queue = append(s.queue, queuedSeg{seg: seg})
+			}
 		case <-s.fail.done:
 			return nil, false, s.fail.failed()
 		}
@@ -246,15 +375,94 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 // Recycle implements ReduceSource (run-exchange batches are not pooled).
 func (s *SegmentSource) Recycle([]core.Record) {}
 
-// Close implements ReduceSource.
+// Close implements ReduceSource: release the current reader and hand every
+// held streaming connection back to the pool (connections abandoned
+// mid-section or with requests still pipelined are closed there instead).
 func (s *SegmentSource) Close() error {
+	var err error
 	if s.cur != nil {
-		err := s.cur.Close()
-		s.cur = nil
-		return err
+		err = s.curDone()
+		s.cur, s.curDone = nil, nil
+	}
+	for _, pc := range s.conns {
+		s.pool.put(pc)
+	}
+	s.conns = nil
+	return err
+}
+
+// PushSource is a SegmentSource fed by an external control plane: the
+// multi-process workers' reduce tasks receive sealed-run routes as push
+// messages while map tasks are still running elsewhere on the cluster —
+// the cross-wave overlap the coordinator's streamed 'm' metadata enables.
+// Offer and Fail are safe to call concurrently with the consuming task.
+type PushSource struct {
+	SegmentSource
+	mu      sync.Mutex
+	byMap   [][]Segment
+	got     []bool
+	offered int
+	ch      chan int
+	done    chan struct{}
+}
+
+// NewPushSource builds a source expecting one Offer per map task.
+func NewPushSource(nMaps, batchSize int) *PushSource {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	p := &PushSource{
+		byMap: make([][]Segment, nMaps),
+		got:   make([]bool, nMaps),
+		ch:    make(chan int, nMaps),
+		done:  make(chan struct{}),
+	}
+	if nMaps == 0 {
+		close(p.done)
+	}
+	p.SegmentSource = SegmentSource{
+		nMaps: nMaps,
+		segsOf: func(m int) []Segment {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return p.byMap[m]
+		},
+		mapsDone:  p.done,
+		completed: p.ch,
+		fail:      newFailState(),
+		batchSize: batchSize,
+	}
+	return p
+}
+
+// Offer records map task m's segments for this partition (empty for a map
+// that published nothing here) and releases them to the consumer. Each map
+// must be offered exactly once; the source's barrier lifts when all nMaps
+// have been.
+func (p *PushSource) Offer(m int, segs []Segment) error {
+	p.mu.Lock()
+	if m < 0 || m >= len(p.byMap) {
+		p.mu.Unlock()
+		return fmt.Errorf("shuffle: segment push for map %d of %d", m, len(p.byMap))
+	}
+	if p.got[m] {
+		p.mu.Unlock()
+		return fmt.Errorf("shuffle: duplicate segment push for map %d", m)
+	}
+	p.got[m] = true
+	p.byMap[m] = segs
+	p.offered++
+	last := p.offered == len(p.byMap)
+	p.mu.Unlock()
+	p.ch <- m // buffered to nMaps: never blocks
+	if last {
+		close(p.done)
 	}
 	return nil
 }
+
+// Fail aborts the source: the consuming task wakes with err.
+func (p *PushSource) Fail(err error) { p.fail.fail(err) }
 
 // sealWave encodes one key-sorted run per partition into a single new
 // segment file in dir — each partition's section a self-contained run in

@@ -7,17 +7,33 @@ package shuffle
 // another worker) fetches a partition's byte section by (file ID, offset,
 // length).
 //
-// Wire format (all integers are unsigned varints):
+// Wire format (all integers are unsigned varints). A connection opens with
+// a 4-byte magic selecting the protocol:
 //
-//	request:  "BLR1" magic | fileID | off | n
-//	response: status byte (0 = ok, 1 = error)
-//	          ok:    exactly n bytes of the sealed run file at [off, off+n)
-//	          error: msgLen | msg bytes
+//	"BLR1" — one request per connection (the PR-3 protocol, kept for
+//	compatibility; FetchSegment still speaks it):
 //
-// One request is served per connection; the section payload is the same
-// codec record stream dfs.OpenRunAt reads locally, so a truncated transfer
-// (killed worker, reset connection) surfaces codec.ErrCorrupt or a short-
-// section error from the fetching side's Err — never silent data loss.
+//	  request:  fileID | off | n
+//	  response: status byte (0 = ok, 1 = error)
+//	            ok:    exactly n bytes of the sealed run file at [off, off+n)
+//	            error: msgLen | msg bytes
+//
+//	"BLR2" — the pooled fetch plane: the connection stays open and carries
+//	any number of request-id-framed section requests back to back, so a
+//	fetching peer dials each run-server once and pipelines its section
+//	requests (FetchPool):
+//
+//	  request:  reqID | fileID | off | n
+//	  response: reqID | status byte
+//	            ok:    exactly n bytes of the section
+//	            error: msgLen | msg bytes
+//
+// Responses are served in request order per connection (an error response
+// leaves the connection usable; a framing violation severs it). The
+// section payload is the same codec record stream dfs.OpenRunAt reads
+// locally, so a truncated transfer (killed worker, reset connection)
+// surfaces codec.ErrCorrupt or a short-section error from the fetching
+// side's Err — never silent data loss.
 
 import (
 	"bufio"
@@ -32,8 +48,13 @@ import (
 	"blmr/internal/core"
 )
 
-// serverMagic guards against stray connections to the run port.
-var serverMagic = [4]byte{'B', 'L', 'R', '1'}
+// serverMagic guards against stray connections to the run port (the
+// one-request-per-connection protocol); serverMagicMux opens a pooled,
+// multiplexed session.
+var (
+	serverMagic    = [4]byte{'B', 'L', 'R', '1'}
+	serverMagicMux = [4]byte{'B', 'L', 'R', '2'}
+)
 
 // Server serves registered sealed run files over loopback TCP.
 type Server struct {
@@ -120,9 +141,19 @@ func (s *Server) serve(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	var magic [4]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil || magic != serverMagic {
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return
 	}
+	switch magic {
+	case serverMagic:
+		s.serveOnce(conn, br)
+	case serverMagicMux:
+		s.serveMux(conn, br)
+	}
+}
+
+// serveOnce handles one "BLR1" request and hangs up.
+func (s *Server) serveOnce(conn net.Conn, br *bufio.Reader) {
 	fileID, err1 := binary.ReadUvarint(br)
 	off, err2 := binary.ReadUvarint(br)
 	n, err3 := binary.ReadUvarint(br)
@@ -148,6 +179,71 @@ func (s *Server) serve(conn net.Conn) {
 		return // fetcher sees a short section
 	}
 	_ = bw.Flush()
+}
+
+// serveMux serves "BLR2" section requests until the peer hangs up (or the
+// server closes the connection). The write buffer and copy buffer are
+// per-connection, so a pooled peer's whole fetch stream allocates once.
+func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	var hdr []byte
+	for {
+		reqID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return // peer done (pool reaped the conn) or server closing
+		}
+		fileID, err1 := binary.ReadUvarint(br)
+		off, err2 := binary.ReadUvarint(br)
+		n, err3 := binary.ReadUvarint(br)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return
+		}
+		hdr = binary.AppendUvarint(hdr[:0], reqID)
+		s.mu.Lock()
+		path, ok := s.files[fileID]
+		s.mu.Unlock()
+		if !ok {
+			if !writeMuxError(bw, hdr, fmt.Sprintf("unknown run file %d", fileID)) {
+				return
+			}
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			if !writeMuxError(bw, hdr, err.Error()) {
+				return
+			}
+			continue
+		}
+		hdr = append(hdr, 0)
+		_, _ = bw.Write(hdr)
+		// bufio.Writer.ReadFrom fills the write buffer directly: no copy
+		// buffer, no per-section allocation.
+		copied, err := io.Copy(bw, io.NewSectionReader(f, int64(off), int64(n)))
+		_ = f.Close()
+		if err != nil || copied < int64(n) {
+			// Short copy (request past the file, truncated file, write
+			// error): the stream is desynced — sever so the fetcher sees a
+			// short section instead of hanging on bytes that never come.
+			_ = bw.Flush()
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// writeMuxError sends one request-id-framed error response; false when the
+// connection is no longer writable.
+func writeMuxError(bw *bufio.Writer, hdr []byte, msg string) bool {
+	buf := append(hdr, 1)
+	buf = binary.AppendUvarint(buf, uint64(len(msg)))
+	buf = append(buf, msg...)
+	if _, err := bw.Write(buf); err != nil {
+		return false
+	}
+	return bw.Flush() == nil
 }
 
 func writeFetchError(w io.Writer, msg string) {

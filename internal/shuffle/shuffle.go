@@ -81,6 +81,10 @@ type Config struct {
 	// Dir stores sealed run files. Required for SpillExchange and TCP, and
 	// for InProc when map tasks seal spill waves (Options.SpillBytes).
 	Dir *dfs.RunDir
+	// MergeFanIn is the external merge's fan-in cap (Options.MergeFanIn):
+	// the TCP transport uses it to bound pipelined section prefetch per
+	// reduce source (default 64).
+	MergeFanIn int
 }
 
 // Transport is one job execution's shuffle data plane. MapSink and
@@ -144,6 +148,9 @@ func New(kind Kind, cfg Config) (Transport, error) {
 	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
+	}
+	if cfg.MergeFanIn <= 0 {
+		cfg.MergeFanIn = 64
 	}
 	switch kind {
 	case InProc:

@@ -80,12 +80,15 @@ type shuffleState struct {
 	doneCount int
 	arm       *sim.Event // fires when the speculation threshold is reached
 	armAt     int
+	allDone   *sim.Event // fires when every map output is published — the
+	// stage barrier a Staged TCP job's fetchers wait behind
 }
 
 func newShuffleState(k *sim.Kernel, nMaps, nReduce int) *shuffleState {
 	s := &shuffleState{
-		maps: make([]*mapOutput, nMaps),
-		arm:  sim.NewEvent(k, "speculation-armed"),
+		maps:    make([]*mapOutput, nMaps),
+		arm:     sim.NewEvent(k, "speculation-armed"),
+		allDone: sim.NewEvent(k, "maps-all-done"),
 	}
 	for i := range s.maps {
 		s.maps[i] = &mapOutput{
@@ -390,6 +393,9 @@ func (e *Engine) publishMapOutput(now float64, node *cluster.Node, shuffle *shuf
 	shuffle.doneCount++
 	if shuffle.armAt > 0 && shuffle.doneCount >= shuffle.armAt {
 		shuffle.arm.Fire()
+	}
+	if shuffle.doneCount == len(shuffle.maps) {
+		shuffle.allDone.Fire()
 	}
 	mo.done.Fire()
 	return true

@@ -63,13 +63,14 @@ type CostModel struct {
 	// runs — the knob that makes the memory/throughput trade-off visible:
 	// smaller budgets mean more runs, more seeks, slower jobs.
 	SpillRunDelay float64
-	// RunFetchDelay is the per-section fixed latency (RPC + connection +
-	// seek) a reducer pays to fetch one map output's partition section over
-	// the run-exchange shuffle (JobSpec.Transport != InProcShuffle) — the
-	// simulated counterpart of the wall-clock engine's per-segment
-	// run-server fetch. Charged once per (map task, reducer) pair with a
-	// published section; the TCP exchange charges it for every fetch,
-	// the local run exchange only for sections on other workers.
+	// RunFetchDelay is the fixed fetch latency (RPC + connection + seek) a
+	// reducer pays over the run-exchange shuffle (JobSpec.Transport !=
+	// InProcShuffle). The TCP exchange models the wall-clock engine's
+	// pooled fetch plane: one multiplexed connection per peer run-server,
+	// so the delay is charged once per (reduce task, peer) — later
+	// sections from that peer ride the pipelined connection for free. The
+	// local run exchange charges it per off-node section (each is a file
+	// open + seek with no connection to pool).
 	RunFetchDelay float64
 	// CompressDelay is the CPU cost in seconds per virtual byte of
 	// sealed-run (de)compression work, charged on the sealing mapper for
@@ -168,9 +169,17 @@ type JobSpec struct {
 	Workers int
 	// Transport selects the simulated shuffle data plane (default
 	// InProcShuffle). The run-exchange transports charge the map output's
-	// materialization and per-section RunFetchDelay, and bound the barrier
-	// sort phase's memory at the external merge's read buffers.
+	// materialization and RunFetchDelay (per pooled peer over TCP, per
+	// off-node section locally), and bound the barrier sort phase's memory
+	// at the external merge's read buffers.
 	Transport Transport
+	// Staged (TCP transport only) restores the multi-process engine's
+	// pre-overlap control plane: reducers get no sealed-run routes until
+	// the entire map wave completes, so every fetch waits behind the stage
+	// barrier — the simulated counterpart of exec.Options.Staged. The
+	// default (false) releases each map's sections to the fetchers the
+	// moment it publishes, the streamed-metadata overlap.
+	Staged bool
 	// Compression enables the sealed-run codec model, the simulated
 	// counterpart of mr.Options.Compression: map output is materialized,
 	// re-read and shuffled at 1/Costs.CompressRatio of its raw volume, and

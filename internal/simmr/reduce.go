@@ -28,17 +28,18 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 	fetchSlots := sim.NewResource(p.Kernel(), fmt.Sprintf("fetch-%d", r), int64(e.Cfg.FetchParallelism))
 	fetched := make([][]core.Record, len(shuffle.maps))
 	var fetchedVirt, fetchedDisk int64
+	peers := make(map[*cluster.Node]bool) // pooled fetch plane: one dial per peer
 	wg := sim.NewWaitGroup(p.Kernel(), fmt.Sprintf("fetchers-%d", r), len(shuffle.maps))
 	for m := range shuffle.maps {
 		m := m
 		p.Kernel().Spawn(fmt.Sprintf("fetch-%d-%d", r, m), func(fp *sim.Proc) {
 			defer wg.Done()
 			mo := shuffle.maps[m]
-			mo.done.Wait(fp)
+			e.waitMapOutput(fp, job, shuffle, mo)
 			fetchSlots.Acquire(fp, 1)
 			defer fetchSlots.Release(1)
-			if d := e.runFetchDelay(job, mo.node, node); d > 0 && mo.partBytes[r] > 0 {
-				fp.Sleep(d) // run-exchange section fetch: RPC + seek
+			if mo.partBytes[r] > 0 {
+				e.chargeRunFetch(fp, job, mo.node, node, peers)
 			}
 			wire := int64(float64(mo.partBytes[r]) / ratio)
 			e.C.Transfer(fp, mo.node, node, wire)
@@ -125,15 +126,16 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 	queue := sim.NewQueue[fetchBatch](k, fmt.Sprintf("rq-%d", r), e.Cfg.QueueCapBatches)
 	wg := sim.NewWaitGroup(k, fmt.Sprintf("pfetchers-%d", r), len(shuffle.maps))
 	chunk := e.C.Cfg.TransferChunkBytes
+	peers := make(map[*cluster.Node]bool) // pooled fetch plane: one dial per peer
 	for m := range shuffle.maps {
 		m := m
 		k.Spawn(fmt.Sprintf("pfetch-%d-%d", r, m), func(fp *sim.Proc) {
 			defer wg.Done()
 			mo := shuffle.maps[m]
-			mo.done.Wait(fp)
+			e.waitMapOutput(fp, job, shuffle, mo)
 			recs := mo.parts[r]
-			if d := e.runFetchDelay(job, mo.node, node); d > 0 && len(recs) > 0 {
-				fp.Sleep(d) // run-exchange section fetch: RPC + seek
+			if len(recs) > 0 {
+				e.chargeRunFetch(fp, job, mo.node, node, peers)
 			}
 			// Stream the partition chunk by chunk, releasing records to
 			// the reducer as each chunk lands. Compressed sections travel
@@ -216,8 +218,22 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 	e.writeOutput(p, job, node, out.Recs, res)
 }
 
+// waitMapOutput blocks a fetcher until its map's output is available. The
+// overlapped control plane (the default) releases each fetch the moment its
+// map publishes — fetches overlap still-running maps, the cross-wave
+// overlap mpexec's streamed 'm' metadata buys. JobSpec.Staged over the TCP
+// exchange restores the stage barrier: no routing table until the whole
+// map wave is done, so every fetch waits for the last map.
+func (e *Engine) waitMapOutput(fp *sim.Proc, job *JobSpec, shuffle *shuffleState, mo *mapOutput) {
+	if job.Staged && job.Transport == TCPRunExchange {
+		shuffle.allDone.Wait(fp)
+		return
+	}
+	mo.done.Wait(fp)
+}
+
 // runFetchDelay returns the per-section fetch latency the transport
-// charges: every section over the TCP run exchange, only off-node sections
+// charges: sections over the TCP run exchange, only off-node sections
 // over the local run exchange, nothing for the in-process shuffle.
 func (e *Engine) runFetchDelay(job *JobSpec, from, to *cluster.Node) float64 {
 	switch job.Transport {
@@ -229,6 +245,26 @@ func (e *Engine) runFetchDelay(job *JobSpec, from, to *cluster.Node) float64 {
 		}
 	}
 	return 0
+}
+
+// chargeRunFetch charges the transport's fetch latency for one section
+// moving from -> to. The TCP exchange's pooled fetch plane dials each peer
+// run-server once per reduce task and pipelines every later section request
+// on that connection, so RunFetchDelay is charged once per (reduce task,
+// peer); the local run exchange still pays per off-node section (a file
+// open + seek has no connection to reuse).
+func (e *Engine) chargeRunFetch(fp *sim.Proc, job *JobSpec, from, to *cluster.Node, peers map[*cluster.Node]bool) {
+	d := e.runFetchDelay(job, from, to)
+	if d <= 0 {
+		return
+	}
+	if job.Transport == TCPRunExchange {
+		if peers[from] {
+			return
+		}
+		peers[from] = true
+	}
+	fp.Sleep(d)
 }
 
 // newStore builds the per-task partial-result store with hooks that charge

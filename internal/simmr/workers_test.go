@@ -31,24 +31,34 @@ func TestWorkerPoolScaling(t *testing.T) {
 	for _, mode := range []Mode{Barrier, Pipelined} {
 		full := workersTestRun(t, 0, TCPRunExchange, mode)
 		var prev *Result
+		prevW := len(NewEngine(DefaultConfig()).C.Nodes)
 		for _, w := range []int{15, 4, 1} {
 			res := workersTestRun(t, w, TCPRunExchange, mode)
 			if len(res.Output) != len(full.Output) {
 				t.Fatalf("mode=%v workers=%d: %d records, want %d",
 					mode, w, len(res.Output), len(full.Output))
 			}
-			if prev != nil && res.Completion < prev.Completion-1e-9 {
+			// The pooled fetch plane charges one dial per (reduce task,
+			// peer), so a bigger pool pays a fixed per-peer cost that at
+			// this toy scale can outweigh its parallelism by a few
+			// milliseconds; allow exactly that much. The harness worker
+			// sweep asserts strict monotonicity at multi-GB scale.
+			slack := DefaultCosts().RunFetchDelay * float64(prevW)
+			if prev != nil && res.Completion < prev.Completion-slack-1e-9 {
 				t.Fatalf("mode=%v: %d workers finished faster (%.2fs) than more workers (%.2fs)",
 					mode, w, res.Completion, prev.Completion)
 			}
-			prev = res
+			prev, prevW = res, w
 		}
 	}
 }
 
 // TestTransportCosts: the run exchanges cost at least as much as the
-// in-process shuffle (materialization + per-section fetch RPC), with TCP
-// the most expensive, and identical outputs throughout.
+// in-process shuffle (materialization + fetch latency), with identical
+// outputs throughout. The pooled TCP fetch plane charges RunFetchDelay
+// once per (reduce task, peer) while the local run exchange pays one file
+// open per off-node section, so at high section counts TCP may legitimately
+// undercut the local exchange — but never the in-process shuffle.
 func TestTransportCosts(t *testing.T) {
 	inproc := workersTestRun(t, 4, InProcShuffle, Barrier)
 	runx := workersTestRun(t, 4, RunExchange, Barrier)
@@ -61,9 +71,9 @@ func TestTransportCosts(t *testing.T) {
 		t.Fatalf("run exchange (%.3fs) cheaper than in-process (%.3fs)",
 			runx.Completion, inproc.Completion)
 	}
-	if tcp.Completion < runx.Completion-1e-9 {
-		t.Fatalf("tcp exchange (%.3fs) cheaper than local run exchange (%.3fs)",
-			tcp.Completion, runx.Completion)
+	if tcp.Completion < inproc.Completion-1e-9 {
+		t.Fatalf("tcp exchange (%.3fs) cheaper than in-process (%.3fs)",
+			tcp.Completion, inproc.Completion)
 	}
 	// Run-exchange reducers merge externally: sort-phase memory must sit at
 	// the read-buffer bound, below the materialized partition.

@@ -42,10 +42,12 @@ tmp="$(mktemp)"
   run_bench ./internal/sortx/ 'MergerNext|MergerDrain|ByKey' 2s
   echo "== external shuffle (disk-spilling, bounded memory) =="
   run_bench ./internal/mr/ 'Sort1M_Spill' 1x
-  echo "== shuffle transports (in-proc vs run exchange vs loopback TCP) =="
+  echo "== shuffle transports (in-proc vs run exchange vs loopback TCP; TCP rides the pooled BLR2 fetch plane) =="
   run_bench ./internal/mr/ 'WordCount250K_(InProc|Runx|TCP)' 2x
   echo "== spill-run compression (none vs block vs delta; spill-ratio = raw/sealed bytes) =="
   run_bench ./internal/mr/ 'Spill1M_Comp(None|Block|Delta)' 1x
+  echo "== cross-wave overlap (multi-process engine: staged vs overlapped dispatch, barrier vs pipelined) =="
+  run_bench ./internal/mpexec/ 'Cluster(WordCount|Sort)' 2x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported
