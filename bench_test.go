@@ -392,3 +392,27 @@ func BenchmarkMemoization(b *testing.B) {
 		b.ReportMetric(last, "vsec/job")
 	})
 }
+
+// --- Worker-churn recovery (simulated prediction for the parity band) -------
+
+// benchFaultPrediction reports the simulator's predicted recovery overhead
+// for losing one of three workers at 40% of the job — the prediction the
+// real-engine parity test and the ClusterRecovery wall-clock benchmarks are
+// compared against (within harness.FaultTolerance).
+func benchFaultPrediction(b *testing.B, mode simmr.Mode) {
+	b.Helper()
+	var est harness.FaultEstimate
+	for i := 0; i < b.N; i++ {
+		est = harness.FaultPrediction(1, 3, 0.4, mode)
+	}
+	b.ReportMetric(est.Killed, "vsec/job")
+	b.ReportMetric(est.Overhead*100, "overhead%")
+}
+
+func BenchmarkFaultPredicted3Workers_Barrier(b *testing.B) {
+	benchFaultPrediction(b, simmr.Barrier)
+}
+
+func BenchmarkFaultPredicted3Workers_Pipelined(b *testing.B) {
+	benchFaultPrediction(b, simmr.Pipelined)
+}

@@ -52,7 +52,10 @@ func main() {
 	spillMB := flag.Int("spill", 240, "spill threshold in MB for -store spill")
 	spillBytes := flag.Int64("spill-bytes", 0, "per-task intermediate buffer budget in bytes: map outputs spill to sorted runs and reducers merge externally (0 = all in RAM)")
 	timeline := flag.Bool("timeline", false, "print the task-count timeline")
-	speculative := flag.Bool("speculative", false, "enable speculative map execution")
+	speculative := flag.Bool("speculative", false, "enable speculative map execution (simulator and multi-process cluster)")
+	specThreshold := flag.Float64("spec-threshold", 0, "completed map fraction before speculative clones launch (0 = default 0.75)")
+	heartbeat := flag.Duration("heartbeat", 0, "cluster worker heartbeat interval (0 = default 1s); a worker silent for 4 intervals is declared dead")
+	chaosKill := flag.Duration("chaos-kill", 0, "cluster mode: SIGKILL one worker this long after the job starts (fault-injection; 0 = off)")
 	combine := flag.Bool("combine", false, "enable the map-side combiner (aggregation-class apps only; uses the app's merger)")
 	snapshot := flag.Float64("snapshot", 0, "pipelined progress snapshot period in virtual seconds (0 = off)")
 	transport := flag.String("transport", "", "run on the REAL engine with this shuffle transport: inproc|spill|tcp (empty = simulator)")
@@ -93,6 +96,7 @@ func main() {
 
 	if *workerCoord != "" {
 		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, comp, *staged)
+		opts.HeartbeatInterval = *heartbeat
 		if err := mpexec.Serve(*workerCoord, mrJob(app, *combine), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
@@ -102,7 +106,8 @@ func main() {
 
 	if *transport != "" {
 		runReal(app, ds, realMode, kind, *transport, *reducers, *mapTasks,
-			*spillBytes, *spillMB, *fanIn, *workers, comp, *combine, *staged, *verify)
+			*spillBytes, *spillMB, *fanIn, *workers, comp, *combine, *staged, *verify,
+			*speculative, *specThreshold, *heartbeat, *chaosKill)
 		return
 	}
 
@@ -162,7 +167,7 @@ func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillByt
 
 // runReal executes the job on the real-concurrency engine — in-process over
 // the chosen transport, or across worker subprocesses when -workers > 0.
-func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, comp codec.Compression, combine, staged, verify bool) {
+func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, comp codec.Compression, combine, staged, verify bool, speculative bool, specThreshold float64, heartbeat, chaosKill time.Duration) {
 	tkind, err := shuffle.ParseKind(transportName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -172,6 +177,9 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 	job := mrJob(app, combine)
 	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn, comp, staged)
 	opts.Transport = tkind
+	opts.Speculative = speculative
+	opts.SpeculativeThreshold = specThreshold
+	opts.HeartbeatInterval = heartbeat
 
 	var res *mr.Result
 	if workers > 0 {
@@ -179,7 +187,7 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 			fmt.Fprintln(os.Stderr, "multi-process mode needs -transport tcp (sealed runs are the only cross-process exchange)")
 			os.Exit(2)
 		}
-		res, err = runCluster(job, input, opts, workers)
+		res, err = runCluster(job, input, opts, workers, chaosKill)
 	} else {
 		res, err = mr.Run(job, input, opts)
 	}
@@ -202,6 +210,10 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 		res.Spills, res.SpilledBytes>>10, res.MergePasses, res.PeakPartialBytes>>10)
 	if res.FetchDials > 0 {
 		fmt.Printf("fetch plane: %d KB over %d pooled run-server conns\n", res.FetchBytes>>10, res.FetchDials)
+	}
+	if res.MapRetries+res.ReduceRetries+res.BackupsLaunched > 0 {
+		fmt.Printf("recovery: %d map re-executions, %d reduce re-executions, %d speculative clones (%d won)\n",
+			res.MapRetries, res.ReduceRetries, res.BackupsLaunched, res.BackupsWon)
 	}
 	if comp != codec.None && res.CompressedSpillBytes > 0 {
 		fmt.Printf("compression (%s): %d KB raw -> %d KB sealed (%.2fx)  fetched: %d KB\n",
@@ -234,14 +246,27 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 
 // runCluster spawns worker subprocesses (this binary re-executed with the
 // same flags plus -worker-coord; workers rebuild the same app/job from
-// those flags) and coordinates the job across them.
-func runCluster(job mr.Job, input []core.Record, opts mr.Options, workers int) (*mr.Result, error) {
-	coord, teardown, err := mpexec.SpawnLocal(os.Args[1:], workers, 60*time.Second)
+// those flags) and coordinates the job across them. chaosKill > 0 SIGKILLs
+// the first worker that long after the job starts — the fault-injection
+// path CI's chaos smoke drives to prove a worker death is survivable.
+func runCluster(job mr.Job, input []core.Record, opts mr.Options, workers int, chaosKill time.Duration) (*mr.Result, error) {
+	cluster, err := mpexec.SpawnLocal(os.Args[1:], workers, 60*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	defer teardown()
-	return coord.Run(job, input, opts)
+	defer cluster.Teardown()
+	if chaosKill > 0 {
+		if workers < 2 {
+			return nil, fmt.Errorf("-chaos-kill needs at least 2 workers to leave a survivor")
+		}
+		timer := time.AfterFunc(chaosKill, func() {
+			if err := cluster.Kill(0); err == nil {
+				fmt.Fprintf(os.Stderr, "chaos: killed worker 0 after %s\n", chaosKill)
+			}
+		})
+		defer timer.Stop()
+	}
+	return cluster.Coord.Run(job, input, opts)
 }
 
 func flatten(ds harness.Dataset) []core.Record {

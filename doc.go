@@ -83,5 +83,21 @@
 // on the simulated cluster (harness.OverlapSweep sweeps staged vs
 // overlapped; overlap is never slower).
 //
+// The multi-process engine survives worker churn: workers heartbeat on
+// their control connection (exec.Options.HeartbeatInterval, cmd/blmr
+// -heartbeat; silent for four intervals means dead), a dead worker's
+// in-flight tasks are requeued on survivors, completed maps whose sealed
+// runs died with it are re-executed with supersede pushes re-routing any
+// parked reduce task, and section fetches retry with backed-off redials
+// (internal/retry). exec.Options.Speculative (cmd/blmr -speculative,
+// -spec-threshold) clones straggler maps onto idle slots near the end of
+// the wave; attempt IDs keep duplicate routes idempotent, so barrier
+// output stays byte-identical through the loss of any single worker.
+// cmd/blmr -chaos-kill injects the fault (SIGKILL one worker mid-job) for
+// smoke runs. The simulator mirrors the model with
+// simmr.JobSpec.{KillWorkerAt,KillWorker}; harness.FaultSweep sweeps kill
+// times, and harness.FaultPrediction is pinned to the real engine's
+// measured recovery overhead within harness.FaultTolerance.
+//
 // See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

@@ -95,12 +95,12 @@ func main() {
 
 // runCluster spawns the workers, coordinates one job, and tears down.
 func runCluster(appName string, input []core.Record) (*mr.Result, error) {
-	coord, teardown, err := mpexec.SpawnLocal([]string{"-worker-app", appName}, *workers, 60*time.Second)
+	cluster, err := mpexec.SpawnLocal([]string{"-worker-app", appName}, *workers, 60*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	defer teardown()
-	return coord.Run(jobFor(appByName(appName)), input, opts())
+	defer cluster.Teardown()
+	return cluster.Coord.Run(jobFor(appByName(appName)), input, opts())
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@ package exec
 
 import (
 	"runtime"
+	"time"
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
@@ -118,6 +119,21 @@ type Options struct {
 	// way (reducers still seal the full routing table before merging).
 	// Ignored by the in-process engine, which always overlaps.
 	Staged bool
+	// Speculative (multi-process engine) enables backup attempts of
+	// straggler map tasks: once SpeculativeThreshold of the map wave is
+	// done, idle slots may run duplicate attempts of still-running maps on
+	// other workers, and the first completion wins (attempt IDs keep
+	// duplicate routing pushes idempotent). Mirrors
+	// simmr.JobSpec.Speculative. Ignored by the in-process engine.
+	Speculative bool
+	// SpeculativeThreshold is the completed fraction of the map wave
+	// required before clones launch (default 0.75, matching
+	// simmr.JobSpec.SpeculativeThreshold).
+	SpeculativeThreshold float64
+	// HeartbeatInterval (multi-process engine) is the period of worker
+	// liveness heartbeats on the control connection (default 1s); a worker
+	// silent for 4 intervals is declared dead and its tasks re-executed.
+	HeartbeatInterval time.Duration
 	// Compression selects the sealed-run codec (default codec.None).
 	// Every run the execution seals — spill waves, run-exchange segments,
 	// intermediate merge runs, pipelined store spills — is block-compressed
@@ -158,6 +174,12 @@ func (o *Options) Normalize() {
 	}
 	if o.MergeFanIn <= 1 {
 		o.MergeFanIn = 64
+	}
+	if o.SpeculativeThreshold <= 0 || o.SpeculativeThreshold > 1 {
+		o.SpeculativeThreshold = 0.75
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = time.Second
 	}
 }
 

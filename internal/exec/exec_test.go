@@ -111,6 +111,180 @@ func TestSchedulerSpreadsAcrossWorkers(t *testing.T) {
 	}
 }
 
+// fnWorker scripts arbitrary per-task behavior for churn tests.
+type fnWorker struct {
+	name      string
+	runMap    func(MapTask) (MapStats, error)
+	runReduce func(ReduceTask) (ReduceResult, error)
+}
+
+func (w *fnWorker) String() string { return w.name }
+func (w *fnWorker) RunMap(t MapTask) (MapStats, error) {
+	if w.runMap != nil {
+		return w.runMap(t)
+	}
+	return MapStats{}, nil
+}
+func (w *fnWorker) RunReduce(t ReduceTask) (ReduceResult, error) {
+	if w.runReduce != nil {
+		return w.runReduce(t)
+	}
+	return ReduceResult{}, nil
+}
+
+// TestSchedulerWorkerLostRequeues: a WorkerLostError must retire the worker
+// and requeue the task on a survivor instead of failing the job.
+func TestSchedulerWorkerLostRequeues(t *testing.T) {
+	var lost atomic.Bool
+	w0 := &fnWorker{name: "w0"}
+	w0.runMap = func(mt MapTask) (MapStats, error) {
+		if lost.CompareAndSwap(false, true) {
+			return MapStats{}, &WorkerLostError{Worker: "w0", Err: errors.New("conn reset")}
+		}
+		return MapStats{ShuffleRecords: 1}, nil
+	}
+	w1 := &fnWorker{name: "w1", runMap: func(MapTask) (MapStats, error) {
+		for !lost.Load() {
+			time.Sleep(time.Millisecond) // hold w1's slot until w0's loss lands
+		}
+		return MapStats{ShuffleRecords: 1}, nil
+	}}
+	s := Scheduler{Workers: []Assignment{
+		{W: w0, MapSlots: 1, ReduceSlots: 1},
+		{W: w1, MapSlots: 1, ReduceSlots: 1},
+	}}
+	sum, err := s.Run(SplitMaps(make([]core.Record, 40), 4), ReduceTasks(2))
+	if err != nil {
+		t.Fatalf("worker loss failed the job: %v", err)
+	}
+	if sum.MapRetries != 1 {
+		t.Fatalf("MapRetries = %d, want 1", sum.MapRetries)
+	}
+	if sum.ShuffleRecords != 4 {
+		t.Fatalf("shuffle records %d, want 4 (winner-only stats)", sum.ShuffleRecords)
+	}
+}
+
+// TestSchedulerResubmitCompletedMap: WorkerLost with resubmit indices must
+// re-run already-completed maps on survivors while reduces are in flight.
+func TestSchedulerResubmitCompletedMap(t *testing.T) {
+	gate := make(chan struct{})
+	var mapRuns, w1Runs atomic.Int64
+	mkMap := func(counter *atomic.Int64) func(MapTask) (MapStats, error) {
+		return func(MapTask) (MapStats, error) {
+			mapRuns.Add(1)
+			if counter != nil {
+				counter.Add(1)
+			}
+			return MapStats{}, nil
+		}
+	}
+	w0 := &fnWorker{name: "w0", runMap: mkMap(nil)}
+	w1 := &fnWorker{name: "w1", runMap: mkMap(&w1Runs)}
+	blockReduce := func(ReduceTask) (ReduceResult, error) {
+		<-gate
+		return ReduceResult{}, nil
+	}
+	w0.runReduce = blockReduce
+	w1.runReduce = blockReduce
+	s := Scheduler{Workers: []Assignment{
+		{W: w0, MapSlots: 1, ReduceSlots: 1},
+		{W: w1, MapSlots: 1, ReduceSlots: 1},
+	}}
+	done := make(chan *Summary, 1)
+	go func() {
+		sum, err := s.Run(SplitMaps(make([]core.Record, 40), 4), ReduceTasks(2))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- sum
+	}()
+	waitFor(t, func() bool { return mapRuns.Load() == 4 })
+	base := w1Runs.Load()
+	s.WorkerLost(w0, []int{0, 1}) // w0's sealed outputs are gone
+	waitFor(t, func() bool { return w1Runs.Load() == base+2 })
+	close(gate)
+	sum := <-done
+	if sum == nil {
+		t.Fatal("run failed")
+	}
+	if sum.MapRetries != 2 {
+		t.Fatalf("MapRetries = %d, want 2", sum.MapRetries)
+	}
+}
+
+// TestSchedulerSpeculates: with most of the wave done, an idle worker clones
+// the straggler and the first completion wins.
+func TestSchedulerSpeculates(t *testing.T) {
+	cloneDone := make(chan struct{})
+	var attempts3 atomic.Int64
+	runMap := func(mt MapTask) (MapStats, error) {
+		if mt.Index == 3 {
+			if attempts3.Add(1) == 1 {
+				<-cloneDone // original attempt: straggle until the clone lands
+			} else {
+				close(cloneDone) // clone: finish instantly and release the original
+			}
+		}
+		return MapStats{ShuffleRecords: 1}, nil
+	}
+	w0 := &fnWorker{name: "w0", runMap: runMap}
+	w1 := &fnWorker{name: "w1", runMap: runMap}
+	s := Scheduler{
+		Workers: []Assignment{
+			{W: w0, MapSlots: 1, ReduceSlots: 1},
+			{W: w1, MapSlots: 1, ReduceSlots: 1},
+		},
+		Speculate: true, SpeculateAfter: 0.75,
+	}
+	sum, err := s.Run(SplitMaps(make([]core.Record, 40), 4), ReduceTasks(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.BackupsLaunched != 1 || sum.BackupsWon != 1 {
+		t.Fatalf("backups launched=%d won=%d, want 1/1", sum.BackupsLaunched, sum.BackupsWon)
+	}
+	if sum.ShuffleRecords != 4 {
+		t.Fatalf("shuffle records %d, want 4 (loser attempt must not double-count)", sum.ShuffleRecords)
+	}
+}
+
+// TestSchedulerAllWorkersLost: when every worker dies the job must fail
+// rather than hang.
+func TestSchedulerAllWorkersLost(t *testing.T) {
+	w := &fnWorker{name: "w0", runMap: func(MapTask) (MapStats, error) {
+		return MapStats{}, &WorkerLostError{Worker: "w0", Err: errors.New("gone")}
+	}}
+	s := Scheduler{Workers: []Assignment{{W: w, MapSlots: 1, ReduceSlots: 1}}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Run(SplitMaps(make([]core.Record, 10), 2), ReduceTasks(1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected failure with no live workers")
+		}
+		if !IsWorkerLost(err) {
+			t.Fatalf("error lost its WorkerLostError classification: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("scheduler hung with every worker dead")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestSplitMaps(t *testing.T) {
 	maps := SplitMaps(make([]core.Record, 10), 4)
 	if len(maps) != 4 {

@@ -10,8 +10,20 @@ package exec
 // run concurrently (reduce slots >= reduce tasks), or backpressure from an
 // unscheduled partition's full queue could wedge the map wave; run-exchange
 // transports have no such constraint, because sealed runs park on disk.
+//
+// Task failures split into two classes. A genuine task error (user code,
+// corrupt data) fails the job: the first error aborts, unstarted tasks are
+// skipped, and in-flight tasks are waited out (they unblock via OnFail). A
+// WorkerLostError marks the worker dead and requeues the task on the
+// surviving workers instead — the MapReduce recovery discipline. Completed
+// map tasks whose outputs died with their worker re-enter the queue through
+// Resubmit, and once most of the map wave is done the scheduler may launch
+// speculative clones of stragglers on idle slots, keeping the first
+// completion (duplicate completions are dropped here and deduplicated by
+// attempt ID downstream).
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -26,6 +38,29 @@ type Worker interface {
 	RunMap(t MapTask) (MapStats, error)
 	// RunReduce executes one reduce task to completion.
 	RunReduce(t ReduceTask) (ReduceResult, error)
+}
+
+// WorkerLostError classifies a task failure caused by losing the worker
+// (process death, closed control connection, missed heartbeats) rather than
+// by the task itself. The scheduler reacts by marking the worker dead and
+// requeueing the task on survivors instead of failing the job.
+type WorkerLostError struct {
+	// Worker names the lost worker.
+	Worker string
+	// Err is the underlying transport error.
+	Err error
+}
+
+func (e *WorkerLostError) Error() string {
+	return fmt.Sprintf("worker %s lost: %v", e.Worker, e.Err)
+}
+
+func (e *WorkerLostError) Unwrap() error { return e.Err }
+
+// IsWorkerLost reports whether err classifies as a lost worker.
+func IsWorkerLost(err error) bool {
+	var w *WorkerLostError
+	return errors.As(err, &w)
 }
 
 // Assignment is one worker plus its task-slot budget (Hadoop's map/reduce
@@ -43,10 +78,20 @@ type Summary struct {
 	// MapWall is the wall-clock duration from scheduling start until the
 	// last map task returned.
 	MapWall time.Duration
-	// ShuffleRecords sums the map tasks' post-combine shuffle volume.
+	// ShuffleRecords sums the map tasks' post-combine shuffle volume
+	// (winning attempts only, so the count matches a churn-free run).
 	ShuffleRecords int64
-	// MapSpills sums the map tasks' sealed spill waves.
+	// MapSpills sums the map tasks' sealed spill waves (winning attempts).
 	MapSpills int
+	// MapRetries counts map re-executions: worker-lost requeues plus
+	// Resubmit calls for outputs lost with their worker.
+	MapRetries int
+	// ReduceRetries counts reduce tasks requeued after losing their worker.
+	ReduceRetries int
+	// BackupsLaunched / BackupsWon count speculative map clones dispatched
+	// and clones whose attempt won (completed first).
+	BackupsLaunched int
+	BackupsWon      int
 	// Reduces holds each reduce task's result, indexed by partition.
 	Reduces []ReduceResult
 }
@@ -58,6 +103,68 @@ type Scheduler struct {
 	// scheduler waits out in-flight tasks — wire it to the transport's Fail
 	// so tasks blocked in the shuffle wake up and drain.
 	OnFail func(error)
+	// Staged gates reduce dispatch behind completion of every map task
+	// (the multi-process engine's staged mode). Resubmitted maps re-raise
+	// the gate until they complete again.
+	Staged bool
+	// MaxAttempts caps how many times one task may be dispatched across
+	// worker-lost requeues, resubmissions and clones before the job fails
+	// (default max(4, 2*len(Workers)+2)).
+	MaxAttempts int
+	// Speculate enables backup attempts of straggler map tasks: once
+	// SpeculateAfter of the map wave is done and no pending maps remain, an
+	// idle slot may run a duplicate attempt of a still-running map on a
+	// different worker; the first completion wins.
+	Speculate bool
+	// SpeculateAfter is the completed fraction of the map wave required
+	// before clones launch (default 0.75).
+	SpeculateAfter float64
+
+	mu  sync.Mutex
+	run *schedRun
+}
+
+type taskLife int
+
+const (
+	tsPending taskLife = iota
+	tsRunning
+	tsDone
+)
+
+type taskState struct {
+	life     taskLife
+	attempts int
+	inflight int // concurrently running attempts (clones)
+	cloned   bool
+	runners  map[*schedWorker]bool
+}
+
+type schedWorker struct {
+	a    Assignment
+	dead bool
+}
+
+type schedRun struct {
+	s           *Scheduler
+	mu          sync.Mutex
+	cond        *sync.Cond
+	maps        []MapTask
+	reduces     []ReduceTask
+	byIndex     map[int]int // MapTask.Index -> position in maps
+	m           []taskState
+	r           []taskState
+	mapsLeft    int
+	redsLeft    int
+	nextAttempt int
+	live        int
+	maxAttempts int
+	specAfter   float64
+	firstErr    error
+	aborted     bool
+	sum         *Summary
+	start       time.Time
+	workers     []*schedWorker
 }
 
 // Run dispatches every task and blocks until all have settled, returning
@@ -68,100 +175,294 @@ func (s *Scheduler) Run(maps []MapTask, reduces []ReduceTask) (*Summary, error) 
 	if len(s.Workers) == 0 {
 		return nil, fmt.Errorf("exec: no workers")
 	}
-	mapCh := make(chan MapTask, len(maps))
-	for _, t := range maps {
-		mapCh <- t
+	rn := &schedRun{
+		s:           s,
+		maps:        maps,
+		reduces:     reduces,
+		byIndex:     make(map[int]int, len(maps)),
+		m:           make([]taskState, len(maps)),
+		r:           make([]taskState, len(reduces)),
+		mapsLeft:    len(maps),
+		redsLeft:    len(reduces),
+		live:        len(s.Workers),
+		maxAttempts: s.MaxAttempts,
+		specAfter:   s.SpeculateAfter,
+		sum:         &Summary{Reduces: make([]ReduceResult, len(reduces))},
+		start:       time.Now(),
 	}
-	close(mapCh)
-	reduceCh := make(chan ReduceTask, len(reduces))
-	for _, t := range reduces {
-		reduceCh <- t
+	rn.cond = sync.NewCond(&rn.mu)
+	if rn.maxAttempts <= 0 {
+		rn.maxAttempts = max(4, 2*len(s.Workers)+2)
 	}
-	close(reduceCh)
+	if rn.specAfter <= 0 || rn.specAfter > 1 {
+		rn.specAfter = 0.75
+	}
+	for i := range maps {
+		rn.byIndex[maps[i].Index] = i
+		rn.m[i].runners = make(map[*schedWorker]bool)
+	}
+	for i := range reduces {
+		rn.r[i].runners = make(map[*schedWorker]bool)
+	}
+	for _, a := range s.Workers {
+		rn.workers = append(rn.workers, &schedWorker{a: a})
+	}
 
-	sum := &Summary{Reduces: make([]ReduceResult, len(reduces))}
-	start := time.Now()
-	var (
-		mu       sync.Mutex
-		firstErr error
-		mapsLeft = len(maps)
-		aborted  = make(chan struct{})
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-			close(aborted)
-			if s.OnFail != nil {
-				// Called under mu: OnFail must not call back into the
-				// scheduler (transports' Fail does not).
-				s.OnFail(err)
-			}
-		}
-		mu.Unlock()
-	}
-	stop := func() bool {
-		select {
-		case <-aborted:
-			return true
-		default:
-			return false
-		}
-	}
+	s.mu.Lock()
+	s.run = rn
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.run = nil
+		s.mu.Unlock()
+	}()
 
 	var wg sync.WaitGroup
-	for _, a := range s.Workers {
-		a := a
-		for i := 0; i < max(1, a.MapSlots); i++ {
+	for _, w := range rn.workers {
+		w := w
+		for i := 0; i < max(1, w.a.MapSlots); i++ {
 			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range mapCh {
-					if stop() {
-						continue
-					}
-					stats, err := a.W.RunMap(t)
-					if err != nil {
-						fail(fmt.Errorf("map task %d on %s: %w", t.Index, a.W, err))
-						continue
-					}
-					mu.Lock()
-					sum.ShuffleRecords += stats.ShuffleRecords
-					sum.MapSpills += stats.Spills
-					mapsLeft--
-					if mapsLeft == 0 {
-						sum.MapWall = time.Since(start)
-					}
-					mu.Unlock()
-				}
-			}()
+			go func() { defer wg.Done(); rn.mapLoop(w) }()
 		}
-		for i := 0; i < max(1, a.ReduceSlots); i++ {
+		for i := 0; i < max(1, w.a.ReduceSlots); i++ {
 			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range reduceCh {
-					if stop() {
-						continue
-					}
-					res, err := a.W.RunReduce(t)
-					if err != nil {
-						fail(fmt.Errorf("reduce task %d on %s: %w", t.Partition, a.W, err))
-						continue
-					}
-					mu.Lock()
-					sum.Reduces[t.Partition] = res
-					mu.Unlock()
-				}
-			}()
+			go func() { defer wg.Done(); rn.reduceLoop(w) }()
 		}
 	}
 	wg.Wait()
-	mu.Lock()
-	err := firstErr
-	mu.Unlock()
+	rn.mu.Lock()
+	err := rn.firstErr
+	rn.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return sum, nil
+	return rn.sum, nil
+}
+
+// WorkerLost reports (from outside a task return path — e.g. a coordinator
+// noticing a closed control connection) that w is dead, and resubmits the
+// completed map tasks whose outputs died with it. Safe to call at any time;
+// a no-op when no run is active or the run is already settling.
+func (s *Scheduler) WorkerLost(w Worker, resubmitMaps []int) {
+	s.mu.Lock()
+	rn := s.run
+	s.mu.Unlock()
+	if rn == nil {
+		return
+	}
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	for _, sw := range rn.workers {
+		if sw.a.W == w {
+			rn.workerDeadLocked(sw)
+			break
+		}
+	}
+	if rn.aborted || rn.redsLeft == 0 {
+		return // settling: survivors already fetched everything they need
+	}
+	for _, idx := range resubmitMaps {
+		pos, ok := rn.byIndex[idx]
+		if !ok {
+			continue
+		}
+		st := &rn.m[pos]
+		if st.life != tsDone {
+			continue // pending or in flight already; that attempt re-routes
+		}
+		if st.inflight > 0 {
+			st.life = tsRunning // a racing clone is still out; let it win
+		} else {
+			st.life = tsPending
+		}
+		rn.mapsLeft++
+		rn.sum.MapRetries++
+	}
+	rn.cond.Broadcast()
+}
+
+// done reports (locked) whether slots should exit.
+func (rn *schedRun) done() bool {
+	return rn.aborted || (rn.mapsLeft == 0 && rn.redsLeft == 0)
+}
+
+func (rn *schedRun) failLocked(err error) {
+	if rn.firstErr != nil {
+		return
+	}
+	rn.firstErr = err
+	rn.aborted = true
+	if rn.s.OnFail != nil {
+		// Called under the run lock: OnFail must not call back into the
+		// scheduler (transports' Fail does not).
+		rn.s.OnFail(err)
+	}
+	rn.cond.Broadcast()
+}
+
+func (rn *schedRun) workerDeadLocked(w *schedWorker) {
+	if !w.dead {
+		w.dead = true
+		rn.live--
+		rn.cond.Broadcast()
+	}
+}
+
+// pickMap returns a map position to dispatch on w, with clone=true for a
+// speculative backup attempt, or -1 when nothing is runnable.
+func (rn *schedRun) pickMap(w *schedWorker) (pos int, clone bool) {
+	if rn.mapsLeft == 0 {
+		return -1, false
+	}
+	for i := range rn.m {
+		if rn.m[i].life == tsPending {
+			return i, false
+		}
+	}
+	if !rn.s.Speculate || rn.live < 2 {
+		return -1, false
+	}
+	done := len(rn.maps) - rn.mapsLeft
+	if float64(done) < rn.specAfter*float64(len(rn.maps)) {
+		return -1, false
+	}
+	for i := range rn.m {
+		st := &rn.m[i]
+		if st.life == tsRunning && st.inflight > 0 && !st.cloned &&
+			!st.runners[w] && st.attempts < rn.maxAttempts {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func (rn *schedRun) mapLoop(w *schedWorker) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	for {
+		if rn.done() || w.dead {
+			return
+		}
+		pos, clone := rn.pickMap(w)
+		if pos < 0 {
+			rn.cond.Wait()
+			continue
+		}
+		st := &rn.m[pos]
+		st.life = tsRunning
+		st.attempts++
+		st.inflight++
+		st.runners[w] = true
+		if clone {
+			st.cloned = true
+			rn.sum.BackupsLaunched++
+		}
+		t := rn.maps[pos]
+		t.Attempt = rn.nextAttempt
+		rn.nextAttempt++
+		rn.mu.Unlock()
+		stats, err := w.a.W.RunMap(t)
+		rn.mu.Lock()
+		st = &rn.m[pos]
+		st.inflight--
+		delete(st.runners, w)
+		if err != nil {
+			rn.taskError(w, st, err, func() error {
+				return fmt.Errorf("map task %d on %s: %w", t.Index, w.a.W, err)
+			}, true)
+			continue
+		}
+		if st.life != tsDone {
+			st.life = tsDone
+			rn.mapsLeft--
+			rn.sum.ShuffleRecords += stats.ShuffleRecords
+			rn.sum.MapSpills += stats.Spills
+			if clone {
+				rn.sum.BackupsWon++
+			}
+			if rn.mapsLeft == 0 {
+				rn.sum.MapWall = time.Since(rn.start)
+			}
+			rn.cond.Broadcast()
+		}
+		// A losing duplicate attempt (speculation, or a requeue that raced
+		// a still-running clone) is dropped: stats count the winner only.
+	}
+}
+
+func (rn *schedRun) reduceLoop(w *schedWorker) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	for {
+		if rn.done() || w.dead {
+			return
+		}
+		pos := -1
+		if !(rn.s.Staged && rn.mapsLeft > 0) {
+			for i := range rn.r {
+				if rn.r[i].life == tsPending {
+					pos = i
+					break
+				}
+			}
+		}
+		if pos < 0 {
+			rn.cond.Wait()
+			continue
+		}
+		st := &rn.r[pos]
+		st.life = tsRunning
+		st.attempts++
+		st.inflight++
+		st.runners[w] = true
+		t := rn.reduces[pos]
+		rn.mu.Unlock()
+		res, err := w.a.W.RunReduce(t)
+		rn.mu.Lock()
+		st = &rn.r[pos]
+		st.inflight--
+		delete(st.runners, w)
+		if err != nil {
+			rn.taskError(w, st, err, func() error {
+				return fmt.Errorf("reduce task %d on %s: %w", t.Partition, w.a.W, err)
+			}, false)
+			continue
+		}
+		if st.life != tsDone {
+			st.life = tsDone
+			rn.redsLeft--
+			rn.sum.Reduces[t.Partition] = res
+			rn.cond.Broadcast()
+		}
+	}
+}
+
+// taskError settles one failed attempt (locked): a genuine task error fails
+// the job; a lost worker is retired and the task requeued on survivors.
+func (rn *schedRun) taskError(w *schedWorker, st *taskState, err error, wrap func() error, isMap bool) {
+	if !IsWorkerLost(err) {
+		rn.failLocked(wrap())
+		return
+	}
+	rn.workerDeadLocked(w)
+	if st.life == tsDone || rn.aborted {
+		return
+	}
+	if st.attempts >= rn.maxAttempts {
+		rn.failLocked(fmt.Errorf("%d attempts exhausted: %w", st.attempts, wrap()))
+		return
+	}
+	if rn.live == 0 {
+		rn.failLocked(fmt.Errorf("no live workers left: %w", wrap()))
+		return
+	}
+	if st.inflight == 0 {
+		st.life = tsPending
+		if isMap {
+			rn.sum.MapRetries++
+		} else {
+			rn.sum.ReduceRetries++
+		}
+	}
+	rn.cond.Broadcast()
 }

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+)
+
+// FaultTolerance is the stated agreement band between simulated and real
+// recovery overhead: the relative overheads (killed/baseline - 1) must agree
+// within this many absolute points. The band is wide on purpose — the
+// simulator predicts a calibrated multi-GB cluster while the real parity run
+// is a laptop-scale 3-worker job whose wall clock is noisy — but it still
+// rejects sign errors and runaway recovery (e.g. a kill doubling the job when
+// the model predicts a few percent).
+const FaultTolerance = 0.75
+
+// FaultEstimate is one simulated worker-kill experiment: the undisturbed
+// completion, the killed run's completion, and the relative recovery
+// overhead (Killed/Base - 1).
+type FaultEstimate struct {
+	Base     float64
+	Killed   float64
+	Overhead float64
+	// LostMaps is how many published map outputs the kill cost (each was
+	// re-executed on a survivor).
+	LostMaps int
+}
+
+// faultSpec is the sweep's canonical job: WordCount on a small TCP worker
+// pool, the configuration the real chaos tests exercise.
+func faultSpec(sizeGB float64, workers int, mode simmr.Mode, speculative bool) RunSpec {
+	costs := CalibWordCount
+	if costs.RunFetchDelay == 0 {
+		costs.RunFetchDelay = simmr.DefaultCosts().RunFetchDelay
+	}
+	return RunSpec{
+		App: apps.WordCount(), Data: WordCountData(sizeGB), Mode: mode,
+		Reducers: 8, Costs: costs, Workers: workers,
+		Transport: simmr.TCPRunExchange, Speculative: speculative,
+	}
+}
+
+// FaultPrediction simulates killing pool worker 0 at killFrac of the
+// undisturbed completion time and returns the predicted recovery overhead —
+// the number the real-engine parity test compares its measured overhead
+// against (within FaultTolerance).
+func FaultPrediction(sizeGB float64, workers int, killFrac float64, mode simmr.Mode) FaultEstimate {
+	spec := faultSpec(sizeGB, workers, mode, false)
+	base := Run(spec)
+	spec.KillWorkerAt = base.Completion * killFrac
+	killed := Run(spec)
+	return FaultEstimate{
+		Base:     base.Completion,
+		Killed:   killed.Completion,
+		Overhead: killed.Completion/base.Completion - 1,
+		LostMaps: killed.LostMapOutputs,
+	}
+}
+
+// FaultSweep sweeps the kill time over the job (killFracs are fractions of
+// the undisturbed completion) on a `workers`-node pool and reports completion
+// for both modes, each with and without speculative backups. Recovery
+// overhead is each point against the frac=0 baseline; the speculative series
+// must never sit above its plain counterpart (speculation only clones
+// stragglers onto otherwise idle slots).
+func FaultSweep(sizeGB float64, workers int, killFracs []float64) Sweep {
+	sw := Sweep{
+		ID:     "FaultSweep",
+		Title:  fmt.Sprintf("WordCount %.3ggb, %d workers over TCP: completion vs when worker 0 dies", sizeGB, workers),
+		XLabel: "kill time (frac of base)",
+	}
+	for _, mode := range []simmr.Mode{simmr.Barrier, simmr.Pipelined} {
+		for _, speculative := range []bool{false, true} {
+			spec := faultSpec(sizeGB, workers, mode, speculative)
+			base := Run(spec)
+			label := mode.String()
+			if speculative {
+				label += "+spec"
+			}
+			ser := Series{Label: label}
+			for _, frac := range killFracs {
+				res := base
+				if frac > 0 {
+					killSpec := spec
+					killSpec.KillWorkerAt = base.Completion * frac
+					res = Run(killSpec)
+				}
+				ser.X = append(ser.X, frac)
+				ser.Y = append(ser.Y, res.Completion)
+				note := ""
+				if res.Failed {
+					note = "FAILED"
+				} else if res.LostMapOutputs > 0 {
+					note = fmt.Sprintf("lost=%d", res.LostMapOutputs)
+				}
+				ser.Note = append(ser.Note, note)
+			}
+			sw.Series = append(sw.Series, ser)
+		}
+	}
+	return sw
+}

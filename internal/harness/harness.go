@@ -103,6 +103,11 @@ type RunSpec struct {
 	FetchParallelism int
 	// Speculative enables backup execution of straggling map tasks.
 	Speculative bool
+	// KillWorkerAt, when > 0, kills pool worker KillWorker at that virtual
+	// time (simmr.JobSpec.KillWorkerAt): its published map outputs are
+	// re-executed on survivors and parked fetchers re-route.
+	KillWorkerAt float64
+	KillWorker   int
 	// Combine enables the map-side combiner, using the app's spill Merger
 	// as the combine function (the paper notes they are often the same).
 	// Only aggregation-class apps combine safely — their reduce is the
@@ -153,6 +158,8 @@ func Run(spec RunSpec) *simmr.Result {
 		Costs:          spec.Costs,
 		Speculative:    spec.Speculative,
 		SnapshotPeriod: spec.SnapshotPeriod,
+		KillWorkerAt:   spec.KillWorkerAt,
+		KillWorker:     spec.KillWorker,
 	}
 	if spec.Combine && spec.App.Class == core.ClassAggregation {
 		job.Combiner = spec.App.Merger

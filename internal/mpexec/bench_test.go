@@ -90,3 +90,45 @@ func BenchmarkClusterSort250K_PipelinedStaged(b *testing.B) {
 func BenchmarkClusterSort250K_PipelinedOverlap(b *testing.B) {
 	benchCluster(b, "sort", blexec.Pipelined, false)
 }
+
+// benchClusterRecovery measures worker-churn recovery overhead: each
+// iteration spawns a fresh 3-worker cluster and runs one barrier WordCount;
+// the Kill1 variant SIGKILLs worker 0 mid-map, so the delta against the
+// baseline is the cost of re-executing the lost maps and re-routing parked
+// fetches. Snapshotted by scripts/bench.sh (recovery-overhead section).
+func benchClusterRecovery(b *testing.B, killAfter time.Duration) {
+	input := workload.Text(29, 20_000, 2_000, 6)
+	opts := blexec.Options{Mappers: 6, Reducers: 4, Mode: blexec.Barrier}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := mpexec.Listen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmds := spawnWorkers(b, c.Addr(), 3)
+		if err := c.WaitWorkers(3, 30*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if killAfter > 0 {
+			timer := time.AfterFunc(killAfter, func() { _ = cmds[0].Process.Kill() })
+			defer timer.Stop()
+		}
+		res, err := c.Run(jobFor(apps.WordCount()), input, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(input))/res.Wall.Seconds(), "recs/s")
+		if killAfter > 0 {
+			b.ReportMetric(float64(res.MapRetries+res.ReduceRetries), "retries/job")
+		}
+		c.Close()
+	}
+}
+
+func BenchmarkClusterRecovery_Baseline(b *testing.B) {
+	benchClusterRecovery(b, 0)
+}
+
+func BenchmarkClusterRecovery_Kill1(b *testing.B) {
+	benchClusterRecovery(b, 40*time.Millisecond)
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"blmr/internal/core"
@@ -26,14 +28,37 @@ import (
 // Each worker's control connection is demultiplexed by a reader goroutine,
 // so one worker can carry a map task, a reduce task and segment pushes
 // concurrently.
+//
+// Worker death is a non-event, not a job failure, as long as one worker
+// survives: a closed control connection or four missed heartbeats marks the
+// worker dead, the scheduler requeues its in-flight tasks on survivors, and
+// completed maps whose sealed runs died with the worker are re-executed —
+// with invalidation and supersede 'S' pushes re-routing any parked reduce
+// task to the new attempt's segments. exec.Options.Speculative additionally
+// clones straggler maps near the end of the wave; attempt IDs keep every
+// duplicate or re-executed route idempotent, so barrier output stays
+// byte-identical through churn (map tasks are deterministic: re-running one
+// on identical input yields identical output bytes).
 type Coordinator struct {
 	ln net.Listener
 
 	mu      sync.Mutex
 	workers []*remoteWorker
-	waves   map[int][]waveMeta    // map task index -> sealed waves
+	routes  map[int]*mapRoute     // map task index -> its winning route
 	active  map[int]*remoteWorker // partition -> worker running its reduce
 	nMaps   int
+	sched   *exec.Scheduler // live during Run; WorkerLost target
+}
+
+// mapRoute is one map task's current sealed-run location: the attempt that
+// produced the waves and the worker serving them. A route invalidates
+// (valid=false) when its worker dies; the map index re-enters the scheduler
+// and a later attempt's completion replaces the route.
+type mapRoute struct {
+	w       *remoteWorker
+	attempt int
+	waves   []waveMeta
+	valid   bool
 }
 
 // pendKey identifies one awaited reply: the reply kind ('m' or 'r') plus
@@ -55,15 +80,18 @@ type asyncReply struct {
 type remoteWorker struct {
 	c    *Coordinator
 	id   int
+	name string
 	conn net.Conn
 	br   *bufio.Reader
 	addr string // the worker's run-server
 
 	wmu sync.Mutex // serializes frame writes
 
+	lastBeat atomic.Int64 // unix nanos of the last frame received
+
 	pmu     sync.Mutex
 	pending map[pendKey]chan asyncReply
-	dead    chan struct{} // closed when the connection is lost
+	dead    chan struct{} // closed when the worker is declared dead
 	deadErr error
 
 	// per-worker aggregation (written under c.mu). spilled/rawSpilled sum
@@ -79,29 +107,53 @@ type remoteWorker struct {
 
 // Listen opens the coordinator's registration listener on an ephemeral
 // loopback port.
-func Listen() (*Coordinator, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+func Listen() (*Coordinator, error) { return ListenOn("127.0.0.1:0") }
+
+// ListenOn opens the registration listener on an explicit address (e.g.
+// ":0" to accept workers from other hosts; their run-servers then bind all
+// interfaces too and advertise a dialable host).
+func ListenOn(bind string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: listen: %w", err)
 	}
-	return &Coordinator{ln: ln, waves: make(map[int][]waveMeta), active: make(map[int]*remoteWorker)}, nil
+	return &Coordinator{ln: ln, routes: make(map[int]*mapRoute), active: make(map[int]*remoteWorker)}, nil
 }
 
 // Addr returns the address workers dial (pass it to Serve / -worker-coord).
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Workers returns how many workers have registered and are still live.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		if !w.isDead() {
+			n++
+		}
+	}
+	return n
+}
 
 // WaitWorkers blocks until n workers have registered or the timeout lapses.
 // Each registered worker gets a reader goroutine that routes its reply
 // frames until the connection closes.
 func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for len(c.workers) < n {
+	for {
+		c.mu.Lock()
+		have := len(c.workers)
+		c.mu.Unlock()
+		if have >= n {
+			return nil
+		}
 		if tl, ok := c.ln.(*net.TCPListener); ok {
 			_ = tl.SetDeadline(deadline)
 		}
 		conn, err := c.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("mpexec: waiting for worker %d/%d: %w", len(c.workers)+1, n, err)
+			return fmt.Errorf("mpexec: waiting for worker %d/%d: %w", have+1, n, err)
 		}
 		br := bufio.NewReader(conn)
 		typ, payload, err := readMsg(br)
@@ -111,26 +163,35 @@ func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
 		}
 		d := &dec{buf: payload}
 		addr := d.str()
+		name := d.str()
 		if d.err != nil {
 			_ = conn.Close()
 			return fmt.Errorf("mpexec: bad hello: %w", d.err)
 		}
+		c.mu.Lock()
 		w := &remoteWorker{
-			c: c, id: len(c.workers), conn: conn, br: br, addr: addr,
+			c: c, id: len(c.workers), name: name, conn: conn, br: br, addr: addr,
 			pending: make(map[pendKey]chan asyncReply),
 			dead:    make(chan struct{}),
 		}
+		if w.name == "" {
+			w.name = fmt.Sprintf("worker-%d", w.id)
+		}
+		w.lastBeat.Store(time.Now().UnixNano())
 		c.workers = append(c.workers, w)
+		c.mu.Unlock()
 		go w.readLoop()
 	}
-	return nil
 }
 
 // Close severs every worker connection (after sending a best-effort bye)
 // and stops the listener. Workers exit when their control connection ends;
 // reader goroutines exit with their connections.
 func (c *Coordinator) Close() error {
-	for _, w := range c.workers {
+	c.mu.Lock()
+	ws := append([]*remoteWorker(nil), c.workers...)
+	c.mu.Unlock()
+	for _, w := range ws {
 		_ = w.send(msgBye, nil)
 		_ = w.conn.Close()
 	}
@@ -140,17 +201,26 @@ func (c *Coordinator) Close() error {
 // Run executes job over input across the registered workers and returns the
 // assembled result. opts follow mr.Options semantics; the transport is
 // forcibly the TCP run exchange (the only one that crosses process
-// boundaries). A worker that dies mid-task fails the job with an error and
-// aborts the peers' in-flight reduce tasks — the scheduler drains cleanly,
-// no goroutine outlives the call.
+// boundaries). Workers that die mid-job (killed process, closed control
+// connection, missed heartbeats) have their tasks re-executed on survivors;
+// the job fails only when no live worker remains, a task exhausts its
+// attempt budget, or a task fails for a non-liveness reason.
 func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) (*mr.Result, error) {
 	opts.Transport = shuffle.TCP
 	opts.Normalize()
 	if err := mr.Validate(job, opts); err != nil {
 		return nil, err
 	}
-	if len(c.workers) == 0 {
-		return nil, fmt.Errorf("mpexec: no workers registered")
+	c.mu.Lock()
+	var live []*remoteWorker
+	for _, w := range c.workers {
+		if !w.isDead() {
+			live = append(live, w)
+		}
+	}
+	c.mu.Unlock()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("mpexec: no live workers registered")
 	}
 	start := time.Now()
 	// Staged mode keeps PR 3's one reduce slot per worker (reduce tasks do
@@ -162,88 +232,167 @@ func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) 
 	// routed instead of queueing behind a single slot.
 	redSlots := 1
 	if !opts.Staged {
-		redSlots = (opts.Reducers + len(c.workers) - 1) / len(c.workers)
+		redSlots = (opts.Reducers + len(live) - 1) / len(live)
 	}
-	assignments := make([]exec.Assignment, len(c.workers))
-	for i, w := range c.workers {
+	assignments := make([]exec.Assignment, len(live))
+	for i, w := range live {
 		assignments[i] = exec.Assignment{W: w, MapSlots: 1, ReduceSlots: redSlots}
 	}
 	maps := exec.SplitMaps(input, opts.Mappers)
+	// One scheduler drives both waves in both modes (Staged gates reduce
+	// dispatch internally), so worker-lost requeues and map resubmissions
+	// work identically during the map runway and the reduce tail.
+	sched := &exec.Scheduler{
+		Workers:        assignments,
+		OnFail:         c.abort,
+		Staged:         opts.Staged,
+		Speculate:      opts.Speculative,
+		SpeculateAfter: opts.SpeculativeThreshold,
+	}
 	c.mu.Lock()
-	c.waves = make(map[int][]waveMeta, len(maps))
+	c.routes = make(map[int]*mapRoute, len(maps))
 	c.active = make(map[int]*remoteWorker)
 	c.nMaps = len(maps)
-	for _, w := range c.workers {
+	c.sched = sched
+	for _, w := range live {
 		w.spilledBytes, w.rawSpilledBytes = 0, 0
 		w.dialsBase = w.fetchDials
 	}
 	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.sched = nil
+		c.mu.Unlock()
+	}()
 	// Open the job on every worker: resets worker-side per-job state (a
 	// latched abort, buffered pushes) left by a previous job on this pool.
-	for _, w := range c.workers {
+	// A worker whose connection is already broken fails here and is declared
+	// dead; its tasks go to the survivors.
+	for _, w := range live {
 		if err := w.send(msgJobStart, nil); err != nil {
-			return nil, fmt.Errorf("mpexec: job %q: open on %s: %w", job.Name, w, err)
+			w.die(fmt.Errorf("worker %s: open job: %w", w, err))
 		}
 	}
+	stopMon := make(chan struct{})
+	go c.monitor(opts.HeartbeatInterval, stopMon)
+	defer close(stopMon)
 
-	var sum *exec.Summary
-	var err error
-	if opts.Staged {
-		// The pre-overlap control plane: the reduce wave needs the full
-		// sealed-run routing table, so the phases run back to back.
-		mapSched := exec.Scheduler{Workers: assignments, OnFail: c.abort}
-		sum, err = mapSched.Run(maps, nil)
-		if err == nil {
-			redSched := exec.Scheduler{Workers: assignments, OnFail: c.abort}
-			var redSum *exec.Summary
-			redSum, err = redSched.Run(nil, exec.ReduceTasks(opts.Reducers))
-			if err == nil {
-				sum.Reduces = redSum.Reduces
-			}
-		}
-	} else {
-		// Cross-wave overlap: one schedule dispatches both waves; reduce
-		// tasks receive their routing tables incrementally as maps finish.
-		sched := exec.Scheduler{Workers: assignments, OnFail: c.abort}
-		sum, err = sched.Run(maps, exec.ReduceTasks(opts.Reducers))
-	}
+	sum, err := sched.Run(maps, exec.ReduceTasks(opts.Reducers))
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: job %q: %w", job.Name, err)
 	}
 
 	res := mr.Assemble(sum)
+	c.mu.Lock()
 	for _, w := range c.workers {
 		res.SpilledBytes += w.spilledBytes
 		res.RawSpillBytes += w.rawSpilledBytes
 		res.FetchDials += w.fetchDials - w.dialsBase
 	}
+	c.mu.Unlock()
 	res.CompressedSpillBytes = res.SpilledBytes
 	res.Wall = time.Since(start)
 	return res, nil
 }
 
+// monitor closes the connection of any worker silent for four heartbeat
+// intervals, funneling slow deaths (wedged process, dropped network) into
+// the same readLoop-exit path a killed process takes.
+func (c *Coordinator) monitor(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			now := time.Now().UnixNano()
+			c.mu.Lock()
+			ws := append([]*remoteWorker(nil), c.workers...)
+			c.mu.Unlock()
+			for _, w := range ws {
+				if w.isDead() {
+					continue
+				}
+				if now-w.lastBeat.Load() > int64(4*interval) {
+					// The readLoop unblocks with an error and declares the
+					// worker dead.
+					_ = w.conn.Close()
+				}
+			}
+		}
+	}
+}
+
+// workerLost reacts to a worker's death: invalidate the routes it served,
+// tell every surviving reduce task to drop them (so fetches park instead of
+// erroring against a dead run-server), and hand the affected map indexes
+// back to the scheduler for re-execution. A no-op outside a run.
+func (c *Coordinator) workerLost(w *remoteWorker) {
+	c.mu.Lock()
+	sched := c.sched
+	if sched == nil {
+		c.mu.Unlock()
+		return
+	}
+	var affected []int
+	for m, rt := range c.routes {
+		if rt.valid && rt.w == w {
+			rt.valid = false
+			affected = append(affected, m)
+		}
+	}
+	type push struct {
+		w    *remoteWorker
+		part int
+	}
+	var pushes []push
+	for part, rw := range c.active {
+		if rw == w {
+			continue // its own reduce tasks requeue; nothing to re-route
+		}
+		pushes = append(pushes, push{rw, part})
+	}
+	c.mu.Unlock()
+	sort.Ints(affected)
+	for _, p := range pushes {
+		for _, m := range affected {
+			_ = p.w.send(msgSegPush, encodeSegPush(p.part, m, -1, nil))
+		}
+	}
+	sched.WorkerLost(w, affected)
+}
+
 // abort tells every worker to fail its in-flight reduce sources (the
-// scheduler's OnFail): reduce tasks blocked waiting for segment pushes from
-// maps that will never finish wake up and error out, so a worker death
-// fails the whole job promptly instead of wedging the overlap.
+// scheduler's OnFail): reduce tasks blocked waiting for segment pushes that
+// will never come wake up and error out, so a genuine task failure drains
+// the job promptly instead of wedging the overlap.
 func (c *Coordinator) abort(err error) {
 	msg := putStr(nil, err.Error())
-	for _, w := range c.workers {
+	c.mu.Lock()
+	ws := append([]*remoteWorker(nil), c.workers...)
+	c.mu.Unlock()
+	for _, w := range ws {
 		_ = w.send(msgAbort, msg) // best-effort; dead workers are already failing
 	}
 }
 
-// routedSegs snapshots partition r's segments of every completed map, in
-// (map task, publish order) order — the ordering whose stable merge
-// reproduces the single-process engine byte for byte. Callers hold c.mu.
+// routedSegs snapshots partition r's segments of every completed map with a
+// live route, in (map task, publish order) order — the ordering whose
+// stable merge reproduces the single-process engine byte for byte.
+// Invalidated maps are omitted: their replacement attempt arrives as a
+// supersede push. Callers hold c.mu.
 func (c *Coordinator) routedSegs(r int) []mapSegs {
 	var routed []mapSegs
 	for m := 0; m < c.nMaps; m++ {
-		waves, ok := c.waves[m]
-		if !ok {
+		rt, ok := c.routes[m]
+		if !ok || !rt.valid {
 			continue
 		}
-		routed = append(routed, mapSegs{mapIndex: m, segs: segsForPartition(waves, r)})
+		routed = append(routed, mapSegs{mapIndex: m, attempt: rt.attempt, segs: segsForPartition(rt.waves, r)})
 	}
 	return routed
 }
@@ -260,53 +409,71 @@ func segsForPartition(waves []waveMeta, r int) []shuffle.Segment {
 }
 
 // String implements exec.Worker.
-func (w *remoteWorker) String() string { return fmt.Sprintf("worker-%d@%s", w.id, w.addr) }
+func (w *remoteWorker) String() string { return fmt.Sprintf("%s@%s", w.name, w.addr) }
+
+// isDead reports whether the worker has been declared dead.
+func (w *remoteWorker) isDead() bool {
+	select {
+	case <-w.dead:
+		return true
+	default:
+		return false
+	}
+}
 
 // readLoop routes every reply frame from the worker to its awaiting task
-// until the connection ends, at which point all in-flight and future
-// awaits fail with "worker died".
+// until the connection ends, at which point the worker is declared dead:
+// in-flight and future awaits fail with a WorkerLostError and the
+// coordinator re-executes what the worker was serving.
 func (w *remoteWorker) readLoop() {
 	for {
 		typ, payload, err := readMsg(w.br)
 		if err != nil {
 			// A dead worker (killed mid-task) surfaces here as EOF/reset.
-			w.die(fmt.Errorf("worker %s died: %w", w, err))
+			w.die(fmt.Errorf("connection lost: %w", err))
 			return
 		}
+		w.lastBeat.Store(time.Now().UnixNano())
 		switch typ {
+		case msgHeartbeat:
+			// Liveness only; lastBeat already updated.
 		case msgMapDone, msgReduceDone:
 			d := &dec{buf: payload}
 			id := int(d.uvarint())
 			if d.err != nil {
-				w.die(fmt.Errorf("worker %s: corrupt reply: %w", w, d.err))
+				w.die(fmt.Errorf("corrupt reply: %w", d.err))
 				return
 			}
 			w.deliver(pendKey{typ, id}, asyncReply{payload: payload})
 		case msgError:
 			kind, id, msg, err := decodeTaskError(payload)
 			if err != nil {
-				w.die(fmt.Errorf("worker %s: corrupt error frame: %w", w, err))
+				w.die(fmt.Errorf("corrupt error frame: %w", err))
 				return
 			}
 			w.deliver(pendKey{kind, id}, asyncReply{err: fmt.Errorf("%s: %s", w, msg)})
 		default:
-			w.die(fmt.Errorf("worker %s: unexpected frame %q", w, typ))
+			w.die(fmt.Errorf("unexpected frame %q", typ))
 			return
 		}
 	}
 }
 
-// die latches the connection-lost error and wakes every awaiting task.
+// die latches the worker's death, wakes every awaiting task, and kicks the
+// coordinator's re-execution path. Idempotent.
 func (w *remoteWorker) die(err error) {
 	w.pmu.Lock()
-	defer w.pmu.Unlock()
 	select {
 	case <-w.dead:
+		w.pmu.Unlock()
 		return
 	default:
 	}
 	w.deadErr = err
 	close(w.dead)
+	w.pmu.Unlock()
+	_ = w.conn.Close()
+	w.c.workerLost(w)
 }
 
 // deliver routes one reply to its awaiting task (stray replies are
@@ -339,13 +506,19 @@ func (w *remoteWorker) send(typ byte, payload []byte) error {
 	return writeMsg(w.conn, typ, payload)
 }
 
-// await blocks for the expected reply or the connection's death.
+// lost wraps err so the scheduler classifies it as a dead worker (requeue)
+// rather than a task failure (abort).
+func (w *remoteWorker) lost(err error) error {
+	return &exec.WorkerLostError{Worker: w.String(), Err: err}
+}
+
+// await blocks for the expected reply or the worker's death.
 func (w *remoteWorker) await(ch chan asyncReply) ([]byte, error) {
 	select {
 	case r := <-ch:
 		return r.payload, r.err
 	case <-w.dead:
-		return nil, w.deadErr
+		return nil, w.lost(w.deadErr)
 	}
 }
 
@@ -356,15 +529,21 @@ func (w *remoteWorker) call(typ byte, payload []byte, key pendKey) ([]byte, erro
 		w.pmu.Lock()
 		delete(w.pending, key)
 		w.pmu.Unlock()
-		return nil, fmt.Errorf("send to %s: %w", w, err)
+		w.die(fmt.Errorf("send failed: %w", err))
+		return nil, w.lost(err)
 	}
 	return w.await(ch)
 }
 
 // RunMap implements exec.Worker: ship the split, collect sealed-run
-// metadata, and push the new routes to every in-flight reduce task.
+// metadata, and push the new routes to every in-flight reduce task. A
+// completion that lost a speculation race (a valid route from another
+// attempt already exists) is discarded; a completion racing the worker's
+// own death is returned as worker-lost so the scheduler re-executes it
+// somewhere the sealed runs will stay fetchable.
 func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	b := binary.AppendUvarint(nil, uint64(t.Index))
+	b = binary.AppendUvarint(b, uint64(t.Attempt))
 	b = putRecords(b, t.Split)
 	payload, err := w.call(msgMapTask, b, pendKey{msgMapDone, t.Index})
 	if err != nil {
@@ -374,19 +553,32 @@ func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	if err != nil {
 		return exec.MapStats{}, fmt.Errorf("%s: %w", w, err)
 	}
-	if md.index != t.Index {
-		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d, want %d", w, md.index, t.Index)
+	if md.index != t.Index || md.attempt != t.Attempt {
+		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d attempt %d, want %d/%d",
+			w, md.index, md.attempt, t.Index, t.Attempt)
 	}
 	c := w.c
 	c.mu.Lock()
-	c.waves[t.Index] = md.waves
+	if w.isDead() {
+		// The worker died in the instant after replying: its run-server is
+		// gone, so the output is unusable. Requeue rather than route.
+		c.mu.Unlock()
+		return exec.MapStats{}, w.lost(fmt.Errorf("died before routing map %d", t.Index))
+	}
 	w.spilledBytes += md.spilledBytes
 	w.rawSpilledBytes += md.rawSpilledBytes
+	if rt, ok := c.routes[t.Index]; ok && rt.valid {
+		// A concurrent attempt won (speculation, or a requeue racing a
+		// still-running clone): keep the winner's route, drop this one.
+		c.mu.Unlock()
+		return exec.MapStats{ShuffleRecords: md.shuffleRecords, Spills: md.spills}, nil
+	}
+	c.routes[t.Index] = &mapRoute{w: w, attempt: t.Attempt, waves: md.waves, valid: true}
 	// Route the completed map to every reduce task currently in flight —
 	// the streamed 'm' metadata that lets reducers start fetching while
 	// later maps are still running. Reduce tasks dispatched after this
 	// moment get the map in their 'R' snapshot instead (both under c.mu,
-	// so each reduce task sees every map exactly once).
+	// so each reduce task sees every map exactly once per attempt).
 	type push struct {
 		w    *remoteWorker
 		part int
@@ -397,7 +589,7 @@ func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	}
 	c.mu.Unlock()
 	for _, p := range pushes {
-		_ = p.w.send(msgSegPush, encodeSegPush(p.part, t.Index, segsForPartition(md.waves, p.part)))
+		_ = p.w.send(msgSegPush, encodeSegPush(p.part, t.Index, t.Attempt, segsForPartition(md.waves, p.part)))
 	}
 	return exec.MapStats{ShuffleRecords: md.shuffleRecords, Spills: md.spills}, nil
 }

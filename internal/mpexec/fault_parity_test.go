@@ -1,0 +1,73 @@
+package mpexec_test
+
+// Sim-vs-real parity for worker-churn recovery: the simulator's
+// harness.FaultPrediction models losing one of three workers mid-job; this
+// test kills a real worker at the same relative point and requires the
+// measured relative overhead to agree within harness.FaultTolerance. The
+// band is wide (the sim predicts a calibrated multi-GB cluster, this is a
+// laptop-scale wall-clock job), but it pins the sign and the order of
+// magnitude of recovery cost to the model.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"blmr/internal/apps"
+	blexec "blmr/internal/exec"
+	"blmr/internal/harness"
+	"blmr/internal/mpexec"
+	"blmr/internal/mr"
+	"blmr/internal/simmr"
+	"blmr/internal/workload"
+)
+
+const parityKillFrac = 0.4
+
+func TestClusterRecoveryParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock parity run")
+	}
+	input := workload.Text(27, 3000, 400, 8)
+	opts := blexec.Options{Mappers: 6, Reducers: 3, Mode: blexec.Barrier}
+	run := func(killAfter time.Duration) (*mr.Result, float64) {
+		c, err := mpexec.Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		cmds := spawnWorkers(t, c.Addr(), 3, "MPEXEC_SLOW=1")
+		if err := c.WaitWorkers(3, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if killAfter > 0 {
+			go func() {
+				time.Sleep(killAfter)
+				_ = cmds[0].Process.Kill()
+			}()
+		}
+		start := time.Now()
+		res, err := c.Run(jobFor(apps.WordCount()), input, opts)
+		if err != nil {
+			t.Fatalf("job failed (killAfter=%v): %v", killAfter, err)
+		}
+		return res, time.Since(start).Seconds()
+	}
+
+	_, baseWall := run(0)
+	killedRes, killedWall := run(time.Duration(parityKillFrac * baseWall * float64(time.Second)))
+	measured := killedWall/baseWall - 1
+	pred := harness.FaultPrediction(1, 3, parityKillFrac, simmr.Barrier)
+	t.Logf("recovery overhead: measured %.2f (%.2fs -> %.2fs, %d map retries), predicted %.2f (lost=%d)",
+		measured, baseWall, killedWall, killedRes.MapRetries, pred.Overhead, pred.LostMaps)
+	if killedRes.MapRetries < 1 {
+		t.Fatalf("the kill at %.0f%% of the base run cost no map re-execution", parityKillFrac*100)
+	}
+	if measured < -0.25 {
+		t.Fatalf("killed run substantially faster than baseline (%.2f): measurement is broken", measured)
+	}
+	if diff := math.Abs(measured - pred.Overhead); diff > harness.FaultTolerance {
+		t.Fatalf("sim and real recovery overhead disagree beyond the stated tolerance: |%.2f - %.2f| = %.2f > %.2f",
+			measured, pred.Overhead, diff, harness.FaultTolerance)
+	}
+}

@@ -23,16 +23,18 @@
 // connection; all integers unsigned varints, strings length-prefixed):
 //
 //	frame:       type byte | payloadLen | payload
-//	'H' hello:   runServerAddr                        (worker -> coord)
+//	'H' hello:   runServerAddr | workerName           (worker -> coord)
+//	'h' beat:    (empty)                              (worker -> coord)
 //	'J' job:     (empty)                              (coord -> worker)
-//	'M' map:     index | recordCount | codec records  (coord -> worker)
-//	'm' mapDone: index | shuffleRecords | spills | spilledBytes |
+//	'M' map:     index | attempt | recordCount | codec records
+//	                                                  (coord -> worker)
+//	'm' mapDone: index | attempt | shuffleRecords | spills | spilledBytes |
 //	             rawSpilledBytes |
 //	             waveCount | { fileID | comp | spanCount | { off | n } }
 //	'R' reduce:  partition | nMaps |
-//	             mapCount | { mapIndex | segCount |
+//	             mapCount | { mapIndex | attempt | segCount |
 //	                          { addr | fileID | off | n | comp } }
-//	'S' segPush: partition | mapIndex | segCount | { segment }
+//	'S' segPush: partition | mapIndex | attempt+1 | segCount | { segment }
 //	                                                  (coord -> worker)
 //	'r' redDone: partition | spills | peakPartialBytes | mergePasses |
 //	             spilledBytes | rawSpilledBytes | fetchBytes | fetchDials |
@@ -51,6 +53,20 @@
 // wave/segment's sealed-run codec (codec.Compression): sealed runs travel
 // compressed between workers' run-servers and decompress only at the
 // consuming merger.
+//
+// Failure semantics ride on two additions. 'h' heartbeats flow every
+// exec.Options.HeartbeatInterval; the coordinator treats a worker silent
+// for four intervals (or a closed control connection — the fast path for a
+// killed process) as dead, re-executes the maps whose sealed runs died
+// with it, and re-routes reducers. attempt is the job-unique attempt ID
+// the scheduler stamped on the dispatch ('M' echoes it back on 'm'), so
+// routing pushes from re-executions and speculative clones are ordered: a
+// reduce task keeps the highest-attempt route per map and treats a
+// replayed push of the attempt it already holds as an idempotent no-op.
+// 'S' encodes the attempt as attempt+1; a zero in that position is a route
+// invalidation (the map's previous owner died — the push carries no
+// segments, and the reducer parks any fetch of that map until a
+// replacement route arrives).
 package mpexec
 
 import (
@@ -67,6 +83,7 @@ import (
 // Message types.
 const (
 	msgHello      = 'H'
+	msgHeartbeat  = 'h'
 	msgJobStart   = 'J'
 	msgMapTask    = 'M'
 	msgMapDone    = 'm'
@@ -200,6 +217,7 @@ func (w waveMeta) segmentOf(r int) (shuffle.Segment, bool) {
 // mapDone carries one completed map task's stats alongside its waves.
 type mapDone struct {
 	index           int
+	attempt         int
 	shuffleRecords  int64
 	spills          int
 	spilledBytes    int64
@@ -207,8 +225,9 @@ type mapDone struct {
 	waves           []waveMeta
 }
 
-func encodeMapDone(index int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes int64, waves []shuffle.Wave) []byte {
+func encodeMapDone(index, attempt int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes int64, waves []shuffle.Wave) []byte {
 	b := binary.AppendUvarint(nil, uint64(index))
+	b = binary.AppendUvarint(b, uint64(attempt))
 	b = binary.AppendUvarint(b, uint64(shuffleRecords))
 	b = binary.AppendUvarint(b, uint64(spills))
 	b = binary.AppendUvarint(b, uint64(spilledBytes))
@@ -230,6 +249,7 @@ func decodeMapDone(payload []byte, addr string) (mapDone, error) {
 	d := &dec{buf: payload}
 	md := mapDone{
 		index:           int(d.uvarint()),
+		attempt:         int(d.uvarint()),
 		shuffleRecords:  int64(d.uvarint()),
 		spills:          int(d.uvarint()),
 		spilledBytes:    int64(d.uvarint()),
@@ -275,9 +295,13 @@ func (d *dec) segs() []shuffle.Segment {
 	return segs
 }
 
-// mapSegs is one completed map task's segments for one partition.
+// mapSegs is one completed map task's segments for one partition, tagged
+// with the attempt that produced them. attempt == -1 is a route
+// invalidation (the owning worker died; replacement segments follow under
+// a higher attempt).
 type mapSegs struct {
 	mapIndex int
+	attempt  int
 	segs     []shuffle.Segment
 }
 
@@ -287,6 +311,7 @@ func encodeReduceTask(partition, nMaps int, routed []mapSegs) []byte {
 	b = binary.AppendUvarint(b, uint64(len(routed)))
 	for _, ms := range routed {
 		b = binary.AppendUvarint(b, uint64(ms.mapIndex))
+		b = binary.AppendUvarint(b, uint64(ms.attempt))
 		b = putSegs(b, ms.segs)
 	}
 	return b
@@ -298,25 +323,29 @@ func decodeReduceTask(payload []byte) (partition, nMaps int, routed []mapSegs, e
 	nMaps = int(d.uvarint())
 	n := d.uvarint()
 	for i := uint64(0); i < n && d.err == nil; i++ {
-		ms := mapSegs{mapIndex: int(d.uvarint())}
+		ms := mapSegs{mapIndex: int(d.uvarint()), attempt: int(d.uvarint())}
 		ms.segs = d.segs()
 		routed = append(routed, ms)
 	}
 	return partition, nMaps, routed, d.err
 }
 
-func encodeSegPush(partition, mapIndex int, segs []shuffle.Segment) []byte {
+// encodeSegPush frames one routing push. attempt == -1 encodes an
+// invalidation (wire value 0; segs must be nil).
+func encodeSegPush(partition, mapIndex, attempt int, segs []shuffle.Segment) []byte {
 	b := binary.AppendUvarint(nil, uint64(partition))
 	b = binary.AppendUvarint(b, uint64(mapIndex))
+	b = binary.AppendUvarint(b, uint64(attempt+1))
 	return putSegs(b, segs)
 }
 
-func decodeSegPush(payload []byte) (partition, mapIndex int, segs []shuffle.Segment, err error) {
+func decodeSegPush(payload []byte) (partition, mapIndex, attempt int, segs []shuffle.Segment, err error) {
 	d := &dec{buf: payload}
 	partition = int(d.uvarint())
 	mapIndex = int(d.uvarint())
+	attempt = int(d.uvarint()) - 1
 	segs = d.segs()
-	return partition, mapIndex, segs, d.err
+	return partition, mapIndex, attempt, segs, d.err
 }
 
 // encodeTaskError frames a worker-side task failure: the reply kind the

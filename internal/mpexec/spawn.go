@@ -4,44 +4,82 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sync"
 	"time"
 )
+
+// LocalCluster is a coordinator plus the worker subprocesses SpawnLocal
+// started — the local-cluster bootstrap shared by cmd/blmr, examples/cluster
+// and the chaos tests. Kill supports fault injection: a SIGKILLed worker
+// exercises the full recovery path (re-execution, re-routing, speculative
+// backfill) exactly as a production crash would.
+type LocalCluster struct {
+	Coord *Coordinator
+
+	mu   sync.Mutex
+	cmds []*exec.Cmd
+}
+
+// Teardown kills every worker still running and closes the coordinator.
+func (lc *LocalCluster) Teardown() {
+	lc.mu.Lock()
+	cmds := lc.cmds
+	lc.cmds = nil
+	lc.mu.Unlock()
+	for _, c := range cmds {
+		if c == nil {
+			continue
+		}
+		_ = c.Process.Kill()
+		_, _ = c.Process.Wait()
+	}
+	_ = lc.Coord.Close()
+}
+
+// Kill SIGKILLs worker i (0-based spawn order) and reaps it. Idempotent per
+// worker; an out-of-range index is an error.
+func (lc *LocalCluster) Kill(i int) error {
+	lc.mu.Lock()
+	if i < 0 || i >= len(lc.cmds) || lc.cmds[i] == nil {
+		lc.mu.Unlock()
+		return fmt.Errorf("mpexec: no worker %d to kill", i)
+	}
+	c := lc.cmds[i]
+	lc.cmds[i] = nil
+	lc.mu.Unlock()
+	if err := c.Process.Kill(); err != nil {
+		return err
+	}
+	_, _ = c.Process.Wait()
+	return nil
+}
 
 // SpawnLocal starts a coordinator and re-executes the current binary n
 // times as worker processes, appending "-worker-coord <addr>" to args (the
 // caller's worker-mode flags). It blocks until every worker registers and
-// returns the coordinator plus a teardown function that kills the workers
-// and closes the coordinator — the local-cluster bootstrap shared by
-// cmd/blmr and examples/cluster.
-func SpawnLocal(args []string, n int, timeout time.Duration) (*Coordinator, func(), error) {
+// returns the running cluster; call Teardown when done.
+func SpawnLocal(args []string, n int, timeout time.Duration) (*LocalCluster, error) {
 	coord, err := Listen()
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	self, err := os.Executable()
 	if err != nil {
 		self = os.Args[0]
 	}
-	var cmds []*exec.Cmd
-	teardown := func() {
-		for _, c := range cmds {
-			_ = c.Process.Kill()
-			_, _ = c.Process.Wait()
-		}
-		_ = coord.Close()
-	}
+	lc := &LocalCluster{Coord: coord}
 	for i := 0; i < n; i++ {
 		cmd := exec.Command(self, append(append([]string(nil), args...), "-worker-coord", coord.Addr())...)
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {
-			teardown()
-			return nil, nil, fmt.Errorf("mpexec: spawn worker %d: %w", i, err)
+			lc.Teardown()
+			return nil, fmt.Errorf("mpexec: spawn worker %d: %w", i, err)
 		}
-		cmds = append(cmds, cmd)
+		lc.cmds = append(lc.cmds, cmd)
 	}
 	if err := coord.WaitWorkers(n, timeout); err != nil {
-		teardown()
-		return nil, nil, err
+		lc.Teardown()
+		return nil, err
 	}
-	return coord, teardown, nil
+	return lc, nil
 }

@@ -5,10 +5,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"blmr/internal/dfs"
 	"blmr/internal/exec"
+	"blmr/internal/retry"
 	"blmr/internal/shuffle"
 )
 
@@ -34,7 +37,11 @@ import (
 func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 	opts.Transport = shuffle.TCP // workers always exchange sealed runs
 	opts.Normalize()
-	conn, err := net.Dial("tcp", coordAddr)
+	// Transient connect failures (the coordinator's listener racing worker
+	// spawn, a briefly saturated backlog) are absorbed by a capped
+	// exponential backoff instead of failing the worker outright.
+	conn, err := retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Attempts: 8}.
+		Dial("tcp", coordAddr)
 	if err != nil {
 		return fmt.Errorf("mpexec: dial coordinator %s: %w", coordAddr, err)
 	}
@@ -44,20 +51,43 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 		return err
 	}
 	defer dir.Close()
-	srv, err := shuffle.NewServer()
+	srv, advertise, err := runServerFor(coordAddr, conn)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	pool := shuffle.NewFetchPool()
 	defer pool.Close()
-	if err := writeMsg(conn, msgHello, putStr(nil, srv.Addr())); err != nil {
+	hello := putStr(nil, advertise)
+	hello = putStr(hello, fmt.Sprintf("w-%d", os.Getpid()))
+	if err := writeMsg(conn, msgHello, hello); err != nil {
 		return fmt.Errorf("mpexec: register: %w", err)
 	}
 
 	w := &workerState{conn: conn, job: job, opts: opts, dir: dir, srv: srv, pool: pool,
 		reds: make(map[int]*shuffle.PushSource), early: make(map[int][]mapSegs)}
+	// Heartbeats prove liveness through long silent stretches (a big map
+	// split, a reduce parked on routes); the coordinator declares a worker
+	// dead after four missed intervals.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(opts.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				w.reply(msgHeartbeat, nil)
+			}
+		}
+	}()
 	err = w.loop(bufio.NewReader(conn))
+	close(hbStop)
+	hbWG.Wait()
 	// The control plane is gone (bye, coordinator exit, or a protocol
 	// error): fail any still-running reduce sources so their tasks unwind,
 	// then wait for every task goroutine before the deferred teardown
@@ -65,6 +95,40 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 	w.failAll(fmt.Errorf("mpexec: coordinator connection closed"))
 	w.wg.Wait()
 	return err
+}
+
+// runServerFor starts the worker's run-server and derives the address peers
+// should dial. On a loopback control plane (the local-cluster default) the
+// server binds loopback and advertises its literal address. When the
+// coordinator is remote, the server binds every interface and advertises
+// the host the control connection uses — the one address peers provably
+// can route to this machine.
+func runServerFor(coordAddr string, conn net.Conn) (*shuffle.Server, string, error) {
+	host, _, err := net.SplitHostPort(coordAddr)
+	ip := net.ParseIP(host)
+	loopback := err == nil && (host == "localhost" || (ip != nil && ip.IsLoopback()))
+	if loopback {
+		srv, err := shuffle.NewServer()
+		if err != nil {
+			return nil, "", err
+		}
+		return srv, srv.Addr(), nil
+	}
+	srv, err := shuffle.NewServerOn(":0")
+	if err != nil {
+		return nil, "", err
+	}
+	localHost, _, err := net.SplitHostPort(conn.LocalAddr().String())
+	if err != nil {
+		_ = srv.Close()
+		return nil, "", fmt.Errorf("mpexec: derive advertised host: %w", err)
+	}
+	_, port, err := net.SplitHostPort(srv.Addr())
+	if err != nil {
+		_ = srv.Close()
+		return nil, "", fmt.Errorf("mpexec: derive run-server port: %w", err)
+	}
+	return srv, net.JoinHostPort(localHost, port), nil
 }
 
 // workerState is one Serve invocation's shared state.
@@ -158,7 +222,7 @@ func (w *workerState) failAll(err error) {
 // be routed to a partition in the instant between the coordinator
 // registering the reduce task and its 'R' frame hitting the wire).
 func (w *workerState) offer(payload []byte) {
-	partition, mapIndex, segs, err := decodeSegPush(payload)
+	partition, mapIndex, attempt, segs, err := decodeSegPush(payload)
 	if err != nil {
 		// A corrupt push means the partition's routing table can never be
 		// sealed; fail every in-flight reduce source so the job errors
@@ -169,21 +233,38 @@ func (w *workerState) offer(payload []byte) {
 	w.mu.Lock()
 	src, ok := w.reds[partition]
 	if !ok {
-		w.early[partition] = append(w.early[partition], mapSegs{mapIndex: mapIndex, segs: segs})
+		w.early[partition] = append(w.early[partition], mapSegs{mapIndex: mapIndex, attempt: attempt, segs: segs})
 		w.mu.Unlock()
 		return
 	}
 	w.mu.Unlock()
-	if err := src.Offer(mapIndex, segs); err != nil {
+	if err := applyPush(src, mapSegs{mapIndex: mapIndex, attempt: attempt, segs: segs}); err != nil {
 		src.Fail(err)
 	}
 }
 
-// runMap executes one shipped map task through the canonical task body.
+// applyPush feeds one routing push into a reduce source: an invalidation
+// (attempt -1, the map's owner died) parks fetches of that map until a
+// replacement route arrives; anything else offers the attempt's segments
+// (the source keeps the highest attempt and ignores stale or duplicate
+// routes).
+func applyPush(src *shuffle.PushSource, ms mapSegs) error {
+	if ms.attempt < 0 {
+		src.Invalidate(ms.mapIndex)
+		return nil
+	}
+	return src.Offer(ms.mapIndex, ms.attempt, ms.segs)
+}
+
+// runMap executes one shipped map task through the canonical task body. The
+// sink tag carries the attempt so a re-execution or clone of a map this
+// worker already ran cannot collide with the earlier attempt's sealed
+// files.
 func (w *workerState) runMap(payload []byte) {
 	defer w.wg.Done()
 	d := &dec{buf: payload}
 	index := int(d.uvarint())
+	attempt := int(d.uvarint())
 	split := d.records()
 	if d.err != nil {
 		w.reply(msgError, encodeTaskError(msgMapDone, index, d.err.Error()))
@@ -191,13 +272,13 @@ func (w *workerState) runMap(payload []byte) {
 	}
 	before := w.dir.SpilledBytes()
 	beforeRaw := w.dir.RawSpilledBytes()
-	sink := shuffle.NewRunSink(w.dir, w.srv, fmt.Sprintf("m%d", index))
-	stats, err := exec.RunMapTask(w.job, w.opts, exec.MapTask{Index: index, Split: split}, sink)
+	sink := shuffle.NewRunSink(w.dir, w.srv, fmt.Sprintf("m%d-a%d", index, attempt))
+	stats, err := exec.RunMapTask(w.job, w.opts, exec.MapTask{Index: index, Attempt: attempt, Split: split}, sink)
 	if err != nil {
 		w.reply(msgError, encodeTaskError(msgMapDone, index, err.Error()))
 		return
 	}
-	w.reply(msgMapDone, encodeMapDone(index, stats.ShuffleRecords, stats.Spills,
+	w.reply(msgMapDone, encodeMapDone(index, attempt, stats.ShuffleRecords, stats.Spills,
 		w.dir.SpilledBytes()-before, w.dir.RawSpilledBytes()-beforeRaw, sink.Waves()))
 }
 
@@ -226,7 +307,7 @@ func (w *workerState) startReduce(payload []byte) {
 		return
 	}
 	for _, ms := range append(routed, buffered...) {
-		if err := src.Offer(ms.mapIndex, ms.segs); err != nil {
+		if err := applyPush(src, ms); err != nil {
 			src.Fail(err)
 			break
 		}

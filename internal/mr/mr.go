@@ -89,6 +89,15 @@ type Result struct {
 	// Options.MergeFanIn across reduce tasks (0 = every partition fit in
 	// one merge wave).
 	MergePasses int
+	// MapRetries / ReduceRetries count task re-executions after worker
+	// loss (multi-process engine; 0 in-process). A churn-free run reports
+	// zeros.
+	MapRetries    int
+	ReduceRetries int
+	// BackupsLaunched / BackupsWon count speculative map clones dispatched
+	// and clones whose attempt completed first (Options.Speculative).
+	BackupsLaunched int
+	BackupsWon      int
 }
 
 // Run executes job over input and returns the result. The input slice is
@@ -170,11 +179,11 @@ func Validate(job Job, opts Options) error {
 // OpenSpillDir opens the run directory an execution with these options
 // needs, or returns nil when the execution never touches disk: the
 // run-exchange transports always seal runs, and the in-proc transport needs
-// one only for spill overflow (pipelined KV runs manage memory through the
-// KV cache and never write spill runs).
+// one whenever SpillBytes bounds task memory — barrier map waves, pipelined
+// mapper-side spill waves, and spill-merge reducer stores all seal runs
+// into it.
 func OpenSpillDir(opts Options) (*dfs.RunDir, error) {
-	need := opts.Transport != shuffle.InProc ||
-		(opts.SpillBytes > 0 && (opts.Mode == Barrier || opts.Store != store.KV))
+	need := opts.Transport != shuffle.InProc || opts.SpillBytes > 0
 	if !need {
 		return nil, nil
 	}
@@ -184,7 +193,11 @@ func OpenSpillDir(opts Options) (*dfs.RunDir, error) {
 // Assemble folds a scheduler summary into a Result (shared with the
 // multi-process coordinator; SpilledBytes and Wall are the caller's).
 func Assemble(sum *exec.Summary) *Result {
-	res := &Result{MapWall: sum.MapWall, ShuffleRecords: sum.ShuffleRecords, Spills: sum.MapSpills}
+	res := &Result{
+		MapWall: sum.MapWall, ShuffleRecords: sum.ShuffleRecords, Spills: sum.MapSpills,
+		MapRetries: sum.MapRetries, ReduceRetries: sum.ReduceRetries,
+		BackupsLaunched: sum.BackupsLaunched, BackupsWon: sum.BackupsWon,
+	}
 	var n int
 	for _, rr := range sum.Reduces {
 		n += len(rr.Output)

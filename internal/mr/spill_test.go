@@ -9,6 +9,7 @@ package mr
 
 import (
 	"testing"
+	"time"
 
 	"blmr/internal/apps"
 	"blmr/internal/core"
@@ -205,4 +206,55 @@ func TestSpillStoreKindInteraction(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireSame(t, "kv-with-spillbytes", ref.Output, res.Output)
+}
+
+// slowStream throttles an inner stream reducer so the mapper outruns it and
+// the per-partition queues fill.
+type slowStream struct {
+	inner core.StreamReducer
+	n     int
+}
+
+func (s *slowStream) Consume(rec core.Record, out core.Output) {
+	s.n++
+	if s.n%256 == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.inner.Consume(rec, out)
+}
+
+func (s *slowStream) Finish(out core.Output) { s.inner.Finish(out) }
+
+// TestSpillMapperSideStream: the in-proc pipelined transport's mapper-side
+// spilling — reducers that lag fill the stream queues, and instead of
+// buffering without bound (or wedging on backpressure) the mapper seals its
+// buffered batches to disk as spill waves; reducers drain the sealed waves
+// after the live stream, same output. The KV reduce store keeps reducer-side
+// spills out of the count, so Spills > 0 proves the mapper-side path fired.
+func TestSpillMapperSideStream(t *testing.T) {
+	input := workload.Text(11, 6000, 500, 8)
+	ref, err := Run(jobFor(apps.WordCount()), input,
+		Options{Mappers: 4, Reducers: 2, Mode: Barrier})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobFor(apps.WordCount())
+	inner := job.NewStream
+	job.NewStream = func(st store.Store) core.StreamReducer {
+		return &slowStream{inner: inner(st)}
+	}
+	res, err := Run(job, input, Options{
+		Mappers: 4, Reducers: 2, Mode: Pipelined, Store: store.KV,
+		SpillBytes: 16 << 10, SpillDir: t.TempDir(),
+		QueueCap: 1, BatchSize: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, "mapper-side-stream-spill", ref.Output, res.Output)
+	if res.Spills == 0 || res.SpilledBytes == 0 {
+		t.Fatalf("mapper-side stream spilling never engaged: %d spills / %d bytes",
+			res.Spills, res.SpilledBytes)
+	}
+	t.Logf("mapper stream spilling: %d waves, %dKB sealed", res.Spills, res.SpilledBytes>>10)
 }

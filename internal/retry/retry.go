@@ -1,0 +1,86 @@
+// Package retry is a minimal capped-exponential-backoff helper shared by the
+// engine's dial paths: worker→coordinator connects and the shuffle fetch
+// pool. It exists so transient connection failures (a peer restarting, a
+// listener not yet up, a kernel backlog overflow) are absorbed close to the
+// socket instead of surfacing to task bodies, while persistent failures still
+// fail within a bounded, predictable budget.
+package retry
+
+import (
+	"net"
+	"time"
+)
+
+// Policy is a capped exponential backoff schedule: attempt k (0-based)
+// sleeps min(Base<<k, Max) before running, except attempt 0 which runs
+// immediately. Attempts bounds the total tries; the zero value of any field
+// falls back to a conservative default via Normalize.
+type Policy struct {
+	// Base is the first backoff step (before attempt 1).
+	Base time.Duration
+	// Max caps the per-attempt backoff.
+	Max time.Duration
+	// Attempts is the total number of tries (>= 1).
+	Attempts int
+}
+
+// Normalize fills zero fields with defaults: 25ms base, 1s cap, 5 attempts.
+func (p Policy) Normalize() Policy {
+	if p.Base <= 0 {
+		p.Base = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	return p
+}
+
+// Backoff returns the sleep before 0-based attempt k: 0 for the first
+// attempt, then Base doubling up to Max.
+func (p Policy) Backoff(k int) time.Duration {
+	if k <= 0 {
+		return 0
+	}
+	d := p.Base
+	for i := 1; i < k; i++ {
+		d *= 2
+		if d >= p.Max {
+			return p.Max
+		}
+	}
+	return min(d, p.Max)
+}
+
+// Do runs f up to p.Attempts times with the policy's backoff between tries,
+// returning nil on the first success or the last error.
+func (p Policy) Do(f func() error) error {
+	p = p.Normalize()
+	var err error
+	for k := 0; k < p.Attempts; k++ {
+		if d := p.Backoff(k); d > 0 {
+			time.Sleep(d)
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Dial is net.Dial under the policy: each failed connect backs off and
+// retries until the attempt budget is spent.
+func (p Policy) Dial(network, addr string) (net.Conn, error) {
+	var conn net.Conn
+	err := p.Do(func() error {
+		c, err := net.Dial(network, addr)
+		if err != nil {
+			return err
+		}
+		conn = c
+		return nil
+	})
+	return conn, err
+}

@@ -26,11 +26,10 @@ type inproc struct {
 	chans []chan []core.Record
 	free  chan []core.Record
 
-	// Run discipline: published waves per map task. In-proc runs are
-	// consumed only through Runs() after the map barrier — NextBatch is the
-	// stream discipline's (channel) consumer and never sees published
-	// waves; the engine pairs PublishWave with NextBatch only on the
-	// run-exchange transports.
+	// Published waves per map task. The run discipline consumes them
+	// through Runs() after the map barrier; the stream discipline seals
+	// waves here only through SpillBatches (mapper-side spilling under
+	// SpillBytes), and NextBatch drains those once the channels close.
 	mu       sync.Mutex
 	waves    [][]inWave
 	closed   int
@@ -115,6 +114,26 @@ func (s *inprocSink) Send(p int, batch []core.Record) error {
 	}
 }
 
+// TrySend is the non-blocking half of mapper-side stream spilling: deliver
+// the batch only if the partition queue has room right now.
+func (s *inprocSink) TrySend(p int, batch []core.Record) (bool, error) {
+	select {
+	case s.t.chans[p] <- batch:
+		return true, nil
+	case <-s.t.fail.done:
+		return false, s.t.fail.failed()
+	default:
+		return false, nil
+	}
+}
+
+// SpillBatches seals the mapper's buffered stream batches as one disk wave
+// — the stream discipline's SpillBytes crossing. Reducers drain the sealed
+// waves once the live stream ends (see inprocSource.NextBatch).
+func (s *inprocSink) SpillBatches(parts [][]core.Record) error {
+	return s.PublishWave(parts, true)
+}
+
 // PublishWave implements MapSink: sealed waves go to disk (the map task
 // needs its buffers back); final waves stay in memory by reference.
 func (s *inprocSink) PublishWave(parts [][]core.Record, sealed bool) error {
@@ -156,15 +175,76 @@ func (s *inprocSink) Close() error {
 type inprocSource struct {
 	t *inproc
 	r int
+
+	// Sealed-wave drain state (mapper-side stream spilling): initialized
+	// lazily when the partition channel closes.
+	spillInit bool
+	spill     []sortx.Run
+	cur       sortx.Run
 }
 
-// NextBatch implements ReduceSource over the partition's channel.
+// NextBatch implements ReduceSource over the partition's channel; once the
+// live stream ends it drains the mapper-side spill waves sealed to disk.
 func (s *inprocSource) NextBatch() ([]core.Record, bool, error) {
 	select {
 	case b, ok := <-s.t.chans[s.r]:
-		return b, ok, nil
+		if ok {
+			return b, true, nil
+		}
+		return s.nextSpilled()
 	case <-s.t.fail.done:
 		return nil, false, s.t.fail.failed()
+	}
+}
+
+// nextSpilled streams the partition's sealed mapper waves. The channels
+// close only after every map sink Closed, so the wave lists are final.
+func (s *inprocSource) nextSpilled() ([]core.Record, bool, error) {
+	if !s.spillInit {
+		s.spillInit = true
+		s.t.mu.Lock()
+		for m := range s.t.waves {
+			for _, w := range s.t.waves[m] {
+				if w.mem != nil {
+					continue // run-discipline memory waves: barrier-only
+				}
+				if seg, ok := w.disk.SegmentOf(s.r); ok {
+					s.spill = append(s.spill, NewLazyRun(seg))
+				}
+			}
+		}
+		s.t.mu.Unlock()
+	}
+	for {
+		if s.cur == nil {
+			if len(s.spill) == 0 {
+				return nil, false, nil
+			}
+			s.cur = s.spill[0]
+			s.spill = s.spill[1:]
+		}
+		batch := make([]core.Record, 0, s.t.cfg.BatchSize)
+		for len(batch) < s.t.cfg.BatchSize {
+			rec, ok := s.cur.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, rec)
+		}
+		if len(batch) < s.t.cfg.BatchSize {
+			if src, ok := s.cur.(sortx.Source); ok {
+				if err := src.Err(); err != nil {
+					return nil, false, err
+				}
+			}
+			if c, ok := s.cur.(interface{ Close() error }); ok {
+				_ = c.Close()
+			}
+			s.cur = nil
+		}
+		if len(batch) > 0 {
+			return batch, true, nil
+		}
 	}
 }
 

@@ -18,9 +18,11 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
+	"blmr/internal/retry"
 )
 
 // FetchPool is a per-peer pool of multiplexed run-server connections,
@@ -29,6 +31,12 @@ import (
 // Fetch or a SegmentSource wired to the pool. Safe for concurrent use;
 // each checked-out connection is single-owner.
 type FetchPool struct {
+	// DialRetry is the capped-exponential-backoff policy for run-server
+	// dials (zero value: 3 attempts, 25ms base, 250ms cap), absorbing
+	// transient connect failures; genuinely dead peers still fail within
+	// the attempt budget and are handled by the callers' re-route recovery.
+	DialRetry retry.Policy
+
 	mu     sync.Mutex
 	idle   map[string][]*poolConn
 	closed bool
@@ -73,7 +81,11 @@ func (p *FetchPool) get(addr string) (*poolConn, error) {
 		return c, nil
 	}
 	p.mu.Unlock()
-	conn, err := net.Dial("tcp", addr)
+	pol := p.DialRetry
+	if pol.Attempts == 0 && pol.Base == 0 && pol.Max == 0 {
+		pol = retry.Policy{Base: 25 * time.Millisecond, Max: 250 * time.Millisecond, Attempts: 3}
+	}
+	conn, err := pol.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("shuffle: dial run-server %s: %w", addr, err)
 	}

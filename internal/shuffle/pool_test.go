@@ -11,6 +11,7 @@ import (
 	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/dfs"
+	"blmr/internal/retry"
 	"blmr/internal/sortx"
 )
 
@@ -228,7 +229,7 @@ func TestPushSourceOverlap(t *testing.T) {
 
 	src := NewPushSource(3, 8)
 	src.SetPool(pool, 4)
-	if err := src.Offer(0, []Segment{seal("m0")}); err != nil {
+	if err := src.Offer(0, 0, []Segment{seal("m0")}); err != nil {
 		t.Fatal(err)
 	}
 	// One map offered, two outstanding: batches must flow already.
@@ -236,13 +237,15 @@ func TestPushSourceOverlap(t *testing.T) {
 	if err != nil || !ok || len(batch) == 0 {
 		t.Fatalf("no overlap: batch=%d ok=%v err=%v", len(batch), ok, err)
 	}
-	if err := src.Offer(1, nil); err != nil { // empty map: still counts
+	if err := src.Offer(1, 1, nil); err != nil { // empty map: still counts
 		t.Fatal(err)
 	}
-	if err := src.Offer(1, nil); err == nil {
-		t.Fatal("duplicate push accepted")
+	// A duplicate push of the same attempt (a speculative clone's route) is
+	// an idempotent no-op: not an error, not a second barrier count.
+	if err := src.Offer(1, 1, nil); err != nil {
+		t.Fatalf("duplicate same-attempt push errored: %v", err)
 	}
-	if err := src.Offer(2, []Segment{seal("m2")}); err != nil {
+	if err := src.Offer(2, 2, []Segment{seal("m2")}); err != nil {
 		t.Fatal(err)
 	}
 	n := len(batch)
@@ -266,7 +269,7 @@ func TestPushSourceOverlap(t *testing.T) {
 	// Fail wakes a source blocked on outstanding pushes.
 	blocked := NewPushSource(2, 8)
 	blocked.SetPool(pool, 4)
-	if err := blocked.Offer(0, nil); err != nil {
+	if err := blocked.Offer(0, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
@@ -283,5 +286,152 @@ func TestPushSourceOverlap(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Runs did not wake on Fail")
+	}
+}
+
+// rerouteFixture seals the same partition content on two independent
+// run-servers — the deterministic re-execution premise: a re-run map
+// produces byte-identical output on the survivor.
+func rerouteFixture(t *testing.T, recs []core.Record) (srv1, srv2 *Server, seg1, seg2 Segment) {
+	t.Helper()
+	dir, err := dfs.NewRunDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+	srv1, err = NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err = NewServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv1.Close(); srv2.Close() })
+	w1, _, ok, err := sealWave(dir, srv1, "a0", [][]core.Record{recs}, nil)
+	if err != nil || !ok {
+		t.Fatalf("sealWave srv1: ok=%v err=%v", ok, err)
+	}
+	w2, _, ok, err := sealWave(dir, srv2, "a1", [][]core.Record{recs}, nil)
+	if err != nil || !ok {
+		t.Fatalf("sealWave srv2: ok=%v err=%v", ok, err)
+	}
+	seg1, _ = w1.SegmentOf(0)
+	seg2, _ = w2.SegmentOf(0)
+	return srv1, srv2, seg1, seg2
+}
+
+// fastReroute shrinks the source's recovery backoff so tests don't sit in
+// the production 50ms-based schedule.
+func fastReroute(src *PushSource) {
+	src.SetResolver(src.resolveSeg, retry.Policy{
+		Base: 2 * time.Millisecond, Max: 10 * time.Millisecond, Attempts: 8,
+	})
+}
+
+// TestPushSourceReRouteParked: a fetch whose route was invalidated (serving
+// worker died before the reducer opened the section) parks in the resolver
+// and completes from the superseding attempt's replica.
+func TestPushSourceReRouteParked(t *testing.T) {
+	want := sortedRecs("m0", 80)
+	srv1, _, seg1, seg2 := rerouteFixture(t, want)
+
+	src := NewPushSource(1, 16)
+	fastReroute(src)
+	if err := src.Offer(0, 0, []Segment{seg1}); err != nil {
+		t.Fatal(err)
+	}
+	// The serving worker dies before the reducer touches the section.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src.Invalidate(0)
+
+	// Re-execution lands elsewhere a beat later; the parked fetch must wake.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		_ = src.Offer(0, 1, []Segment{seg2})
+	}()
+
+	var got []core.Record
+	for {
+		batch, ok, err := src.NextBatch()
+		if err != nil {
+			t.Fatalf("re-routed drain failed: %v", err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPushSourceReRouteMidStream: killing the serving run-server while a
+// section is streaming re-routes to the superseding replica with the
+// already-delivered prefix skipped — every record exactly once, in order.
+func TestPushSourceReRouteMidStream(t *testing.T) {
+	// Big enough that the section cannot hide in socket buffers: severing
+	// the server must be observable as a mid-stream read error.
+	want := make([]core.Record, 20_000)
+	pad := strings.Repeat("x", 200)
+	for i := range want {
+		want[i] = core.Record{Key: fmt.Sprintf("k%06d", i), Value: pad}
+	}
+	srv1, _, seg1, seg2 := rerouteFixture(t, want)
+
+	src := NewPushSource(1, 64)
+	fastReroute(src)
+	if err := src.Offer(0, 0, []Segment{seg1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []core.Record
+	for len(got) < 5*64 { // consume a prefix from the doomed server
+		batch, ok, err := src.NextBatch()
+		if err != nil || !ok {
+			t.Fatalf("prefix read: ok=%v err=%v", ok, err)
+		}
+		got = append(got, batch...)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	src.Invalidate(0)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = src.Offer(0, 1, []Segment{seg2})
+	}()
+
+	for {
+		batch, ok, err := src.NextBatch()
+		if err != nil {
+			t.Fatalf("mid-stream re-route failed after %d records: %v", len(got), err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, batch...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d records, want %d (exactly-once across the re-route)", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d differs after re-route: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

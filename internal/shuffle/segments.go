@@ -7,16 +7,27 @@ package shuffle
 // Remote sections go through a FetchPool when one is wired in — one
 // multiplexed connection per peer with pipelined prefetch — and fall back
 // to the one-dial-per-section "BLR1" fetch otherwise.
+//
+// Fetch recovery: sources fed by a live control plane (PushSource) carry a
+// route resolver. When a section fetch fails — dial error, dead server,
+// short section — the reader burns the connection, backs off, re-resolves
+// the segment's current route (blocking until the control plane has routed
+// a re-executed attempt) and reopens, skipping the records it already
+// delivered. That leans on deterministic re-execution: a re-executed map
+// attempt seals byte-identical runs, so the skipped prefix is the same
+// data. Sources without a resolver keep the fail-fast behaviour.
 
 import (
 	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/dfs"
+	"blmr/internal/retry"
 	"blmr/internal/sortx"
 )
 
@@ -84,6 +95,12 @@ func (s Segment) open(fetchBytes *atomic.Int64) (RunCloser, error) {
 	return FetchSegment(s.Addr, s.FileID, s.Off, s.N, s.Comp)
 }
 
+// Resolver re-resolves one map segment's current route after a fetch
+// failure. wait=true blocks until a valid route exists (a re-executed
+// attempt was pushed) or the source is failed; wait=false returns ok=false
+// when the route is currently invalidated.
+type Resolver func(m, segIdx int, wait bool) (Segment, bool, error)
+
 // LazyRun is a Segment that opens on first Next. A fan-in-capped merge over
 // lazy runs therefore holds at most fan-in read buffers (and, for remote
 // segments, checked-out pool connections) open at once, no matter how many
@@ -93,10 +110,15 @@ type LazyRun struct {
 	fetch    *atomic.Int64 // optional wire-byte counter
 	pool     *FetchPool    // optional pooled fetch plane for remote segments
 	useArena bool          // pooled fetches cut strings from the conn's arena
-	src      sortx.Source
-	release  func() error // returns the conn to the pool / closes the file
-	err      error
-	opened   bool
+	// resolve, when set, re-routes the run after a fetch failure (blocking
+	// until the control plane routes a live attempt), under rpol's backoff.
+	resolve   func() (Segment, error)
+	rpol      retry.Policy
+	src       sortx.Source
+	release   func() error // returns the conn to the pool / closes the file
+	err       error
+	opened    bool
+	delivered int64 // records already handed to the merge (skip on re-route)
 }
 
 // NewLazyRun wraps a segment.
@@ -104,6 +126,7 @@ func NewLazyRun(seg Segment) *LazyRun { return &LazyRun{seg: seg} }
 
 func (l *LazyRun) open() {
 	l.opened = true
+	l.err = nil
 	if l.seg.Addr == "" || l.pool == nil {
 		r, err := l.seg.open(l.fetch)
 		if err != nil {
@@ -142,15 +165,70 @@ func (l *LazyRun) Next() (core.Record, bool) {
 	}
 	if !l.opened {
 		l.open()
-		if l.err != nil {
+		if l.err != nil && !l.recover() {
 			return core.Record{}, false
 		}
 	}
-	rec, ok := l.src.Next()
-	if !ok {
+	for {
+		rec, ok := l.src.Next()
+		if ok {
+			l.delivered++
+			return rec, true
+		}
 		l.err = l.src.Err()
+		if l.err == nil {
+			return core.Record{}, false // clean end of the run
+		}
+		if !l.recover() {
+			return core.Record{}, false
+		}
 	}
-	return rec, ok
+}
+
+// recover re-routes after a fetch failure: burn the broken resource, back
+// off, re-resolve the segment (blocking until a live attempt is routed),
+// reopen and skip the prefix already delivered to the merge. Returns true
+// with l.src repositioned, or false with l.err set.
+func (l *LazyRun) recover() bool {
+	if l.resolve == nil {
+		return false
+	}
+	pol := l.rpol.Normalize()
+	lastErr := l.err
+	for k := 1; k < pol.Attempts; k++ {
+		_ = l.Close()
+		time.Sleep(pol.Backoff(k))
+		seg, err := l.resolve()
+		if err != nil {
+			l.err = err // source failed/aborted: surface that, not the fetch error
+			return false
+		}
+		l.seg = seg
+		l.open()
+		if l.err != nil {
+			lastErr = l.err
+			continue
+		}
+		var skipped int64
+		reread := true
+		for skipped < l.delivered {
+			if _, ok := l.src.Next(); !ok {
+				lastErr = l.src.Err()
+				if lastErr == nil {
+					lastErr = fmt.Errorf("shuffle: re-routed section ended %d records short of the consumed prefix (nondeterministic map output?)", l.delivered-skipped)
+				}
+				reread = false
+				break
+			}
+			skipped++
+		}
+		if reread {
+			l.err = nil
+			return true
+		}
+	}
+	l.err = fmt.Errorf("shuffle: fetch re-route gave up after %d attempts: %w", pol.Attempts, lastErr)
+	return false
 }
 
 // Err implements sortx.Source.
@@ -170,8 +248,9 @@ func (l *LazyRun) Close() error {
 // queuedSeg is one pending streaming segment, possibly with a prefetch
 // request already pipelined on a pooled connection.
 type queuedSeg struct {
-	seg Segment
-	pc  *poolConn // non-nil once the section request is pipelined
+	seg  Segment
+	m, i int       // map index and segment index within the map (re-routing key)
+	pc   *poolConn // non-nil once the section request is pipelined
 }
 
 // SegmentSource is the run-exchange ReduceSource for one partition: Runs
@@ -191,6 +270,8 @@ type SegmentSource struct {
 	pool      *FetchPool
 	prefetch  int          // max pipelined section requests (merge fan-in)
 	fetch     atomic.Int64 // wire bytes fetched from run-servers
+	resolve   Resolver     // optional re-route recovery (PushSource)
+	rpol      retry.Policy
 
 	// streaming state
 	seen     int
@@ -199,6 +280,10 @@ type SegmentSource struct {
 	conns    map[string]*poolConn // conns held for pipelined streaming
 	cur      sortx.Source
 	curDone  func() error // releases cur's resource
+	curPC    *poolConn    // cur's pooled conn (nil for direct opens)
+	curM     int          // cur's re-routing key
+	curI     int
+	curCount int64 // records delivered from cur (skip on re-route)
 }
 
 // SetPool wires the pooled fetch plane in: remote segments are fetched
@@ -210,6 +295,14 @@ func (s *SegmentSource) SetPool(p *FetchPool, fanIn int) {
 		fanIn = 1
 	}
 	s.prefetch = fanIn
+}
+
+// SetResolver wires fetch re-route recovery: failed section fetches
+// re-resolve their route through f under pol's capped backoff instead of
+// failing the task.
+func (s *SegmentSource) SetResolver(f Resolver, pol retry.Policy) {
+	s.resolve = f
+	s.rpol = pol
 }
 
 // FetchBytes reports how many bytes this partition fetched from remote
@@ -231,11 +324,20 @@ func (s *SegmentSource) Runs() ([]sortx.Run, error) {
 	}
 	var runs []sortx.Run
 	for m := 0; m < s.nMaps; m++ {
-		for _, seg := range s.segsOf(m) {
-			lr := NewLazyRun(seg)
+		segs := s.segsOf(m)
+		for i := range segs {
+			lr := NewLazyRun(segs[i])
 			lr.fetch = &s.fetch
 			lr.pool = s.pool
 			lr.useArena = true
+			if s.resolve != nil {
+				m, i := m, i
+				lr.resolve = func() (Segment, error) {
+					seg, _, err := s.resolve(m, i, true)
+					return seg, err
+				}
+				lr.rpol = s.rpol
+			}
 			runs = append(runs, lr)
 		}
 	}
@@ -259,9 +361,26 @@ func (s *SegmentSource) connFor(addr string) (*poolConn, error) {
 	return pc, nil
 }
 
+// dropConn removes a broken streaming connection: pipelined requests on it
+// are forgotten (their queue entries re-request elsewhere) and the conn is
+// closed via the pool.
+func (s *SegmentSource) dropConn(pc *poolConn) {
+	for i := range s.queue {
+		if s.queue[i].pc == pc {
+			s.queue[i].pc = nil
+			s.inflight--
+		}
+	}
+	delete(s.conns, pc.addr)
+	pc.broken = true
+	s.pool.put(pc) // broken: closed there
+}
+
 // pump pipelines section requests for queued remote segments, bounded by
 // the prefetch budget. Requests go out in queue order per peer, matching
-// the order the responses will be consumed in.
+// the order the responses will be consumed in. With a resolver wired in,
+// unreachable peers are skipped (their segments open — and re-route — at
+// the queue head instead) and stale routes are refreshed first.
 func (s *SegmentSource) pump() error {
 	if s.pool == nil {
 		return nil
@@ -274,11 +393,28 @@ func (s *SegmentSource) pump() error {
 		if q.pc != nil || q.seg.Addr == "" {
 			continue
 		}
+		if s.resolve != nil {
+			seg, ok, err := s.resolve(q.m, q.i, false)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // invalidated, not yet re-routed: wait at the head
+			}
+			q.seg = seg
+		}
 		pc, err := s.connFor(q.seg.Addr)
 		if err != nil {
+			if s.resolve != nil {
+				continue // dead peer: the head open re-routes it
+			}
 			return err
 		}
 		if err := pc.request(q.seg.FileID, q.seg.Off, q.seg.N); err != nil {
+			s.dropConn(pc)
+			if s.resolve != nil {
+				continue
+			}
 			return err
 		}
 		s.fetch.Add(q.seg.N)
@@ -292,18 +428,21 @@ func (s *SegmentSource) pump() error {
 func (s *SegmentSource) openHead() error {
 	q := s.queue[0]
 	s.queue = s.queue[1:]
+	s.curM, s.curI, s.curCount = q.m, q.i, 0
 	if q.pc != nil {
+		s.inflight--
 		// Arena decode is safe for streaming consumers too: the pipelined
 		// stores clone keys at node creation and fold values (aggregation)
 		// or retain them as live output payload (identity), so a chunk
 		// outlives its decode window only by what the task genuinely keeps.
 		pr, err := q.pc.openSection(q.seg.Comp, true)
 		if err != nil {
+			s.dropConn(q.pc)
 			return err
 		}
-		s.inflight--
 		s.cur = pr
 		s.curDone = func() error { return nil } // conn returns at Close
+		s.curPC = q.pc
 		return nil
 	}
 	r, err := q.seg.open(&s.fetch)
@@ -312,7 +451,61 @@ func (s *SegmentSource) openHead() error {
 	}
 	s.cur = r
 	s.curDone = r.Close
+	s.curPC = nil
 	return nil
+}
+
+// recoverStream re-routes the current streaming section after cause: burn
+// the broken resource, back off, re-resolve (blocking until the control
+// plane routes a live attempt), reopen directly and skip the records
+// already delivered. Returns nil with s.cur repositioned, or the error to
+// surface.
+func (s *SegmentSource) recoverStream(cause error) error {
+	if s.resolve == nil {
+		return cause
+	}
+	if s.curPC != nil {
+		if _, held := s.conns[s.curPC.addr]; held {
+			s.dropConn(s.curPC)
+		}
+	} else if s.curDone != nil {
+		_ = s.curDone()
+	}
+	s.cur, s.curDone, s.curPC = nil, nil, nil
+	pol := s.rpol.Normalize()
+	lastErr := cause
+	for k := 1; k < pol.Attempts; k++ {
+		time.Sleep(pol.Backoff(k))
+		seg, _, err := s.resolve(s.curM, s.curI, true)
+		if err != nil {
+			return err // source failed/aborted
+		}
+		r, err := seg.open(&s.fetch)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var skipped int64
+		reread := true
+		for skipped < s.curCount {
+			if _, ok := r.Next(); !ok {
+				lastErr = r.Err()
+				if lastErr == nil {
+					lastErr = fmt.Errorf("shuffle: re-routed section ended %d records short of the consumed prefix (nondeterministic map output?)", s.curCount-skipped)
+				}
+				_ = r.Close()
+				reread = false
+				break
+			}
+			skipped++
+		}
+		if !reread {
+			continue
+		}
+		s.cur, s.curDone, s.curPC = r, r.Close, nil
+		return nil
+	}
+	return fmt.Errorf("shuffle: fetch re-route gave up after %d attempts: %w", pol.Attempts, lastErr)
 }
 
 // NextBatch implements ReduceSource: stream records of completed map tasks.
@@ -328,19 +521,22 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 				if !ok {
 					break
 				}
+				s.curCount++
 				batch = append(batch, rec)
 			}
 			if len(batch) == s.batchSize {
 				return batch, true, nil
 			}
-			err := s.cur.Err()
-			cerr := s.curDone()
-			s.cur, s.curDone = nil, nil
-			if err == nil {
-				err = cerr
+			if err := s.cur.Err(); err != nil {
+				if err = s.recoverStream(err); err != nil {
+					return nil, false, err
+				}
+				continue
 			}
-			if err != nil {
-				return nil, false, err
+			cerr := s.curDone()
+			s.cur, s.curDone, s.curPC = nil, nil, nil
+			if cerr != nil {
+				return nil, false, cerr
 			}
 		}
 		if err := s.pump(); err != nil {
@@ -348,7 +544,9 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 		}
 		if len(s.queue) > 0 {
 			if err := s.openHead(); err != nil {
-				return nil, false, err
+				if err = s.recoverStream(err); err != nil {
+					return nil, false, err
+				}
 			}
 			continue
 		}
@@ -363,8 +561,9 @@ func (s *SegmentSource) NextBatch() ([]core.Record, bool, error) {
 		select {
 		case m := <-s.completed:
 			s.seen++
-			for _, seg := range s.segsOf(m) {
-				s.queue = append(s.queue, queuedSeg{seg: seg})
+			segs := s.segsOf(m)
+			for i := range segs {
+				s.queue = append(s.queue, queuedSeg{seg: segs[i], m: m, i: i})
 			}
 		case <-s.fail.done:
 			return nil, false, s.fail.failed()
@@ -382,7 +581,7 @@ func (s *SegmentSource) Close() error {
 	var err error
 	if s.cur != nil {
 		err = s.curDone()
-		s.cur, s.curDone = nil, nil
+		s.cur, s.curDone, s.curPC = nil, nil, nil
 	}
 	for _, pc := range s.conns {
 		s.pool.put(pc)
@@ -395,15 +594,27 @@ func (s *SegmentSource) Close() error {
 // multi-process workers' reduce tasks receive sealed-run routes as push
 // messages while map tasks are still running elsewhere on the cluster —
 // the cross-wave overlap the coordinator's streamed 'm' metadata enables.
-// Offer and Fail are safe to call concurrently with the consuming task.
+// Offer, Invalidate and Fail are safe to call concurrently with the
+// consuming task.
+//
+// Routes are attempt-aware: the first offer of a map counts it toward the
+// barrier, a duplicate offer of the same attempt is an idempotent no-op
+// (speculative clones make the coordinator's pushes at-least-once), and an
+// offer of a newer attempt supersedes the routing wholesale (re-execution
+// after the serving worker died). Invalidate marks a map's routing dead
+// without replacing it; fetch recovery then blocks in the resolver until a
+// superseding attempt is offered.
 type PushSource struct {
 	SegmentSource
 	mu      sync.Mutex
 	byMap   [][]Segment
+	attempt []int  // routed attempt ID (valid when got[m])
+	dead    []bool // routing invalidated, awaiting a superseding attempt
 	got     []bool
 	offered int
 	ch      chan int
 	done    chan struct{}
+	routeCh chan struct{} // closed and replaced on every route change
 }
 
 // NewPushSource builds a source expecting one Offer per map task.
@@ -412,10 +623,13 @@ func NewPushSource(nMaps, batchSize int) *PushSource {
 		batchSize = 256
 	}
 	p := &PushSource{
-		byMap: make([][]Segment, nMaps),
-		got:   make([]bool, nMaps),
-		ch:    make(chan int, nMaps),
-		done:  make(chan struct{}),
+		byMap:   make([][]Segment, nMaps),
+		attempt: make([]int, nMaps),
+		dead:    make([]bool, nMaps),
+		got:     make([]bool, nMaps),
+		ch:      make(chan int, nMaps),
+		done:    make(chan struct{}),
+		routeCh: make(chan struct{}),
 	}
 	if nMaps == 0 {
 		close(p.done)
@@ -432,33 +646,91 @@ func NewPushSource(nMaps, batchSize int) *PushSource {
 		fail:      newFailState(),
 		batchSize: batchSize,
 	}
+	p.SegmentSource.SetResolver(p.resolveSeg, retry.Policy{
+		Base: 50 * time.Millisecond, Max: 2 * time.Second, Attempts: 8,
+	})
 	return p
 }
 
 // Offer records map task m's segments for this partition (empty for a map
-// that published nothing here) and releases them to the consumer. Each map
-// must be offered exactly once; the source's barrier lifts when all nMaps
-// have been.
-func (p *PushSource) Offer(m int, segs []Segment) error {
+// that published nothing here) under the given attempt ID. The first offer
+// of a map counts it toward the source's barrier and releases it to the
+// consumer; a repeat of the same attempt is ignored; a newer attempt
+// replaces the routing (and revives an invalidated one). Older attempts
+// never displace newer ones.
+func (p *PushSource) Offer(m, attempt int, segs []Segment) error {
 	p.mu.Lock()
 	if m < 0 || m >= len(p.byMap) {
 		p.mu.Unlock()
 		return fmt.Errorf("shuffle: segment push for map %d of %d", m, len(p.byMap))
 	}
-	if p.got[m] {
+	if !p.got[m] {
+		p.got[m] = true
+		p.attempt[m] = attempt
+		p.byMap[m] = segs
+		p.offered++
+		last := p.offered == len(p.byMap)
 		p.mu.Unlock()
-		return fmt.Errorf("shuffle: duplicate segment push for map %d", m)
+		p.ch <- m // buffered to nMaps: never blocks
+		if last {
+			close(p.done)
+		}
+		return nil
 	}
-	p.got[m] = true
+	if attempt < p.attempt[m] || (attempt == p.attempt[m] && !p.dead[m]) {
+		p.mu.Unlock()
+		return nil // duplicate or stale push: idempotent
+	}
+	p.attempt[m] = attempt
 	p.byMap[m] = segs
-	p.offered++
-	last := p.offered == len(p.byMap)
+	p.dead[m] = false
+	close(p.routeCh) // wake fetch recovery blocked on this map
+	p.routeCh = make(chan struct{})
 	p.mu.Unlock()
-	p.ch <- m // buffered to nMaps: never blocks
-	if last {
-		close(p.done)
-	}
 	return nil
+}
+
+// Invalidate marks map m's routing dead (its serving worker was lost):
+// fetches of its segments park in the resolver until a superseding attempt
+// is offered. A map never routed is left untouched.
+func (p *PushSource) Invalidate(m int) {
+	p.mu.Lock()
+	if m >= 0 && m < len(p.byMap) && p.got[m] {
+		p.dead[m] = true
+	}
+	p.mu.Unlock()
+}
+
+// resolveSeg is the source's Resolver: the current route of map m's i-th
+// segment, blocking (wait=true) while the routing is invalidated.
+func (p *PushSource) resolveSeg(m, i int, wait bool) (Segment, bool, error) {
+	for {
+		p.mu.Lock()
+		if m < 0 || m >= len(p.byMap) {
+			p.mu.Unlock()
+			return Segment{}, false, fmt.Errorf("shuffle: resolve segment of map %d of %d", m, len(p.byMap))
+		}
+		if p.got[m] && !p.dead[m] {
+			segs := p.byMap[m]
+			if i >= len(segs) {
+				p.mu.Unlock()
+				return Segment{}, false, fmt.Errorf("shuffle: re-routed map %d has %d segments, want index %d (nondeterministic map output?)", m, len(segs), i)
+			}
+			seg := segs[i]
+			p.mu.Unlock()
+			return seg, true, nil
+		}
+		ch := p.routeCh
+		p.mu.Unlock()
+		if !wait {
+			return Segment{}, false, nil
+		}
+		select {
+		case <-ch:
+		case <-p.fail.done:
+			return Segment{}, false, p.fail.failed()
+		}
+	}
 }
 
 // Fail aborts the source: the consuming task wakes with err.

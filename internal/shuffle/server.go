@@ -69,8 +69,18 @@ type Server struct {
 }
 
 // NewServer listens on an ephemeral loopback port and starts serving.
-func NewServer() (*Server, error) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+func NewServer() (*Server, error) { return NewServerOn("") }
+
+// NewServerOn listens on bind (an address usable by net.Listen, e.g.
+// ":0" to serve every interface for non-loopback clusters; "" defaults to
+// an ephemeral loopback port) and starts serving. When the bound address
+// has a wildcard host, pair it with an advertised host the peers can dial
+// (internal/mpexec derives one from the control connection).
+func NewServerOn(bind string) (*Server, error) {
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("shuffle: start run-server: %w", err)
 	}

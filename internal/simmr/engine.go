@@ -22,6 +22,11 @@ type Engine struct {
 	D   *dfs.DFS
 	Cfg Config
 	Col *metrics.Collector
+
+	// Worker-churn injection (JobSpec.KillWorkerAt): the doomed pool node
+	// and its death time. nil/0 when the job configures no kill.
+	killNode *cluster.Node
+	killAt   float64
 }
 
 // NewEngine builds the kernel, cluster and DFS for one run.
@@ -71,6 +76,18 @@ type mapOutput struct {
 	done      *sim.Event
 	parts     [][]core.Record // partition -> records
 	partBytes []int64         // partition -> virtual bytes
+
+	// Churn recovery: lost marks a published output that died with its
+	// worker; redone fires when the re-executed attempt republishes it on a
+	// survivor. Fetchers that find lost set park on redone — the sim
+	// counterpart of the PushSource resolver waiting for a superseding
+	// 'S' frame.
+	lost   bool
+	redone *sim.Event
+
+	// startedAt is when the latest original attempt got its slot (-1 while
+	// queued); the speculator uses it to spot stragglers.
+	startedAt float64
 }
 
 // shuffleState tracks map outputs for the reducers and the completion
@@ -78,6 +95,7 @@ type mapOutput struct {
 type shuffleState struct {
 	maps      []*mapOutput
 	doneCount int
+	durSum    float64    // summed slot-to-publish durations of done maps
 	arm       *sim.Event // fires when the speculation threshold is reached
 	armAt     int
 	allDone   *sim.Event // fires when every map output is published — the
@@ -93,8 +111,10 @@ func newShuffleState(k *sim.Kernel, nMaps, nReduce int) *shuffleState {
 	for i := range s.maps {
 		s.maps[i] = &mapOutput{
 			done:      sim.NewEvent(k, fmt.Sprintf("map-%d-done", i)),
+			redone:    sim.NewEvent(k, fmt.Sprintf("map-%d-redone", i)),
 			parts:     make([][]core.Record, nReduce),
 			partBytes: make([]int64, nReduce),
+			startedAt: -1,
 		}
 	}
 	return s
@@ -125,9 +145,25 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 	if job.Workers > len(e.C.Nodes) {
 		job.Workers = len(e.C.Nodes)
 	}
+	if job.KillWorkerAt > 0 {
+		pool := e.poolNodes(&job)
+		if len(pool) < 2 {
+			res.Failed = true
+			res.FailReason = fmt.Sprintf("job %q: killing worker %d leaves no survivors in a %d-node pool",
+				job.Name, job.KillWorker, len(pool))
+			return res
+		}
+		e.killNode = pool[job.KillWorker%len(pool)]
+		e.killAt = job.KillWorkerAt
+	}
 	shuffle := newShuffleState(e.K, len(input.Chunks), job.Reducers)
 	jobDone := sim.NewEvent(e.K, "job-done")
 	reducersLeft := sim.NewWaitGroup(e.K, "reducers", job.Reducers)
+	if e.killNode != nil {
+		e.K.Spawn("chaos-kill", func(p *sim.Proc) {
+			e.chaosKill(p, &job, input, shuffle, res, jobDone)
+		})
+	}
 
 	for i, ch := range input.Chunks {
 		i, ch := i, ch
@@ -162,6 +198,10 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		if job.Workers > 0 {
 			pool = job.Workers
 		}
+		// Map-side churn model: reduce placement ignores KillWorkerAt —
+		// the dead worker's reduce tasks are modeled as surviving
+		// (DESIGN §11), so a killed run's overhead against an undisturbed
+		// baseline measures exactly the map re-execution + re-route cost.
 		node := e.C.Nodes[r%pool]
 		e.K.Spawn(fmt.Sprintf("reduce-%d", r), func(p *sim.Proc) {
 			defer reducersLeft.Done()
@@ -198,7 +238,13 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, node
 		node = ch.Primary()
 	}
 	for attempt := 0; ; attempt++ {
+		if e.nodeDead(node, p.Now()) {
+			// The assigned worker is already gone: the scheduler just
+			// re-queues the task on a survivor — no attempt was wasted.
+			node = e.survivorNode(idx, job)
+		}
 		node.MapSlots.Acquire(p, 1)
+		shuffle.maps[idx].startedAt = p.Now()
 		tok := e.Col.TaskStart(metrics.StageMap, p.Now())
 
 		// Memoized map outputs skip the read and the map computation
@@ -225,6 +271,17 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, node
 			res.MapRetries++
 			e.Col.TaskEnd(tok, p.Now())
 			node.MapSlots.Release(1)
+			continue
+		}
+
+		if e.nodeDead(node, p.Now()) {
+			// The worker died under this attempt: its output is gone
+			// before publishing, so the attempt re-runs on a survivor —
+			// the heartbeat-timeout re-execution path.
+			res.MapRetries++
+			e.Col.TaskEnd(tok, p.Now())
+			node.MapSlots.Release(1)
+			node = e.survivorNode(idx, job)
 			continue
 		}
 
@@ -311,11 +368,20 @@ func (e *Engine) runMapAttempt(p *sim.Proc, job *JobSpec, ch *dfs.Chunk, node *c
 	return &memoEntry{parts: parts, partBytes: partBytes, outDisk: outDisk, spillRuns: spillRuns}
 }
 
-// speculator waits for the arming threshold, then launches one backup
-// attempt for every still-unfinished map task on the least-loaded other
-// node (Hadoop's speculative execution).
+// speculativeOverdue is the straggler threshold: an attempt is cloned only
+// once it has held its slot longer than this multiple of the mean completed-
+// map duration. Healthy tail-wave maps finish before they become overdue, so
+// speculation costs nothing on a homogeneous cluster.
+const speculativeOverdue = 1.25
+
+// speculator waits for the arming threshold, then watches every unfinished
+// map task: a task still running speculativeOverdue× the mean completed-map
+// duration after taking its slot gets one backup clone on a node with a free
+// map slot (Hadoop's progress-based speculative execution; clones never
+// steal a slot from a pending original).
 func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle *shuffleState, res *Result) {
 	shuffle.arm.Wait(p)
+	mean := shuffle.durSum / float64(shuffle.doneCount)
 	for i, mo := range shuffle.maps {
 		if mo.done.Fired() {
 			continue
@@ -329,9 +395,23 @@ func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle 
 		if job.Workers > 0 {
 			avoid = e.C.Nodes[i%job.Workers]
 		}
-		backupNode := e.pickBackupNode(avoid, job.Workers)
-		res.BackupsLaunched++
 		p.Kernel().Spawn(fmt.Sprintf("backup-map-%d", i), func(bp *sim.Proc) {
+			// An attempt still queued for a slot is cloned right away (an
+			// idle slot elsewhere beats waiting); a running one only once
+			// overdue.
+			if mo.startedAt >= 0 {
+				if d := mo.startedAt + speculativeOverdue*mean - bp.Now(); d > 0 {
+					bp.Sleep(d)
+				}
+			}
+			if mo.done.Fired() {
+				return // finished within its time budget: no clone
+			}
+			backupNode := e.pickBackupNode(avoid, job.Workers, bp.Now())
+			if backupNode == nil {
+				return // no idle slot anywhere: cloning would only add load
+			}
+			res.BackupsLaunched++
 			backupNode.MapSlots.Acquire(bp, 1)
 			defer backupNode.MapSlots.Release(1)
 			if mo.done.Fired() {
@@ -340,6 +420,12 @@ func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle 
 			tok := e.Col.TaskStart(metrics.StageMap, bp.Now())
 			entry := e.runMapAttempt(bp, job, ch, backupNode, false)
 			res.SpillRuns += entry.spillRuns
+			if e.nodeDead(backupNode, bp.Now()) {
+				// The clone died with its worker; the original attempt
+				// (re-queued on a survivor if it was also there) wins.
+				e.Col.TaskEnd(tok, bp.Now())
+				return
+			}
 			if e.publishMapOutput(bp.Now(), backupNode, shuffle, mo, entry, res) {
 				res.BackupsWon++
 			}
@@ -348,30 +434,98 @@ func (e *Engine) speculator(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle 
 	}
 }
 
-// pickBackupNode returns the node (other than avoid) with the fewest held
-// and queued map slots, ties broken by lowest ID. With a Workers
-// sub-cluster, backups stay inside the worker pool; a one-worker pool
-// backs up onto the same node (its only option).
-func (e *Engine) pickBackupNode(avoid *cluster.Node, workers int) *cluster.Node {
+// pickBackupNode returns the node (other than avoid, and other than a
+// worker already dead at time now) with the most free map slots, ties
+// broken by lowest ID. Clones run only on otherwise-idle slots — the real
+// scheduler speculates exactly when an idle worker polls with nothing
+// pending — so a nil return (every slot busy or queued) means no backup
+// launches at all; speculation never steals a slot from a pending original.
+// With a Workers sub-cluster, backups stay inside the worker pool.
+func (e *Engine) pickBackupNode(avoid *cluster.Node, workers int, now float64) *cluster.Node {
 	nodes := e.C.Nodes
 	if workers > 0 {
 		nodes = nodes[:workers]
 	}
+	capacity := int64(e.Cfg.Cluster.MapSlots)
 	var best *cluster.Node
-	var bestLoad int64 = 1 << 62
+	var bestFree int64
 	for _, n := range nodes {
-		if n == avoid {
+		if n == avoid || e.nodeDead(n, now) {
 			continue
 		}
-		load := n.MapSlots.InUse() + int64(n.MapSlots.Waiting())
-		if load < bestLoad {
-			best, bestLoad = n, load
+		free := capacity - n.MapSlots.InUse() - int64(n.MapSlots.Waiting())
+		if free > bestFree {
+			best, bestFree = n, free
 		}
 	}
-	if best == nil {
-		return avoid
-	}
 	return best
+}
+
+// poolNodes returns the nodes the job's tasks may run on: the Workers
+// sub-cluster when confined, the whole cluster otherwise.
+func (e *Engine) poolNodes(job *JobSpec) []*cluster.Node {
+	if job.Workers > 0 {
+		return e.C.Nodes[:job.Workers]
+	}
+	return e.C.Nodes
+}
+
+// survivorNode deterministically places task i on a pool node other than
+// the killed one.
+func (e *Engine) survivorNode(i int, job *JobSpec) *cluster.Node {
+	pool := e.poolNodes(job)
+	surv := pool[:0:0]
+	for _, n := range pool {
+		if n != e.killNode {
+			surv = append(surv, n)
+		}
+	}
+	return surv[i%len(surv)]
+}
+
+// nodeDead reports whether node is the killed worker and the kill has
+// already happened at virtual time now.
+func (e *Engine) nodeDead(node *cluster.Node, now float64) bool {
+	return e.killNode != nil && node == e.killNode && now >= e.killAt
+}
+
+// chaosKill is the injected worker death (JobSpec.KillWorkerAt): at the kill
+// time every published map output living on the dead node is marked lost and
+// re-executed on a survivor; fetchers parked on those outputs resume when the
+// replacement publishes (mapOutput.redone). In-flight attempts on the dead
+// node notice their own death in mapTask. This is the simulated counterpart
+// of the coordinator's workerLost: invalidate routes, requeue maps, stream
+// superseding routes to parked reducers.
+func (e *Engine) chaosKill(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle *shuffleState, res *Result, jobDone *sim.Event) {
+	p.Sleep(e.killAt)
+	if jobDone.Fired() {
+		return // the job already finished (or failed): nothing to lose
+	}
+	for i, mo := range shuffle.maps {
+		if !mo.done.Fired() || mo.node != e.killNode {
+			continue
+		}
+		i, mo := i, mo
+		mo.lost = true
+		res.LostMapOutputs++
+		res.MapRetries++
+		p.Kernel().Spawn(fmt.Sprintf("reexec-map-%d", i), func(rp *sim.Proc) {
+			n := e.survivorNode(i, job)
+			n.MapSlots.Acquire(rp, 1)
+			defer n.MapSlots.Release(1)
+			tok := e.Col.TaskStart(metrics.StageMap, rp.Now())
+			entry := e.runMapAttempt(rp, job, input.Chunks[i], n, false)
+			res.SpillRuns += entry.spillRuns
+			// Republish in place: done already fired and ShuffleBytes
+			// counted the logical volume, so only the location changes.
+			mo.node = n
+			mo.parts = entry.parts
+			mo.partBytes = entry.partBytes
+			mo.lost = false
+			mo.redone.Fire()
+			e.Col.TaskEnd(tok, rp.Now())
+		})
+	}
 }
 
 // publishMapOutput registers a completed map attempt with the shuffle
@@ -391,6 +545,9 @@ func (e *Engine) publishMapOutput(now float64, node *cluster.Node, shuffle *shuf
 		res.ShuffleBytes += b
 	}
 	shuffle.doneCount++
+	if mo.startedAt >= 0 {
+		shuffle.durSum += now - mo.startedAt
+	}
 	if shuffle.armAt > 0 && shuffle.doneCount >= shuffle.armAt {
 		shuffle.arm.Fire()
 	}

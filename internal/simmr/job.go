@@ -222,6 +222,17 @@ type JobSpec struct {
 	// Snapshot every period virtual seconds — the online-processing
 	// monitoring the barrier-less model enables.
 	SnapshotPeriod float64
+	// KillWorkerAt, when > 0, injects worker churn: at this virtual time the
+	// worker-pool node indexed by KillWorker dies. Published map outputs on
+	// that node are re-executed on survivors (fetchers park until the
+	// replacement publishes — the sim counterpart of the multi-process
+	// engine's re-execution + supersede re-route), and in-flight attempts
+	// there restart on survivors. The model covers map-side churn only:
+	// reduce tasks are placed on survivors up front (DESIGN §11). The pool
+	// must have at least two nodes or the job fails.
+	KillWorkerAt float64
+	// KillWorker is the pool index of the node KillWorkerAt kills.
+	KillWorker int
 }
 
 // Result reports one job execution.
@@ -252,6 +263,10 @@ type Result struct {
 	MapTasks    int
 	MapRetries  int
 	PeakMemVirt int64
+	// LostMapOutputs counts published map outputs lost to a worker kill
+	// (JobSpec.KillWorkerAt) and re-executed on survivors; each also counts
+	// as a MapRetries entry.
+	LostMapOutputs int
 	// ShuffleBytes is the total virtual bytes of intermediate data moved
 	// from mappers to reducers (post-combiner).
 	ShuffleBytes int64

@@ -38,6 +38,7 @@ func (e *Engine) barrierReduce(p *sim.Proc, job *JobSpec, r int, node *cluster.N
 			e.waitMapOutput(fp, job, shuffle, mo)
 			fetchSlots.Acquire(fp, 1)
 			defer fetchSlots.Release(1)
+			e.guardLost(fp, mo)
 			if mo.partBytes[r] > 0 {
 				e.chargeRunFetch(fp, job, mo.node, node, peers)
 			}
@@ -133,6 +134,7 @@ func (e *Engine) pipelinedReduce(p *sim.Proc, job *JobSpec, r int, node *cluster
 			defer wg.Done()
 			mo := shuffle.maps[m]
 			e.waitMapOutput(fp, job, shuffle, mo)
+			e.guardLost(fp, mo)
 			recs := mo.parts[r]
 			if len(recs) > 0 {
 				e.chargeRunFetch(fp, job, mo.node, node, peers)
@@ -230,6 +232,16 @@ func (e *Engine) waitMapOutput(fp *sim.Proc, job *JobSpec, shuffle *shuffleState
 		return
 	}
 	mo.done.Wait(fp)
+}
+
+// guardLost parks a fetcher whose map output died with its worker
+// (JobSpec.KillWorkerAt) until the re-executed attempt republishes on a
+// survivor — the simulated counterpart of a parked PushSource resolver
+// waiting for the coordinator's superseding route.
+func (e *Engine) guardLost(fp *sim.Proc, mo *mapOutput) {
+	if mo.lost {
+		mo.redone.Wait(fp)
+	}
 }
 
 // runFetchDelay returns the per-section fetch latency the transport

@@ -48,6 +48,9 @@ tmp="$(mktemp)"
   run_bench ./internal/mr/ 'Spill1M_Comp(None|Block|Delta)' 1x
   echo "== cross-wave overlap (multi-process engine: staged vs overlapped dispatch, barrier vs pipelined) =="
   run_bench ./internal/mpexec/ 'Cluster(WordCount|Sort)' 2x
+  echo "== worker-churn recovery (3-worker cluster, one SIGKILLed mid-job vs undisturbed; plus the sim-predicted overhead the parity test pins to) =="
+  run_bench ./internal/mpexec/ 'ClusterRecovery' 1x
+  run_bench . 'FaultPredicted' 1x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported
