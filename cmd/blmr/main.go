@@ -65,6 +65,12 @@ func main() {
 	fanIn := flag.Int("merge-fan-in", 0, "real engine: external merge fan-in cap (0 = default 64)")
 	compress := flag.String("compress", "none", "sealed-run codec: none|block|delta — compresses spill runs, run-exchange segments and TCP fetch bytes (delta front-codes sorted keys)")
 	verify := flag.Bool("verify", false, "real engine: check output against the single-process in-memory path (byte-identical in barrier mode)")
+	serve := flag.Bool("serve", false, "run the multi-tenant job service: spawn -workers worker subprocesses and accept -submit jobs on -addr until SIGTERM (drains admitted jobs)")
+	submit := flag.Bool("submit", false, "submit one job (-app/-size/-mode/-reducers/-spill-bytes/-compress/-verify/-chaos-kill) to a running -serve service at -addr")
+	addr := flag.String("addr", "127.0.0.1:7420", "job service submission address for -serve/-submit")
+	policy := flag.String("policy", "", "job service placement policy: round-robin|least-loaded|locality (empty = work-stealing dispatch)")
+	maxConcurrent := flag.Int("max-concurrent", 2, "job service: max simultaneously running jobs")
+	maxQueued := flag.Int("max-queued", 16, "job service: admission queue bound (a full queue refuses submissions)")
 	workerCoord := flag.String("worker-coord", "", "internal: run as a cluster worker, dialing this coordinator address")
 	flag.Parse()
 
@@ -97,10 +103,37 @@ func main() {
 	if *workerCoord != "" {
 		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, comp, *staged)
 		opts.HeartbeatInterval = *heartbeat
-		if err := mpexec.Serve(*workerCoord, mrJob(app, *combine), opts); err != nil {
+		var err error
+		if *serve {
+			// A service-pool worker carries many jobs with differing apps and
+			// options: resolve each from the registry by the name the job-
+			// start frame ships, with these flags as the base options.
+			err = mpexec.ServeJobs(*workerCoord, registryResolver(*combine), opts)
+		} else {
+			err = mpexec.Serve(*workerCoord, mrJob(app, *combine), opts)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *serve {
+		runServe(serveConfig{
+			addr: *addr, workers: *workers, policy: *policy,
+			maxConcurrent: *maxConcurrent, maxQueued: *maxQueued,
+			mapTasks: *mapTasks, combine: *combine,
+		})
+		return
+	}
+
+	if *submit {
+		runSubmit(*addr, submitRequest{
+			App: *appName, Size: *sizeGB, Mode: *mode, Reducers: *reducers,
+			SpillBytes: *spillBytes, Compress: *compress, Verify: *verify,
+			ChaosKillMs: int((*chaosKill).Milliseconds()),
+		})
 		return
 	}
 

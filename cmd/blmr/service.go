@@ -1,0 +1,260 @@
+package main
+
+// The multi-tenant job service face of cmd/blmr: -serve runs a long-lived
+// coordinator with a local worker pool and admits a stream of jobs
+// submitted over a newline-delimited JSON protocol; -submit is the
+// matching client. One submission per connection:
+//
+//	-> {"app":"wordcount","size":0.01,"mode":"barrier","reducers":3,
+//	    "spillBytes":8192,"compress":"delta","verify":true,"chaosKillMs":200}
+//	<- {"id":0,"ok":true,"records":1234,"wall_ms":87.5,"verified":true}
+//
+// Workers are this binary re-executed (SpawnLocal appends -worker-coord);
+// under -serve they run the multi-job protocol with a registry resolver, so
+// one pool carries concurrently admitted jobs with differing apps, modes
+// and spill budgets. SIGTERM/SIGINT drains: admitted jobs finish, new
+// submissions are refused, workers are torn down, then the process exits
+// cleanly — the lifecycle CI's service-smoke job drives.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"blmr/internal/codec"
+	"blmr/internal/core"
+	"blmr/internal/mpexec"
+	"blmr/internal/mr"
+)
+
+// submitRequest is one job submission. Zero fields take the server's
+// defaults (mode pipelined, reducers from -reducers).
+type submitRequest struct {
+	App        string  `json:"app"`
+	Size       float64 `json:"size"`
+	Mode       string  `json:"mode"`
+	Reducers   int     `json:"reducers"`
+	SpillBytes int64   `json:"spillBytes"`
+	Compress   string  `json:"compress"`
+	Verify     bool    `json:"verify"`
+	// ChaosKillMs, when > 0, SIGKILLs one pool worker that long after this
+	// job is admitted — fault injection against the whole service; every
+	// admitted job must still complete.
+	ChaosKillMs int `json:"chaosKillMs"`
+}
+
+// submitReply reports one submission's outcome.
+type submitReply struct {
+	ID       int     `json:"id"`
+	OK       bool    `json:"ok"`
+	Records  int     `json:"records"`
+	WallMS   float64 `json:"wall_ms"`
+	Verified bool    `json:"verified,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// registryResolver is the serve-mode worker's job registry: every
+// size-independent app, resolved by the name the coordinator ships in the
+// job-start frame. KNN is excluded — its reduce function bakes in a
+// dataset-derived parameter the name alone cannot reconstruct.
+func registryResolver(combine bool) mpexec.JobResolver {
+	return func(name string) (mr.Job, bool) {
+		if name == "knn" {
+			return mr.Job{}, false
+		}
+		app, _, _, ok := buildApp(name, 1, 100)
+		if !ok {
+			return mr.Job{}, false
+		}
+		return mrJob(app, combine), true
+	}
+}
+
+// serveConfig carries the service flags from main.
+type serveConfig struct {
+	addr          string
+	workers       int
+	policy        string
+	maxConcurrent int
+	maxQueued     int
+	mapTasks      int
+	combine       bool
+}
+
+// runServe bootstraps the pool and serves submissions until SIGTERM.
+func runServe(cfg serveConfig) {
+	if cfg.workers < 1 {
+		fmt.Fprintln(os.Stderr, "-serve needs -workers N (the local pool size)")
+		os.Exit(2)
+	}
+	lc, err := mpexec.SpawnLocal(os.Args[1:], cfg.workers, 60*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	defer lc.Teardown()
+	svc, err := mpexec.NewService(lc.Coord, cfg.workers, mpexec.ServiceConfig{
+		MaxQueued:     cfg.maxQueued,
+		MaxConcurrent: cfg.maxConcurrent,
+		Policy:        cfg.policy,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "serve: %v — draining admitted jobs\n", s)
+		_ = ln.Close()
+	}()
+	fmt.Printf("serve: %d workers, policy=%q, accepting jobs on %s\n",
+		cfg.workers, cfg.policy, ln.Addr())
+	var conns sync.WaitGroup
+	var chaosOnce sync.Once
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			break // listener closed: drain
+		}
+		conns.Add(1)
+		go func(conn net.Conn) {
+			defer conns.Done()
+			defer conn.Close()
+			handleSubmission(conn, svc, lc, cfg, &chaosOnce)
+		}(conn)
+	}
+	conns.Wait()
+	svc.Close()
+	fmt.Println("serve: drained, shutting down workers")
+}
+
+// handleSubmission runs one submission end to end: decode, admit, wait,
+// optionally verify against the in-process engine, reply.
+func handleSubmission(conn net.Conn, svc *mpexec.Service, lc *mpexec.LocalCluster, cfg serveConfig, chaosOnce *sync.Once) {
+	fail := func(id int, err error) {
+		_ = json.NewEncoder(conn).Encode(submitReply{ID: id, Error: err.Error()})
+	}
+	var req submitRequest
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+		fail(-1, fmt.Errorf("bad request: %w", err))
+		return
+	}
+	if req.App == "" {
+		req.App = "wordcount"
+	}
+	if req.Size <= 0 {
+		req.Size = 0.01
+	}
+	app, ds, _, ok := buildApp(req.App, req.Size, 100)
+	if !ok {
+		fail(-1, fmt.Errorf("unknown app %q", req.App))
+		return
+	}
+	m := mr.Pipelined
+	if req.Mode == "barrier" {
+		m = mr.Barrier
+	}
+	reducers := req.Reducers
+	if reducers <= 0 {
+		reducers = 4
+	}
+	if app.Name == "blackscholes" {
+		reducers = 1
+	}
+	comp := codec.None
+	if req.Compress != "" {
+		var err error
+		if comp, err = codec.ParseCompression(req.Compress); err != nil {
+			fail(-1, err)
+			return
+		}
+	}
+	if req.ChaosKillMs > 0 && cfg.workers < 2 {
+		fail(-1, fmt.Errorf("chaosKillMs needs at least 2 workers to leave a survivor"))
+		return
+	}
+	input := flatten(ds)
+	opts := mr.Options{
+		Mappers: cfg.mapTasks, Reducers: reducers, Mode: m,
+		SpillBytes: req.SpillBytes, Compression: comp,
+	}
+	tk, err := svc.Submit(mrJob(app, cfg.combine), input, opts)
+	if err != nil {
+		fail(-1, err)
+		return
+	}
+	if req.ChaosKillMs > 0 {
+		chaosOnce.Do(func() {
+			time.AfterFunc(time.Duration(req.ChaosKillMs)*time.Millisecond, func() {
+				if err := lc.Kill(0); err == nil {
+					fmt.Fprintf(os.Stderr, "chaos: killed worker 0 %dms after job %d was admitted\n",
+						req.ChaosKillMs, tk.ID)
+				}
+			})
+		})
+	}
+	start := time.Now()
+	res, err := tk.Wait()
+	if err != nil {
+		fail(tk.ID, err)
+		return
+	}
+	reply := submitReply{ID: tk.ID, OK: true, Records: len(res.Output),
+		WallMS: time.Since(start).Seconds() * 1e3}
+	if req.Verify {
+		ref, err := mr.Run(mrJob(app, cfg.combine), input,
+			mr.Options{Mappers: cfg.mapTasks, Reducers: reducers, Mode: m})
+		if err != nil {
+			fail(tk.ID, fmt.Errorf("verify run: %w", err))
+			return
+		}
+		if err := compareOutputs(ref.Output, res.Output, m == mr.Barrier,
+			app.Class == core.ClassCrossKey); err != nil {
+			fail(tk.ID, fmt.Errorf("VERIFY FAILED: %w", err))
+			return
+		}
+		reply.Verified = true
+	}
+	_ = json.NewEncoder(conn).Encode(reply)
+}
+
+// runSubmit is the client: one connection, one job, one reply.
+func runSubmit(addr string, req submitRequest) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "submit:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		fmt.Fprintln(os.Stderr, "submit:", err)
+		os.Exit(1)
+	}
+	var reply submitReply
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&reply); err != nil {
+		fmt.Fprintln(os.Stderr, "submit: reading reply:", err)
+		os.Exit(1)
+	}
+	if !reply.OK {
+		fmt.Fprintf(os.Stderr, "submit: job %d failed: %s\n", reply.ID, reply.Error)
+		os.Exit(1)
+	}
+	verified := ""
+	if reply.Verified {
+		verified = "  verified: OK"
+	}
+	fmt.Printf("job %d: %d records in %.1fms%s\n", reply.ID, reply.Records, reply.WallMS, verified)
+}

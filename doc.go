@@ -99,5 +99,24 @@
 // times, and harness.FaultPrediction is pinned to the real engine's
 // measured recovery overhead within harness.FaultTolerance.
 //
+// The multi-process engine is multi-tenant: mpexec.Service runs a stream
+// of concurrently admitted jobs on one coordinator and worker pool
+// (cmd/blmr -serve / -submit, newline-delimited JSON submissions on
+// -addr). Admission is a bounded queue (mpexec.ServiceConfig.MaxQueued;
+// full refuses, it never buffers unboundedly) feeding at most
+// MaxConcurrent running jobs; each job gets per-worker slot shares
+// (MapShare/ReduceShare) under a cross-job slot ledger (exec.SlotPool,
+// PoolMapSlots/PoolReduceSlots caps) and a fresh instance of the placement
+// policy named by ServiceConfig.Policy (cmd/blmr -policy): exec.ParsePolicy
+// builds round-robin, least-loaded or locality policies routing every task
+// over per-worker snapshots (exec.WorkerSnapshot, with kind-split
+// cross-job load). Every job's frames, spill directories, reduce sources
+// and abort latch are its own, so per-job barrier output stays
+// byte-identical under concurrency and churn. The simulator mirrors the
+// stream with simmr.RunStream (same Policy interface over a cross-job
+// assignment ledger); harness.PolicySweep sweeps skew levels, and
+// harness.PolicyPrediction is pinned to the real engine's measured
+// makespan ratio within harness.PolicyTolerance.
+//
 // See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

@@ -1,0 +1,178 @@
+package exec
+
+// Pluggable task placement. A Policy sees a snapshot of every live worker
+// (slots, queue depth, cross-job pool load, resident sealed runs) and picks
+// the worker a task should run on — the "policy callback over instance
+// snapshots" shape the inference-sim ClusterSimulator mock study uses for
+// request routing, applied to MapReduce task placement. The scheduler calls
+// the policy whenever a task enters (or re-enters) the pending state:
+// initially, on a worker-lost requeue, on a resubmission, and when the
+// worker a task was parked on dies.
+//
+// Placement is a *preference queue*, not a work-conserving grab: a task
+// routed to a busy worker waits for that worker even while another sits
+// idle. That is what makes the policies distinguishable (a round-robin
+// stripe can overload worker 0 while worker 2 idles — the pathology
+// least-loaded exists to fix) and it mirrors how the simulator models
+// per-node task queues. A nil Policy keeps the engine's historical
+// behavior: any free slot pulls any pending task.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// WorkerSnapshot is one live worker's state as the policy sees it.
+type WorkerSnapshot struct {
+	// ID is the worker's stable index in the scheduler's worker list (and,
+	// when a SlotPool is attached, in the pool).
+	ID int
+	// Name is the worker's display name.
+	Name string
+	// MapSlots / ReduceSlots are this job's per-kind slot budget on the
+	// worker.
+	MapSlots    int
+	ReduceSlots int
+	// MapRunning / ReduceRunning count this job's in-flight tasks on the
+	// worker.
+	MapRunning    int
+	ReduceRunning int
+	// MapQueued / ReduceQueued count this job's pending tasks already
+	// routed to the worker.
+	MapQueued    int
+	ReduceQueued int
+	// PoolMapRunning / PoolReduceRunning count running tasks of each kind
+	// on the worker across every job sharing the SlotPool (this job
+	// included). Without a pool they equal MapRunning / ReduceRunning.
+	PoolMapRunning    int
+	PoolReduceRunning int
+	// ResidentRuns counts sealed map outputs resident on the worker that
+	// the task would consume (reduce tasks only; 0 when the engine has no
+	// locality information).
+	ResidentRuns int
+}
+
+// Load is the snapshot's total queue depth: everything routed to or
+// running on the worker, cross-job work included.
+func (s WorkerSnapshot) Load() int {
+	return s.MapQueued + s.ReduceQueued + s.PoolMapRunning + s.PoolReduceRunning
+}
+
+// KindLoad is the queue depth one task kind competes with: same-kind
+// routed tasks plus same-kind pool-wide running tasks. The split matters:
+// overlapped reduce tasks spend most of their life parked on routes, so
+// counting them against map placement lets a node's parked reduces mask
+// the maps serializing on a sibling — on a skewed job stream that
+// collapses least-loaded into round-robin's exact layout.
+func (s WorkerSnapshot) KindLoad(mapKind bool) int {
+	if mapKind {
+		return s.MapQueued + s.PoolMapRunning
+	}
+	return s.ReduceQueued + s.PoolReduceRunning
+}
+
+// TaskView is the task being placed.
+type TaskView struct {
+	// Map distinguishes map from reduce tasks.
+	Map bool
+	// Index is the map task index or the reduce partition.
+	Index int
+}
+
+// Policy routes one task to a worker. Pick returns an index into snaps
+// (which holds every live worker, in stable ID order), or -1 for no
+// preference — the task then runs on whichever worker frees a slot first.
+// Pick is called with the scheduler's run lock held; it must not block.
+type Policy interface {
+	// Name identifies the policy ("round-robin", "least-loaded", ...).
+	Name() string
+	Pick(t TaskView, snaps []WorkerSnapshot) int
+}
+
+// PolicyNames lists the built-in policies ParsePolicy accepts.
+func PolicyNames() []string {
+	return []string{"round-robin", "least-loaded", "locality"}
+}
+
+// ParsePolicy builds a fresh instance of a named built-in policy. The empty
+// name parses to nil (no routing: free slots pull any pending task).
+// Instances are stateful (round-robin keeps a cursor), so every job should
+// parse its own.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "":
+		return nil, nil
+	case "round-robin":
+		return &roundRobin{}, nil
+	case "least-loaded":
+		return leastLoaded{}, nil
+	case "locality", "locality-aware":
+		return locality{}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown policy %q (have %v)", name, PolicyNames())
+}
+
+// roundRobin stripes tasks across the live workers in arrival order,
+// ignoring load — the baseline policy, and deliberately naive: several
+// jobs each striping from their own cursor pile onto the same low-index
+// workers while later ones idle.
+type roundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(t TaskView, snaps []WorkerSnapshot) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := p.next % len(snaps)
+	p.next++
+	return k
+}
+
+// leastLoaded routes each task to the worker with the smallest same-kind
+// queue depth (queued + running of the task's kind, cross-job pool load
+// included), breaking ties by total load and then the lowest ID.
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+// lighter reports whether a is a strictly better least-loaded pick than b
+// for the task: smaller same-kind load, total load breaking ties.
+func lighter(a, b WorkerSnapshot, t TaskView) bool {
+	ka, kb := a.KindLoad(t.Map), b.KindLoad(t.Map)
+	return ka < kb || (ka == kb && a.Load() < b.Load())
+}
+
+func (leastLoaded) Pick(t TaskView, snaps []WorkerSnapshot) int {
+	best := 0
+	for i := 1; i < len(snaps); i++ {
+		if lighter(snaps[i], snaps[best], t) {
+			best = i
+		}
+	}
+	return best
+}
+
+// locality routes reduce tasks to the worker already holding the most
+// sealed map output for the partition (fetches become local file reads),
+// falling back to least-loaded among the tied — and for map tasks, whose
+// splits ship from the coordinator, straight to least-loaded.
+type locality struct{}
+
+func (locality) Name() string { return "locality" }
+
+func (locality) Pick(t TaskView, snaps []WorkerSnapshot) int {
+	if t.Map {
+		return leastLoaded{}.Pick(t, snaps)
+	}
+	best := 0
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].ResidentRuns > snaps[best].ResidentRuns ||
+			(snaps[i].ResidentRuns == snaps[best].ResidentRuns && lighter(snaps[i], snaps[best], t)) {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,119 @@
+package exec
+
+// SlotPool is the shared slot ledger for concurrent jobs on one worker
+// pool: each job's Scheduler bounds its own per-worker concurrency with its
+// Assignment slots (the job's share), and the pool bounds the *total*
+// running tasks per worker across every admitted job. Schedulers acquire a
+// pool slot before dispatching a task and release it when the task
+// returns; a full worker parks the dispatch until any job's task on that
+// worker finishes. The pool also feeds the kind-split
+// WorkerSnapshot.PoolMapRunning/PoolReduceRunning, so a least-loaded
+// policy in one job sees the load every other job put on a worker.
+
+import "sync"
+
+// SlotPool tracks cross-job running tasks per worker. The zero value is
+// unusable; build one with NewSlotPool. Workers are identified by the same
+// index everywhere: every job sharing the pool must list the same workers
+// in the same order in its Scheduler.Workers.
+type SlotPool struct {
+	mu      sync.Mutex
+	mapCap  int // per-worker cap on running map tasks (0 = unlimited)
+	redCap  int // per-worker cap on running reduce tasks (0 = unlimited)
+	mapRun  []int
+	redRun  []int
+	subs    map[int]func()
+	nextSub int
+}
+
+// NewSlotPool builds a pool for `workers` workers with per-worker caps on
+// concurrently running map and reduce tasks across all jobs. A zero cap is
+// unlimited for that kind (the usual choice for reduce slots, where
+// overlapped tasks spend most of their life parked on routes, not working).
+func NewSlotPool(workers, mapCap, redCap int) *SlotPool {
+	return &SlotPool{
+		mapCap: mapCap, redCap: redCap,
+		mapRun: make([]int, workers),
+		redRun: make([]int, workers),
+		subs:   make(map[int]func()),
+	}
+}
+
+// Running returns worker w's running task count across all jobs.
+func (p *SlotPool) Running(w int) int {
+	return p.RunningKind(w, true) + p.RunningKind(w, false)
+}
+
+// RunningKind returns worker w's running task count of one kind across all
+// jobs — the kind-split view WorkerSnapshot.KindLoad-aware policies read.
+func (p *SlotPool) RunningKind(w int, mapKind bool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w < 0 || w >= len(p.mapRun) {
+		return 0
+	}
+	if mapKind {
+		return p.mapRun[w]
+	}
+	return p.redRun[w]
+}
+
+// TryAcquire claims one running-task slot of the given kind on worker w,
+// reporting false when the worker is at its cross-job cap. Never blocks.
+func (p *SlotPool) TryAcquire(w int, mapKind bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w < 0 || w >= len(p.mapRun) {
+		return true // unknown worker: don't gate
+	}
+	if mapKind {
+		if p.mapCap > 0 && p.mapRun[w] >= p.mapCap {
+			return false
+		}
+		p.mapRun[w]++
+		return true
+	}
+	if p.redCap > 0 && p.redRun[w] >= p.redCap {
+		return false
+	}
+	p.redRun[w]++
+	return true
+}
+
+// Release returns a slot claimed by TryAcquire and wakes every subscribed
+// scheduler so parked dispatches re-check the worker. Subscribers are
+// invoked after the pool lock is dropped (they take their own run locks).
+func (p *SlotPool) Release(w int, mapKind bool) {
+	p.mu.Lock()
+	if w >= 0 && w < len(p.mapRun) {
+		if mapKind && p.mapRun[w] > 0 {
+			p.mapRun[w]--
+		} else if !mapKind && p.redRun[w] > 0 {
+			p.redRun[w]--
+		}
+	}
+	subs := make([]func(), 0, len(p.subs))
+	for _, f := range p.subs {
+		subs = append(subs, f)
+	}
+	p.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+}
+
+// subscribe registers a wakeup callback for slot releases and returns its
+// cancel. Scheduler.Run wires its cond broadcast here for the duration of
+// the run.
+func (p *SlotPool) subscribe(f func()) (cancel func()) {
+	p.mu.Lock()
+	id := p.nextSub
+	p.nextSub++
+	p.subs[id] = f
+	p.mu.Unlock()
+	return func() {
+		p.mu.Lock()
+		delete(p.subs, id)
+		p.mu.Unlock()
+	}
+}

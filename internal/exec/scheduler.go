@@ -119,6 +119,23 @@ type Scheduler struct {
 	// SpeculateAfter is the completed fraction of the map wave required
 	// before clones launch (default 0.75).
 	SpeculateAfter float64
+	// Policy, when non-nil, routes every pending task to a specific worker
+	// (see policy.go): a routed task waits for its worker even while other
+	// slots idle, which is what makes placement policies distinguishable.
+	// nil keeps the historical work-conserving behavior (any free slot
+	// pulls any pending task).
+	Policy Policy
+	// Pool, when non-nil, is the cross-job slot ledger shared by every
+	// concurrent job on this worker pool: a task dispatch additionally
+	// claims a pool slot for its worker (parking until one frees when the
+	// worker is at its cross-job cap), and policies see kind-split
+	// pool-wide load in the worker snapshots. Workers must appear in the
+	// same order in every sharing scheduler's Workers list.
+	Pool *SlotPool
+	// Resident, when non-nil, reports how many sealed map outputs worker w
+	// already holds for task t (the locality policy's signal). Called with
+	// the run lock held; must not block or call back into the scheduler.
+	Resident func(w int, t TaskView) int
 
 	mu  sync.Mutex
 	run *schedRun
@@ -138,11 +155,19 @@ type taskState struct {
 	inflight int // concurrently running attempts (clones)
 	cloned   bool
 	runners  map[*schedWorker]bool
+	// assigned is the worker the placement policy routed this pending task
+	// to (nil: any free slot may pull it). Cleared at dispatch.
+	assigned *schedWorker
 }
 
 type schedWorker struct {
 	a    Assignment
+	idx  int // position in Scheduler.Workers (and the SlotPool)
 	dead bool
+	// Policy-visible load accounting: this job's running tasks and routed
+	// pending tasks per kind (all under the run lock).
+	mapRun, redRun int
+	mapQ, redQ     int
 }
 
 type schedRun struct {
@@ -204,8 +229,25 @@ func (s *Scheduler) Run(maps []MapTask, reduces []ReduceTask) (*Summary, error) 
 	for i := range reduces {
 		rn.r[i].runners = make(map[*schedWorker]bool)
 	}
-	for _, a := range s.Workers {
-		rn.workers = append(rn.workers, &schedWorker{a: a})
+	for i, a := range s.Workers {
+		rn.workers = append(rn.workers, &schedWorker{a: a, idx: i})
+	}
+	rn.mu.Lock()
+	for i := range rn.m {
+		rn.assignLocked(&rn.m[i], true, maps[i].Index)
+	}
+	for i := range rn.r {
+		rn.assignLocked(&rn.r[i], false, reduces[i].Partition)
+	}
+	rn.mu.Unlock()
+	if s.Pool != nil {
+		// Wake parked dispatches when any sharing job frees a pool slot.
+		unsub := s.Pool.subscribe(func() {
+			rn.mu.Lock()
+			rn.cond.Broadcast()
+			rn.mu.Unlock()
+		})
+		defer unsub()
 	}
 
 	s.mu.Lock()
@@ -274,11 +316,94 @@ func (s *Scheduler) WorkerLost(w Worker, resubmitMaps []int) {
 			st.life = tsRunning // a racing clone is still out; let it win
 		} else {
 			st.life = tsPending
+			rn.assignLocked(st, true, idx)
 		}
 		rn.mapsLeft++
 		rn.sum.MapRetries++
 	}
 	rn.cond.Broadcast()
+}
+
+// assignLocked routes one pending task through the placement policy,
+// replacing any previous routing. With no policy the task stays unrouted
+// (any free slot pulls it).
+func (rn *schedRun) assignLocked(st *taskState, isMap bool, index int) {
+	rn.unassignLocked(st, isMap)
+	if rn.s.Policy == nil {
+		return
+	}
+	t := TaskView{Map: isMap, Index: index}
+	snaps, cand := rn.snapshotsLocked(t)
+	if len(cand) == 0 {
+		return
+	}
+	k := rn.s.Policy.Pick(t, snaps)
+	if k < 0 || k >= len(cand) {
+		return // no preference or a bogus pick: fall back to any-slot
+	}
+	st.assigned = cand[k]
+	if isMap {
+		cand[k].mapQ++
+	} else {
+		cand[k].redQ++
+	}
+}
+
+func (rn *schedRun) unassignLocked(st *taskState, isMap bool) {
+	if st.assigned == nil {
+		return
+	}
+	if isMap {
+		st.assigned.mapQ--
+	} else {
+		st.assigned.redQ--
+	}
+	st.assigned = nil
+}
+
+// snapshotsLocked builds the policy's view of every live worker, in stable
+// ID order, alongside the matching schedWorkers.
+func (rn *schedRun) snapshotsLocked(t TaskView) ([]WorkerSnapshot, []*schedWorker) {
+	var snaps []WorkerSnapshot
+	var cand []*schedWorker
+	for i, sw := range rn.workers {
+		if sw.dead {
+			continue
+		}
+		s := WorkerSnapshot{
+			ID: i, Name: sw.a.W.String(),
+			MapSlots: max(1, sw.a.MapSlots), ReduceSlots: max(1, sw.a.ReduceSlots),
+			MapRunning: sw.mapRun, ReduceRunning: sw.redRun,
+			MapQueued: sw.mapQ, ReduceQueued: sw.redQ,
+			PoolMapRunning: sw.mapRun, PoolReduceRunning: sw.redRun,
+		}
+		if rn.s.Pool != nil {
+			s.PoolMapRunning = rn.s.Pool.RunningKind(i, true)
+			s.PoolReduceRunning = rn.s.Pool.RunningKind(i, false)
+		}
+		if rn.s.Resident != nil {
+			s.ResidentRuns = rn.s.Resident(i, t)
+		}
+		snaps = append(snaps, s)
+		cand = append(cand, sw)
+	}
+	return snaps, cand
+}
+
+// acquirePoolLocked claims a cross-job pool slot for a dispatch on w (a
+// no-op without a pool). On false the caller parks; a Release broadcast
+// wakes it.
+func (rn *schedRun) acquirePoolLocked(w *schedWorker, isMap bool) bool {
+	if rn.s.Pool == nil {
+		return true
+	}
+	return rn.s.Pool.TryAcquire(w.idx, isMap)
+}
+
+func (rn *schedRun) releasePool(w *schedWorker, isMap bool) {
+	if rn.s.Pool != nil {
+		rn.s.Pool.Release(w.idx, isMap)
+	}
 }
 
 // done reports (locked) whether slots should exit.
@@ -301,11 +426,24 @@ func (rn *schedRun) failLocked(err error) {
 }
 
 func (rn *schedRun) workerDeadLocked(w *schedWorker) {
-	if !w.dead {
-		w.dead = true
-		rn.live--
-		rn.cond.Broadcast()
+	if w.dead {
+		return
 	}
+	w.dead = true
+	rn.live--
+	// Re-route the pending tasks parked on the dead worker: through the
+	// policy when one is set, otherwise back to the any-slot pool.
+	for i := range rn.m {
+		if st := &rn.m[i]; st.assigned == w && st.life == tsPending {
+			rn.assignLocked(st, true, rn.maps[i].Index)
+		}
+	}
+	for i := range rn.r {
+		if st := &rn.r[i]; st.assigned == w && st.life == tsPending {
+			rn.assignLocked(st, false, rn.reduces[i].Partition)
+		}
+	}
+	rn.cond.Broadcast()
 }
 
 // pickMap returns a map position to dispatch on w, with clone=true for a
@@ -315,7 +453,8 @@ func (rn *schedRun) pickMap(w *schedWorker) (pos int, clone bool) {
 		return -1, false
 	}
 	for i := range rn.m {
-		if rn.m[i].life == tsPending {
+		st := &rn.m[i]
+		if st.life == tsPending && (st.assigned == nil || st.assigned == w) {
 			return i, false
 		}
 	}
@@ -348,11 +487,17 @@ func (rn *schedRun) mapLoop(w *schedWorker) {
 			rn.cond.Wait()
 			continue
 		}
+		if !rn.acquirePoolLocked(w, true) {
+			rn.cond.Wait() // worker at its cross-job cap; Release wakes us
+			continue
+		}
 		st := &rn.m[pos]
+		rn.unassignLocked(st, true)
 		st.life = tsRunning
 		st.attempts++
 		st.inflight++
 		st.runners[w] = true
+		w.mapRun++
 		if clone {
 			st.cloned = true
 			rn.sum.BackupsLaunched++
@@ -362,14 +507,16 @@ func (rn *schedRun) mapLoop(w *schedWorker) {
 		rn.nextAttempt++
 		rn.mu.Unlock()
 		stats, err := w.a.W.RunMap(t)
+		rn.releasePool(w, true)
 		rn.mu.Lock()
 		st = &rn.m[pos]
 		st.inflight--
+		w.mapRun--
 		delete(st.runners, w)
 		if err != nil {
 			rn.taskError(w, st, err, func() error {
 				return fmt.Errorf("map task %d on %s: %w", t.Index, w.a.W, err)
-			}, true)
+			}, true, t.Index)
 			continue
 		}
 		if st.life != tsDone {
@@ -400,7 +547,8 @@ func (rn *schedRun) reduceLoop(w *schedWorker) {
 		pos := -1
 		if !(rn.s.Staged && rn.mapsLeft > 0) {
 			for i := range rn.r {
-				if rn.r[i].life == tsPending {
+				st := &rn.r[i]
+				if st.life == tsPending && (st.assigned == nil || st.assigned == w) {
 					pos = i
 					break
 				}
@@ -410,22 +558,30 @@ func (rn *schedRun) reduceLoop(w *schedWorker) {
 			rn.cond.Wait()
 			continue
 		}
+		if !rn.acquirePoolLocked(w, false) {
+			rn.cond.Wait()
+			continue
+		}
 		st := &rn.r[pos]
+		rn.unassignLocked(st, false)
 		st.life = tsRunning
 		st.attempts++
 		st.inflight++
 		st.runners[w] = true
+		w.redRun++
 		t := rn.reduces[pos]
 		rn.mu.Unlock()
 		res, err := w.a.W.RunReduce(t)
+		rn.releasePool(w, false)
 		rn.mu.Lock()
 		st = &rn.r[pos]
 		st.inflight--
+		w.redRun--
 		delete(st.runners, w)
 		if err != nil {
 			rn.taskError(w, st, err, func() error {
 				return fmt.Errorf("reduce task %d on %s: %w", t.Partition, w.a.W, err)
-			}, false)
+			}, false, t.Partition)
 			continue
 		}
 		if st.life != tsDone {
@@ -439,7 +595,7 @@ func (rn *schedRun) reduceLoop(w *schedWorker) {
 
 // taskError settles one failed attempt (locked): a genuine task error fails
 // the job; a lost worker is retired and the task requeued on survivors.
-func (rn *schedRun) taskError(w *schedWorker, st *taskState, err error, wrap func() error, isMap bool) {
+func (rn *schedRun) taskError(w *schedWorker, st *taskState, err error, wrap func() error, isMap bool, index int) {
 	if !IsWorkerLost(err) {
 		rn.failLocked(wrap())
 		return
@@ -458,6 +614,7 @@ func (rn *schedRun) taskError(w *schedWorker, st *taskState, err error, wrap fun
 	}
 	if st.inflight == 0 {
 		st.life = tsPending
+		rn.assignLocked(st, isMap, index)
 		if isMap {
 			rn.sum.MapRetries++
 		} else {

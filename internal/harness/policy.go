@@ -1,0 +1,134 @@
+package harness
+
+// Placement-policy tuning for the multi-tenant job service. The skewed
+// stream — several one-map jobs arriving alongside one many-map job on a
+// pool with one map slot per node — is the service's canonical pathology:
+// every job's round-robin cursor starts at worker 0, so the load-blind
+// stripe serializes the pile-up there while other nodes idle, and a
+// load-aware policy spreads it. PolicySweep measures that gap in the
+// simulator across skew levels, and PolicyPrediction produces the
+// makespan ratio the real engine's parity test pins its wall-clock
+// measurement against.
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+	"blmr/internal/workload"
+)
+
+// PolicyTolerance is the stated agreement band between the simulated and
+// real least-loaded/round-robin makespan ratios on the skewed stream. The
+// band is wide on purpose — the simulator's stream is virtual-time clean
+// while the real run carries per-job setup and shuffle wall-clock noise —
+// but it still rejects a real engine whose policies do not separate (ratio
+// near 1) when the model predicts a near-halving.
+const PolicyTolerance = 0.35
+
+// PolicyEstimate is one simulated skewed-stream experiment: the stream
+// makespan under the load-blind round-robin baseline, under least-loaded,
+// and their ratio (LeastLoaded/RoundRobin — below 1 means the load-aware
+// policy wins).
+type PolicyEstimate struct {
+	RoundRobin  float64
+	LeastLoaded float64
+	Ratio       float64
+}
+
+// policyCluster is the sweep's testbed: `workers` identical nodes with a
+// single map slot each, so map placement alone decides the makespan.
+func policyCluster(workers int) simmr.Config {
+	cfg := simmr.DefaultConfig()
+	cfg.Cluster.Nodes = workers
+	cfg.Cluster.MapSlots = 1
+	cfg.Cluster.ReduceSlots = 2
+	cfg.Cluster.SpeedSpread = 0
+	cfg.Replication = 2
+	return cfg
+}
+
+// policyStream builds one barrier WordCount job per entry of mapCounts
+// (the entry is the job's map-task count), all arriving together. Map CPU
+// is made the dominant cost so co-located maps serialize on the one-slot
+// nodes.
+func policyStream(e *simmr.Engine, mapCounts []int, workers int) []simmr.StreamJob {
+	jobs := make([]simmr.StreamJob, 0, len(mapCounts))
+	for i, chunks := range mapCounts {
+		app := apps.WordCount()
+		costs := simmr.DefaultCosts()
+		costs.MapCPUPerRecord = 1e-3
+		name := fmt.Sprintf("policy-job-%d", i)
+		spec := simmr.JobSpec{
+			Name: name, Mapper: app.Mapper, NewGroup: app.NewGroup,
+			NewStream: app.NewStream, Merger: app.Merger,
+			Reducers: 2, Mode: simmr.Barrier, Workers: workers, Costs: costs,
+		}
+		input := e.Ingest(name,
+			workload.SplitEvenly(workload.Text(uint64(60+i), 600*chunks, 120, 8), chunks))
+		jobs = append(jobs, simmr.StreamJob{Spec: spec, Input: input})
+	}
+	return jobs
+}
+
+// PolicyStreamMakespan simulates the mapCounts stream on a fresh
+// `workers`-node engine under the named policy and returns the stream
+// makespan. A failed job or an unknown policy returns an error.
+func PolicyStreamMakespan(mapCounts []int, workers int, policy string) (float64, error) {
+	e := simmr.NewEngine(policyCluster(workers))
+	sr, err := e.RunStream(policyStream(e, mapCounts, workers), policy)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range sr.Jobs {
+		if r == nil || r.Failed {
+			return 0, fmt.Errorf("harness: policy stream job %d failed under %q", i, policy)
+		}
+	}
+	return sr.Makespan, nil
+}
+
+// PolicyPrediction simulates the canonical skewed stream (len(mapCounts)
+// jobs arriving together) under round-robin and least-loaded and returns
+// both makespans — the ratio the real-engine parity test compares its
+// measured wall-clock ratio against (within PolicyTolerance).
+func PolicyPrediction(mapCounts []int, workers int) (PolicyEstimate, error) {
+	rr, err := PolicyStreamMakespan(mapCounts, workers, "round-robin")
+	if err != nil {
+		return PolicyEstimate{}, err
+	}
+	ll, err := PolicyStreamMakespan(mapCounts, workers, "least-loaded")
+	if err != nil {
+		return PolicyEstimate{}, err
+	}
+	return PolicyEstimate{RoundRobin: rr, LeastLoaded: ll, Ratio: ll / rr}, nil
+}
+
+// PolicySweep sweeps the stream's skew — two one-map jobs plus one job of
+// `skew` maps, all arriving together on a `workers`-node pool — and
+// reports the makespan under every placement policy. As skew grows the
+// round-robin series should pull away from the load-aware ones (locality
+// degrades to least-loaded here: initial placements see no resident
+// outputs).
+func PolicySweep(workers int, skews []int) Sweep {
+	sw := Sweep{
+		ID:     "PolicySweep",
+		Title:  fmt.Sprintf("two 1-map jobs + one skew-map job on %d one-slot workers: makespan vs skew", workers),
+		XLabel: "big job maps",
+	}
+	for _, policy := range []string{"round-robin", "least-loaded", "locality"} {
+		ser := Series{Label: policy}
+		for _, skew := range skews {
+			ms, err := PolicyStreamMakespan([]int{1, 1, skew}, workers, policy)
+			note := ""
+			if err != nil {
+				note = "FAILED"
+			}
+			ser.X = append(ser.X, float64(skew))
+			ser.Y = append(ser.Y, ms)
+			ser.Note = append(ser.Note, note)
+		}
+		sw.Series = append(sw.Series, ser)
+	}
+	return sw
+}

@@ -1,0 +1,55 @@
+package harness
+
+import "testing"
+
+// TestPolicySweep: the load-aware policies must never lose to the
+// round-robin stripe, and must strictly win once the stream is skewed
+// enough that worker 0 serializes a pile of maps.
+func TestPolicySweep(t *testing.T) {
+	skews := []int{1, 2, 4}
+	sw := PolicySweep(3, skews)
+	if len(sw.Series) != 3 {
+		t.Fatalf("got %d series, want 3", len(sw.Series))
+	}
+	rr := sw.Series[0]
+	for _, ser := range sw.Series {
+		for i, n := range ser.Note {
+			if n != "" {
+				t.Fatalf("%s: skew %g failed", ser.Label, ser.X[i])
+			}
+		}
+	}
+	for _, ser := range sw.Series[1:] {
+		for i := range rr.Y {
+			if ser.Y[i] > rr.Y[i]+1e-9 {
+				t.Fatalf("%s loses to round-robin at skew %g: %.3f vs %.3f",
+					ser.Label, rr.X[i], ser.Y[i], rr.Y[i])
+			}
+		}
+		last := len(rr.Y) - 1
+		if ser.Y[last] >= rr.Y[last] {
+			t.Fatalf("%s does not beat round-robin at the deepest skew: %.3f vs %.3f",
+				ser.Label, ser.Y[last], rr.Y[last])
+		}
+	}
+	t.Logf("\n%s", sw.Render())
+}
+
+// TestPolicyPrediction: the parity estimate the real engine is compared
+// against must be internally consistent and predict a real gap on the
+// canonical skewed stream.
+func TestPolicyPrediction(t *testing.T) {
+	est, err := PolicyPrediction([]int{1, 1, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RoundRobin <= 0 || est.LeastLoaded <= 0 {
+		t.Fatalf("incoherent estimate: %+v", est)
+	}
+	if est.Ratio >= 1 {
+		t.Fatalf("least-loaded predicted no win on the skewed stream: %+v", est)
+	}
+	if _, err := PolicyStreamMakespan([]int{1}, 3, "bogus"); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}

@@ -132,3 +132,56 @@ func BenchmarkClusterRecovery_Baseline(b *testing.B) {
 func BenchmarkClusterRecovery_Kill1(b *testing.B) {
 	benchClusterRecovery(b, 40*time.Millisecond)
 }
+
+// benchServiceStream measures the makespan of the heterogeneous three-job
+// stream on a 3-worker service: sequential admission (MaxConcurrent 1 —
+// every job has the pool to itself, back to back) against concurrent
+// admission under each placement policy. The concurrent makespans beat
+// sequential by overlapping one job's reduce/shuffle tail under the next
+// job's map wave — the multi-tenancy win the service exists for.
+// Snapshotted by scripts/bench.sh (multi-job section).
+func benchServiceStream(b *testing.B, maxConcurrent int, policy string) {
+	s, _ := serviceCluster(b, 3, mpexec.ServiceConfig{
+		MaxConcurrent: maxConcurrent, Policy: policy,
+	})
+	subs := threeJobs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		tickets := make([]*mpexec.Ticket, len(subs))
+		for j, sub := range subs {
+			tk, err := s.Submit(jobFor(sub.app), sub.input, sub.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tickets[j] = tk
+			if maxConcurrent == 1 {
+				if _, err := tk.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for _, tk := range tickets {
+			if _, err := tk.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(time.Since(start).Seconds()*1e3, "ms/stream")
+	}
+}
+
+func BenchmarkServiceStream3Jobs_Sequential(b *testing.B) {
+	benchServiceStream(b, 1, "")
+}
+
+func BenchmarkServiceStream3Jobs_ConcurrentRoundRobin(b *testing.B) {
+	benchServiceStream(b, 3, "round-robin")
+}
+
+func BenchmarkServiceStream3Jobs_ConcurrentLeastLoaded(b *testing.B) {
+	benchServiceStream(b, 3, "least-loaded")
+}
+
+func BenchmarkServiceStream3Jobs_ConcurrentLocality(b *testing.B) {
+	benchServiceStream(b, 3, "locality")
+}

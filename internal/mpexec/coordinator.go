@@ -16,7 +16,7 @@ import (
 	"blmr/internal/shuffle"
 )
 
-// Coordinator drives one multi-process job execution. It listens for worker
+// Coordinator drives multi-process job execution. It listens for worker
 // registrations, then schedules map and reduce tasks over the registered
 // workers through the same exec.Scheduler the in-process engine uses. By
 // default the two waves overlap: reduce tasks are dispatched at job start
@@ -29,25 +29,69 @@ import (
 // so one worker can carry a map task, a reduce task and segment pushes
 // concurrently.
 //
+// The coordinator is multi-tenant: RunJob calls may overlap, and every
+// admitted job runs on the same worker pool under its own job ID. Per-job
+// state (routes, active reduce tasks, spill accounting) lives in a jobRun;
+// the shared SlotPool in a JobConfig bounds cross-job per-worker
+// concurrency, and a pluggable exec.Policy places each job's tasks over
+// live-worker snapshots. Run is the single-job special case.
+//
 // Worker death is a non-event, not a job failure, as long as one worker
 // survives: a closed control connection or four missed heartbeats marks the
-// worker dead, the scheduler requeues its in-flight tasks on survivors, and
-// completed maps whose sealed runs died with the worker are re-executed —
-// with invalidation and supersede 'S' pushes re-routing any parked reduce
-// task to the new attempt's segments. exec.Options.Speculative additionally
-// clones straggler maps near the end of the wave; attempt IDs keep every
-// duplicate or re-executed route idempotent, so barrier output stays
-// byte-identical through churn (map tasks are deterministic: re-running one
-// on identical input yields identical output bytes).
+// worker dead, every admitted job's scheduler requeues its in-flight tasks
+// on survivors, and completed maps whose sealed runs died with the worker
+// are re-executed — with invalidation and supersede 'S' pushes re-routing
+// any parked reduce task to the new attempt's segments.
+// exec.Options.Speculative additionally clones straggler maps near the end
+// of the wave; attempt IDs keep every duplicate or re-executed route
+// idempotent, so barrier output stays byte-identical through churn (map
+// tasks are deterministic: re-running one on identical input yields
+// identical output bytes).
 type Coordinator struct {
 	ln net.Listener
 
 	mu      sync.Mutex
 	workers []*remoteWorker
-	routes  map[int]*mapRoute     // map task index -> its winning route
-	active  map[int]*remoteWorker // partition -> worker running its reduce
-	nMaps   int
-	sched   *exec.Scheduler // live during Run; WorkerLost target
+	jobs    map[int]*jobRun // admitted job id -> its run state
+	nextJob int
+
+	monMu   sync.Mutex // heartbeat monitor lifecycle (refcounted by jobs)
+	monRefs int
+	monStop chan struct{}
+}
+
+// JobConfig shapes one job's share of a multi-tenant worker pool. The zero
+// value reproduces the single-job defaults: one map slot per worker, the
+// whole reduce wave dispatched up front, no cross-job cap, work-stealing
+// dispatch.
+type JobConfig struct {
+	// MapSlots is the job's per-worker map concurrency share (default 1).
+	MapSlots int
+	// ReduceSlots is the job's per-worker reduce dispatch width. Default:
+	// 1 when Staged, else ceil(Reducers / live workers) — the whole wave in
+	// flight, overlapped reduce tasks being parked goroutines.
+	ReduceSlots int
+	// Pool, when set, bounds total running tasks per worker across every
+	// job sharing it. All jobs sharing a Pool see the same worker indexes
+	// (registration order), so the ledger lines up.
+	Pool *exec.SlotPool
+	// Policy, when set, routes this job's tasks over per-worker load
+	// snapshots (see exec.ParsePolicy). Nil keeps work-stealing dispatch.
+	Policy exec.Policy
+}
+
+// jobRun is one admitted job's coordinator-side state.
+type jobRun struct {
+	id    int
+	c     *Coordinator
+	name  string
+	nMaps int
+	jws   []*jobWorker // per-worker proxies, by worker registration index
+
+	// Under c.mu:
+	routes map[int]*mapRoute // map task index -> its winning route
+	active map[int]*jobWorker
+	sched  *exec.Scheduler
 }
 
 // mapRoute is one map task's current sealed-run location: the attempt that
@@ -61,9 +105,10 @@ type mapRoute struct {
 	valid   bool
 }
 
-// pendKey identifies one awaited reply: the reply kind ('m' or 'r') plus
-// the task id (map index or partition).
+// pendKey identifies one awaited reply: the job, the reply kind ('m' or
+// 'r'), and the task id (map index or partition).
 type pendKey struct {
+	job  int
 	kind byte
 	id   int
 }
@@ -74,9 +119,10 @@ type asyncReply struct {
 	err     error
 }
 
-// remoteWorker proxies one worker process as an exec.Worker. Writes are
-// serialized by wmu; replies are routed to awaiting callers by the reader
-// goroutine, so multiple tasks can be in flight on one connection.
+// remoteWorker proxies one worker process. Writes are serialized by wmu;
+// replies are routed to awaiting callers by the reader goroutine, so
+// multiple tasks — across multiple jobs — can be in flight on one
+// connection. Job-scoped scheduling state lives in jobWorker.
 type remoteWorker struct {
 	c    *Coordinator
 	id   int
@@ -94,15 +140,23 @@ type remoteWorker struct {
 	dead    chan struct{} // closed when the worker is declared dead
 	deadErr error
 
-	// per-worker aggregation (written under c.mu). spilled/rawSpilled sum
-	// per-task deltas for the CURRENT job (reset at job start); fetchDials
-	// is the worker pool's lifetime dial total from its last reply, with
-	// dialsBase snapshotting the previous jobs' share so a reused worker
-	// pool reports per-job dials.
+	// fetchDials is the worker pool's lifetime dial total from its latest
+	// reply (written under c.mu); jobs snapshot it at admission to report
+	// per-job dial deltas.
+	fetchDials int64
+}
+
+// jobWorker binds one remoteWorker into one job as an exec.Worker: it tags
+// every frame with the job ID and keeps the job's share of the worker's
+// spill/dial accounting. All fields beyond the bindings are under c.mu.
+type jobWorker struct {
+	j *jobRun
+	w *remoteWorker
+
 	spilledBytes    int64
 	rawSpilledBytes int64
-	fetchDials      int64
-	dialsBase       int64
+	dials           int64 // max lifetime dial count seen in this job's replies
+	dialsBase       int64 // lifetime dial count when the job was admitted
 }
 
 // Listen opens the coordinator's registration listener on an ephemeral
@@ -117,7 +171,7 @@ func ListenOn(bind string) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: listen: %w", err)
 	}
-	return &Coordinator{ln: ln, routes: make(map[int]*mapRoute), active: make(map[int]*remoteWorker)}, nil
+	return &Coordinator{ln: ln, jobs: make(map[int]*jobRun)}, nil
 }
 
 // Addr returns the address workers dial (pass it to Serve / -worker-coord).
@@ -185,8 +239,8 @@ func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
 }
 
 // Close severs every worker connection (after sending a best-effort bye)
-// and stops the listener. Workers exit when their control connection ends;
-// reader goroutines exit with their connections.
+// and stops the listener and heartbeat monitor. Workers exit when their
+// control connection ends; reader goroutines exit with their connections.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	ws := append([]*remoteWorker(nil), c.workers...)
@@ -198,101 +252,169 @@ func (c *Coordinator) Close() error {
 	return c.ln.Close()
 }
 
-// Run executes job over input across the registered workers and returns the
-// assembled result. opts follow mr.Options semantics; the transport is
-// forcibly the TCP run exchange (the only one that crosses process
-// boundaries). Workers that die mid-job (killed process, closed control
-// connection, missed heartbeats) have their tasks re-executed on survivors;
-// the job fails only when no live worker remains, a task exhausts its
-// attempt budget, or a task fails for a non-liveness reason.
+// Run executes one job by itself: RunJob with the zero config. Kept as the
+// single-tenant entry point the CLI batch mode and older tests use.
 func (c *Coordinator) Run(job exec.Job, input []core.Record, opts exec.Options) (*mr.Result, error) {
+	return c.RunJob(job, input, opts, JobConfig{})
+}
+
+// RunJob executes job over input across the registered workers and returns
+// the assembled result. opts follow mr.Options semantics; the transport is
+// forcibly the TCP run exchange (the only one that crosses process
+// boundaries). Concurrent RunJob calls share the pool: each admitted job
+// gets its own job ID, per-worker state and scheduler, while cfg's slot
+// shares, SlotPool and Policy arbitrate the shared workers. Workers that
+// die mid-job (killed process, closed control connection, missed
+// heartbeats) have their tasks re-executed on survivors; the job fails only
+// when no live worker remains, a task exhausts its attempt budget, or a
+// task fails for a non-liveness reason.
+func (c *Coordinator) RunJob(job exec.Job, input []core.Record, opts exec.Options, cfg JobConfig) (*mr.Result, error) {
 	opts.Transport = shuffle.TCP
 	opts.Normalize()
 	if err := mr.Validate(job, opts); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	var live []*remoteWorker
-	for _, w := range c.workers {
+	ws := append([]*remoteWorker(nil), c.workers...)
+	c.mu.Unlock()
+	live := 0
+	for _, w := range ws {
 		if !w.isDead() {
-			live = append(live, w)
+			live++
 		}
 	}
-	c.mu.Unlock()
-	if len(live) == 0 {
+	if live == 0 {
 		return nil, fmt.Errorf("mpexec: no live workers registered")
 	}
 	start := time.Now()
-	// Staged mode keeps PR 3's one reduce slot per worker (reduce tasks do
-	// all their work the moment they are dispatched). Overlapped reduce
-	// tasks spend the map runway parked on segment pushes — a blocked
-	// goroutine on the worker — so the whole reduce wave is dispatched up
-	// front, mirroring the in-process engine's all-partitions-concurrent
+	mapSlots := cfg.MapSlots
+	if mapSlots <= 0 {
+		mapSlots = 1
+	}
+	// Staged mode keeps one reduce slot per worker (reduce tasks do all
+	// their work the moment they are dispatched). Overlapped reduce tasks
+	// spend the map runway parked on segment pushes — a blocked goroutine
+	// on the worker — so the whole reduce wave is dispatched up front,
+	// mirroring the in-process engine's all-partitions-concurrent
 	// scheduling; reducers then consume each map's output the moment it is
 	// routed instead of queueing behind a single slot.
-	redSlots := 1
-	if !opts.Staged {
-		redSlots = (opts.Reducers + len(live) - 1) / len(live)
-	}
-	assignments := make([]exec.Assignment, len(live))
-	for i, w := range live {
-		assignments[i] = exec.Assignment{W: w, MapSlots: 1, ReduceSlots: redSlots}
+	redSlots := cfg.ReduceSlots
+	if redSlots <= 0 {
+		redSlots = 1
+		if !opts.Staged {
+			redSlots = (opts.Reducers + live - 1) / live
+		}
 	}
 	maps := exec.SplitMaps(input, opts.Mappers)
+
+	// Admit the job: assign its ID, build its per-worker proxies (every
+	// registered worker, in registration order, so concurrent jobs sharing
+	// a SlotPool index the same ledger slots; a dead worker's proxy fails
+	// dispatches fast and the scheduler routes around it), and register it
+	// for worker-lost fan-out.
+	c.mu.Lock()
+	id := c.nextJob
+	c.nextJob++
+	jr := &jobRun{
+		id: id, c: c, name: job.Name, nMaps: len(maps),
+		routes: make(map[int]*mapRoute, len(maps)),
+		active: make(map[int]*jobWorker),
+	}
+	jr.jws = make([]*jobWorker, len(ws))
+	assignments := make([]exec.Assignment, len(ws))
+	for i, w := range ws {
+		jw := &jobWorker{j: jr, w: w, dials: w.fetchDials, dialsBase: w.fetchDials}
+		jr.jws[i] = jw
+		assignments[i] = exec.Assignment{W: jw, MapSlots: mapSlots, ReduceSlots: redSlots}
+	}
 	// One scheduler drives both waves in both modes (Staged gates reduce
 	// dispatch internally), so worker-lost requeues and map resubmissions
 	// work identically during the map runway and the reduce tail.
-	sched := &exec.Scheduler{
+	jr.sched = &exec.Scheduler{
 		Workers:        assignments,
-		OnFail:         c.abort,
+		OnFail:         jr.abort,
 		Staged:         opts.Staged,
 		Speculate:      opts.Speculative,
 		SpeculateAfter: opts.SpeculativeThreshold,
+		Policy:         cfg.Policy,
+		Pool:           cfg.Pool,
+		Resident:       jr.resident,
 	}
-	c.mu.Lock()
-	c.routes = make(map[int]*mapRoute, len(maps))
-	c.active = make(map[int]*remoteWorker)
-	c.nMaps = len(maps)
-	c.sched = sched
-	for _, w := range live {
-		w.spilledBytes, w.rawSpilledBytes = 0, 0
-		w.dialsBase = w.fetchDials
-	}
+	c.jobs[id] = jr
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
-		c.sched = nil
+		delete(c.jobs, id)
 		c.mu.Unlock()
+		// Close the job on every worker (best-effort): its spill directory
+		// and sealed runs are removed once in-flight tasks drain.
+		end := binary.AppendUvarint(nil, uint64(id))
+		for _, w := range ws {
+			if !w.isDead() {
+				_ = w.send(msgJobEnd, end)
+			}
+		}
 	}()
-	// Open the job on every worker: resets worker-side per-job state (a
-	// latched abort, buffered pushes) left by a previous job on this pool.
-	// A worker whose connection is already broken fails here and is declared
-	// dead; its tasks go to the survivors.
-	for _, w := range live {
-		if err := w.send(msgJobStart, nil); err != nil {
+	// Open the job on every live worker: the 'J' frame names the user code
+	// and ships the option subset task bodies must agree on. A worker whose
+	// connection is already broken fails here and is declared dead; its
+	// tasks go to the survivors.
+	open := encodeJobStart(id, job.Name, opts)
+	for _, w := range ws {
+		if w.isDead() {
+			continue
+		}
+		if err := w.send(msgJobStart, open); err != nil {
 			w.die(fmt.Errorf("worker %s: open job: %w", w, err))
 		}
 	}
-	stopMon := make(chan struct{})
-	go c.monitor(opts.HeartbeatInterval, stopMon)
-	defer close(stopMon)
+	c.startMonitor(opts.HeartbeatInterval)
+	defer c.stopMonitor()
 
-	sum, err := sched.Run(maps, exec.ReduceTasks(opts.Reducers))
+	sum, err := jr.sched.Run(maps, exec.ReduceTasks(opts.Reducers))
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: job %q: %w", job.Name, err)
 	}
 
 	res := mr.Assemble(sum)
 	c.mu.Lock()
-	for _, w := range c.workers {
-		res.SpilledBytes += w.spilledBytes
-		res.RawSpillBytes += w.rawSpilledBytes
-		res.FetchDials += w.fetchDials - w.dialsBase
+	for _, jw := range jr.jws {
+		res.SpilledBytes += jw.spilledBytes
+		res.RawSpillBytes += jw.rawSpilledBytes
+		if jw.dials > jw.dialsBase {
+			// Approximate under concurrent jobs: the dial counter is the
+			// worker pool's lifetime total, so overlapping jobs may each
+			// claim a dial the other triggered (documented in DESIGN §12).
+			res.FetchDials += jw.dials - jw.dialsBase
+		}
 	}
 	c.mu.Unlock()
 	res.CompressedSpillBytes = res.SpilledBytes
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// startMonitor runs the heartbeat monitor while at least one job is
+// admitted: the first job starts it (with its heartbeat interval), the last
+// job's exit stops it.
+func (c *Coordinator) startMonitor(interval time.Duration) {
+	c.monMu.Lock()
+	defer c.monMu.Unlock()
+	c.monRefs++
+	if c.monRefs == 1 {
+		c.monStop = make(chan struct{})
+		go c.monitor(interval, c.monStop)
+	}
+}
+
+func (c *Coordinator) stopMonitor() {
+	c.monMu.Lock()
+	defer c.monMu.Unlock()
+	c.monRefs--
+	if c.monRefs == 0 {
+		close(c.monStop)
+		c.monStop = nil
+	}
 }
 
 // monitor closes the connection of any worker silent for four heartbeat
@@ -327,57 +449,91 @@ func (c *Coordinator) monitor(interval time.Duration, stop <-chan struct{}) {
 	}
 }
 
-// workerLost reacts to a worker's death: invalidate the routes it served,
-// tell every surviving reduce task to drop them (so fetches park instead of
-// erroring against a dead run-server), and hand the affected map indexes
-// back to the scheduler for re-execution. A no-op outside a run.
+// workerLost reacts to a worker's death, for every admitted job: invalidate
+// the routes it served, tell each job's surviving reduce tasks to drop them
+// (so fetches park instead of erroring against a dead run-server), and hand
+// the affected map indexes back to the job's scheduler for re-execution.
 func (c *Coordinator) workerLost(w *remoteWorker) {
-	c.mu.Lock()
-	sched := c.sched
-	if sched == nil {
-		c.mu.Unlock()
-		return
-	}
-	var affected []int
-	for m, rt := range c.routes {
-		if rt.valid && rt.w == w {
-			rt.valid = false
-			affected = append(affected, m)
-		}
-	}
 	type push struct {
-		w    *remoteWorker
+		jw   *jobWorker
 		part int
 	}
-	var pushes []push
-	for part, rw := range c.active {
-		if rw == w {
-			continue // its own reduce tasks requeue; nothing to re-route
+	type lostJob struct {
+		id       int
+		jw       *jobWorker // the dead worker's proxy in this job
+		sched    *exec.Scheduler
+		affected []int
+		pushes   []push
+	}
+	c.mu.Lock()
+	var lost []lostJob
+	for _, jr := range c.jobs {
+		lj := lostJob{id: jr.id, sched: jr.sched}
+		for m, rt := range jr.routes {
+			if rt.valid && rt.w == w {
+				rt.valid = false
+				lj.affected = append(lj.affected, m)
+			}
 		}
-		pushes = append(pushes, push{rw, part})
+		for part, ajw := range jr.active {
+			if ajw.w == w {
+				continue // its own reduce tasks requeue; nothing to re-route
+			}
+			lj.pushes = append(lj.pushes, push{ajw, part})
+		}
+		for _, jw := range jr.jws {
+			if jw.w == w {
+				lj.jw = jw
+				break
+			}
+		}
+		lost = append(lost, lj)
 	}
 	c.mu.Unlock()
-	sort.Ints(affected)
-	for _, p := range pushes {
-		for _, m := range affected {
-			_ = p.w.send(msgSegPush, encodeSegPush(p.part, m, -1, nil))
+	for _, lj := range lost {
+		sort.Ints(lj.affected)
+		for _, p := range lj.pushes {
+			for _, m := range lj.affected {
+				_ = p.jw.w.send(msgSegPush, encodeSegPush(lj.id, p.part, m, -1, nil))
+			}
+		}
+		if lj.jw != nil {
+			lj.sched.WorkerLost(lj.jw, lj.affected)
 		}
 	}
-	sched.WorkerLost(w, affected)
 }
 
-// abort tells every worker to fail its in-flight reduce sources (the
+// abort tells every worker to fail this job's in-flight reduce sources (the
 // scheduler's OnFail): reduce tasks blocked waiting for segment pushes that
 // will never come wake up and error out, so a genuine task failure drains
-// the job promptly instead of wedging the overlap.
-func (c *Coordinator) abort(err error) {
-	msg := putStr(nil, err.Error())
-	c.mu.Lock()
-	ws := append([]*remoteWorker(nil), c.workers...)
-	c.mu.Unlock()
-	for _, w := range ws {
-		_ = w.send(msgAbort, msg) // best-effort; dead workers are already failing
+// the job promptly instead of wedging the overlap. Other jobs on the pool
+// are untouched.
+func (jr *jobRun) abort(err error) {
+	msg := binary.AppendUvarint(nil, uint64(jr.id))
+	msg = putStr(msg, err.Error())
+	for _, jw := range jr.jws {
+		_ = jw.w.send(msgAbort, msg) // best-effort; dead workers are already failing
 	}
+}
+
+// resident reports how many of this job's valid map routes worker w owns —
+// the locality policy's signal for placing reduce tasks next to the sealed
+// runs they will fetch.
+func (jr *jobRun) resident(w int, _ exec.TaskView) int {
+	c := jr.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w < 0 || w >= len(jr.jws) {
+		return 0
+	}
+	rw := jr.jws[w].w
+	n := 0
+	for _, rt := range jr.routes {
+		if rt.valid && rt.w == rw {
+			n++
+		}
+	}
+	return n
 }
 
 // routedSegs snapshots partition r's segments of every completed map with a
@@ -385,10 +541,10 @@ func (c *Coordinator) abort(err error) {
 // stable merge reproduces the single-process engine byte for byte.
 // Invalidated maps are omitted: their replacement attempt arrives as a
 // supersede push. Callers hold c.mu.
-func (c *Coordinator) routedSegs(r int) []mapSegs {
+func (jr *jobRun) routedSegs(r int) []mapSegs {
 	var routed []mapSegs
-	for m := 0; m < c.nMaps; m++ {
-		rt, ok := c.routes[m]
+	for m := 0; m < jr.nMaps; m++ {
+		rt, ok := jr.routes[m]
 		if !ok || !rt.valid {
 			continue
 		}
@@ -423,8 +579,8 @@ func (w *remoteWorker) isDead() bool {
 
 // readLoop routes every reply frame from the worker to its awaiting task
 // until the connection ends, at which point the worker is declared dead:
-// in-flight and future awaits fail with a WorkerLostError and the
-// coordinator re-executes what the worker was serving.
+// in-flight and future awaits fail with a WorkerLostError and every
+// admitted job re-executes what the worker was serving.
 func (w *remoteWorker) readLoop() {
 	for {
 		typ, payload, err := readMsg(w.br)
@@ -439,19 +595,20 @@ func (w *remoteWorker) readLoop() {
 			// Liveness only; lastBeat already updated.
 		case msgMapDone, msgReduceDone:
 			d := &dec{buf: payload}
+			job := int(d.uvarint())
 			id := int(d.uvarint())
 			if d.err != nil {
 				w.die(fmt.Errorf("corrupt reply: %w", d.err))
 				return
 			}
-			w.deliver(pendKey{typ, id}, asyncReply{payload: payload})
+			w.deliver(pendKey{job, typ, id}, asyncReply{payload: payload})
 		case msgError:
-			kind, id, msg, err := decodeTaskError(payload)
+			job, kind, id, msg, err := decodeTaskError(payload)
 			if err != nil {
 				w.die(fmt.Errorf("corrupt error frame: %w", err))
 				return
 			}
-			w.deliver(pendKey{kind, id}, asyncReply{err: fmt.Errorf("%s: %s", w, msg)})
+			w.deliver(pendKey{job, kind, id}, asyncReply{err: fmt.Errorf("%s: %s", w, msg)})
 		default:
 			w.die(fmt.Errorf("unexpected frame %q", typ))
 			return
@@ -535,17 +692,27 @@ func (w *remoteWorker) call(typ byte, payload []byte, key pendKey) ([]byte, erro
 	return w.await(ch)
 }
 
+// String implements exec.Worker.
+func (jw *jobWorker) String() string { return jw.w.String() }
+
 // RunMap implements exec.Worker: ship the split, collect sealed-run
-// metadata, and push the new routes to every in-flight reduce task. A
-// completion that lost a speculation race (a valid route from another
-// attempt already exists) is discarded; a completion racing the worker's
-// own death is returned as worker-lost so the scheduler re-executes it
-// somewhere the sealed runs will stay fetchable.
-func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
-	b := binary.AppendUvarint(nil, uint64(t.Index))
+// metadata, and push the new routes to every in-flight reduce task of this
+// job. A completion that lost a speculation race (a valid route from
+// another attempt already exists) is discarded; a completion racing the
+// worker's own death is returned as worker-lost so the scheduler
+// re-executes it somewhere the sealed runs will stay fetchable.
+func (jw *jobWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
+	w, jr, c := jw.w, jw.j, jw.w.c
+	if w.isDead() {
+		// A job admitted after this worker died still lists it (stable pool
+		// indexes); fail the dispatch fast so the scheduler routes around it.
+		return exec.MapStats{}, w.lost(w.deadErr)
+	}
+	b := binary.AppendUvarint(nil, uint64(jr.id))
+	b = binary.AppendUvarint(b, uint64(t.Index))
 	b = binary.AppendUvarint(b, uint64(t.Attempt))
 	b = putRecords(b, t.Split)
-	payload, err := w.call(msgMapTask, b, pendKey{msgMapDone, t.Index})
+	payload, err := w.call(msgMapTask, b, pendKey{jr.id, msgMapDone, t.Index})
 	if err != nil {
 		return exec.MapStats{}, err
 	}
@@ -553,11 +720,10 @@ func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	if err != nil {
 		return exec.MapStats{}, fmt.Errorf("%s: %w", w, err)
 	}
-	if md.index != t.Index || md.attempt != t.Attempt {
-		return exec.MapStats{}, fmt.Errorf("%s: map reply for task %d attempt %d, want %d/%d",
-			w, md.index, md.attempt, t.Index, t.Attempt)
+	if md.job != jr.id || md.index != t.Index || md.attempt != t.Attempt {
+		return exec.MapStats{}, fmt.Errorf("%s: map reply for job %d task %d attempt %d, want %d/%d/%d",
+			w, md.job, md.index, md.attempt, jr.id, t.Index, t.Attempt)
 	}
-	c := w.c
 	c.mu.Lock()
 	if w.isDead() {
 		// The worker died in the instant after replying: its run-server is
@@ -565,57 +731,60 @@ func (w *remoteWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 		c.mu.Unlock()
 		return exec.MapStats{}, w.lost(fmt.Errorf("died before routing map %d", t.Index))
 	}
-	w.spilledBytes += md.spilledBytes
-	w.rawSpilledBytes += md.rawSpilledBytes
-	if rt, ok := c.routes[t.Index]; ok && rt.valid {
+	jw.spilledBytes += md.spilledBytes
+	jw.rawSpilledBytes += md.rawSpilledBytes
+	if rt, ok := jr.routes[t.Index]; ok && rt.valid {
 		// A concurrent attempt won (speculation, or a requeue racing a
 		// still-running clone): keep the winner's route, drop this one.
 		c.mu.Unlock()
 		return exec.MapStats{ShuffleRecords: md.shuffleRecords, Spills: md.spills}, nil
 	}
-	c.routes[t.Index] = &mapRoute{w: w, attempt: t.Attempt, waves: md.waves, valid: true}
-	// Route the completed map to every reduce task currently in flight —
-	// the streamed 'm' metadata that lets reducers start fetching while
-	// later maps are still running. Reduce tasks dispatched after this
-	// moment get the map in their 'R' snapshot instead (both under c.mu,
-	// so each reduce task sees every map exactly once per attempt).
+	jr.routes[t.Index] = &mapRoute{w: w, attempt: t.Attempt, waves: md.waves, valid: true}
+	// Route the completed map to every reduce task of this job currently in
+	// flight — the streamed 'm' metadata that lets reducers start fetching
+	// while later maps are still running. Reduce tasks dispatched after
+	// this moment get the map in their 'R' snapshot instead (both under
+	// c.mu, so each reduce task sees every map exactly once per attempt).
 	type push struct {
-		w    *remoteWorker
+		jw   *jobWorker
 		part int
 	}
 	var pushes []push
-	for part, rw := range c.active {
-		pushes = append(pushes, push{rw, part})
+	for part, ajw := range jr.active {
+		pushes = append(pushes, push{ajw, part})
 	}
 	c.mu.Unlock()
 	for _, p := range pushes {
-		_ = p.w.send(msgSegPush, encodeSegPush(p.part, t.Index, t.Attempt, segsForPartition(md.waves, p.part)))
+		_ = p.jw.w.send(msgSegPush, encodeSegPush(jr.id, p.part, t.Index, t.Attempt, segsForPartition(md.waves, p.part)))
 	}
 	return exec.MapStats{ShuffleRecords: md.shuffleRecords, Spills: md.spills}, nil
 }
 
 // RunReduce implements exec.Worker: ship the partition's routing snapshot
 // (later maps arrive as pushes), collect output records.
-func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
-	c := w.c
+func (jw *jobWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
+	w, jr, c := jw.w, jw.j, jw.w.c
+	if w.isDead() {
+		return exec.ReduceResult{}, w.lost(w.deadErr)
+	}
 	c.mu.Lock()
-	nMaps := c.nMaps
-	routed := c.routedSegs(t.Partition)
-	c.active[t.Partition] = w
+	routed := jr.routedSegs(t.Partition)
+	jr.active[t.Partition] = jw
 	c.mu.Unlock()
 	defer func() {
 		c.mu.Lock()
-		if c.active[t.Partition] == w {
-			delete(c.active, t.Partition)
+		if jr.active[t.Partition] == jw {
+			delete(jr.active, t.Partition)
 		}
 		c.mu.Unlock()
 	}()
-	payload, err := w.call(msgReduceTask, encodeReduceTask(t.Partition, nMaps, routed),
-		pendKey{msgReduceDone, t.Partition})
+	payload, err := w.call(msgReduceTask, encodeReduceTask(jr.id, t.Partition, jr.nMaps, routed),
+		pendKey{jr.id, msgReduceDone, t.Partition})
 	if err != nil {
 		return exec.ReduceResult{}, err
 	}
 	d := &dec{buf: payload}
+	job := int(d.uvarint())
 	partition := int(d.uvarint())
 	res := exec.ReduceResult{
 		Spills:           int(d.uvarint()),
@@ -630,16 +799,20 @@ func (w *remoteWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	if d.err != nil {
 		return exec.ReduceResult{}, fmt.Errorf("%s: %w", w, d.err)
 	}
-	if partition != t.Partition {
-		return exec.ReduceResult{}, fmt.Errorf("%s: reduce reply for partition %d, want %d", w, partition, t.Partition)
+	if job != jr.id || partition != t.Partition {
+		return exec.ReduceResult{}, fmt.Errorf("%s: reduce reply for job %d partition %d, want %d/%d",
+			w, job, partition, jr.id, t.Partition)
 	}
 	c.mu.Lock()
-	w.spilledBytes += spilledBytes
-	w.rawSpilledBytes += rawSpilledBytes
+	jw.spilledBytes += spilledBytes
+	jw.rawSpilledBytes += rawSpilledBytes
 	if dials > w.fetchDials {
-		// The worker reports its pool's lifetime dial count; the latest
-		// value is the worker's job total.
+		// The worker reports its pool's lifetime dial count; keep the
+		// monotonic maximum for later jobs' baselines.
 		w.fetchDials = dials
+	}
+	if dials > jw.dials {
+		jw.dials = dials
 	}
 	c.mu.Unlock()
 	return res, nil

@@ -77,9 +77,37 @@ func testOpts() blexec.Options {
 	return opts
 }
 
+// testResolver is the multi-tenant worker's job registry: every app the
+// service tests submit, resolved by name, with the same env-driven
+// slowdowns testJob applies.
+func testResolver() mpexec.JobResolver {
+	reg := map[string]blexec.Job{}
+	for _, app := range []apps.App{apps.WordCount(), apps.Sort(), apps.Grep("the")} {
+		job := jobFor(app)
+		if os.Getenv("MPEXEC_SLOW") != "" {
+			inner := job.Mapper
+			job.Mapper = core.MapperFunc(func(k, v string, emit core.Emitter) {
+				time.Sleep(2 * time.Millisecond)
+				inner.Map(k, v, emit)
+			})
+		}
+		reg[app.Name] = job
+	}
+	return func(name string) (blexec.Job, bool) {
+		j, ok := reg[name]
+		return j, ok
+	}
+}
+
 func TestMain(m *testing.M) {
 	if addr := os.Getenv("MPEXEC_WORKER"); addr != "" {
-		if err := mpexec.Serve(addr, testJob(), testOpts()); err != nil {
+		var err error
+		if os.Getenv("MPEXEC_REGISTRY") != "" {
+			err = mpexec.ServeJobs(addr, testResolver(), testOpts())
+		} else {
+			err = mpexec.Serve(addr, testJob(), testOpts())
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}

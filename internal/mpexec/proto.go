@@ -25,30 +25,42 @@
 //	frame:       type byte | payloadLen | payload
 //	'H' hello:   runServerAddr | workerName           (worker -> coord)
 //	'h' beat:    (empty)                              (worker -> coord)
-//	'J' job:     (empty)                              (coord -> worker)
-//	'M' map:     index | attempt | recordCount | codec records
+//	'J' job:     job | name | mode | reducers | spillBytes | spillThreshold |
+//	             kvCacheBytes | mergeFanIn | batchSize | combineKeys |
+//	             queueCap | store | compression       (coord -> worker)
+//	'j' jobEnd:  job                                  (coord -> worker)
+//	'M' map:     job | index | attempt | recordCount | codec records
 //	                                                  (coord -> worker)
-//	'm' mapDone: index | attempt | shuffleRecords | spills | spilledBytes |
-//	             rawSpilledBytes |
+//	'm' mapDone: job | index | attempt | shuffleRecords | spills |
+//	             spilledBytes | rawSpilledBytes |
 //	             waveCount | { fileID | comp | spanCount | { off | n } }
-//	'R' reduce:  partition | nMaps |
+//	'R' reduce:  job | partition | nMaps |
 //	             mapCount | { mapIndex | attempt | segCount |
 //	                          { addr | fileID | off | n | comp } }
-//	'S' segPush: partition | mapIndex | attempt+1 | segCount | { segment }
-//	                                                  (coord -> worker)
-//	'r' redDone: partition | spills | peakPartialBytes | mergePasses |
+//	'S' segPush: job | partition | mapIndex | attempt+1 | segCount |
+//	             { segment }                          (coord -> worker)
+//	'r' redDone: job | partition | spills | peakPartialBytes | mergePasses |
 //	             spilledBytes | rawSpilledBytes | fetchBytes | fetchDials |
 //	             recordCount | codec records
-//	'E' error:   replyKind byte ('m'|'r') | id | message (worker -> coord)
-//	'F' abort:   message                               (coord -> worker)
-//	'B' bye:     (empty)                               (coord -> worker)
+//	'E' error:   job | replyKind byte ('m'|'r') | id | message
+//	                                                  (worker -> coord)
+//	'F' abort:   job | message                        (coord -> worker)
+//	'B' bye:     (empty)                              (coord -> worker)
 //
-// 'J' opens a job: workers reset per-job state (a latched abort, buffered
-// pushes) so one worker pool serves many sequential jobs. 'R' carries the
+// The coordinator is multi-tenant: every job-scoped frame leads with the
+// coordinator-assigned job ID, so one worker pool carries several admitted
+// jobs concurrently with no cross-talk — each job gets its own worker-side
+// state (spill directory, reduce sources, buffered pushes, latched abort).
+// 'J' opens a job on the worker: it names the user code (resolved from the
+// worker's job registry — both sides are launched from the same binary) and
+// ships the task-body option subset that must match the coordinator
+// (mode, partition count, spill budget, codec, ...), so heterogeneous jobs
+// can share one pool. 'j' closes it: the worker drops the job's state and
+// removes its sealed runs once in-flight tasks drain. 'R' carries the
 // routing snapshot of every map already completed at dispatch; one 'S'
 // follows for each map that completes afterwards (empty segment lists
 // included — the reduce task counts distinct maps to know when its routing
-// table is sealed). 'F' aborts every running reduce task's source, the
+// table is sealed). 'F' aborts the job's running reduce sources, the
 // cross-process mirror of a transport Fail. comp is the
 // wave/segment's sealed-run codec (codec.Compression): sealed runs travel
 // compressed between workers' run-servers and decompress only at the
@@ -77,7 +89,9 @@ import (
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
+	"blmr/internal/exec"
 	"blmr/internal/shuffle"
+	"blmr/internal/store"
 )
 
 // Message types.
@@ -85,6 +99,7 @@ const (
 	msgHello      = 'H'
 	msgHeartbeat  = 'h'
 	msgJobStart   = 'J'
+	msgJobEnd     = 'j'
 	msgMapTask    = 'M'
 	msgMapDone    = 'm'
 	msgReduceTask = 'R'
@@ -197,6 +212,46 @@ func putRecords(b []byte, recs []core.Record) []byte {
 	return codec.AppendRecords(b, recs)
 }
 
+// encodeJobStart frames the 'J' that opens job id on a worker: the job's
+// registry name plus the task-body option subset both sides must agree on.
+func encodeJobStart(id int, name string, o exec.Options) []byte {
+	b := binary.AppendUvarint(nil, uint64(id))
+	b = putStr(b, name)
+	b = binary.AppendUvarint(b, uint64(o.Mode))
+	b = binary.AppendUvarint(b, uint64(o.Reducers))
+	b = binary.AppendUvarint(b, uint64(o.SpillBytes))
+	b = binary.AppendUvarint(b, uint64(o.SpillThresholdBytes))
+	b = binary.AppendUvarint(b, uint64(o.KVCacheBytes))
+	b = binary.AppendUvarint(b, uint64(o.MergeFanIn))
+	b = binary.AppendUvarint(b, uint64(o.BatchSize))
+	b = binary.AppendUvarint(b, uint64(o.CombineKeys))
+	b = binary.AppendUvarint(b, uint64(o.QueueCap))
+	b = binary.AppendUvarint(b, uint64(o.Store))
+	b = binary.AppendUvarint(b, uint64(o.Compression))
+	return b
+}
+
+// decodeJobStart unpacks a 'J' frame into the job id, registry name, and a
+// patch over the worker's base options.
+func decodeJobStart(payload []byte, base exec.Options) (id int, name string, o exec.Options, err error) {
+	d := &dec{buf: payload}
+	id = int(d.uvarint())
+	name = d.str()
+	o = base
+	o.Mode = exec.Mode(d.uvarint())
+	o.Reducers = int(d.uvarint())
+	o.SpillBytes = int64(d.uvarint())
+	o.SpillThresholdBytes = int64(d.uvarint())
+	o.KVCacheBytes = int64(d.uvarint())
+	o.MergeFanIn = int(d.uvarint())
+	o.BatchSize = int(d.uvarint())
+	o.CombineKeys = int(d.uvarint())
+	o.QueueCap = int(d.uvarint())
+	o.Store = store.Kind(d.uvarint())
+	o.Compression = codec.Compression(d.uvarint())
+	return id, name, o, d.err
+}
+
 // waveMeta is one sealed wave's location as the coordinator tracks it.
 type waveMeta struct {
 	addr   string
@@ -216,6 +271,7 @@ func (w waveMeta) segmentOf(r int) (shuffle.Segment, bool) {
 
 // mapDone carries one completed map task's stats alongside its waves.
 type mapDone struct {
+	job             int
 	index           int
 	attempt         int
 	shuffleRecords  int64
@@ -225,8 +281,9 @@ type mapDone struct {
 	waves           []waveMeta
 }
 
-func encodeMapDone(index, attempt int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes int64, waves []shuffle.Wave) []byte {
-	b := binary.AppendUvarint(nil, uint64(index))
+func encodeMapDone(job, index, attempt int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes int64, waves []shuffle.Wave) []byte {
+	b := binary.AppendUvarint(nil, uint64(job))
+	b = binary.AppendUvarint(b, uint64(index))
 	b = binary.AppendUvarint(b, uint64(attempt))
 	b = binary.AppendUvarint(b, uint64(shuffleRecords))
 	b = binary.AppendUvarint(b, uint64(spills))
@@ -248,6 +305,7 @@ func encodeMapDone(index, attempt int, shuffleRecords int64, spills int, spilled
 func decodeMapDone(payload []byte, addr string) (mapDone, error) {
 	d := &dec{buf: payload}
 	md := mapDone{
+		job:             int(d.uvarint()),
 		index:           int(d.uvarint()),
 		attempt:         int(d.uvarint()),
 		shuffleRecords:  int64(d.uvarint()),
@@ -305,8 +363,9 @@ type mapSegs struct {
 	segs     []shuffle.Segment
 }
 
-func encodeReduceTask(partition, nMaps int, routed []mapSegs) []byte {
-	b := binary.AppendUvarint(nil, uint64(partition))
+func encodeReduceTask(job, partition, nMaps int, routed []mapSegs) []byte {
+	b := binary.AppendUvarint(nil, uint64(job))
+	b = binary.AppendUvarint(b, uint64(partition))
 	b = binary.AppendUvarint(b, uint64(nMaps))
 	b = binary.AppendUvarint(b, uint64(len(routed)))
 	for _, ms := range routed {
@@ -317,8 +376,9 @@ func encodeReduceTask(partition, nMaps int, routed []mapSegs) []byte {
 	return b
 }
 
-func decodeReduceTask(payload []byte) (partition, nMaps int, routed []mapSegs, err error) {
+func decodeReduceTask(payload []byte) (job, partition, nMaps int, routed []mapSegs, err error) {
 	d := &dec{buf: payload}
+	job = int(d.uvarint())
 	partition = int(d.uvarint())
 	nMaps = int(d.uvarint())
 	n := d.uvarint()
@@ -327,43 +387,51 @@ func decodeReduceTask(payload []byte) (partition, nMaps int, routed []mapSegs, e
 		ms.segs = d.segs()
 		routed = append(routed, ms)
 	}
-	return partition, nMaps, routed, d.err
+	return job, partition, nMaps, routed, d.err
 }
 
 // encodeSegPush frames one routing push. attempt == -1 encodes an
 // invalidation (wire value 0; segs must be nil).
-func encodeSegPush(partition, mapIndex, attempt int, segs []shuffle.Segment) []byte {
-	b := binary.AppendUvarint(nil, uint64(partition))
+func encodeSegPush(job, partition, mapIndex, attempt int, segs []shuffle.Segment) []byte {
+	b := binary.AppendUvarint(nil, uint64(job))
+	b = binary.AppendUvarint(b, uint64(partition))
 	b = binary.AppendUvarint(b, uint64(mapIndex))
 	b = binary.AppendUvarint(b, uint64(attempt+1))
 	return putSegs(b, segs)
 }
 
-func decodeSegPush(payload []byte) (partition, mapIndex, attempt int, segs []shuffle.Segment, err error) {
+func decodeSegPush(payload []byte) (job, partition, mapIndex, attempt int, segs []shuffle.Segment, err error) {
 	d := &dec{buf: payload}
+	job = int(d.uvarint())
 	partition = int(d.uvarint())
 	mapIndex = int(d.uvarint())
 	attempt = int(d.uvarint()) - 1
 	segs = d.segs()
-	return partition, mapIndex, attempt, segs, d.err
+	return job, partition, mapIndex, attempt, segs, d.err
 }
 
-// encodeTaskError frames a worker-side task failure: the reply kind the
-// coordinator is awaiting ('m' or 'r'), the task id, and the message.
-func encodeTaskError(replyKind byte, id int, msg string) []byte {
-	b := []byte{replyKind}
+// encodeTaskError frames a worker-side task failure: the job, the reply
+// kind the coordinator is awaiting ('m' or 'r'), the task id, and the
+// message.
+func encodeTaskError(job int, replyKind byte, id int, msg string) []byte {
+	b := binary.AppendUvarint(nil, uint64(job))
+	b = append(b, replyKind)
 	b = binary.AppendUvarint(b, uint64(id))
 	return putStr(b, msg)
 }
 
-func decodeTaskError(payload []byte) (replyKind byte, id int, msg string, err error) {
+func decodeTaskError(payload []byte) (job int, replyKind byte, id int, msg string, err error) {
 	d := &dec{buf: payload}
-	if len(d.buf) == 0 {
-		return 0, 0, "", fmt.Errorf("mpexec: empty error frame")
+	job = int(d.uvarint())
+	if d.err == nil && d.off >= len(d.buf) {
+		d.err = fmt.Errorf("mpexec: truncated error frame")
 	}
-	replyKind = d.buf[0]
-	d.off = 1
+	if d.err != nil {
+		return 0, 0, 0, "", d.err
+	}
+	replyKind = d.buf[d.off]
+	d.off++
 	id = int(d.uvarint())
 	msg = d.str()
-	return replyKind, id, msg, d.err
+	return job, replyKind, id, msg, d.err
 }

@@ -1,0 +1,241 @@
+package mpexec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"blmr/internal/core"
+	"blmr/internal/exec"
+	"blmr/internal/mr"
+)
+
+// Service is the long-running, multi-tenant face of the multi-process
+// engine: one Coordinator, one worker pool, and a stream of submitted jobs.
+// Admission control is a bounded queue (a full queue rejects instead of
+// buffering unboundedly) feeding a dispatcher that keeps at most
+// MaxConcurrent jobs running; every admitted job gets its per-worker slot
+// shares, the shared cross-job SlotPool, and a fresh instance of the
+// configured placement policy. Close drains: already-admitted jobs run to
+// completion, new submissions are refused.
+//
+// Per-job isolation is inherited from the coordinator's job IDs: each job's
+// control frames, worker-side spill directories, reduce sources and abort
+// latch are its own, so a failing (or churn-hit) job cannot corrupt a
+// neighbor, and every job's barrier output stays byte-identical to the
+// single-process engine's.
+
+// Service errors distinguish "try later" from "gone".
+var (
+	// ErrQueueFull rejects a submission when the admission queue is at
+	// capacity — backpressure, not failure; the caller may retry.
+	ErrQueueFull = errors.New("mpexec: admission queue full")
+	// ErrServiceClosed rejects submissions after Close began draining.
+	ErrServiceClosed = errors.New("mpexec: service closed")
+)
+
+// ServiceConfig shapes the service's admission and sharing behavior. The
+// zero value is usable: see the field defaults.
+type ServiceConfig struct {
+	// MaxQueued bounds the admission queue (default 16).
+	MaxQueued int
+	// MaxConcurrent bounds simultaneously running jobs (default 2).
+	MaxConcurrent int
+	// MapShare is each job's per-worker map slots (default 1).
+	MapShare int
+	// ReduceShare is each job's per-worker reduce dispatch width
+	// (default 0 = auto: the whole wave up front, or 1 when staged).
+	ReduceShare int
+	// PoolMapSlots caps running map tasks per worker across all jobs
+	// (default MaxConcurrent*MapShare — full shares for everyone; a
+	// negative value removes the cap).
+	PoolMapSlots int
+	// PoolReduceSlots caps running reduce tasks per worker across all jobs
+	// (default 0 = unlimited: overlapped reduce tasks are mostly parked
+	// goroutines, not CPU work).
+	PoolReduceSlots int
+	// Policy names the placement policy every job runs under (see
+	// exec.PolicyNames; "" = work-stealing dispatch). Each job gets a
+	// fresh instance, so stateful policies (round-robin cursors) don't
+	// leak placement across jobs.
+	Policy string
+}
+
+func (c *ServiceConfig) normalize() {
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 16
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.MapShare <= 0 {
+		c.MapShare = 1
+	}
+	if c.ReduceShare < 0 {
+		c.ReduceShare = 0
+	}
+	switch {
+	case c.PoolMapSlots < 0:
+		c.PoolMapSlots = 0 // explicit "no cap"
+	case c.PoolMapSlots == 0:
+		c.PoolMapSlots = c.MaxConcurrent * c.MapShare
+	}
+	if c.PoolReduceSlots < 0 {
+		c.PoolReduceSlots = 0
+	}
+}
+
+// Ticket is one submitted job's handle. The submitter blocks on Wait (or
+// selects on Done) for the result; tickets resolve in completion order, not
+// submission order.
+type Ticket struct {
+	// ID is the service-assigned submission number (dense, from 0).
+	ID int
+
+	job   exec.Job
+	input []core.Record
+	opts  exec.Options
+
+	done chan struct{}
+	res  *mr.Result
+	err  error
+}
+
+// Done is closed when the job completes (either way).
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks for the job's result.
+func (t *Ticket) Wait() (*mr.Result, error) {
+	<-t.done
+	return t.res, t.err
+}
+
+// Service runs a stream of jobs on one coordinator's worker pool.
+type Service struct {
+	coord *Coordinator
+	cfg   ServiceConfig
+	pool  *exec.SlotPool
+
+	queue    chan *Ticket
+	dispDone chan struct{}
+	wg       sync.WaitGroup // running jobs
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  int
+	running int
+}
+
+// NewService starts a job service over the coordinator's worker pool.
+// workers is the pool size the cross-job slot ledger covers — pass the
+// number of workers the coordinator waits for (workers registering later
+// are scheduled but not slot-capped). The config's policy name is
+// validated here so a bad -policy fails at startup, not per job.
+func NewService(c *Coordinator, workers int, cfg ServiceConfig) (*Service, error) {
+	cfg.normalize()
+	if _, err := exec.ParsePolicy(cfg.Policy); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		coord:    c,
+		cfg:      cfg,
+		pool:     exec.NewSlotPool(workers, cfg.PoolMapSlots, cfg.PoolReduceSlots),
+		queue:    make(chan *Ticket, cfg.MaxQueued),
+		dispDone: make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// Submit admits one job, never blocking: a full queue returns ErrQueueFull
+// (backpressure) and a draining service returns ErrServiceClosed. The
+// returned ticket resolves when the job completes.
+func (s *Service) Submit(job exec.Job, input []core.Record, opts exec.Options) (*Ticket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrServiceClosed
+	}
+	t := &Ticket{ID: s.nextID, job: job, input: input, opts: opts, done: make(chan struct{})}
+	select {
+	case s.queue <- t:
+		s.nextID++
+		return t, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Stats reports the queue depth and running job count, for admission
+// decisions and tests.
+func (s *Service) Stats() (queued, running int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), s.running
+}
+
+// Close drains the service: no new submissions, every already-admitted job
+// (queued or running) completes, then Close returns. The coordinator stays
+// open — callers own its lifecycle.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.dispDone
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	<-s.dispDone
+	s.wg.Wait()
+}
+
+// dispatch admits queued jobs up to the concurrency bound, each in its own
+// runner goroutine, until the queue closes and drains.
+func (s *Service) dispatch() {
+	defer close(s.dispDone)
+	sem := make(chan struct{}, s.cfg.MaxConcurrent)
+	for {
+		// Claim the run slot before dequeuing: a ticket leaves the queue
+		// only when it can start, so MaxQueued is a strict admission bound
+		// (no hidden +1 sitting in the dispatcher's hand).
+		sem <- struct{}{}
+		t, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		s.running++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func(t *Ticket) {
+			defer func() {
+				<-sem
+				s.mu.Lock()
+				s.running--
+				s.mu.Unlock()
+				s.wg.Done()
+			}()
+			s.run(t)
+		}(t)
+	}
+}
+
+// run executes one admitted job under the service's sharing config.
+func (s *Service) run(t *Ticket) {
+	policy, err := exec.ParsePolicy(s.cfg.Policy) // fresh instance per job
+	if err != nil {
+		t.err = fmt.Errorf("mpexec: job %d: %w", t.ID, err)
+		close(t.done)
+		return
+	}
+	t.res, t.err = s.coord.RunJob(t.job, t.input, t.opts, JobConfig{
+		MapSlots:    s.cfg.MapShare,
+		ReduceSlots: s.cfg.ReduceShare,
+		Pool:        s.pool,
+		Policy:      policy,
+	})
+	close(t.done)
+}

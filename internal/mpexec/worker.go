@@ -15,28 +15,40 @@ import (
 	"blmr/internal/shuffle"
 )
 
-// Serve is a worker process's main loop: dial the coordinator, start a
-// run-server over a fresh local spill directory, register, and execute
-// tasks until the coordinator says bye or the connection ends. job must be
-// the same user code the driver was configured with (both sides of the
-// multi-process mode are launched from the same binary and flags); opts
-// carry the task-body knobs (mode, reducers, spill budget, merge fan-in).
-//
-// Tasks run concurrently: the read loop dispatches each map and reduce
-// task to its own goroutine (the coordinator bounds concurrency with its
-// slot counts) and keeps routing 'S' segment pushes to in-flight reduce
-// sources, so a reduce task fetches and consumes sealed runs while this
-// worker — and every other — is still mapping. Section fetches from peer
-// run-servers go through one shared FetchPool: one multiplexed connection
-// per peer, reused across sections and tasks.
-//
-// Map tasks seal every output wave into the local run directory and
-// register it with the run-server; reduce tasks fetch their partition's
-// segments from whichever workers' servers hold them. All spill files are
-// removed when Serve returns.
+// JobResolver maps a job's registry name (exec.Job.Name, shipped in the 'J'
+// frame) to the user code a worker should run for it. Both sides of the
+// multi-process mode are launched from the same binary, so the resolver is
+// how a multi-tenant worker pool serves heterogeneous jobs: the coordinator
+// ships the name and the option subset, the worker supplies the functions.
+type JobResolver func(name string) (exec.Job, bool)
+
+// Serve is a worker process's main loop for a single-app pool: every job
+// the coordinator opens resolves to the given user code, whatever its name.
+// See ServeJobs for the general form.
 func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
-	opts.Transport = shuffle.TCP // workers always exchange sealed runs
-	opts.Normalize()
+	return ServeJobs(coordAddr, func(string) (exec.Job, bool) { return job, true }, opts)
+}
+
+// ServeJobs is a worker process's main loop: dial the coordinator, start a
+// run-server, register, and execute tasks until the coordinator says bye or
+// the connection ends. base carries worker-local knobs (heartbeat interval,
+// spill directory); the task-body options that must match the coordinator
+// (mode, partition count, spill budget, codec, ...) arrive per job in the
+// 'J' frame, so one pool serves concurrent heterogeneous jobs.
+//
+// Every admitted job gets its own state: a fresh spill directory (sealed
+// with the job's codec, removed when the job closes), its own reduce
+// sources and buffered pushes, and its own latched abort — concurrent jobs
+// on one worker cannot cross-talk. Tasks of all jobs run concurrently: the
+// read loop dispatches each map and reduce task to its own goroutine (the
+// coordinator bounds concurrency with per-job slot shares and the cross-job
+// slot pool) and keeps routing 'S' segment pushes to in-flight reduce
+// sources. Section fetches from peer run-servers go through one shared
+// FetchPool: one multiplexed connection per peer, reused across sections,
+// tasks and jobs.
+func ServeJobs(coordAddr string, resolve JobResolver, base exec.Options) error {
+	base.Transport = shuffle.TCP // workers always exchange sealed runs
+	base.Normalize()
 	// Transient connect failures (the coordinator's listener racing worker
 	// spawn, a briefly saturated backlog) are absorbed by a capped
 	// exponential backoff instead of failing the worker outright.
@@ -46,11 +58,6 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 		return fmt.Errorf("mpexec: dial coordinator %s: %w", coordAddr, err)
 	}
 	defer conn.Close()
-	dir, err := dfs.NewRunDirComp("", opts.Compression)
-	if err != nil {
-		return err
-	}
-	defer dir.Close()
 	srv, advertise, err := runServerFor(coordAddr, conn)
 	if err != nil {
 		return err
@@ -64,8 +71,8 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 		return fmt.Errorf("mpexec: register: %w", err)
 	}
 
-	w := &workerState{conn: conn, job: job, opts: opts, dir: dir, srv: srv, pool: pool,
-		reds: make(map[int]*shuffle.PushSource), early: make(map[int][]mapSegs)}
+	w := &workerState{conn: conn, resolve: resolve, base: base, srv: srv, pool: pool,
+		jobs: make(map[int]*wjob)}
 	// Heartbeats prove liveness through long silent stretches (a big map
 	// split, a reduce parked on routes); the coordinator declares a worker
 	// dead after four missed intervals.
@@ -74,7 +81,7 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 	hbWG.Add(1)
 	go func() {
 		defer hbWG.Done()
-		t := time.NewTicker(opts.HeartbeatInterval)
+		t := time.NewTicker(base.HeartbeatInterval)
 		defer t.Stop()
 		for {
 			select {
@@ -89,11 +96,25 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 	close(hbStop)
 	hbWG.Wait()
 	// The control plane is gone (bye, coordinator exit, or a protocol
-	// error): fail any still-running reduce sources so their tasks unwind,
-	// then wait for every task goroutine before the deferred teardown
-	// closes the directory, server and pool they use.
-	w.failAll(fmt.Errorf("mpexec: coordinator connection closed"))
+	// error): fail every job's still-running reduce sources so their tasks
+	// unwind, then wait for every task goroutine before tearing down the
+	// directories, server and pool they use.
+	w.mu.Lock()
+	jobs := make([]*wjob, 0, len(w.jobs))
+	for _, jb := range w.jobs {
+		jobs = append(jobs, jb)
+	}
+	w.jobs = make(map[int]*wjob)
+	w.mu.Unlock()
+	for _, jb := range jobs {
+		w.failJob(jb, fmt.Errorf("mpexec: coordinator connection closed"))
+	}
 	w.wg.Wait()
+	for _, jb := range jobs {
+		if jb.dir != nil {
+			_ = jb.dir.Close()
+		}
+	}
 	return err
 }
 
@@ -131,22 +152,32 @@ func runServerFor(coordAddr string, conn net.Conn) (*shuffle.Server, string, err
 	return srv, net.JoinHostPort(localHost, port), nil
 }
 
-// workerState is one Serve invocation's shared state.
+// workerState is one ServeJobs invocation's shared state.
 type workerState struct {
-	conn net.Conn
-	job  exec.Job
-	opts exec.Options
-	dir  *dfs.RunDir
-	srv  *shuffle.Server
-	pool *shuffle.FetchPool
+	conn    net.Conn
+	resolve JobResolver
+	base    exec.Options
+	srv     *shuffle.Server
+	pool    *shuffle.FetchPool
 
 	wmu sync.Mutex // serializes reply/error frame writes
 	wg  sync.WaitGroup
 
-	mu      sync.Mutex
+	mu   sync.Mutex
+	jobs map[int]*wjob // job id -> its state (w.mu guards wjob maps too)
+}
+
+// wjob is one admitted job's worker-side state.
+type wjob struct {
+	id   int
+	job  exec.Job
+	opts exec.Options
+	dir  *dfs.RunDir
+
 	reds    map[int]*shuffle.PushSource // partition -> in-flight reduce source
 	early   map[int][]mapSegs           // pushes that raced ahead of their 'R'
-	aborted error                       // set by 'F': fail new reduce tasks fast
+	aborted error                       // set by 'F' (or a failed open): fail tasks fast
+	tasks   sync.WaitGroup              // in-flight tasks of this job
 }
 
 // loop dispatches control frames until the connection ends. A nil return
@@ -161,7 +192,10 @@ func (w *workerState) loop(br *bufio.Reader) error {
 		case msgBye:
 			return nil
 		case msgJobStart:
-			w.resetJob()
+			w.openJob(payload)
+		case msgJobEnd:
+			d := &dec{buf: payload}
+			w.closeJob(int(d.uvarint()))
 		case msgMapTask:
 			w.wg.Add(1)
 			go w.runMap(payload)
@@ -173,7 +207,11 @@ func (w *workerState) loop(br *bufio.Reader) error {
 			w.offer(payload)
 		case msgAbort:
 			d := &dec{buf: payload}
-			w.failAll(fmt.Errorf("mpexec: job aborted: %s", d.str()))
+			id := int(d.uvarint())
+			reason := d.str()
+			if jb := w.job(id); jb != nil {
+				w.failJob(jb, fmt.Errorf("mpexec: job aborted: %s", reason))
+			}
 		default:
 			return fmt.Errorf("mpexec: unexpected message %q from coordinator", typ)
 		}
@@ -187,28 +225,94 @@ func (w *workerState) reply(typ byte, payload []byte) {
 	_ = writeMsg(w.conn, typ, payload)
 }
 
-// resetJob clears the per-job state a previous job on this worker pool may
-// have left: a latched abort and pushes buffered for reduce tasks that
-// never materialized. Any straggler reduce source is failed first (none
-// should exist — the coordinator's scheduler settles every task before Run
-// returns), so one pool serves sequential jobs without cross-talk.
-func (w *workerState) resetJob() {
-	w.failAll(fmt.Errorf("mpexec: superseded by a new job"))
+// openJob admits one job: resolve its user code and give it a fresh spill
+// directory sealed with the job's codec. A failed open latches the job
+// aborted, so its tasks error back instead of wedging.
+func (w *workerState) openJob(payload []byte) {
+	id, name, opts, err := decodeJobStart(payload, w.base)
+	if err != nil {
+		return // corrupt 'J': the job's tasks will error as unknown
+	}
+	jb := &wjob{id: id, opts: opts,
+		reds: make(map[int]*shuffle.PushSource), early: make(map[int][]mapSegs)}
+	if job, ok := w.resolve(name); ok {
+		jb.job = job
+	} else {
+		jb.aborted = fmt.Errorf("mpexec: no job %q in this worker's registry", name)
+	}
+	if jb.aborted == nil {
+		dir, err := dfs.NewRunDirComp("", opts.Compression)
+		if err != nil {
+			jb.aborted = err
+		} else {
+			jb.dir = dir
+		}
+	}
 	w.mu.Lock()
-	w.aborted = nil
-	w.early = make(map[int][]mapSegs)
+	old := w.jobs[id]
+	w.jobs[id] = jb
 	w.mu.Unlock()
+	if old != nil {
+		w.reapJob(old, fmt.Errorf("mpexec: job %d superseded", id))
+	}
 }
 
-// failAll aborts every in-flight reduce source and fails future reduce
-// tasks fast (map tasks are local work and run to completion harmlessly).
-func (w *workerState) failAll(err error) {
+// closeJob retires one job: no new tasks can claim it, and once in-flight
+// tasks drain its sealed runs are removed from disk.
+func (w *workerState) closeJob(id int) {
 	w.mu.Lock()
-	if w.aborted == nil {
-		w.aborted = err
+	jb := w.jobs[id]
+	delete(w.jobs, id)
+	w.mu.Unlock()
+	if jb == nil {
+		return
 	}
-	srcs := make([]*shuffle.PushSource, 0, len(w.reds))
-	for _, s := range w.reds {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.reapJob(jb, fmt.Errorf("mpexec: job %d closed", id))
+	}()
+}
+
+// reapJob fails a retired job's straggler sources, waits out its tasks and
+// removes its spill directory.
+func (w *workerState) reapJob(jb *wjob, reason error) {
+	w.failJob(jb, reason)
+	jb.tasks.Wait()
+	if jb.dir != nil {
+		_ = jb.dir.Close()
+	}
+}
+
+// job looks up one admitted job (nil when unknown or already closed).
+func (w *workerState) job(id int) *wjob {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.jobs[id]
+}
+
+// taskJob claims a task slot on one admitted job: the job cannot be reaped
+// until the caller's tasks.Done. nil when the job is unknown/closed.
+func (w *workerState) taskJob(id int) *wjob {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	jb := w.jobs[id]
+	if jb != nil {
+		jb.tasks.Add(1)
+	}
+	return jb
+}
+
+// failJob aborts one job's in-flight reduce sources and fails its future
+// reduce tasks fast (map tasks are local work and run to completion
+// harmlessly). Other jobs on this worker are untouched.
+func (w *workerState) failJob(jb *wjob, err error) {
+	w.mu.Lock()
+	if jb.aborted == nil {
+		jb.aborted = err
+	}
+	srcs := make([]*shuffle.PushSource, 0, len(jb.reds))
+	for _, s := range jb.reds {
 		srcs = append(srcs, s)
 	}
 	w.mu.Unlock()
@@ -217,23 +321,34 @@ func (w *workerState) failAll(err error) {
 	}
 }
 
-// offer routes one segment push to its partition's in-flight source,
-// buffering pushes whose 'R' frame is still in flight (a completed map may
-// be routed to a partition in the instant between the coordinator
+// offer routes one segment push to its job and partition's in-flight
+// source, buffering pushes whose 'R' frame is still in flight (a completed
+// map may be routed to a partition in the instant between the coordinator
 // registering the reduce task and its 'R' frame hitting the wire).
 func (w *workerState) offer(payload []byte) {
-	partition, mapIndex, attempt, segs, err := decodeSegPush(payload)
+	jobID, partition, mapIndex, attempt, segs, err := decodeSegPush(payload)
 	if err != nil {
-		// A corrupt push means the partition's routing table can never be
-		// sealed; fail every in-flight reduce source so the job errors
-		// instead of parking forever on an Offer that will not come.
-		w.failAll(fmt.Errorf("mpexec: corrupt segment push: %w", err))
+		// A corrupt push's job is unknowable; fail every job rather than
+		// park a reduce task forever on an Offer that will not come.
+		w.mu.Lock()
+		jobs := make([]*wjob, 0, len(w.jobs))
+		for _, jb := range w.jobs {
+			jobs = append(jobs, jb)
+		}
+		w.mu.Unlock()
+		for _, jb := range jobs {
+			w.failJob(jb, fmt.Errorf("mpexec: corrupt segment push: %w", err))
+		}
 		return
 	}
+	jb := w.job(jobID)
+	if jb == nil {
+		return // job already closed: the push is moot
+	}
 	w.mu.Lock()
-	src, ok := w.reds[partition]
+	src, ok := jb.reds[partition]
 	if !ok {
-		w.early[partition] = append(w.early[partition], mapSegs{mapIndex: mapIndex, attempt: attempt, segs: segs})
+		jb.early[partition] = append(jb.early[partition], mapSegs{mapIndex: mapIndex, attempt: attempt, segs: segs})
 		w.mu.Unlock()
 		return
 	}
@@ -257,53 +372,73 @@ func applyPush(src *shuffle.PushSource, ms mapSegs) error {
 }
 
 // runMap executes one shipped map task through the canonical task body. The
-// sink tag carries the attempt so a re-execution or clone of a map this
-// worker already ran cannot collide with the earlier attempt's sealed
-// files.
+// sink tag carries the job and attempt so concurrent jobs — and
+// re-executions or clones of a map this worker already ran — cannot collide
+// in the job's sealed files.
 func (w *workerState) runMap(payload []byte) {
 	defer w.wg.Done()
 	d := &dec{buf: payload}
+	jobID := int(d.uvarint())
 	index := int(d.uvarint())
 	attempt := int(d.uvarint())
 	split := d.records()
 	if d.err != nil {
-		w.reply(msgError, encodeTaskError(msgMapDone, index, d.err.Error()))
+		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, d.err.Error()))
 		return
 	}
-	before := w.dir.SpilledBytes()
-	beforeRaw := w.dir.RawSpilledBytes()
-	sink := shuffle.NewRunSink(w.dir, w.srv, fmt.Sprintf("m%d-a%d", index, attempt))
-	stats, err := exec.RunMapTask(w.job, w.opts, exec.MapTask{Index: index, Attempt: attempt, Split: split}, sink)
+	jb := w.taskJob(jobID)
+	if jb == nil {
+		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, fmt.Sprintf("unknown job %d", jobID)))
+		return
+	}
+	defer jb.tasks.Done()
+	w.mu.Lock()
+	aborted := jb.aborted
+	w.mu.Unlock()
+	if aborted != nil {
+		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, aborted.Error()))
+		return
+	}
+	before := jb.dir.SpilledBytes()
+	beforeRaw := jb.dir.RawSpilledBytes()
+	sink := shuffle.NewRunSink(jb.dir, w.srv, fmt.Sprintf("j%d-m%d-a%d", jobID, index, attempt))
+	stats, err := exec.RunMapTask(jb.job, jb.opts, exec.MapTask{Index: index, Attempt: attempt, Split: split}, sink)
 	if err != nil {
-		w.reply(msgError, encodeTaskError(msgMapDone, index, err.Error()))
+		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, err.Error()))
 		return
 	}
-	w.reply(msgMapDone, encodeMapDone(index, attempt, stats.ShuffleRecords, stats.Spills,
-		w.dir.SpilledBytes()-before, w.dir.RawSpilledBytes()-beforeRaw, sink.Waves()))
+	w.reply(msgMapDone, encodeMapDone(jobID, index, attempt, stats.ShuffleRecords, stats.Spills,
+		jb.dir.SpilledBytes()-before, jb.dir.RawSpilledBytes()-beforeRaw, sink.Waves()))
 }
 
 // startReduce decodes one routed reduce task, registers its push source
 // (replaying any pushes that arrived early), and runs the canonical task
 // body in its own goroutine so the control loop keeps routing pushes.
 func (w *workerState) startReduce(payload []byte) {
-	partition, nMaps, routed, err := decodeReduceTask(payload)
+	jobID, partition, nMaps, routed, err := decodeReduceTask(payload)
 	if err != nil {
-		w.reply(msgError, encodeTaskError(msgReduceDone, partition, err.Error()))
+		w.reply(msgError, encodeTaskError(jobID, msgReduceDone, partition, err.Error()))
 		return
 	}
-	src := shuffle.NewPushSource(nMaps, w.opts.BatchSize)
-	src.SetPool(w.pool, w.opts.MergeFanIn)
+	jb := w.taskJob(jobID)
+	if jb == nil {
+		w.reply(msgError, encodeTaskError(jobID, msgReduceDone, partition, fmt.Sprintf("unknown job %d", jobID)))
+		return
+	}
+	src := shuffle.NewPushSource(nMaps, jb.opts.BatchSize)
+	src.SetPool(w.pool, jb.opts.MergeFanIn)
 	w.mu.Lock()
-	aborted := w.aborted
-	buffered := w.early[partition]
-	delete(w.early, partition)
-	w.reds[partition] = src
+	aborted := jb.aborted
+	buffered := jb.early[partition]
+	delete(jb.early, partition)
+	jb.reds[partition] = src
 	w.mu.Unlock()
 	if aborted != nil {
 		// The job already failed; don't park a task on pushes that will
 		// never come.
-		w.unregister(partition, src)
-		w.reply(msgError, encodeTaskError(msgReduceDone, partition, aborted.Error()))
+		w.unregister(jb, partition, src)
+		jb.tasks.Done()
+		w.reply(msgError, encodeTaskError(jobID, msgReduceDone, partition, aborted.Error()))
 		return
 	}
 	for _, ms := range append(routed, buffered...) {
@@ -313,40 +448,42 @@ func (w *workerState) startReduce(payload []byte) {
 		}
 	}
 	w.wg.Add(1)
-	go w.runReduce(partition, src)
+	go w.runReduce(jb, partition, src)
 }
 
 // unregister drops a finished reduce task's source — only if it still owns
-// the slot, so a straggler from an aborted job cannot deregister a later
-// job's task for the same partition.
-func (w *workerState) unregister(partition int, src *shuffle.PushSource) {
+// the slot, so a straggler cannot deregister a later task for the same
+// partition.
+func (w *workerState) unregister(jb *wjob, partition int, src *shuffle.PushSource) {
 	w.mu.Lock()
-	if w.reds[partition] == src {
-		delete(w.reds, partition)
+	if jb.reds[partition] == src {
+		delete(jb.reds, partition)
 	}
 	w.mu.Unlock()
 }
 
 // runReduce executes one reduce task through the canonical task body,
 // fetching segments from the owning workers' run-servers as their routes
-// arrive.
-func (w *workerState) runReduce(partition int, src *shuffle.PushSource) {
+// arrive. Callers have already claimed the job's task slot.
+func (w *workerState) runReduce(jb *wjob, partition int, src *shuffle.PushSource) {
 	defer w.wg.Done()
-	defer w.unregister(partition, src)
-	before := w.dir.SpilledBytes()
-	beforeRaw := w.dir.RawSpilledBytes()
-	res, err := exec.RunReduceTask(w.job, w.opts, exec.ReduceTask{Partition: partition}, src, w.dir)
+	defer jb.tasks.Done()
+	defer w.unregister(jb, partition, src)
+	before := jb.dir.SpilledBytes()
+	beforeRaw := jb.dir.RawSpilledBytes()
+	res, err := exec.RunReduceTask(jb.job, jb.opts, exec.ReduceTask{Partition: partition}, src, jb.dir)
 	_ = src.Close()
 	if err != nil {
-		w.reply(msgError, encodeTaskError(msgReduceDone, partition, err.Error()))
+		w.reply(msgError, encodeTaskError(jb.id, msgReduceDone, partition, err.Error()))
 		return
 	}
-	b := binary.AppendUvarint(nil, uint64(partition))
+	b := binary.AppendUvarint(nil, uint64(jb.id))
+	b = binary.AppendUvarint(b, uint64(partition))
 	b = binary.AppendUvarint(b, uint64(res.Spills))
 	b = binary.AppendUvarint(b, uint64(res.PeakPartialBytes))
 	b = binary.AppendUvarint(b, uint64(res.MergePasses))
-	b = binary.AppendUvarint(b, uint64(w.dir.SpilledBytes()-before))
-	b = binary.AppendUvarint(b, uint64(w.dir.RawSpilledBytes()-beforeRaw))
+	b = binary.AppendUvarint(b, uint64(jb.dir.SpilledBytes()-before))
+	b = binary.AppendUvarint(b, uint64(jb.dir.RawSpilledBytes()-beforeRaw))
 	b = binary.AppendUvarint(b, uint64(res.FetchBytes))
 	b = binary.AppendUvarint(b, uint64(w.pool.Dials()))
 	b = putRecords(b, res.Output)

@@ -123,6 +123,35 @@ func newShuffleState(k *sim.Kernel, nMaps, nReduce int) *shuffleState {
 // Run executes job over input. It normalizes spec defaults, spawns every
 // task, drives the kernel to completion, and returns the result.
 func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
+	res := e.prepare(&job, input)
+	if res.Failed {
+		return res
+	}
+	if job.KillWorkerAt > 0 {
+		pool := e.poolNodes(&job)
+		if len(pool) < 2 {
+			res.Failed = true
+			res.FailReason = fmt.Sprintf("job %q: killing worker %d leaves no survivors in a %d-node pool",
+				job.Name, job.KillWorker, len(pool))
+			return res
+		}
+		e.killNode = pool[job.KillWorker%len(pool)]
+		e.killAt = job.KillWorkerAt
+	}
+	e.spawnJob(&job, input, res, nil)
+	e.K.Run()
+	e.Col.CloseAll(res.Completion)
+	if first, last, ok := e.Col.StageBounds(metrics.StageMap); ok {
+		_ = first
+		res.MapDone = last
+	}
+	res.PeakMemVirt = e.Col.PeakMem()
+	return res
+}
+
+// prepare normalizes one job spec against the engine and validates it,
+// returning the job's (possibly already-failed) result shell.
+func (e *Engine) prepare(job *JobSpec, input *dfs.File) *Result {
 	if job.Reducers <= 0 {
 		job.Reducers = 1
 	}
@@ -145,23 +174,25 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 	if job.Workers > len(e.C.Nodes) {
 		job.Workers = len(e.C.Nodes)
 	}
-	if job.KillWorkerAt > 0 {
-		pool := e.poolNodes(&job)
-		if len(pool) < 2 {
-			res.Failed = true
-			res.FailReason = fmt.Sprintf("job %q: killing worker %d leaves no survivors in a %d-node pool",
-				job.Name, job.KillWorker, len(pool))
-			return res
-		}
-		e.killNode = pool[job.KillWorker%len(pool)]
-		e.killAt = job.KillWorkerAt
-	}
+	return res
+}
+
+// placer overrides task placement: it returns the node task idx of the
+// given kind runs on. RunStream routes placement through an exec.Policy
+// here; nil keeps the historical default (map i and reduce r on pool node
+// index mod pool size, locality-driven when the pool is the whole cluster).
+type placer func(isMap bool, idx int) *cluster.Node
+
+// spawnJob spawns one prepared job's tasks onto the shared kernel and
+// returns the job's done event. It does not drive the kernel — Run drains
+// it for a single job; RunStream spawns several jobs first.
+func (e *Engine) spawnJob(job *JobSpec, input *dfs.File, res *Result, place placer) *sim.Event {
 	shuffle := newShuffleState(e.K, len(input.Chunks), job.Reducers)
 	jobDone := sim.NewEvent(e.K, "job-done")
 	reducersLeft := sim.NewWaitGroup(e.K, "reducers", job.Reducers)
 	if e.killNode != nil {
 		e.K.Spawn("chaos-kill", func(p *sim.Proc) {
-			e.chaosKill(p, &job, input, shuffle, res, jobDone)
+			e.chaosKill(p, job, input, shuffle, res, jobDone)
 		})
 	}
 
@@ -172,11 +203,13 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		// assigned worker holds no replica — ReadChunk then pays the
 		// transfer, exactly the cost a small worker pool incurs.
 		var node *cluster.Node
-		if job.Workers > 0 {
+		if place != nil {
+			node = place(true, i)
+		} else if job.Workers > 0 {
 			node = e.C.Nodes[i%job.Workers]
 		}
 		e.K.Spawn(fmt.Sprintf("map-%d", i), func(p *sim.Proc) {
-			e.mapTask(p, &job, i, ch, node, shuffle, res)
+			e.mapTask(p, job, i, ch, node, shuffle, res)
 		})
 	}
 	if job.Speculative && len(input.Chunks) > 1 {
@@ -189,7 +222,7 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 			shuffle.armAt = 1
 		}
 		e.K.Spawn("speculator", func(p *sim.Proc) {
-			e.speculator(p, &job, input, shuffle, res)
+			e.speculator(p, job, input, shuffle, res)
 		})
 	}
 	for r := 0; r < job.Reducers; r++ {
@@ -203,12 +236,15 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		// (DESIGN §11), so a killed run's overhead against an undisturbed
 		// baseline measures exactly the map re-execution + re-route cost.
 		node := e.C.Nodes[r%pool]
+		if place != nil {
+			node = place(false, r)
+		}
 		e.K.Spawn(fmt.Sprintf("reduce-%d", r), func(p *sim.Proc) {
 			defer reducersLeft.Done()
 			if job.Mode == Barrier {
-				e.barrierReduce(p, &job, r, node, shuffle, res, jobDone)
+				e.barrierReduce(p, job, r, node, shuffle, res, jobDone)
 			} else {
-				e.pipelinedReduce(p, &job, r, node, shuffle, res, jobDone)
+				e.pipelinedReduce(p, job, r, node, shuffle, res, jobDone)
 			}
 		})
 	}
@@ -219,14 +255,7 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		}
 		jobDone.Fire()
 	})
-	e.K.Run()
-	e.Col.CloseAll(res.Completion)
-	if first, last, ok := e.Col.StageBounds(metrics.StageMap); ok {
-		_ = first
-		res.MapDone = last
-	}
-	res.PeakMemVirt = e.Col.PeakMem()
-	return res
+	return jobDone
 }
 
 // mapTask executes one map attempt chain (with one injected retry when

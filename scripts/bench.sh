@@ -51,6 +51,8 @@ tmp="$(mktemp)"
   echo "== worker-churn recovery (3-worker cluster, one SIGKILLed mid-job vs undisturbed; plus the sim-predicted overhead the parity test pins to) =="
   run_bench ./internal/mpexec/ 'ClusterRecovery' 1x
   run_bench . 'FaultPredicted' 1x
+  echo "== multi-tenant job service (heterogeneous 3-job stream on one 3-worker pool: sequential admission vs concurrent under each placement policy) =="
+  run_bench ./internal/mpexec/ 'ServiceStream' 2x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported

@@ -8,16 +8,133 @@
 #   ns/op, vsec/job   lower is better: fail if new > old * (1 + TOLERANCE)
 #   recs/s            higher is better: fail if new < old / (1 + TOLERANCE)
 #
-# Other units (B/op, allocs/op, the spill MB gauges) are informational
-# only. Exits 1 on any regression beyond TOLERANCE (default 25%) — run it
-# as a non-blocking CI job: shared-runner noise makes it advisory, not a
-# merge gate.
+# A metric present on only one side is reported as "new benchmark" /
+# "removed benchmark" — informational, never a failure: fresh coverage and
+# renames must not read as regressions, and must not vanish from the
+# report either. Other units (B/op, allocs/op, the spill MB gauges) are
+# informational only. Exits 1 on any regression beyond TOLERANCE (default
+# 25%) — run it as a non-blocking CI job: shared-runner noise makes it
+# advisory, not a merge gate.
 #
 #   scripts/bench_compare.sh [baseline.json]
+#   scripts/bench_compare.sh --self-test   # exercise the gate on synthetic
+#                                          # snapshots; runs no benchmarks
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOLERANCE="${TOLERANCE:-0.25}"
+
+# Flatten a snapshot to "name|unit value" lines (first occurrence wins).
+# Quote-split fields of an entry line:
+#   {"name": "X", "value": 42.5, "unit": "ns/op"}
+#    1    2  3 4  5  6     7      8   9  10
+flatten() {
+  awk -F'"' '/"name"/ {
+    name = $4; unit = $10
+    value = $7; gsub(/[^0-9.eE+-]/, "", value)
+    key = name "|" unit
+    if (!seen[key]++) print key, value
+  }' "$1"
+}
+
+# compare <baseline.json> <fresh.json> — the gate proper. Full outer join
+# (-a1 -a2): metrics on only one side surface as new/removed lines instead
+# of silently dropping out of the report.
+compare() {
+  join -a1 -a2 -e NA -o '0,1.2,2.2' \
+    <(flatten "$1" | sort) <(flatten "$2" | sort) |
+    awk -v tol="$TOLERANCE" '
+    {
+      split($1, key, "|")
+      name = key[1]; unit = key[2]
+      old = $2; new = $3
+      if (old == "NA") {
+        printf "%-60s %12s %14s %14.4g %7s %s\n", name, unit, "-", new, "-", "new benchmark"
+        added++; next
+      }
+      if (new == "NA") {
+        printf "%-60s %12s %14.4g %14s %7s %s\n", name, unit, old, "-", "-", "removed benchmark"
+        removed++; next
+      }
+      if (old == 0) next
+      ratio = new / old
+      verdict = "ok"
+      if (unit == "ns/op" || unit == "vsec/job") {
+        if (ratio > 1 + tol) { verdict = "REGRESSION"; bad++ }
+      } else if (unit == "recs/s") {
+        if (ratio < 1 / (1 + tol)) { verdict = "REGRESSION"; bad++ }
+      } else {
+        verdict = "info"
+      }
+      printf "%-60s %12s %14.4g %14.4g %7.2fx %s\n", name, unit, old, new, ratio, verdict
+    }
+    END {
+      if (added > 0) printf "\n%d new benchmark(s) with no baseline yet\n", added
+      if (removed > 0) printf "%d benchmark(s) removed since the baseline\n", removed
+      if (bad > 0) {
+        printf "\n%d metric(s) regressed beyond %.0f%%\n", bad, tol * 100
+        exit 1
+      }
+      print "\nno throughput regressions beyond tolerance"
+    }'
+}
+
+# self_test pins the gate's own behavior on synthetic snapshots: drift
+# within tolerance passes, added/removed metrics are reported but never
+# fail, and a real regression exits non-zero. Run by the CI lint job.
+self_test() {
+  local dir out
+  dir="$(mktemp -d)"
+  # shellcheck disable=SC2064  # expand $dir now, on purpose
+  trap "rm -rf '$dir'" RETURN
+  cat >"$dir/old.json" <<'JSON'
+[
+  {"name": "BenchmarkKeep", "value": 100, "unit": "ns/op"},
+  {"name": "BenchmarkFaster", "value": 100, "unit": "recs/s"},
+  {"name": "BenchmarkGone", "value": 5, "unit": "ns/op"}
+]
+JSON
+  cat >"$dir/new_ok.json" <<'JSON'
+[
+  {"name": "BenchmarkKeep", "value": 110, "unit": "ns/op"},
+  {"name": "BenchmarkFaster", "value": 120, "unit": "recs/s"},
+  {"name": "BenchmarkAdded", "value": 7, "unit": "ns/op"}
+]
+JSON
+  cat >"$dir/new_bad.json" <<'JSON'
+[
+  {"name": "BenchmarkKeep", "value": 200, "unit": "ns/op"}
+]
+JSON
+  if ! out="$(compare "$dir/old.json" "$dir/new_ok.json")"; then
+    echo "self-test FAILED: added/removed metrics must not fail the gate" >&2
+    printf '%s\n' "$out" >&2
+    return 1
+  fi
+  if ! grep -q "new benchmark" <<<"$out"; then
+    echo "self-test FAILED: added metric not reported" >&2
+    return 1
+  fi
+  if ! grep -q "removed" <<<"$out"; then
+    echo "self-test FAILED: removed metric not reported" >&2
+    return 1
+  fi
+  if out="$(compare "$dir/old.json" "$dir/new_bad.json")"; then
+    echo "self-test FAILED: a 2x ns/op regression must fail the gate" >&2
+    printf '%s\n' "$out" >&2
+    return 1
+  fi
+  if ! grep -q "REGRESSION" <<<"$out"; then
+    echo "self-test FAILED: regression not labeled in the report" >&2
+    return 1
+  fi
+  echo "bench_compare.sh: self-test OK"
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  self_test
+  exit 0
+fi
 
 baseline="${1:-}"
 if [[ -z "$baseline" ]]; then
@@ -40,41 +157,4 @@ fresh="$(mktemp)"
 trap 'rm -f "$fresh"' EXIT
 BENCH_OUT="$fresh" scripts/bench.sh >/dev/null
 
-# Flatten a snapshot to "name|unit value" lines (first occurrence wins).
-# Quote-split fields of an entry line:
-#   {"name": "X", "value": 42.5, "unit": "ns/op"}
-#    1    2  3 4  5  6     7      8   9  10
-flatten() {
-  awk -F'"' '/"name"/ {
-    name = $4; unit = $10
-    value = $7; gsub(/[^0-9.eE+-]/, "", value)
-    key = name "|" unit
-    if (!seen[key]++) print key, value
-  }' "$1"
-}
-
-join <(flatten "$baseline" | sort) <(flatten "$fresh" | sort) |
-  awk -v tol="$TOLERANCE" '
-  {
-    split($1, key, "|")
-    name = key[1]; unit = key[2]
-    old = $2; new = $3
-    if (old == 0) next
-    ratio = new / old
-    verdict = "ok"
-    if (unit == "ns/op" || unit == "vsec/job") {
-      if (ratio > 1 + tol) { verdict = "REGRESSION"; bad++ }
-    } else if (unit == "recs/s") {
-      if (ratio < 1 / (1 + tol)) { verdict = "REGRESSION"; bad++ }
-    } else {
-      verdict = "info"
-    }
-    printf "%-60s %12s %14.4g %14.4g %7.2fx %s\n", name, unit, old, new, ratio, verdict
-  }
-  END {
-    if (bad > 0) {
-      printf "\n%d metric(s) regressed beyond %.0f%%\n", bad, tol * 100
-      exit 1
-    }
-    print "\nno throughput regressions beyond tolerance"
-  }'
+compare "$baseline" "$fresh"
