@@ -63,6 +63,7 @@ func main() {
 	workers := flag.Int("workers", 0, "with -transport tcp: run N worker subprocesses (multi-process cluster mode); with the simulator: place tasks on an N-node sub-cluster (0 = all nodes)")
 	mapTasks := flag.Int("map-tasks", 0, "real engine: number of map tasks (0 = NumCPU)")
 	fanIn := flag.Int("merge-fan-in", 0, "real engine: external merge fan-in cap (0 = default 64)")
+	decodeWorkers := flag.Int("decode-workers", 0, "real engine, tcp transport: parallel block-decode workers per fetch pool; fetched compressed sections CRC-check and decompress concurrently with the merge (1 = inline, 0 = default min(GOMAXPROCS, 8))")
 	compress := flag.String("compress", "none", "sealed-run codec: none|block|delta — compresses spill runs, run-exchange segments and TCP fetch bytes (delta front-codes sorted keys)")
 	verify := flag.Bool("verify", false, "real engine: check output against the single-process in-memory path (byte-identical in barrier mode)")
 	serve := flag.Bool("serve", false, "run the multi-tenant job service: spawn -workers worker subprocesses and accept -submit jobs on -addr until SIGTERM (drains admitted jobs)")
@@ -101,7 +102,7 @@ func main() {
 	}
 
 	if *workerCoord != "" {
-		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, comp, *staged)
+		opts := realOptions(realMode, kind, *reducers, *mapTasks, *spillBytes, *spillMB, *fanIn, *decodeWorkers, comp, *staged)
 		opts.HeartbeatInterval = *heartbeat
 		var err error
 		if *serve {
@@ -139,7 +140,7 @@ func main() {
 
 	if *transport != "" {
 		runReal(app, ds, realMode, kind, *transport, *reducers, *mapTasks,
-			*spillBytes, *spillMB, *fanIn, *workers, comp, *combine, *staged, *verify,
+			*spillBytes, *spillMB, *fanIn, *decodeWorkers, *workers, comp, *combine, *staged, *verify,
 			*speculative, *specThreshold, *heartbeat, *chaosKill)
 		return
 	}
@@ -190,17 +191,18 @@ func mrJob(app apps.App, combine bool) mr.Job {
 	return job
 }
 
-func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn int, comp codec.Compression, staged bool) mr.Options {
+func realOptions(mode mr.Mode, kind store.Kind, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, decodeWorkers int, comp codec.Compression, staged bool) mr.Options {
 	return mr.Options{
 		Mappers: mapTasks, Reducers: reducers, Mode: mode, Store: kind,
 		SpillBytes: spillBytes, SpillThresholdBytes: int64(spillMB) << 20,
-		MergeFanIn: fanIn, Compression: comp, Staged: staged,
+		MergeFanIn: fanIn, DecodeWorkers: decodeWorkers,
+		Compression: comp, Staged: staged,
 	}
 }
 
 // runReal executes the job on the real-concurrency engine — in-process over
 // the chosen transport, or across worker subprocesses when -workers > 0.
-func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, workers int, comp codec.Compression, combine, staged, verify bool, speculative bool, specThreshold float64, heartbeat, chaosKill time.Duration) {
+func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, transportName string, reducers, mapTasks int, spillBytes int64, spillMB, fanIn, decodeWorkers, workers int, comp codec.Compression, combine, staged, verify bool, speculative bool, specThreshold float64, heartbeat, chaosKill time.Duration) {
 	tkind, err := shuffle.ParseKind(transportName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -208,7 +210,7 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 	}
 	input := flatten(ds)
 	job := mrJob(app, combine)
-	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn, comp, staged)
+	opts := realOptions(mode, kind, reducers, mapTasks, spillBytes, spillMB, fanIn, decodeWorkers, comp, staged)
 	opts.Transport = tkind
 	opts.Speculative = speculative
 	opts.SpeculativeThreshold = specThreshold
@@ -242,7 +244,8 @@ func runReal(app apps.App, ds harness.Dataset, mode mr.Mode, kind store.Kind, tr
 		res.Wall.Seconds()*1e3, res.MapWall.Seconds()*1e3,
 		res.Spills, res.SpilledBytes>>10, res.MergePasses, res.PeakPartialBytes>>10)
 	if res.FetchDials > 0 {
-		fmt.Printf("fetch plane: %d KB over %d pooled run-server conns\n", res.FetchBytes>>10, res.FetchDials)
+		fmt.Printf("fetch plane: %d KB over %d pooled run-server conns, %d server file opens\n",
+			res.FetchBytes>>10, res.FetchDials, res.ServerOpens)
 	}
 	if res.MapRetries+res.ReduceRetries+res.BackupsLaunched > 0 {
 		fmt.Printf("recovery: %d map re-executions, %d reduce re-executions, %d speculative clones (%d won)\n",

@@ -83,6 +83,22 @@
 // on the simulated cluster (harness.OverlapSweep sweeps staged vs
 // overlapped; overlap is never slower).
 //
+// The fetch plane has a raw-speed floor on both ends of that
+// connection. Serving: the run-server resolves sections through a
+// refcounted LRU of open file handles (one os.Open per distinct sealed
+// file instead of one per request — mr.Result.ServerOpens counts the
+// misses) and ships large sections zero-copy with offset sendfile, the
+// header flushed ahead (Linux; buffered io.Copy elsewhere and for small
+// sections). Consuming: compressed fetched sections CRC-verify and
+// decompress on a bounded per-pool worker pool (exec.Options.DecodeWorkers,
+// cmd/blmr -decode-workers, default min(GOMAXPROCS,8)) while the merger
+// consumes decoded blocks in submission order, so codec work overlaps
+// the merge — record order and job output are byte-identical at any
+// setting, and 1 decodes inline. Sealed runs carry the "BLC3" format:
+// per-block CRC32 plus a cross-block LZ dictionary window (a block's
+// matches may reach 32KiB into its predecessor's raw bytes; sections
+// still start self-contained), with "BLC1"/"BLC2" runs still decoding.
+//
 // The multi-process engine survives worker churn: workers heartbeat on
 // their control connection (exec.Options.HeartbeatInterval, cmd/blmr
 // -heartbeat; silent for four intervals means dead), a dead worker's

@@ -3,36 +3,48 @@ package codec
 // Block-compressed spill runs. A sealed run is normally a flat stream of
 // uvarint-framed records (the None codec: exactly the historical format).
 // The compressed codecs wrap that stream in a self-describing run header
-// followed by independently decodable fixed-size blocks, so section reads
-// (dfs.OpenRunAt, the run-server wire path) stream block by block and only
-// ever decompress the blocks they touch:
+// followed by fixed-size blocks, so section reads (dfs.OpenRunAt, the
+// run-server wire path) stream block by block and only ever decompress the
+// blocks they touch:
 //
-//	run    := "BLC2" | kind byte | block*
-//	block  := uvarint(rawLen) | uvarint(encLen<<1 | lz) | crc32c(4 bytes LE) | encLen bytes
+//	run    := "BLC3" | kind byte | block*
+//	block  := uvarint(rawLen) | uvarint(encLen<<2 | dict<<1 | lz) |
+//	          crc32c(4 bytes LE) | encLen bytes
 //
 // rawLen is the block payload's size before byte compression; lz=1 means
 // the payload is LZ-compressed (lz=0: stored verbatim, used when
-// compression would not shrink the block). crc32c is the Castagnoli CRC of
-// the encLen payload bytes as they sit on disk/wire, verified before the
-// block is decompressed, so bit rot is caught at the block that broke
-// rather than surfacing as a confusing parse error records later (or, for
-// a corrupted stored block, not at all). Blocks always hold whole records
-// — a record never straddles a block boundary. Decoders also accept the
-// PR-4 "BLC1" header, whose blocks carry no CRC: old sealed runs stay
-// readable, new runs are checksummed.
+// compression would not shrink the block). dict=1 means the LZ stream
+// contains at least one copy reaching back into the dictionary window —
+// the tail (up to 32KiB) of the previous block's raw payload — which the
+// small-run workloads need: a 40KB run used to restart its byte-window
+// from scratch every 32KiB block. The bit is only set when a copy actually
+// lands in the window, so dict=0 blocks stay independently decodable (and
+// eligible for out-of-order parallel decode; see DecodePool). crc32c is
+// the Castagnoli CRC of the encLen payload bytes as they sit on disk/wire,
+// verified before the block is decompressed, so bit rot is caught at the
+// block that broke rather than surfacing as a confusing parse error
+// records later (or, for a corrupted stored block, not at all). Blocks
+// always hold whole records — a record never straddles a block boundary.
+// Decoders also accept the PR-5 "BLC2" header (same framing, tag is
+// encLen<<1|lz, never dict-dependent) and the PR-4 "BLC1" header (BLC2
+// framing without the CRC word): old sealed runs stay readable.
 //
 // The LZ layer is snappy-shaped but dependency-free: a greedy byte-window
-// compressor emitting varint literal/copy tags, window reset per block:
+// compressor emitting varint literal/copy tags, window reset per run (not
+// per block — the dictionary carry above):
 //
 //	op     := uvarint(n<<1)   | n literal bytes          (literal run)
 //	        | uvarint(n<<1|1) | uvarint(distance)        (copy, n >= 4)
+//
+// A copy distance may exceed the bytes decoded so far in the block by up
+// to the dictionary window length (dict blocks only).
 //
 // Block payloads use the standard record framing. DeltaBlock additionally
 // front-codes keys before compression, exploiting that spill runs are
 // always key-sorted: each record stores the length of the prefix it shares
 // with the previous key in the block plus the suffix, which collapses the
 // long shared prefixes sorted text keys have. Front-coding state resets at
-// every block boundary so blocks stay independently decodable:
+// every block boundary so blocks stay independently parseable:
 //
 //	deltaRec := uvarint(shared) | uvarint(len(suffix)) | suffix |
 //	            uvarint(len(value)) | value
@@ -86,10 +98,12 @@ func ParseCompression(s string) (Compression, error) {
 	return 0, fmt.Errorf("codec: unknown compression %q (want none|block|delta)", s)
 }
 
-// runMagic opens every compressed run sealed by this version (per-block
-// CRCs); runMagicV1 is the PR-4 header (no CRCs), still accepted on decode.
+// runMagic opens every compressed run sealed by this version (cross-block
+// dictionary window); runMagicV2 (per-block CRCs, no dictionary) and
+// runMagicV1 (no CRCs) are older headers, still accepted on decode.
 var (
-	runMagic   = [4]byte{'B', 'L', 'C', '2'}
+	runMagic   = [4]byte{'B', 'L', 'C', '3'}
+	runMagicV2 = [4]byte{'B', 'L', 'C', '2'}
 	runMagicV1 = [4]byte{'B', 'L', 'C', '1'}
 )
 
@@ -102,6 +116,10 @@ const (
 	// Small enough that partial section reads decompress little beyond what
 	// they consume, large enough for the byte-window to find repetition.
 	blockTargetBytes = 32 << 10
+	// dictWindowBytes caps the cross-block dictionary: the tail of the
+	// previous block's raw payload a copy may reach back into. One block
+	// target keeps the encoder's combined window at most two blocks.
+	dictWindowBytes = blockTargetBytes
 	// maxBlockRawBytes rejects implausible block headers before allocating.
 	// A single oversized record can legitimately exceed the target (blocks
 	// hold whole records), so the cap mirrors StreamReader's string cap.
@@ -110,6 +128,10 @@ const (
 	minMatch = 4
 	// lzTableBits sizes the match hash table.
 	lzTableBits = 13
+	// dictSeedStride samples the dictionary window into the match table:
+	// a repetition only needs one anchor inside it to be found, so seeding
+	// every other position halves the per-block seeding cost.
+	dictSeedStride = 2
 )
 
 // lzCoder is the reusable byte-window compressor state.
@@ -131,44 +153,56 @@ func appendLiterals(dst, lit []byte) []byte {
 	return append(dst, lit...)
 }
 
-// compress appends the LZ encoding of src to dst. The window is src itself
-// (reset per block).
-func (z *lzCoder) compress(dst, src []byte) []byte {
+// compress appends the LZ encoding of comb[start:] to dst. comb is the
+// dictionary window (comb[:start], the previous block's tail) followed by
+// the block payload; copies may reach back into the window, and usedDict
+// reports whether any did — when false the encoding decodes with no
+// window at all, and the block is marked independently decodable.
+func (z *lzCoder) compress(dst, comb []byte, start int) (out []byte, usedDict bool) {
 	for i := range z.table {
 		z.table[i] = 0
 	}
-	litStart := 0
-	i := 0
-	for i+minMatch <= len(src) {
-		h := hash4(src[i:])
+	// Seed the window (sampled): matches against the previous block's tail
+	// only need one anchor per repetition to be found.
+	for j := 0; j+minMatch <= start; j += dictSeedStride {
+		z.table[hash4(comb[j:])] = int32(j) + 1
+	}
+	litStart := start
+	i := start
+	for i+minMatch <= len(comb) {
+		h := hash4(comb[i:])
 		cand := int(z.table[h]) - 1
 		z.table[h] = int32(i) + 1
-		if cand < 0 || src[cand] != src[i] || src[cand+1] != src[i+1] ||
-			src[cand+2] != src[i+2] || src[cand+3] != src[i+3] {
+		if cand < 0 || comb[cand] != comb[i] || comb[cand+1] != comb[i+1] ||
+			comb[cand+2] != comb[i+2] || comb[cand+3] != comb[i+3] {
 			i++
 			continue
 		}
 		length := minMatch
-		for i+length < len(src) && src[cand+length] == src[i+length] {
+		for i+length < len(comb) && comb[cand+length] == comb[i+length] {
 			length++
 		}
-		dst = appendLiterals(dst, src[litStart:i])
+		if cand < start {
+			usedDict = true
+		}
+		dst = appendLiterals(dst, comb[litStart:i])
 		dst = binary.AppendUvarint(dst, uint64(length)<<1|1)
 		dst = binary.AppendUvarint(dst, uint64(i-cand))
 		// Seed the table inside the match so adjacent repetitions still
 		// find each other, without paying a full per-byte insertion.
-		for j := i + 1; j < i+length && j+minMatch <= len(src); j += 7 {
-			z.table[hash4(src[j:])] = int32(j) + 1
+		for j := i + 1; j < i+length && j+minMatch <= len(comb); j += 7 {
+			z.table[hash4(comb[j:])] = int32(j) + 1
 		}
 		i += length
 		litStart = i
 	}
-	return appendLiterals(dst, src[litStart:])
+	return appendLiterals(dst, comb[litStart:]), usedDict
 }
 
-// lzDecompress appends the decompression of src to dst; the result must be
-// exactly rawLen bytes or the block is corrupt.
-func lzDecompress(dst, src []byte, rawLen int) ([]byte, error) {
+// lzDecompress appends the decompression of src to dst; copies may reach
+// back into hist (the dictionary window — nil for independent blocks). The
+// result must be exactly rawLen bytes or the block is corrupt.
+func lzDecompress(dst, src, hist []byte, rawLen int) ([]byte, error) {
 	base := len(dst)
 	for off := 0; off < len(src); {
 		tag, n := binary.Uvarint(src[off:])
@@ -190,22 +224,45 @@ func lzDecompress(dst, src []byte, rawLen int) ([]byte, error) {
 			return dst, fmt.Errorf("%w: bad copy distance", ErrCorrupt)
 		}
 		off += n
+		produced := len(dst) - base
 		// Compare the distance as uint64: converting first would let a
 		// huge corrupt value wrap negative and slip past the bound.
-		if ln < minMatch || d == 0 || d > uint64(len(dst)-base) || len(dst)-base+ln > rawLen {
+		if ln < minMatch || d == 0 || d > uint64(produced+len(hist)) || produced+ln > rawLen {
 			return dst, fmt.Errorf("%w: bad copy", ErrCorrupt)
 		}
-		// Byte-at-a-time: copies may overlap their own output (run-length
-		// shapes encode as distance < length).
-		start := len(dst) - int(d)
+		if int(d) <= produced {
+			// Byte-at-a-time: copies may overlap their own output
+			// (run-length shapes encode as distance < length).
+			start := len(dst) - int(d)
+			for k := 0; k < ln; k++ {
+				dst = append(dst, dst[start+k])
+			}
+			continue
+		}
+		// The copy starts inside the dictionary window; it may run off the
+		// window's end into this block's own output.
+		hs := len(hist) - (int(d) - produced)
 		for k := 0; k < ln; k++ {
-			dst = append(dst, dst[start+k])
+			if hs+k < len(hist) {
+				dst = append(dst, hist[hs+k])
+			} else {
+				dst = append(dst, dst[base+hs+k-len(hist)])
+			}
 		}
 	}
 	if len(dst)-base != rawLen {
 		return dst, fmt.Errorf("%w: block decompressed to %d bytes, want %d", ErrCorrupt, len(dst)-base, rawLen)
 	}
 	return dst, nil
+}
+
+// dictTail returns the dictionary window a block following `raw` may copy
+// from: the window-capped tail of the raw payload.
+func dictTail(raw []byte) []byte {
+	if len(raw) > dictWindowBytes {
+		return raw[len(raw)-dictWindowBytes:]
+	}
+	return raw
 }
 
 // commonPrefixLen returns the length of the longest common prefix.
@@ -232,6 +289,8 @@ type RunEncoder struct {
 	comp        Compression
 	blockTarget int
 	raw         []byte // current block payload (pre-LZ framing)
+	hist        []byte // previous block's dictionary tail
+	comb        []byte // hist ++ raw, the LZ window for one sealBlock
 	lastKey     []byte // front-coding reference, reset per block
 	out         []byte // pending encoded run bytes
 	lz          *lzCoder
@@ -258,6 +317,7 @@ func NewRunEncoder(w io.Writer, comp Compression) *RunEncoder {
 func (e *RunEncoder) Reset(w io.Writer) {
 	e.w = w
 	e.raw = e.raw[:0]
+	e.hist = e.hist[:0]
 	e.lastKey = e.lastKey[:0]
 	e.out = e.out[:0]
 	e.rawBytes = 0
@@ -273,7 +333,7 @@ func (e *RunEncoder) RawBytes() int64 { return e.rawBytes }
 // ScratchBytes approximates the encoder's retained buffer footprint, for
 // memory accounting.
 func (e *RunEncoder) ScratchBytes() int64 {
-	return int64(cap(e.raw) + cap(e.out) + cap(e.scratch))
+	return int64(cap(e.raw) + cap(e.out) + cap(e.scratch) + cap(e.hist) + cap(e.comb))
 }
 
 // Append adds one record to the run. Records must arrive in key order for
@@ -314,17 +374,25 @@ func (e *RunEncoder) sealBlock() {
 	if len(e.raw) == 0 {
 		return
 	}
-	e.scratch = e.lz.compress(e.scratch[:0], e.raw)
+	// The LZ window is the previous block's dictionary tail followed by
+	// this block's payload — copies may reach across the block boundary.
+	e.comb = append(append(e.comb[:0], e.hist...), e.raw...)
+	var usedDict bool
+	e.scratch, usedDict = e.lz.compress(e.scratch[:0], e.comb, len(e.hist))
 	payload := e.raw
-	tag := uint64(len(e.raw)) << 1
+	tag := uint64(len(e.raw)) << 2
 	if len(e.scratch) < len(e.raw) {
 		payload = e.scratch
-		tag = uint64(len(e.scratch))<<1 | 1
+		tag = uint64(len(e.scratch))<<2 | 1
+		if usedDict {
+			tag |= 2
+		}
 	}
 	e.out = binary.AppendUvarint(e.out, uint64(len(e.raw)))
 	e.out = binary.AppendUvarint(e.out, tag)
 	e.out = binary.LittleEndian.AppendUint32(e.out, crc32.Checksum(payload, crcTable))
 	e.out = append(e.out, payload...)
+	e.hist = append(e.hist[:0], dictTail(e.raw)...)
 	e.raw = e.raw[:0]
 	e.lastKey = e.lastKey[:0] // front-coding restarts per block
 	_ = e.maybeWrite()
@@ -396,18 +464,256 @@ func NewRunDecoderBytes(b []byte, comp Compression) RecordReader {
 	return NewRunDecoder(bytes.NewReader(b), comp)
 }
 
-// blockReader streams records out of a compressed run, decompressing one
-// block at a time.
+// runHeader is the decoded 5-byte run preamble.
+type runHeader struct {
+	ver   uint8 // 1 = BLC1 (no CRC), 2 = BLC2, 3 = BLC3 (dict window)
+	delta bool
+}
+
+// readRunHeader reads and validates the run preamble.
+func readRunHeader(r ByteScanner) (runHeader, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return runHeader{}, fmt.Errorf("%w: truncated run header: %v", ErrCorrupt, err)
+	}
+	var h runHeader
+	switch [4]byte(hdr[:4]) {
+	case runMagic:
+		h.ver = 3
+	case runMagicV2:
+		h.ver = 2
+	case runMagicV1:
+		h.ver = 1
+	default:
+		return runHeader{}, fmt.Errorf("%w: bad run magic %q", ErrCorrupt, hdr[:4])
+	}
+	kind := Compression(hdr[4])
+	if kind != Block && kind != DeltaBlock {
+		return runHeader{}, fmt.Errorf("%w: bad run codec %d", ErrCorrupt, hdr[4])
+	}
+	h.delta = kind == DeltaBlock
+	return h, nil
+}
+
+// blockFrame is one block as framed on disk/wire: the undecoded payload
+// plus everything needed to verify and decode it.
+type blockFrame struct {
+	rawLen  int
+	lz      bool
+	dict    bool // payload copies reach into the previous block's tail
+	hasCRC  bool
+	crc     uint32
+	payload []byte // on-wire payload bytes (reused across frames)
+}
+
+// readBlockFrame reads the next block frame from r into f, reusing
+// f.payload. It returns false at the clean end of the run; every other
+// shortfall is an error.
+func readBlockFrame(r ByteScanner, ver uint8, f *blockFrame) (bool, error) {
+	rawLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return false, nil // clean end: the run stops at a block boundary
+		}
+		return false, fmt.Errorf("%w: bad block length: %v", ErrCorrupt, err)
+	}
+	encTag, err := binary.ReadUvarint(r)
+	if err != nil {
+		return false, fmt.Errorf("%w: truncated block header: %v", ErrCorrupt, err)
+	}
+	var encLen uint64
+	if ver >= 3 {
+		encLen = encTag >> 2
+		f.lz = encTag&1 == 1
+		f.dict = encTag&2 == 2
+	} else {
+		encLen = encTag >> 1
+		f.lz = encTag&1 == 1
+		f.dict = false
+	}
+	if rawLen == 0 || rawLen > maxBlockRawBytes || encLen == 0 || encLen > rawLen {
+		return false, fmt.Errorf("%w: implausible block sizes raw=%d enc=%d", ErrCorrupt, rawLen, encLen)
+	}
+	if f.dict && !f.lz {
+		return false, fmt.Errorf("%w: stored block flagged dictionary-dependent", ErrCorrupt)
+	}
+	f.rawLen = int(rawLen)
+	f.hasCRC = ver >= 2
+	if f.hasCRC {
+		var cb [4]byte
+		if _, err := io.ReadFull(r, cb[:]); err != nil {
+			return false, fmt.Errorf("%w: truncated block checksum: %v", ErrCorrupt, err)
+		}
+		f.crc = binary.LittleEndian.Uint32(cb[:])
+	}
+	// Fill the payload chunked, so a corrupt (huge) length fails at the
+	// first missing byte rather than allocating the claimed size up front.
+	const chunk = 64 << 10
+	f.payload = f.payload[:0]
+	for remaining := encLen; remaining > 0; {
+		c := uint64(chunk)
+		if remaining < c {
+			c = remaining
+		}
+		start := len(f.payload)
+		f.payload = append(f.payload, make([]byte, c)...)
+		if _, err := io.ReadFull(r, f.payload[start:]); err != nil {
+			return false, fmt.Errorf("%w: truncated block payload: %v", ErrCorrupt, err)
+		}
+		remaining -= c
+	}
+	return true, nil
+}
+
+// decodeBlockPayload CRC-verifies and decompresses one framed block,
+// appending the raw payload to dst. hist is the previous block's dictionary
+// tail (ignored unless the frame is dictionary-dependent). This is the
+// CPU-heavy half of block decode, safe to run off the consuming goroutine
+// (it touches only the frame, hist, and dst).
+func decodeBlockPayload(dst []byte, f *blockFrame, hist []byte) ([]byte, error) {
+	if f.hasCRC {
+		if got := crc32.Checksum(f.payload, crcTable); got != f.crc {
+			return dst, fmt.Errorf("%w: block checksum mismatch: got %08x, want %08x", ErrCorrupt, got, f.crc)
+		}
+	}
+	if !f.lz {
+		if len(f.payload) != f.rawLen {
+			return dst, fmt.Errorf("%w: stored block %d bytes, header says %d", ErrCorrupt, len(f.payload), f.rawLen)
+		}
+		return append(dst, f.payload...), nil
+	}
+	if !f.dict {
+		hist = nil
+	} else if len(hist) == 0 {
+		return dst, fmt.Errorf("%w: dictionary-dependent block with no preceding block", ErrCorrupt)
+	}
+	return lzDecompress(dst, f.payload, hist, f.rawLen)
+}
+
+// blockParser cuts records out of one decoded block payload. It is the
+// stateful, arena-touching half of block decode and must stay on the
+// consuming goroutine; setBlock hands it the next decoded payload.
+type blockParser struct {
+	delta   bool
+	block   []byte // decoded current block payload
+	off     int    // cursor within block
+	prevKey []byte // front-coding state within block
+	arena   *Arena // optional: record strings cut from shared chunks
+	err     error
+}
+
+// setBlock points the parser at the next decoded block payload.
+func (p *blockParser) setBlock(b []byte) {
+	p.block = b
+	p.off = 0
+	p.prevKey = p.prevKey[:0] // front-coding restarts per block
+}
+
+// exhausted reports whether the current block is fully parsed.
+func (p *blockParser) exhausted() bool { return p.off >= len(p.block) }
+
+// next parses one record; false when the block is exhausted or corrupt.
+func (p *blockParser) next() (core.Record, bool) {
+	if p.err != nil || p.exhausted() {
+		return core.Record{}, false
+	}
+	if p.delta {
+		return p.nextDelta()
+	}
+	key, ok := p.str()
+	if !ok {
+		return core.Record{}, false
+	}
+	val, ok := p.str()
+	if !ok {
+		return core.Record{}, false
+	}
+	return core.Record{Key: key, Value: val}, true
+}
+
+// corrupt latches a corruption error.
+func (p *blockParser) corrupt(format string, args ...any) bool {
+	p.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	return false
+}
+
+// uvarint decodes one varint from the current block.
+func (p *blockParser) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(p.block[p.off:])
+	if n <= 0 {
+		return 0, p.corrupt("bad varint in block at offset %d", p.off)
+	}
+	p.off += n
+	return v, true
+}
+
+// bytesN slices n payload bytes from the current block.
+func (p *blockParser) bytesN(n uint64) ([]byte, bool) {
+	if uint64(len(p.block)-p.off) < n {
+		return nil, p.corrupt("truncated record in block at offset %d", p.off)
+	}
+	s := p.block[p.off : p.off+int(n)]
+	p.off += int(n)
+	return s, true
+}
+
+// str decodes one length-prefixed string from the current block.
+func (p *blockParser) str() (string, bool) {
+	n, ok := p.uvarint()
+	if !ok {
+		return "", false
+	}
+	s, ok := p.bytesN(n)
+	if !ok {
+		return "", false
+	}
+	if p.arena != nil {
+		return p.arena.String(s), true
+	}
+	return string(s), true
+}
+
+// nextDelta decodes one front-coded record.
+func (p *blockParser) nextDelta() (core.Record, bool) {
+	shared, ok := p.uvarint()
+	if !ok {
+		return core.Record{}, false
+	}
+	if shared > uint64(len(p.prevKey)) {
+		return core.Record{}, p.corrupt("shared prefix %d exceeds previous key length %d", shared, len(p.prevKey))
+	}
+	sufLen, ok := p.uvarint()
+	if !ok {
+		return core.Record{}, false
+	}
+	suffix, ok := p.bytesN(sufLen)
+	if !ok {
+		return core.Record{}, false
+	}
+	p.prevKey = append(p.prevKey[:int(shared)], suffix...)
+	val, ok := p.str()
+	if !ok {
+		return core.Record{}, false
+	}
+	key := string(p.prevKey)
+	if p.arena != nil {
+		key = p.arena.String(p.prevKey)
+	}
+	return core.Record{Key: key, Value: val}, true
+}
+
+// blockReader streams records out of a compressed run serially,
+// decompressing one block at a time on the calling goroutine. Two block
+// buffers alternate so the previous block's tail stays live as the next
+// block's dictionary window without a copy.
 type blockReader struct {
 	r          ByteScanner
-	delta      bool
-	hasCRC     bool // false for v1 ("BLC1") runs, which carry no block CRCs
+	hdr        runHeader
 	headerDone bool
-	block      []byte // decompressed current block payload
-	off        int    // cursor within block
-	prevKey    []byte // front-coding state within block
-	payload    []byte // compressed payload scratch
-	arena      *Arena // optional: record strings cut from shared chunks
+	frame      blockFrame
+	p          blockParser
+	spare      []byte // the other half of the double buffer
+	arena      *Arena
 	err        error
 }
 
@@ -416,9 +722,8 @@ type blockReader struct {
 func (b *blockReader) Reset(r ByteScanner) {
 	b.r = r
 	b.headerDone = false
-	b.block = b.block[:0]
-	b.off = 0
-	b.prevKey = b.prevKey[:0]
+	b.p.setBlock(b.p.block[:0])
+	b.p.err = nil
 	b.err = nil
 }
 
@@ -427,189 +732,54 @@ func (b *blockReader) Next() (core.Record, bool) {
 	if b.err != nil {
 		return core.Record{}, false
 	}
-	for b.off >= len(b.block) {
+	for b.p.exhausted() {
 		if !b.nextBlock() {
 			return core.Record{}, false
 		}
 	}
-	if b.delta {
-		return b.nextDelta()
-	}
-	key, ok := b.str()
+	rec, ok := b.p.next()
 	if !ok {
-		return core.Record{}, false
+		b.err = b.p.err
 	}
-	val, ok := b.str()
-	if !ok {
-		return core.Record{}, false
-	}
-	return core.Record{Key: key, Value: val}, true
+	return rec, ok
 }
 
 // Err implements RecordReader.
 func (b *blockReader) Err() error { return b.err }
 
-// corrupt latches a corruption error.
-func (b *blockReader) corrupt(format string, args ...any) bool {
-	b.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
-	return false
-}
-
 // nextBlock reads, validates and decompresses the next block. false at
 // clean end of run or on error.
 func (b *blockReader) nextBlock() bool {
 	if !b.headerDone {
-		var hdr [5]byte
-		if _, err := io.ReadFull(b.r, hdr[:]); err != nil {
-			return b.corrupt("truncated run header: %v", err)
-		}
-		switch [4]byte(hdr[:4]) {
-		case runMagic:
-			b.hasCRC = true
-		case runMagicV1:
-			b.hasCRC = false
-		default:
-			return b.corrupt("bad run magic %q", hdr[:4])
-		}
-		kind := Compression(hdr[4])
-		if kind != Block && kind != DeltaBlock {
-			return b.corrupt("bad run codec %d", hdr[4])
-		}
-		b.delta = kind == DeltaBlock
-		b.headerDone = true
-	}
-	rawLen, err := binary.ReadUvarint(b.r)
-	if err != nil {
-		if err == io.EOF {
-			return false // clean end: the run stops at a block boundary
-		}
-		return b.corrupt("bad block length: %v", err)
-	}
-	encTag, err := binary.ReadUvarint(b.r)
-	if err != nil {
-		return b.corrupt("truncated block header: %v", err)
-	}
-	encLen, lz := encTag>>1, encTag&1 == 1
-	if rawLen == 0 || rawLen > maxBlockRawBytes || encLen == 0 || encLen > rawLen {
-		return b.corrupt("implausible block sizes raw=%d enc=%d", rawLen, encLen)
-	}
-	var wantCRC uint32
-	if b.hasCRC {
-		var cb [4]byte
-		if _, err := io.ReadFull(b.r, cb[:]); err != nil {
-			return b.corrupt("truncated block checksum: %v", err)
-		}
-		wantCRC = binary.LittleEndian.Uint32(cb[:])
-	}
-	if !b.readPayload(encLen) {
-		return false
-	}
-	if b.hasCRC {
-		if got := crc32.Checksum(b.payload, crcTable); got != wantCRC {
-			return b.corrupt("block checksum mismatch: got %08x, want %08x", got, wantCRC)
-		}
-	}
-	if lz {
-		b.block, err = lzDecompress(b.block[:0], b.payload, int(rawLen))
+		hdr, err := readRunHeader(b.r)
 		if err != nil {
 			b.err = err
 			return false
 		}
-	} else {
-		if encLen != rawLen {
-			return b.corrupt("stored block %d bytes, header says %d", encLen, rawLen)
-		}
-		b.block = append(b.block[:0], b.payload...)
+		b.hdr = hdr
+		b.p.delta = hdr.delta
+		b.p.arena = b.arena
+		b.headerDone = true
 	}
-	b.off = 0
-	b.prevKey = b.prevKey[:0]
+	ok, err := readBlockFrame(b.r, b.hdr.ver, &b.frame)
+	if err != nil {
+		b.err = err
+		return false
+	}
+	if !ok {
+		return false
+	}
+	// Swap buffers: the block just drained becomes spare scratch, and its
+	// bytes stay valid as the dictionary window for this decode.
+	prev := b.p.block
+	next, err := decodeBlockPayload(b.spare[:0], &b.frame, dictTail(prev))
+	b.spare = prev
+	if err != nil {
+		b.err = err
+		return false
+	}
+	b.p.setBlock(next)
 	return true
-}
-
-// readPayload fills b.payload with n compressed bytes, chunked so a corrupt
-// (huge) length fails at the first missing byte rather than allocating the
-// claimed size up front.
-func (b *blockReader) readPayload(n uint64) bool {
-	const chunk = 64 << 10
-	b.payload = b.payload[:0]
-	for remaining := n; remaining > 0; {
-		c := uint64(chunk)
-		if remaining < c {
-			c = remaining
-		}
-		start := len(b.payload)
-		b.payload = append(b.payload, make([]byte, c)...)
-		if _, err := io.ReadFull(b.r, b.payload[start:]); err != nil {
-			return b.corrupt("truncated block payload: %v", err)
-		}
-		remaining -= c
-	}
-	return true
-}
-
-// uvarint decodes one varint from the current block.
-func (b *blockReader) uvarint() (uint64, bool) {
-	v, n := binary.Uvarint(b.block[b.off:])
-	if n <= 0 {
-		return 0, b.corrupt("bad varint in block at offset %d", b.off)
-	}
-	b.off += n
-	return v, true
-}
-
-// bytesN slices n payload bytes from the current block.
-func (b *blockReader) bytesN(n uint64) ([]byte, bool) {
-	if uint64(len(b.block)-b.off) < n {
-		return nil, b.corrupt("truncated record in block at offset %d", b.off)
-	}
-	s := b.block[b.off : b.off+int(n)]
-	b.off += int(n)
-	return s, true
-}
-
-// str decodes one length-prefixed string from the current block.
-func (b *blockReader) str() (string, bool) {
-	n, ok := b.uvarint()
-	if !ok {
-		return "", false
-	}
-	s, ok := b.bytesN(n)
-	if !ok {
-		return "", false
-	}
-	if b.arena != nil {
-		return b.arena.String(s), true
-	}
-	return string(s), true
-}
-
-// nextDelta decodes one front-coded record.
-func (b *blockReader) nextDelta() (core.Record, bool) {
-	shared, ok := b.uvarint()
-	if !ok {
-		return core.Record{}, false
-	}
-	if shared > uint64(len(b.prevKey)) {
-		return core.Record{}, b.corrupt("shared prefix %d exceeds previous key length %d", shared, len(b.prevKey))
-	}
-	sufLen, ok := b.uvarint()
-	if !ok {
-		return core.Record{}, false
-	}
-	suffix, ok := b.bytesN(sufLen)
-	if !ok {
-		return core.Record{}, false
-	}
-	b.prevKey = append(b.prevKey[:int(shared)], suffix...)
-	val, ok := b.str()
-	if !ok {
-		return core.Record{}, false
-	}
-	key := string(b.prevKey)
-	if b.arena != nil {
-		key = b.arena.String(b.prevKey)
-	}
-	return core.Record{Key: key, Value: val}, true
 }
 
 // SectionDecoder is a reusable run decoder for section streams of varying

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math/rand"
 	"slices"
 	"sort"
@@ -178,7 +179,7 @@ func blockBoundaries(t *testing.T, buf []byte) map[int]bool {
 		off += n
 		_ = rawLen
 		off += 4 // crc32c
-		off += int(encTag >> 1)
+		off += int(encTag >> 2)
 		bounds[off] = true
 	}
 	return bounds
@@ -315,7 +316,8 @@ func TestCorruptCopyDistance(t *testing.T) {
 	payload := binary.AppendUvarint(nil, 4<<1|1)               // copy, len 4
 	payload = binary.AppendUvarint(payload, uint64(1)<<63)     // distance 2^63
 	buf = binary.AppendUvarint(buf, 100)                       // rawLen
-	buf = binary.AppendUvarint(buf, uint64(len(payload))<<1|1) // lz-compressed
+	buf = binary.AppendUvarint(buf, uint64(len(payload))<<2|1) // lz-compressed
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, crcTable))
 	buf = append(buf, payload...)
 	rd := NewRunDecoderBytes(buf, Block)
 	if _, ok := rd.Next(); ok {

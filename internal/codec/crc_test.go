@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -76,48 +77,165 @@ func TestBlockCRCCatchesBitRot(t *testing.T) {
 	}
 }
 
-// TestV1RunsStillDecode: runs sealed with the PR-4 "BLC1" header (no block
-// CRCs) must keep decoding — wire and disk compatibility for sealed runs
-// that predate the checksum.
-func TestV1RunsStillDecode(t *testing.T) {
-	recs := crcTestRecords(500)
-	for _, comp := range []Compression{Block, DeltaBlock} {
-		buf := sealRun(t, recs, comp)
-		// Rewrite the run as v1: magic BLC1, blocks without the CRC field,
-		// by re-walking the v2 framing and stripping each block's CRC.
-		v1 := []byte{'B', 'L', 'C', '1', buf[4]}
-		src := buf[5:]
-		for len(src) > 0 {
-			rawLen, n1 := uvarint(t, src)
-			encTag, n2 := uvarint(t, src[n1:])
-			hdrLen := n1 + n2
-			encLen := int(encTag >> 1)
-			v1 = append(v1, src[:hdrLen]...)
-			v1 = append(v1, src[hdrLen+4:hdrLen+4+encLen]...)
-			src = src[hdrLen+4+encLen:]
-			_ = rawLen
+// downgradeRun rewrites a v3-sealed run as a "BLC1" or "BLC2" run by
+// re-walking the v3 framing: block tags drop the dict bit (ver 1/2 encode
+// encLen<<1|lz) and ver 1 additionally strips each block's CRC word. The
+// input must contain no dictionary-dependent blocks — older framings
+// cannot express them — so callers pick single-block or incompressible
+// data.
+func downgradeRun(t *testing.T, buf []byte, ver int) []byte {
+	t.Helper()
+	out := []byte{'B', 'L', 'C', byte('0' + ver), buf[4]}
+	src := buf[5:]
+	for len(src) > 0 {
+		rawLen, n1 := uvarint(t, src)
+		encTag, n2 := uvarint(t, src[n1:])
+		src = src[n1+n2:]
+		encLen := int(encTag >> 2)
+		if encTag&2 != 0 {
+			t.Fatalf("cannot downgrade a dictionary-dependent block to v%d", ver)
 		}
-		dec := NewRunDecoderBytes(v1, comp)
-		var got []core.Record
-		for {
-			r, ok := dec.Next()
-			if !ok {
-				break
-			}
-			got = append(got, r)
+		out = binary.AppendUvarint(out, rawLen)
+		out = binary.AppendUvarint(out, uint64(encLen)<<1|encTag&1)
+		if ver >= 2 {
+			out = append(out, src[:4]...) // keep the CRC word
 		}
-		if err := dec.Err(); err != nil {
-			t.Fatalf("%v: v1 run failed to decode: %v", comp, err)
+		out = append(out, src[4:4+encLen]...)
+		src = src[4+encLen:]
+	}
+	return out
+}
+
+func decodeAll(t *testing.T, buf []byte, comp Compression) []core.Record {
+	t.Helper()
+	dec := NewRunDecoderBytes(buf, comp)
+	var got []core.Record
+	for {
+		r, ok := dec.Next()
+		if !ok {
+			break
 		}
-		if len(got) != len(recs) {
-			t.Fatalf("%v: v1 run decoded %d records, want %d", comp, len(got), len(recs))
+		got = append(got, r)
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatalf("%v: decode: %v", comp, err)
+	}
+	return got
+}
+
+// TestOldRunsStillDecode: runs sealed with the PR-5 "BLC2" header (no
+// dictionary window) and the PR-4 "BLC1" header (no block CRCs either)
+// must keep decoding — wire and disk compatibility for sealed runs that
+// predate the current framing. Covered across the compressed single-block
+// shape and a multi-block stored (incompressible) shape.
+func TestOldRunsStillDecode(t *testing.T) {
+	small := crcTestRecords(500) // one compressed block, no dict blocks
+	big := make([]core.Record, 1500)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := range big { // incompressible: every block stored, never dict
+		k := make([]byte, 40)
+		v := make([]byte, 200)
+		for j := range k {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			k[j] = byte(rng >> 33)
 		}
-		for i := range got {
-			if got[i] != recs[i] {
-				t.Fatalf("%v: v1 record %d: %v vs %v", comp, i, got[i], recs[i])
+		for j := range v {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v[j] = byte(rng >> 33)
+		}
+		big[i] = core.Record{Key: string(k), Value: string(v)}
+	}
+	for _, tc := range []struct {
+		name string
+		recs []core.Record
+	}{{"small", small}, {"stored", big}} {
+		for _, comp := range []Compression{Block, DeltaBlock} {
+			buf := sealRun(t, tc.recs, comp)
+			for _, ver := range []int{1, 2} {
+				old := downgradeRun(t, buf, ver)
+				got := decodeAll(t, old, comp)
+				if len(got) != len(tc.recs) {
+					t.Fatalf("%s/%v: v%d run decoded %d records, want %d", tc.name, comp, ver, len(got), len(tc.recs))
+				}
+				for i := range got {
+					if got[i] != tc.recs[i] {
+						t.Fatalf("%s/%v: v%d record %d: %v vs %v", tc.name, comp, ver, i, got[i], tc.recs[i])
+					}
+				}
 			}
 		}
 	}
+}
+
+// TestDictWindowRoundTrip: a multi-block repetitive run must produce at
+// least one dictionary-dependent block (the cross-block window is doing
+// work) and still round-trip exactly; and corruption inside the block a
+// dict block depends on surfaces ErrCorrupt for both.
+func TestDictWindowRoundTrip(t *testing.T) {
+	recs := crcTestRecords(8000) // several blocks of highly repetitive keys
+	for _, comp := range []Compression{Block, DeltaBlock} {
+		buf := sealRun(t, recs, comp)
+		var dictBlocks, blocks int
+		src := buf[5:]
+		for len(src) > 0 {
+			_, n1 := uvarint(t, src)
+			encTag, n2 := uvarint(t, src[n1:])
+			src = src[n1+n2+4+int(encTag>>2):]
+			blocks++
+			if encTag&2 != 0 {
+				dictBlocks++
+			}
+		}
+		if blocks < 2 {
+			t.Fatalf("%v: test data sealed into %d block(s); need several", comp, blocks)
+		}
+		if dictBlocks == 0 {
+			t.Fatalf("%v: no dictionary-dependent blocks in %d blocks", comp, blocks)
+		}
+		t.Logf("%v: %d of %d blocks dict-dependent, %d bytes sealed", comp, dictBlocks, blocks, len(buf))
+		got := decodeAll(t, buf, comp)
+		if len(got) != len(recs) {
+			t.Fatalf("%v: decoded %d records, want %d", comp, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("%v: record %d: %v vs %v", comp, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+// TestDictBlockWithoutPredecessor: a first block claiming dictionary
+// dependence is structurally impossible and must be ErrCorrupt, not a
+// panic or garbage output.
+func TestDictBlockWithoutPredecessor(t *testing.T) {
+	recs := crcTestRecords(8000)
+	buf := sealRun(t, recs, Block)
+	// Splice the run down to header + the first dict-flagged block.
+	src := buf[5:]
+	off := 5
+	for len(src) > 0 {
+		_, n1 := uvarint(t, src)
+		encTag, n2 := uvarint(t, src[n1:])
+		blockLen := n1 + n2 + 4 + int(encTag>>2)
+		if encTag&2 != 0 {
+			bad := append([]byte(nil), buf[:5]...)
+			bad = append(bad, buf[off:off+blockLen]...)
+			rd := NewRunDecoderBytes(bad, Block)
+			for {
+				if _, ok := rd.Next(); !ok {
+					break
+				}
+			}
+			if err := rd.Err(); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("orphaned dict block: err=%v, want ErrCorrupt", err)
+			}
+			return
+		}
+		src = src[blockLen:]
+		off += blockLen
+	}
+	t.Fatal("test data produced no dict blocks")
 }
 
 func uvarint(t *testing.T, b []byte) (uint64, int) {

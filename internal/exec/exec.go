@@ -144,6 +144,15 @@ type Options struct {
 	// Decompressed merge order is unchanged, so outputs stay byte-identical
 	// across codecs.
 	Compression codec.Compression
+	// DecodeWorkers sizes the TCP fetch plane's parallel block-decode pool:
+	// compressed fetched sections CRC-verify and decompress on that many
+	// shared workers while the merger consumes decoded blocks in order, so
+	// codec work overlaps the merge (and other sections) instead of
+	// serializing on the consuming goroutine. Decoded record order — and
+	// job output — is byte-identical at any setting. 1 decodes inline; 0
+	// defaults to min(GOMAXPROCS, 8). Ignored off the TCP exchange and
+	// under codec.None.
+	DecodeWorkers int
 }
 
 // Normalize fills defaulted fields in place.
@@ -180,6 +189,12 @@ func (o *Options) Normalize() {
 	}
 	if o.HeartbeatInterval <= 0 {
 		o.HeartbeatInterval = time.Second
+	}
+	if o.DecodeWorkers <= 0 {
+		o.DecodeWorkers = runtime.GOMAXPROCS(0)
+		if o.DecodeWorkers > 8 {
+			o.DecodeWorkers = 8
+		}
 	}
 }
 

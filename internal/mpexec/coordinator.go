@@ -140,10 +140,11 @@ type remoteWorker struct {
 	dead    chan struct{} // closed when the worker is declared dead
 	deadErr error
 
-	// fetchDials is the worker pool's lifetime dial total from its latest
-	// reply (written under c.mu); jobs snapshot it at admission to report
-	// per-job dial deltas.
-	fetchDials int64
+	// fetchDials and serverOpens are the worker's lifetime fetch-pool dial
+	// and run-server os.Open totals from its latest reply (written under
+	// c.mu); jobs snapshot them at admission to report per-job deltas.
+	fetchDials  int64
+	serverOpens int64
 }
 
 // jobWorker binds one remoteWorker into one job as an exec.Worker: it tags
@@ -157,6 +158,8 @@ type jobWorker struct {
 	rawSpilledBytes int64
 	dials           int64 // max lifetime dial count seen in this job's replies
 	dialsBase       int64 // lifetime dial count when the job was admitted
+	opens           int64 // max lifetime server-open count seen in this job's replies
+	opensBase       int64 // lifetime server-open count when the job was admitted
 }
 
 // Listen opens the coordinator's registration listener on an ephemeral
@@ -323,7 +326,8 @@ func (c *Coordinator) RunJob(job exec.Job, input []core.Record, opts exec.Option
 	jr.jws = make([]*jobWorker, len(ws))
 	assignments := make([]exec.Assignment, len(ws))
 	for i, w := range ws {
-		jw := &jobWorker{j: jr, w: w, dials: w.fetchDials, dialsBase: w.fetchDials}
+		jw := &jobWorker{j: jr, w: w, dials: w.fetchDials, dialsBase: w.fetchDials,
+			opens: w.serverOpens, opensBase: w.serverOpens}
 		jr.jws[i] = jw
 		assignments[i] = exec.Assignment{W: jw, MapSlots: mapSlots, ReduceSlots: redSlots}
 	}
@@ -386,6 +390,13 @@ func (c *Coordinator) RunJob(job exec.Job, input []core.Record, opts exec.Option
 			// worker pool's lifetime total, so overlapping jobs may each
 			// claim a dial the other triggered (documented in DESIGN §12).
 			res.FetchDials += jw.dials - jw.dialsBase
+		}
+		if jw.opens > jw.opensBase {
+			// Same lifetime-total discipline for the run-server's handle-cache
+			// misses (mr.Result.ServerOpens): approximate under concurrent
+			// jobs, and an undercount when a worker's server keeps serving
+			// peers after its own last reply.
+			res.ServerOpens += jw.opens - jw.opensBase
 		}
 	}
 	c.mu.Unlock()
@@ -733,6 +744,7 @@ func (jw *jobWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 	}
 	jw.spilledBytes += md.spilledBytes
 	jw.rawSpilledBytes += md.rawSpilledBytes
+	jw.noteOpens(md.serverOpens)
 	if rt, ok := jr.routes[t.Index]; ok && rt.valid {
 		// A concurrent attempt won (speculation, or a requeue racing a
 		// still-running clone): keep the winner's route, drop this one.
@@ -795,6 +807,7 @@ func (jw *jobWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	rawSpilledBytes := int64(d.uvarint())
 	res.FetchBytes = int64(d.uvarint())
 	dials := int64(d.uvarint())
+	opens := int64(d.uvarint())
 	res.Output = d.records()
 	if d.err != nil {
 		return exec.ReduceResult{}, fmt.Errorf("%s: %w", w, d.err)
@@ -814,6 +827,19 @@ func (jw *jobWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	if dials > jw.dials {
 		jw.dials = dials
 	}
+	jw.noteOpens(opens)
 	c.mu.Unlock()
 	return res, nil
+}
+
+// noteOpens folds one reply's lifetime server-open count into the worker's
+// and the job's monotonic maxima (caller holds c.mu) — the same baseline
+// discipline FetchDials uses, surfaced as mr.Result.ServerOpens.
+func (jw *jobWorker) noteOpens(opens int64) {
+	if opens > jw.w.serverOpens {
+		jw.w.serverOpens = opens
+	}
+	if opens > jw.opens {
+		jw.opens = opens
+	}
 }

@@ -32,7 +32,7 @@
 //	'M' map:     job | index | attempt | recordCount | codec records
 //	                                                  (coord -> worker)
 //	'm' mapDone: job | index | attempt | shuffleRecords | spills |
-//	             spilledBytes | rawSpilledBytes |
+//	             spilledBytes | rawSpilledBytes | serverOpens |
 //	             waveCount | { fileID | comp | spanCount | { off | n } }
 //	'R' reduce:  job | partition | nMaps |
 //	             mapCount | { mapIndex | attempt | segCount |
@@ -41,7 +41,7 @@
 //	             { segment }                          (coord -> worker)
 //	'r' redDone: job | partition | spills | peakPartialBytes | mergePasses |
 //	             spilledBytes | rawSpilledBytes | fetchBytes | fetchDials |
-//	             recordCount | codec records
+//	             serverOpens | recordCount | codec records
 //	'E' error:   job | replyKind byte ('m'|'r') | id | message
 //	                                                  (worker -> coord)
 //	'F' abort:   job | message                        (coord -> worker)
@@ -278,10 +278,11 @@ type mapDone struct {
 	spills          int
 	spilledBytes    int64
 	rawSpilledBytes int64
+	serverOpens     int64
 	waves           []waveMeta
 }
 
-func encodeMapDone(job, index, attempt int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes int64, waves []shuffle.Wave) []byte {
+func encodeMapDone(job, index, attempt int, shuffleRecords int64, spills int, spilledBytes, rawSpilledBytes, serverOpens int64, waves []shuffle.Wave) []byte {
 	b := binary.AppendUvarint(nil, uint64(job))
 	b = binary.AppendUvarint(b, uint64(index))
 	b = binary.AppendUvarint(b, uint64(attempt))
@@ -289,6 +290,7 @@ func encodeMapDone(job, index, attempt int, shuffleRecords int64, spills int, sp
 	b = binary.AppendUvarint(b, uint64(spills))
 	b = binary.AppendUvarint(b, uint64(spilledBytes))
 	b = binary.AppendUvarint(b, uint64(rawSpilledBytes))
+	b = binary.AppendUvarint(b, uint64(serverOpens))
 	b = binary.AppendUvarint(b, uint64(len(waves)))
 	for _, w := range waves {
 		b = binary.AppendUvarint(b, w.FileID)
@@ -312,6 +314,7 @@ func decodeMapDone(payload []byte, addr string) (mapDone, error) {
 		spills:          int(d.uvarint()),
 		spilledBytes:    int64(d.uvarint()),
 		rawSpilledBytes: int64(d.uvarint()),
+		serverOpens:     int64(d.uvarint()),
 	}
 	n := d.uvarint()
 	for i := uint64(0); i < n && d.err == nil; i++ {

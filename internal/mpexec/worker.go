@@ -64,6 +64,7 @@ func ServeJobs(coordAddr string, resolve JobResolver, base exec.Options) error {
 	}
 	defer srv.Close()
 	pool := shuffle.NewFetchPool()
+	pool.DecodeWorkers = base.DecodeWorkers
 	defer pool.Close()
 	hello := putStr(nil, advertise)
 	hello = putStr(hello, fmt.Sprintf("w-%d", os.Getpid()))
@@ -178,6 +179,7 @@ type wjob struct {
 	early   map[int][]mapSegs           // pushes that raced ahead of their 'R'
 	aborted error                       // set by 'F' (or a failed open): fail tasks fast
 	tasks   sync.WaitGroup              // in-flight tasks of this job
+	fileIDs []uint64                    // run files this job registered with the run-server
 }
 
 // loop dispatches control frames until the connection ends. A nil return
@@ -274,11 +276,20 @@ func (w *workerState) closeJob(id int) {
 	}()
 }
 
-// reapJob fails a retired job's straggler sources, waits out its tasks and
-// removes its spill directory.
+// reapJob fails a retired job's straggler sources, waits out its tasks,
+// drops the job's run files from the run-server (releasing any handles the
+// serving cache still holds, so deleting the files below frees the disk
+// space too) and removes its spill directory.
 func (w *workerState) reapJob(jb *wjob, reason error) {
 	w.failJob(jb, reason)
 	jb.tasks.Wait()
+	w.mu.Lock()
+	ids := jb.fileIDs
+	jb.fileIDs = nil
+	w.mu.Unlock()
+	for _, id := range ids {
+		w.srv.Unregister(id)
+	}
 	if jb.dir != nil {
 		_ = jb.dir.Close()
 	}
@@ -407,8 +418,13 @@ func (w *workerState) runMap(payload []byte) {
 		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, err.Error()))
 		return
 	}
+	w.mu.Lock()
+	for _, wave := range sink.Waves() {
+		jb.fileIDs = append(jb.fileIDs, wave.FileID)
+	}
+	w.mu.Unlock()
 	w.reply(msgMapDone, encodeMapDone(jobID, index, attempt, stats.ShuffleRecords, stats.Spills,
-		jb.dir.SpilledBytes()-before, jb.dir.RawSpilledBytes()-beforeRaw, sink.Waves()))
+		jb.dir.SpilledBytes()-before, jb.dir.RawSpilledBytes()-beforeRaw, w.srv.Opens(), sink.Waves()))
 }
 
 // startReduce decodes one routed reduce task, registers its push source
@@ -486,6 +502,7 @@ func (w *workerState) runReduce(jb *wjob, partition int, src *shuffle.PushSource
 	b = binary.AppendUvarint(b, uint64(jb.dir.RawSpilledBytes()-beforeRaw))
 	b = binary.AppendUvarint(b, uint64(res.FetchBytes))
 	b = binary.AppendUvarint(b, uint64(w.pool.Dials()))
+	b = binary.AppendUvarint(b, uint64(w.srv.Opens()))
 	b = putRecords(b, res.Output)
 	w.reply(msgReduceDone, b)
 }

@@ -80,6 +80,12 @@ type Result struct {
 	// peers × concurrent fetches — against one dial per fetched section
 	// before pooling. 0 for transports that read runs locally.
 	FetchDials int64
+	// ServerOpens counts os.Open calls the run-server's serving path paid
+	// (TCP exchange). The refcounted handle cache keeps this near the
+	// distinct sealed-file count — against one open per served section
+	// before caching, i.e. sections ≫ opens. 0 for transports that read
+	// runs locally.
+	ServerOpens int64
 	// PeakPartialBytes is the largest partial-result store footprint
 	// (store.Store.ApproxBytes) observed across pipelined reducers,
 	// sampled once per consumed batch — the number to compare against
@@ -121,6 +127,7 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 		Maps: len(maps), Parts: opts.Reducers,
 		QueueCap: opts.QueueCap, BatchSize: opts.BatchSize,
 		Dir: spillDir, MergeFanIn: opts.MergeFanIn,
+		DecodeWorkers: opts.DecodeWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mr: job %q: %w", job.Name, err)
@@ -150,6 +157,9 @@ func Run(job Job, input []core.Record, opts Options) (*Result, error) {
 	}
 	if dc, ok := tr.(interface{ FetchDials() int64 }); ok {
 		res.FetchDials = dc.FetchDials()
+	}
+	if so, ok := tr.(interface{ ServerOpens() int64 }); ok {
+		res.ServerOpens = so.ServerOpens()
 	}
 	res.Wall = time.Since(start)
 	return res, nil

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"blmr/internal/apps"
+	"blmr/internal/codec"
 	"blmr/internal/core"
 	"blmr/internal/shuffle"
 	"blmr/internal/workload"
@@ -72,3 +73,28 @@ func BenchmarkPipelinedWordCount250K_InProc(b *testing.B) {
 	benchPipelinedTransport(b, shuffle.InProc)
 }
 func BenchmarkPipelinedWordCount250K_TCP(b *testing.B) { benchPipelinedTransport(b, shuffle.TCP) }
+
+// The compressed TCP exchange at decode-workers 1 vs the default pool: how
+// much fetched-section CRC+decompress work the parallel decode pipeline
+// takes off the consuming merge (identical output either way; even on a
+// single-core host the pool wins by overlapping the connection's I/O waits).
+func benchBarrierTCPDecode(b *testing.B, workers int) {
+	input := benchTransportInput()
+	job := jobFor(apps.WordCount())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(job, input, Options{
+			Mode: Barrier, Mappers: 4, Reducers: 4,
+			Transport: shuffle.TCP, Compression: codec.DeltaBlock,
+			DecodeWorkers: workers, SpillDir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(input))/res.Wall.Seconds(), "recs/s")
+	}
+}
+
+func BenchmarkBarrierWordCount250K_TCPDeltaDecode1(b *testing.B) { benchBarrierTCPDecode(b, 1) }
+func BenchmarkBarrierWordCount250K_TCPDeltaDecodeN(b *testing.B) { benchBarrierTCPDecode(b, 0) }

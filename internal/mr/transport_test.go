@@ -74,6 +74,33 @@ func TestTransportEquivalence(t *testing.T) {
 	}
 }
 
+// TestServerOpensCounter: over the TCP exchange, a spill budget that seals
+// many waves makes reduce tasks fetch far more sections than there are
+// sealed files — the run-server's handle cache must keep Result.ServerOpens
+// at the file count, far under the fetched-section count.
+func TestServerOpensCounter(t *testing.T) {
+	input := workload.Text(21, 6000, 700, 8)
+	res, err := Run(jobFor(apps.WordCount()), input, Options{
+		Mappers: 4, Reducers: 4, Mode: Barrier, Transport: shuffle.TCP,
+		SpillBytes: 8 << 10, SpillDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerOpens == 0 {
+		t.Fatal("TCP exchange reported zero server opens")
+	}
+	// Every sealed wave is one file serving one section per partition, so
+	// fetched sections ≈ opens × reducers; the counter must track files, not
+	// sections.
+	sections := int64(res.Spills) * 4
+	if res.ServerOpens*2 > sections {
+		t.Fatalf("ServerOpens=%d not ≪ %d fetched sections (handle cache not engaged?)",
+			res.ServerOpens, sections)
+	}
+	t.Logf("handle cache: %d opens for ~%d fetched sections", res.ServerOpens, sections)
+}
+
 // TestMergeFanIn: a tiny spill budget over a fan-in cap of 2 forces
 // multi-pass merging; the multi-pass output must stay byte-identical to the
 // single-pass (and in-memory) barrier output, on every transport.

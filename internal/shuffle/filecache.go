@@ -1,0 +1,165 @@
+package shuffle
+
+// The run-server's open-file cache. Sealed run files are immutable and
+// each one is fetched many times (every reduce partition cuts a section
+// out of it), but serveMux used to os.Open/Close per request — at real
+// fan-ins that is thousands of opens per job for a handful of distinct
+// files. fileCache keeps the hottest handles open: a refcounted LRU keyed
+// by fileID, capacity-bounded, with eviction deferred past in-flight
+// sections (a busy handle is never closed under a sender) and immediate
+// invalidation when a file is unregistered (worker reap, job teardown).
+// Cached handles are shared across connections concurrently — every read
+// on them is positional (pread via io.NewSectionReader or offset
+// sendfile), so no seat at the file offset is ever taken.
+
+import (
+	"container/list"
+	"os"
+	"sync"
+)
+
+// fileCacheCap bounds how many sealed-run handles stay open. A worker
+// serves one file per (map task, wave), so this covers realistic jobs
+// without brushing against fd rlimits; over-cap entries appear only while
+// more than this many sections are mid-transfer.
+var fileCacheCap = 128
+
+// cachedFile is one open handle plus its sharing state.
+type cachedFile struct {
+	id   uint64
+	f    *os.File
+	refs int  // in-flight sections reading through the handle
+	gone bool // evicted or invalidated: close once refs drain
+	elem *list.Element
+}
+
+// fileCache is the refcounted LRU. All methods are safe for concurrent
+// use.
+type fileCache struct {
+	mu    sync.Mutex
+	cap   int
+	files map[uint64]*cachedFile
+	lru   *list.List // front = most recently used; holds *cachedFile
+	opens int64      // lifetime os.Open count (cache misses)
+}
+
+func newFileCache(capacity int) *fileCache {
+	return &fileCache{cap: capacity, files: make(map[uint64]*cachedFile), lru: list.New()}
+}
+
+// acquire returns an open handle for fileID (opening path on miss) with a
+// release closure the caller must invoke once its section send is done.
+func (c *fileCache) acquire(fileID uint64, path string) (*os.File, func(), error) {
+	c.mu.Lock()
+	if e, ok := c.files[fileID]; ok {
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e.f, func() { c.release(e) }, nil
+	}
+	c.mu.Unlock()
+	// Open outside the lock: a slow open must not stall unrelated sections.
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	if e, ok := c.files[fileID]; ok {
+		// Raced with another miss for the same file; keep the incumbent.
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		_ = f.Close()
+		return e.f, func() { c.release(e) }, nil
+	}
+	c.opens++
+	e := &cachedFile{id: fileID, f: f, refs: 1}
+	e.elem = c.lru.PushFront(e)
+	c.files[fileID] = e
+	c.evictLocked()
+	c.mu.Unlock()
+	return f, func() { c.release(e) }, nil
+}
+
+// evictLocked closes least-recently-used idle entries until within cap.
+// Busy entries are skipped — the cache runs over cap while every handle
+// has a section in flight, and shrinks back as they release.
+func (c *fileCache) evictLocked() {
+	for elem := c.lru.Back(); elem != nil && c.lru.Len() > c.cap; {
+		prev := elem.Prev()
+		e := elem.Value.(*cachedFile)
+		if e.refs == 0 {
+			e.gone = true
+			_ = e.f.Close()
+			c.lru.Remove(elem)
+			delete(c.files, e.id)
+		}
+		elem = prev
+	}
+}
+
+// release drops one section's hold; a handle evicted or invalidated while
+// busy closes on its last release, and a cache pushed over cap by busy
+// handles shrinks back as soon as holds drain.
+func (c *fileCache) release(e *cachedFile) {
+	c.mu.Lock()
+	e.refs--
+	closeNow := e.gone && e.refs == 0
+	if c.lru.Len() > c.cap {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	if closeNow {
+		_ = e.f.Close()
+	}
+}
+
+// invalidate drops fileID from the cache (no-op when absent). An idle
+// handle closes immediately; a busy one closes when its sections finish.
+func (c *fileCache) invalidate(fileID uint64) {
+	c.mu.Lock()
+	e, ok := c.files[fileID]
+	if ok {
+		delete(c.files, fileID)
+		c.lru.Remove(e.elem)
+		e.gone = true
+	}
+	closeNow := ok && e.refs == 0
+	c.mu.Unlock()
+	if closeNow {
+		_ = e.f.Close()
+	}
+}
+
+// closeAll invalidates everything (server shutdown).
+func (c *fileCache) closeAll() {
+	c.mu.Lock()
+	var closing []*os.File
+	for id, e := range c.files {
+		delete(c.files, id)
+		c.lru.Remove(e.elem)
+		e.gone = true
+		if e.refs == 0 {
+			closing = append(closing, e.f)
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range closing {
+		_ = f.Close()
+	}
+}
+
+// Opens reports the lifetime cache-miss count — the number of os.Open
+// calls the serving path actually paid.
+func (c *fileCache) Opens() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opens
+}
+
+// Len reports the resident entry count (tests).
+func (c *fileCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

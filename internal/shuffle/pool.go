@@ -37,10 +37,20 @@ type FetchPool struct {
 	// the attempt budget and are handled by the callers' re-route recovery.
 	DialRetry retry.Policy
 
+	// DecodeWorkers sizes the shared block-decode pool: compressed
+	// sections fetched through this pool CRC-verify and decompress their
+	// blocks on that many workers while the merger consumes decoded blocks
+	// in order (codec.DecodePool). 0 or 1 keeps decode inline on the
+	// consuming goroutine. Set before the first fetch.
+	DecodeWorkers int
+
 	mu     sync.Mutex
 	idle   map[string][]*poolConn
 	closed bool
 	dials  atomic.Int64
+
+	decMu sync.Mutex
+	dec   *codec.DecodePool
 }
 
 // NewFetchPool builds an empty pool.
@@ -56,7 +66,8 @@ func (p *FetchPool) Dials() int64 { return p.dials.Load() }
 // Close closes every idle pooled connection and marks the pool closed:
 // connections returned later are closed instead of pooled, so the peers'
 // run-servers reap their handler goroutines. Checked-out connections are
-// owned (and closed) by their fetchers.
+// owned (and closed) by their fetchers; sections they are still decoding
+// fall back to inline decode once the decode pool stops.
 func (p *FetchPool) Close() error {
 	p.mu.Lock()
 	idle := p.idle
@@ -68,7 +79,34 @@ func (p *FetchPool) Close() error {
 			_ = c.conn.Close()
 		}
 	}
+	p.decMu.Lock()
+	dec := p.dec
+	p.dec = nil
+	p.decMu.Unlock()
+	if dec != nil {
+		dec.Close()
+	}
 	return nil
+}
+
+// decodePool lazily starts the shared block-decode workers; nil when
+// parallel decode is off (or the pool is closed).
+func (p *FetchPool) decodePool() *codec.DecodePool {
+	if p.DecodeWorkers <= 1 {
+		return nil
+	}
+	p.decMu.Lock()
+	defer p.decMu.Unlock()
+	if p.dec == nil {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return nil
+		}
+		p.dec = codec.NewDecodePool(p.DecodeWorkers)
+	}
+	return p.dec
 }
 
 // get checks out a connection to addr, dialing when none is idle.
@@ -91,6 +129,7 @@ func (p *FetchPool) get(addr string) (*poolConn, error) {
 	}
 	p.dials.Add(1)
 	c := &poolConn{
+		pool: p,
 		addr: addr,
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 64<<10),
@@ -105,6 +144,13 @@ func (p *FetchPool) get(addr string) (*poolConn, error) {
 // response bytes (an abandoned section) or a protocol error is out of sync
 // and is closed instead.
 func (p *FetchPool) put(c *poolConn) {
+	// An abandoned section may still have a parallel-decode reader on the
+	// connection; quiesce it before the conn is pooled or closed so
+	// nothing races the socket.
+	if c.par != nil {
+		c.par.Stop()
+		c.par = nil
+	}
 	if c.broken || len(c.pending) > 0 {
 		_ = c.conn.Close()
 		return
@@ -129,6 +175,7 @@ type pendingSec struct {
 // poolConn is one multiplexed run-server connection. Single-owner while
 // checked out; responses arrive in request order.
 type poolConn struct {
+	pool    *FetchPool
 	addr    string
 	conn    net.Conn
 	br      *bufio.Reader
@@ -143,6 +190,7 @@ type poolConn struct {
 	arena codec.Arena
 	sr    sectionReader
 	run   pooledRun
+	par   *codec.ParallelReader // active parallel section, if any
 }
 
 // sectionReader is a codec.ByteScanner over the next n payload bytes of the
@@ -262,10 +310,24 @@ func (c *poolConn) openSection(comp codec.Compression, useArena bool) (*pooledRu
 	if useArena {
 		arena = &c.arena
 	}
+	var rr codec.RecordReader
+	c.par = nil
+	if comp != codec.None && c.pool != nil {
+		if dp := c.pool.decodePool(); dp != nil {
+			// Compressed sections decode on the shared worker pool: block
+			// CRC + LZ work overlaps the merge (and other sections), while
+			// record parsing — and the arena — stays on this goroutine.
+			c.par = codec.NewParallelReader(dp, &c.sr, arena)
+			rr = c.par
+		}
+	}
+	if rr == nil {
+		rr = c.dec.Reset(&c.sr, comp, arena)
+	}
 	c.run = pooledRun{
 		pc: c,
 		n:  n,
-		rr: c.dec.Reset(&c.sr, comp, arena),
+		rr: rr,
 	}
 	return &c.run, nil
 }
@@ -288,6 +350,10 @@ func (r *pooledRun) Next() (core.Record, bool) {
 	}
 	rec, ok := r.rr.Next()
 	if !ok {
+		// With a parallel decoder, a false Next means its reader goroutine
+		// has exited (clean end or drained error) — the section stream is
+		// quiescent, so the remaining-bytes check below is race-free.
+		r.pc.par = nil
 		if err := r.rr.Err(); err != nil {
 			r.err = fmt.Errorf("shuffle: fetched run: %w", err)
 			r.pc.broken = true

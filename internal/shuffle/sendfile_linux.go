@@ -1,0 +1,73 @@
+//go:build linux
+
+package shuffle
+
+import (
+	"net"
+	"os"
+	"syscall"
+)
+
+// sendfileSection transmits file[off, off+n) to tc with sendfile(2) — the
+// kernel moves page-cache bytes straight to the socket, no user-space
+// copy, no read buffer. The offset variant is used throughout so the
+// shared cached handle's file position is never touched (handles are
+// served concurrently across connections). Returns the bytes actually
+// sent; a short count without an error means the file ended early (the
+// caller severs, as for any short section).
+func sendfileSection(tc *net.TCPConn, f *os.File, off, n int64) (int64, error) {
+	rc, err := tc.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	frc, err := f.SyscallConn()
+	if err != nil {
+		return 0, err
+	}
+	var sent int64
+	var opErr error
+	// rc.Write re-invokes the callback when the socket becomes writable
+	// again after a false return, parking on the runtime poller instead of
+	// spinning on EAGAIN.
+	werr := rc.Write(func(fd uintptr) bool {
+		for sent < n {
+			chunk := n - sent
+			// Cap a single call so one huge section cannot pin the file's
+			// raw-control callback for its whole transfer.
+			if chunk > 4<<20 {
+				chunk = 4 << 20
+			}
+			var m int
+			var serr error
+			cerr := frc.Control(func(sfd uintptr) {
+				o := off + sent
+				m, serr = syscall.Sendfile(int(fd), int(sfd), &o, int(chunk))
+			})
+			if cerr != nil {
+				opErr = cerr
+				return true
+			}
+			if m > 0 {
+				sent += int64(m)
+			}
+			switch serr {
+			case nil:
+				if m == 0 {
+					return true // source EOF: section past the sealed file
+				}
+			case syscall.EINTR:
+				// retry
+			case syscall.EAGAIN:
+				return false // wait for writability
+			default:
+				opErr = serr
+				return true
+			}
+		}
+		return true
+	})
+	if opErr == nil {
+		opErr = werr
+	}
+	return sent, opErr
+}

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package shuffle
+
+import (
+	"io"
+	"net"
+	"os"
+)
+
+// sendfileSection on non-linux platforms: a plain positional copy straight
+// to the socket. Still bypasses the per-connection bufio layer and never
+// touches the shared handle's file position; io.Copy may internally pick
+// the platform's own zero-copy path where one exists.
+func sendfileSection(tc *net.TCPConn, f *os.File, off, n int64) (int64, error) {
+	return io.Copy(tc, io.NewSectionReader(f, off, n))
+}

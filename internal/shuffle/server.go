@@ -43,6 +43,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"blmr/internal/codec"
 	"blmr/internal/core"
@@ -56,10 +57,19 @@ var (
 	serverMagicMux = [4]byte{'B', 'L', 'R', '2'}
 )
 
+// zeroCopyMinBytes is the sendfile cutover: sections at least this large
+// flush the response header and ship their payload with sendfileSection
+// (no user-space copy); smaller ones ride the buffered path, where one
+// flush carries header and payload together. A package variable so the
+// microbenchmarks can force either path.
+var zeroCopyMinBytes int64 = 64 << 10
+
 // Server serves registered sealed run files over loopback TCP.
 type Server struct {
-	ln net.Listener
-	wg sync.WaitGroup
+	ln    net.Listener
+	wg    sync.WaitGroup
+	cache *fileCache
+	zc    atomic.Int64 // sections shipped through the zero-copy path
 
 	mu     sync.Mutex
 	files  map[uint64]string
@@ -84,7 +94,7 @@ func NewServerOn(bind string) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shuffle: start run-server: %w", err)
 	}
-	s := &Server{ln: ln, files: make(map[uint64]string), conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, cache: newFileCache(fileCacheCap), files: make(map[uint64]string), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.accept()
 	return s, nil
@@ -103,6 +113,28 @@ func (s *Server) Register(path string) uint64 {
 	return s.nextID
 }
 
+// Unregister withdraws a registered file: later requests for the ID get
+// an error response, and any cached handle is invalidated (closed once
+// in-flight sections drain). Job teardown calls this so a long-lived
+// worker's server neither accumulates dead routes nor holds deleted spill
+// files open.
+func (s *Server) Unregister(fileID uint64) {
+	s.mu.Lock()
+	delete(s.files, fileID)
+	s.mu.Unlock()
+	s.cache.invalidate(fileID)
+}
+
+// Opens reports how many times the serving path actually hit os.Open —
+// with the handle cache this stays near the distinct-file count, far
+// below the section-request count the old open-per-request path paid.
+func (s *Server) Opens() int64 { return s.cache.Opens() }
+
+// ZeroCopySections reports how many sections were shipped with the
+// zero-copy send (header flushed, payload via sendfile — no user-space
+// copy).
+func (s *Server) ZeroCopySections() int64 { return s.zc.Load() }
+
 // Close stops the listener, severs in-flight transfers, and waits for
 // handlers to finish. In-flight fetchers observe a reset/short section.
 func (s *Server) Close() error {
@@ -118,6 +150,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	s.cache.closeAll()
 	return err
 }
 
@@ -162,7 +195,39 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-// serveOnce handles one "BLR1" request and hangs up.
+// openRegistered resolves fileID to a (usually cached) open handle; the
+// returned release must be called once the section send is done.
+func (s *Server) openRegistered(fileID uint64) (*os.File, func(), error) {
+	s.mu.Lock()
+	path, ok := s.files[fileID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown run file %d", fileID)
+	}
+	return s.cache.acquire(fileID, path)
+}
+
+// sendSectionBody ships file[off, off+n) after the already-buffered
+// response header: large sections on TCP connections flush the header and
+// go zero-copy (sendfileSection), everything else streams through the
+// connection's write buffer. Returns the payload bytes actually sent.
+func (s *Server) sendSectionBody(conn net.Conn, bw *bufio.Writer, f *os.File, off, n int64) (int64, error) {
+	if n >= zeroCopyMinBytes {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			if err := bw.Flush(); err != nil {
+				return 0, err
+			}
+			s.zc.Add(1)
+			return sendfileSection(tc, f, off, n)
+		}
+	}
+	// bufio.Writer.ReadFrom fills the write buffer directly: no copy
+	// buffer, no per-section allocation.
+	return io.Copy(bw, io.NewSectionReader(f, off, n))
+}
+
+// serveOnce handles one "BLR1" request and hangs up. It shares the handle
+// cache and the zero-copy send with the pooled path.
 func (s *Server) serveOnce(conn net.Conn, br *bufio.Reader) {
 	fileID, err1 := binary.ReadUvarint(br)
 	off, err2 := binary.ReadUvarint(br)
@@ -170,22 +235,15 @@ func (s *Server) serveOnce(conn net.Conn, br *bufio.Reader) {
 	if err1 != nil || err2 != nil || err3 != nil {
 		return
 	}
-	s.mu.Lock()
-	path, ok := s.files[fileID]
-	s.mu.Unlock()
-	if !ok {
-		writeFetchError(conn, fmt.Sprintf("unknown run file %d", fileID))
-		return
-	}
-	f, err := os.Open(path)
+	f, rel, err := s.openRegistered(fileID)
 	if err != nil {
 		writeFetchError(conn, err.Error())
 		return
 	}
-	defer f.Close()
+	defer rel()
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	_ = bw.WriteByte(0)
-	if _, err := io.Copy(bw, io.NewSectionReader(f, int64(off), int64(n))); err != nil {
+	if _, err := s.sendSectionBody(conn, bw, f, int64(off), int64(n)); err != nil {
 		return // fetcher sees a short section
 	}
 	_ = bw.Flush()
@@ -209,16 +267,7 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		hdr = binary.AppendUvarint(hdr[:0], reqID)
-		s.mu.Lock()
-		path, ok := s.files[fileID]
-		s.mu.Unlock()
-		if !ok {
-			if !writeMuxError(bw, hdr, fmt.Sprintf("unknown run file %d", fileID)) {
-				return
-			}
-			continue
-		}
-		f, err := os.Open(path)
+		f, rel, err := s.openRegistered(fileID)
 		if err != nil {
 			if !writeMuxError(bw, hdr, err.Error()) {
 				return
@@ -227,10 +276,8 @@ func (s *Server) serveMux(conn net.Conn, br *bufio.Reader) {
 		}
 		hdr = append(hdr, 0)
 		_, _ = bw.Write(hdr)
-		// bufio.Writer.ReadFrom fills the write buffer directly: no copy
-		// buffer, no per-section allocation.
-		copied, err := io.Copy(bw, io.NewSectionReader(f, int64(off), int64(n)))
-		_ = f.Close()
+		copied, err := s.sendSectionBody(conn, bw, f, int64(off), int64(n))
+		rel()
 		if err != nil || copied < int64(n) {
 			// Short copy (request past the file, truncated file, write
 			// error): the stream is desynced — sever so the fetcher sees a

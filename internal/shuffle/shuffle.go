@@ -85,6 +85,11 @@ type Config struct {
 	// the TCP transport uses it to bound pipelined section prefetch per
 	// reduce source (default 64).
 	MergeFanIn int
+	// DecodeWorkers sizes the TCP transport's parallel block-decode pool
+	// (FetchPool.DecodeWorkers): compressed fetched sections CRC-verify
+	// and decompress on that many workers, overlapping the merge. <= 1
+	// decodes inline.
+	DecodeWorkers int
 }
 
 // Transport is one job execution's shuffle data plane. MapSink and

@@ -102,8 +102,14 @@ func DefaultCosts() CostModel {
 		SortCPUPerCompare:    70e-9,
 		FinalizeCPUPerRecord: 1e-6,
 		SpillRunDelay:        4e-3,
-		RunFetchDelay:        1.5e-3,
-		CompressDelay:        0.6e-9, // ~1.6 GB/s LZ-class codec
+		// The wall-clock fetch plane serves sections from cached file handles
+		// with zero-copy sends (no per-section open+seek), so the fixed fetch
+		// latency is connection/RPC cost only.
+		RunFetchDelay: 1.0e-3,
+		// Effective consumer-side rate: block decode runs on the fetch
+		// plane's parallel decode pool, overlapping the merge, so the charged
+		// per-byte cost is below the raw ~1.6 GB/s LZ-class codec speed.
+		CompressDelay: 0.4e-9,
 		CompressRatio:        2.0,
 		KVOpDelay:            1.0 / 30000,
 	}

@@ -43,7 +43,10 @@ tmp="$(mktemp)"
   echo "== external shuffle (disk-spilling, bounded memory) =="
   run_bench ./internal/mr/ 'Sort1M_Spill' 1x
   echo "== shuffle transports (in-proc vs run exchange vs loopback TCP; TCP rides the pooled BLR2 fetch plane) =="
-  run_bench ./internal/mr/ 'WordCount250K_(InProc|Runx|TCP)' 2x
+  run_bench ./internal/mr/ 'WordCount250K_(InProc$|Runx$|TCP$)' 2x
+  echo "== fetch-plane raw floor (cached-handle buffered serve vs zero-copy sendfile; compressed TCP exchange at decode-workers 1 vs default pool) =="
+  run_bench ./internal/shuffle/ 'SectionServe' 2s
+  run_bench ./internal/mr/ 'WordCount250K_TCPDeltaDecode' 2x
   echo "== spill-run compression (none vs block vs delta; spill-ratio = raw/sealed bytes) =="
   run_bench ./internal/mr/ 'Spill1M_Comp(None|Block|Delta)' 1x
   echo "== cross-wave overlap (multi-process engine: staged vs overlapped dispatch, barrier vs pipelined) =="
