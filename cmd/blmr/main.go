@@ -21,6 +21,20 @@
 //
 // -verify re-runs the job on the single-process in-memory path and checks
 // the outputs match (byte-identical in barrier mode).
+//
+// The multi-process engine also runs as a durable multi-job service:
+//
+//	blmr -serve -workers 3 -state-dir DIR    # journal every admitted job
+//	blmr -submit -addr HOST:PORT ...         # stream submissions to it
+//	blmr -serve -workers 3 -state-dir DIR -resume
+//	blmr -state-dir DIR -journal-stat        # read-only journal summary
+//
+// -resume rebinds the coordinator address journaled in DIR/coord.addr
+// (the dead service's workers survive and re-dial it), waits for them to
+// re-register, replays the job journal, runs every unfinished job —
+// re-attaching journaled map outputs whose sealed runs the returning
+// workers still hold — verifies each against the in-process reference,
+// and exits non-zero on any mismatch.
 package main
 
 import (
@@ -73,7 +87,15 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 2, "job service: max simultaneously running jobs")
 	maxQueued := flag.Int("max-queued", 16, "job service: admission queue bound (a full queue refuses submissions)")
 	workerCoord := flag.String("worker-coord", "", "internal: run as a cluster worker, dialing this coordinator address")
+	stateDir := flag.String("state-dir", "", "job service durable state directory: admissions and task completions are journaled so a crashed coordinator can be restarted with -resume (empty = in-memory only)")
+	resume := flag.Bool("resume", false, "with -serve -state-dir: instead of a fresh pool, rebind the journaled coordinator address, wait for the surviving workers to re-register, replay the journal, run the resumed jobs to completion (re-attaching journaled map output from surviving sealed runs), verify each against the in-process reference, and exit")
+	journalStat := flag.Bool("journal-stat", false, "print per-kind record counts from the -state-dir job journal and exit (read-only; safe while a service is appending)")
 	flag.Parse()
+
+	if *journalStat {
+		runJournalStat(*stateDir)
+		return
+	}
 
 	app, ds, costs, ok := buildApp(*appName, *sizeGB, *mappers)
 	if !ok {
@@ -121,11 +143,16 @@ func main() {
 	}
 
 	if *serve {
-		runServe(serveConfig{
+		cfg := serveConfig{
 			addr: *addr, workers: *workers, policy: *policy,
 			maxConcurrent: *maxConcurrent, maxQueued: *maxQueued,
-			mapTasks: *mapTasks, combine: *combine,
-		})
+			mapTasks: *mapTasks, combine: *combine, stateDir: *stateDir,
+		}
+		if *resume {
+			runResume(cfg)
+		} else {
+			runServe(cfg)
+		}
 		return
 	}
 

@@ -23,6 +23,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -85,9 +87,14 @@ type serveConfig struct {
 	maxQueued     int
 	mapTasks      int
 	combine       bool
+	stateDir      string
 }
 
-// runServe bootstraps the pool and serves submissions until SIGTERM.
+// runServe bootstraps the pool and serves submissions until SIGTERM. With
+// -state-dir the service journals admissions and task completions there
+// and records the coordinator's control address, so a SIGKILLed serve
+// process can be brought back with -resume over the same directory (the
+// orphaned workers keep their sealed runs and re-dial that address).
 func runServe(cfg serveConfig) {
 	if cfg.workers < 1 {
 		fmt.Fprintln(os.Stderr, "-serve needs -workers N (the local pool size)")
@@ -99,11 +106,27 @@ func runServe(cfg serveConfig) {
 		os.Exit(1)
 	}
 	defer lc.Teardown()
-	svc, err := mpexec.NewService(lc.Coord, cfg.workers, mpexec.ServiceConfig{
+	sc := mpexec.ServiceConfig{
 		MaxQueued:     cfg.maxQueued,
 		MaxConcurrent: cfg.maxConcurrent,
 		Policy:        cfg.policy,
-	})
+	}
+	if cfg.stateDir != "" {
+		sc.StateDir = cfg.stateDir
+		sc.Resolver = registryResolver(cfg.combine)
+		if err := os.MkdirAll(cfg.stateDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		// -resume must rebind this exact address: the orphaned workers
+		// re-dial the coordinator address they were spawned with.
+		if err := os.WriteFile(coordAddrPath(cfg.stateDir),
+			[]byte(lc.Coord.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	}
+	svc, err := mpexec.NewService(lc.Coord, cfg.workers, sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -257,4 +280,119 @@ func runSubmit(addr string, req submitRequest) {
 		verified = "  verified: OK"
 	}
 	fmt.Printf("job %d: %d records in %.1fms%s\n", reply.ID, reply.Records, reply.WallMS, verified)
+}
+
+// coordAddrPath is where -serve -state-dir records the coordinator's
+// control address for -resume to rebind.
+func coordAddrPath(stateDir string) string {
+	return filepath.Join(stateDir, "coord.addr")
+}
+
+// runResume is the crash-recovery path: rebind the journaled coordinator
+// address, wait for the orphaned workers to re-register (they re-dial with
+// capped backoff and advertise their surviving sealed runs), replay the
+// journal, run every resumed job to completion — journaled map completions
+// whose sealed runs survive re-attach instead of re-executing — verify each
+// output against the single-process in-memory reference, and exit. Exit
+// status 0 means every resumed job completed and verified.
+func runResume(cfg serveConfig) {
+	if cfg.stateDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -state-dir (the crashed service's journal)")
+		os.Exit(2)
+	}
+	if cfg.workers < 1 {
+		fmt.Fprintln(os.Stderr, "-resume needs -workers N (how many workers to wait for)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(coordAddrPath(cfg.stateDir))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	addr := strings.TrimSpace(string(raw))
+	var c *mpexec.Coordinator
+	rebind := time.Now().Add(15 * time.Second)
+	for {
+		if c, err = mpexec.ListenOn(addr); err == nil {
+			break
+		}
+		if time.Now().After(rebind) {
+			fmt.Fprintf(os.Stderr, "resume: rebind %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Printf("resume: rebound %s, waiting for %d returning workers\n", addr, cfg.workers)
+	if err := c.WaitWorkers(cfg.workers, 90*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	svc, err := mpexec.NewService(c, cfg.workers, mpexec.ServiceConfig{
+		MaxQueued:     cfg.maxQueued,
+		MaxConcurrent: cfg.maxConcurrent,
+		Policy:        cfg.policy,
+		StateDir:      cfg.stateDir,
+		Resolver:      registryResolver(cfg.combine),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resume:", err)
+		os.Exit(1)
+	}
+	resumed := svc.Resumed()
+	fmt.Printf("resume: %d journaled jobs re-entered\n", len(resumed))
+	failed := 0
+	reattached := 0
+	for _, tk := range resumed {
+		res, err := tk.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: job %d failed: %v\n", tk.ID, err)
+			failed++
+			continue
+		}
+		reattached += res.ReattachedMaps
+		job, input, opts := tk.Spec()
+		ref, err := mr.Run(job, input, mr.Options{
+			Mappers: opts.Mappers, Reducers: opts.Reducers, Mode: opts.Mode,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "resume: job %d verify run: %v\n", tk.ID, err)
+			failed++
+			continue
+		}
+		countOnly := false
+		if app, _, _, ok := buildApp(job.Name, 1, 100); ok {
+			countOnly = app.Class == core.ClassCrossKey
+		}
+		if err := compareOutputs(ref.Output, res.Output, opts.Mode == mr.Barrier, countOnly); err != nil {
+			fmt.Fprintf(os.Stderr, "resume: job %d VERIFY FAILED: %v\n", tk.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("resume: job %d (%s): %d records, %d re-attached maps, verified OK\n",
+			tk.ID, job.Name, len(res.Output), res.ReattachedMaps)
+	}
+	svc.Close()
+	_ = c.Close()
+	fmt.Printf("resume: drained — %d jobs, %d failed, %d re-attached maps total\n",
+		len(resumed), failed, reattached)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runJournalStat prints one line of per-kind journal record counts —
+// stable, grep-friendly, safe to run against a live service (read-only
+// replay that tolerates a torn tail). CI polls it to time the kill.
+func runJournalStat(stateDir string) {
+	if stateDir == "" {
+		fmt.Fprintln(os.Stderr, "-journal-stat needs -state-dir")
+		os.Exit(2)
+	}
+	st, err := mpexec.ReadJournalStats(filepath.Join(stateDir, "journal.wal"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "journal-stat:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("journal: records=%d admitted=%d started=%d mapdone=%d reducedone=%d done=%d aborted=%d live=%d livemapdone=%d\n",
+		st.Records, st.Admitted, st.Started, st.MapDone, st.ReduceDone, st.Done, st.Aborted, st.Live, st.LiveMapDone)
 }

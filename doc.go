@@ -134,5 +134,31 @@
 // harness.PolicyPrediction is pinned to the real engine's measured
 // makespan ratio within harness.PolicyTolerance.
 //
+// The job service survives its own death: with mpexec.ServiceConfig
+// .StateDir (cmd/blmr -serve -state-dir) every durable state transition —
+// admission, start, each completed map's sealed-wave metadata, each reduce
+// partition's output, retirement — is appended to a length+CRC-framed
+// write-ahead journal (internal/wal: torn tails from a mid-append crash
+// are truncated on reopen, any other damage is wal.ErrCorrupt) and
+// compacted down to live-ticket state as jobs retire. A restarted service
+// (cmd/blmr -resume; mpexec.NewService over the same StateDir, with
+// ServiceConfig.Resolver mapping journaled job names back to code) replays
+// the journal, re-enters unfinished jobs ahead of new submissions, and
+// rebinds the address recorded in <state-dir>/coord.addr, because the
+// dead coordinator's workers keep their run-servers and sealed files
+// alive and re-dial that address under capped backoff. Each
+// re-registration carries an 'A' advertisement of the sealed files still
+// verifiably on disk (CRC-checked), and journaled maps whose files all
+// match re-attach into the routing table instead of re-executing —
+// Result.ReattachedMaps counts them, Service.Resumed exposes the replayed
+// tickets, mpexec.ReadJournalStats (cmd/blmr -journal-stat) summarises a
+// journal read-only, and Service.Abandon simulates the crash in-process
+// for tests. Barrier output is byte-identical across the kill.
+// simmr.JobSpec.KillCoordinatorAt with Costs.{CoordRestartDelay,
+// ReattachPerMap} model the crash on the simulated cluster;
+// harness.RestartSweep sweeps crash times, and harness.RestartPrediction
+// is pinned to the real engine's measured restart overhead within
+// harness.RestartTolerance.
+//
 // See DESIGN.md for the system inventory and the design-choice ablations.
 package blmr

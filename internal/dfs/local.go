@@ -19,6 +19,7 @@ package dfs
 import (
 	"bufio"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
@@ -342,3 +343,22 @@ func (s *RunSet) Release() error {
 	s.paths = nil
 	return first
 }
+
+// CRCFile recomputes the CRC-32C of the whole file at path — the survival
+// scan a returning worker runs over its sealed runs before advertising them
+// for re-attach. A file that was deleted, truncated or bit-rotted since it
+// was sealed simply fails the caller's comparison; it is not an error here.
+func CRCFile(path string) (uint32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	h := crc32.New(crcTable)
+	if _, err := io.Copy(h, f); err != nil {
+		return 0, err
+	}
+	return h.Sum32(), nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)

@@ -92,6 +92,10 @@ type Summary struct {
 	// and clones whose attempt won (completed first).
 	BackupsLaunched int
 	BackupsWon      int
+	// ReattachedMaps counts map tasks that never ran because a prior
+	// incarnation's completed output was re-attached (Scheduler.PreDoneMaps)
+	// — the coordinator-restart recovery path's key metric.
+	ReattachedMaps int
 	// Reduces holds each reduce task's result, indexed by partition.
 	Reduces []ReduceResult
 }
@@ -136,6 +140,23 @@ type Scheduler struct {
 	// already holds for task t (the locality policy's signal). Called with
 	// the run lock held; must not block or call back into the scheduler.
 	Resident func(w int, t TaskView) int
+	// PreDoneMaps lists map task indexes that are already complete before
+	// Run starts — a restarted coordinator re-attached their journaled
+	// outputs from a returning worker's disk. They are marked done (and
+	// counted in Summary.ReattachedMaps) without dispatching, but stay in
+	// the task list so WorkerLost can resubmit them if their outputs die
+	// later. Their per-task stats (shuffle records, spills) were produced by
+	// the previous incarnation and are not re-counted here.
+	PreDoneMaps []int
+	// PreDoneReduces maps partition -> the completed result a previous
+	// incarnation journaled; those reduce tasks are not dispatched and the
+	// journaled results land in Summary.Reduces verbatim.
+	PreDoneReduces map[int]ReduceResult
+	// FirstAttempt seeds the job-unique attempt counter (default 0). A
+	// resumed job sets it past every journaled attempt so re-executions
+	// outrank re-attached routes in the reducers' highest-attempt-wins
+	// routing tables.
+	FirstAttempt int
 
 	mu  sync.Mutex
 	run *schedRun
@@ -232,12 +253,37 @@ func (s *Scheduler) Run(maps []MapTask, reduces []ReduceTask) (*Summary, error) 
 	for i, a := range s.Workers {
 		rn.workers = append(rn.workers, &schedWorker{a: a, idx: i})
 	}
+	rn.nextAttempt = max(0, s.FirstAttempt)
+	// Imported pre-done state (coordinator restart): re-attached maps and
+	// journaled reduce results settle before any dispatch.
+	for _, idx := range s.PreDoneMaps {
+		pos, ok := rn.byIndex[idx]
+		if !ok || rn.m[pos].life == tsDone {
+			continue
+		}
+		rn.m[pos].life = tsDone
+		rn.mapsLeft--
+		rn.sum.ReattachedMaps++
+	}
+	for i := range reduces {
+		res, ok := s.PreDoneReduces[reduces[i].Partition]
+		if !ok || rn.r[i].life == tsDone {
+			continue
+		}
+		rn.r[i].life = tsDone
+		rn.redsLeft--
+		rn.sum.Reduces[reduces[i].Partition] = res
+	}
 	rn.mu.Lock()
 	for i := range rn.m {
-		rn.assignLocked(&rn.m[i], true, maps[i].Index)
+		if rn.m[i].life == tsPending {
+			rn.assignLocked(&rn.m[i], true, maps[i].Index)
+		}
 	}
 	for i := range rn.r {
-		rn.assignLocked(&rn.r[i], false, reduces[i].Partition)
+		if rn.r[i].life == tsPending {
+			rn.assignLocked(&rn.r[i], false, reduces[i].Partition)
+		}
 	}
 	rn.mu.Unlock()
 	if s.Pool != nil {

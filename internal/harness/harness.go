@@ -108,6 +108,11 @@ type RunSpec struct {
 	// re-executed on survivors and parked fetchers re-route.
 	KillWorkerAt float64
 	KillWorker   int
+	// KillCoordinatorAt, when > 0, crashes the coordinator at that virtual
+	// time (simmr.JobSpec.KillCoordinatorAt): the control plane goes dark
+	// for the restart window, journaled map outputs re-attach from
+	// surviving sealed runs, unjournaled attempts re-run.
+	KillCoordinatorAt float64
 	// Combine enables the map-side combiner, using the app's spill Merger
 	// as the combine function (the paper notes they are often the same).
 	// Only aggregation-class apps combine safely — their reduce is the
@@ -160,6 +165,8 @@ func Run(spec RunSpec) *simmr.Result {
 		SnapshotPeriod: spec.SnapshotPeriod,
 		KillWorkerAt:   spec.KillWorkerAt,
 		KillWorker:     spec.KillWorker,
+
+		KillCoordinatorAt: spec.KillCoordinatorAt,
 	}
 	if spec.Combine && spec.App.Class == core.ClassAggregation {
 		job.Combiner = spec.App.Merger

@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+
+	"blmr/internal/apps"
+	"blmr/internal/simmr"
+)
+
+// RestartTolerance is the stated agreement band between simulated and real
+// coordinator crash-restart overhead: the relative overheads
+// (resumed/baseline - 1) must agree within this many absolute points. As
+// with FaultTolerance the band is wide on purpose — the simulator predicts
+// a calibrated multi-GB cluster while the real parity run is a laptop-scale
+// 3-worker job whose restart window is dominated by process and socket
+// latency — but it still rejects sign errors and runaway recovery (e.g. a
+// resume re-executing the whole map wave the journal says to re-attach).
+const RestartTolerance = 0.75
+
+// RestartEstimate is one simulated coordinator-crash experiment: the
+// undisturbed completion, the crash-restarted run's completion, and the
+// relative recovery overhead (Resumed/Base - 1).
+type RestartEstimate struct {
+	Base     float64
+	Resumed  float64
+	Overhead float64
+	// ReattachedMaps is how many journaled map outputs the restarted
+	// coordinator re-attached from surviving sealed runs instead of
+	// re-executing.
+	ReattachedMaps int
+	// Retried is how many map attempts the crash cost (spanned or finished
+	// into the dead control plane, so never journaled).
+	Retried int
+}
+
+// restartSpec is the sweep's canonical job: WordCount on a small TCP worker
+// pool, the configuration the real crash-restart tests exercise. The
+// control-plane cost knobs fall back to defaults when the workload
+// calibration leaves them zero.
+func restartSpec(sizeGB float64, workers int, mode simmr.Mode) RunSpec {
+	costs := CalibWordCount
+	def := simmr.DefaultCosts()
+	if costs.RunFetchDelay == 0 {
+		costs.RunFetchDelay = def.RunFetchDelay
+	}
+	if costs.CoordRestartDelay == 0 {
+		costs.CoordRestartDelay = def.CoordRestartDelay
+	}
+	if costs.ReattachPerMap == 0 {
+		costs.ReattachPerMap = def.ReattachPerMap
+	}
+	return RunSpec{
+		App: apps.WordCount(), Data: WordCountData(sizeGB), Mode: mode,
+		Reducers: 8, Costs: costs, Workers: workers,
+		Transport: simmr.TCPRunExchange,
+	}
+}
+
+// RestartPrediction simulates a coordinator crash at killFrac of the
+// undisturbed completion time and returns the predicted recovery overhead —
+// the number the real-engine parity test compares its measured overhead
+// against (within RestartTolerance).
+func RestartPrediction(sizeGB float64, workers int, killFrac float64, mode simmr.Mode) RestartEstimate {
+	spec := restartSpec(sizeGB, workers, mode)
+	base := Run(spec)
+	spec.KillCoordinatorAt = base.Completion * killFrac
+	resumed := Run(spec)
+	return RestartEstimate{
+		Base:           base.Completion,
+		Resumed:        resumed.Completion,
+		Overhead:       resumed.Completion/base.Completion - 1,
+		ReattachedMaps: resumed.ReattachedMaps,
+		Retried:        resumed.MapRetries,
+	}
+}
+
+// RestartSweep sweeps the coordinator crash time over the job (killFracs
+// are fractions of the undisturbed completion) on a `workers`-node pool and
+// reports completion for both modes. Each point's note records how many
+// journaled maps re-attached — the later the crash, the more of the map
+// wave survives as sealed runs and the closer the resumed completion stays
+// to base + CoordRestartDelay; crashes past the map wave re-attach it all.
+func RestartSweep(sizeGB float64, workers int, killFracs []float64) Sweep {
+	sw := Sweep{
+		ID:     "RestartSweep",
+		Title:  fmt.Sprintf("WordCount %.3ggb, %d workers over TCP: completion vs when the coordinator dies", sizeGB, workers),
+		XLabel: "crash time (frac of base)",
+	}
+	for _, mode := range []simmr.Mode{simmr.Barrier, simmr.Pipelined} {
+		spec := restartSpec(sizeGB, workers, mode)
+		base := Run(spec)
+		ser := Series{Label: mode.String()}
+		for _, frac := range killFracs {
+			res := base
+			if frac > 0 {
+				killSpec := spec
+				killSpec.KillCoordinatorAt = base.Completion * frac
+				res = Run(killSpec)
+			}
+			ser.X = append(ser.X, frac)
+			ser.Y = append(ser.Y, res.Completion)
+			note := ""
+			if res.Failed {
+				note = "FAILED"
+			} else if res.CoordRestarts > 0 {
+				note = fmt.Sprintf("reattach=%d", res.ReattachedMaps)
+			}
+			ser.Note = append(ser.Note, note)
+		}
+		sw.Series = append(sw.Series, ser)
+	}
+	return sw
+}

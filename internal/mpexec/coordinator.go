@@ -78,15 +78,40 @@ type JobConfig struct {
 	// Policy, when set, routes this job's tasks over per-worker load
 	// snapshots (see exec.ParsePolicy). Nil keeps work-stealing dispatch.
 	Policy exec.Policy
+
+	// JobID, when > 0, admits the job under this explicit coordinator job
+	// ID instead of assigning a fresh one — the resume path: keeping the
+	// journaled ID lets a returning worker's surviving per-job state (spill
+	// directory, sealed runs) line up with the re-entered job. Job IDs
+	// start at 1, so 0 always means "assign".
+	JobID int
+	// Ticket tags this job's journal records with its service submission
+	// ID. Only read when Journal is set.
+	Ticket uint64
+	// Journal, when set, receives one encoded record per durable state
+	// transition — job started, map attempt completed, reduce partition
+	// completed — for the owning Service to append to its write-ahead log.
+	// Called outside the coordinator lock, possibly from several task
+	// goroutines at once; the appender serializes.
+	Journal func(rec []byte)
+	// Reattach carries a resumed job's replayed journal state: completed
+	// maps are matched against returning workers' 'A' advertisements and
+	// re-attached into the routing table (or re-executed when the worker or
+	// its files are gone), completed reduce outputs are spliced into the
+	// result without re-running, and the scheduler's attempt counter starts
+	// past every journaled attempt.
+	Reattach *ReattachState
 }
 
 // jobRun is one admitted job's coordinator-side state.
 type jobRun struct {
-	id    int
-	c     *Coordinator
-	name  string
-	nMaps int
-	jws   []*jobWorker // per-worker proxies, by worker registration index
+	id      int
+	c       *Coordinator
+	name    string
+	nMaps   int
+	jws     []*jobWorker // per-worker proxies, by worker registration index
+	ticket  uint64       // journal tag (meaningful only when journal != nil)
+	journal func(rec []byte)
 
 	// Under c.mu:
 	routes map[int]*mapRoute // map task index -> its winning route
@@ -145,6 +170,12 @@ type remoteWorker struct {
 	// c.mu); jobs snapshot them at admission to report per-job deltas.
 	fetchDials  int64
 	serverOpens int64
+
+	// sealed is the worker's 'A' re-attach advertisement, captured at
+	// registration and immutable after: job ID -> surviving sealed-run file
+	// ID -> on-disk CRC-32C. Empty for fresh workers; a restarted
+	// coordinator matches it against its replayed journal.
+	sealed map[int]map[uint64]uint32
 }
 
 // jobWorker binds one remoteWorker into one job as an exec.Worker: it tags
@@ -174,7 +205,18 @@ func ListenOn(bind string) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpexec: listen: %w", err)
 	}
-	return &Coordinator{ln: ln, jobs: make(map[int]*jobRun)}, nil
+	return &Coordinator{ln: ln, jobs: make(map[int]*jobRun), nextJob: 1}, nil
+}
+
+// SetMinJobID places the auto-assigned job ID counter at or past id, so a
+// resuming service's fresh jobs never collide with journaled IDs. Call
+// before any job is admitted.
+func (c *Coordinator) SetMinJobID(id int) {
+	c.mu.Lock()
+	if c.nextJob < id {
+		c.nextJob = id
+	}
+	c.mu.Unlock()
 }
 
 // Addr returns the address workers dial (pass it to Serve / -worker-coord).
@@ -225,11 +267,25 @@ func (c *Coordinator) WaitWorkers(n int, timeout time.Duration) error {
 			_ = conn.Close()
 			return fmt.Errorf("mpexec: bad hello: %w", d.err)
 		}
+		// Every hello is followed by an 'A' re-attach advertisement (empty
+		// for fresh workers), read synchronously before the reader goroutine
+		// takes over the connection.
+		typ, payload, err = readMsg(br)
+		if err != nil || typ != msgReattach {
+			_ = conn.Close()
+			return fmt.Errorf("mpexec: bad re-attach advertisement (type %q): %v", typ, err)
+		}
+		sealed, err := decodeReattach(payload)
+		if err != nil {
+			_ = conn.Close()
+			return fmt.Errorf("mpexec: bad re-attach advertisement: %w", err)
+		}
 		c.mu.Lock()
 		w := &remoteWorker{
 			c: c, id: len(c.workers), name: name, conn: conn, br: br, addr: addr,
 			pending: make(map[pendKey]chan asyncReply),
 			dead:    make(chan struct{}),
+			sealed:  sealed,
 		}
 		if w.name == "" {
 			w.name = fmt.Sprintf("worker-%d", w.id)
@@ -253,6 +309,22 @@ func (c *Coordinator) Close() error {
 		_ = w.conn.Close()
 	}
 	return c.ln.Close()
+}
+
+// Abandon simulates a coordinator crash for restart tests and benchmarks:
+// the listener and every worker connection drop with no bye handshake and
+// no job teardown — exactly what SIGKILL leaves behind. Workers keep their
+// spill directories and sealed runs and re-dial with backoff; in-flight
+// jobs on this side fail with worker-lost errors. The Coordinator is dead
+// afterwards.
+func (c *Coordinator) Abandon() {
+	c.mu.Lock()
+	ws := append([]*remoteWorker(nil), c.workers...)
+	c.mu.Unlock()
+	_ = c.ln.Close()
+	for _, w := range ws {
+		_ = w.conn.Close()
+	}
 }
 
 // Run executes one job by itself: RunJob with the zero config. Kept as the
@@ -317,11 +389,21 @@ func (c *Coordinator) RunJob(job exec.Job, input []core.Record, opts exec.Option
 	// for worker-lost fan-out.
 	c.mu.Lock()
 	id := c.nextJob
-	c.nextJob++
+	if cfg.JobID > 0 {
+		id = cfg.JobID
+		if other := c.jobs[id]; other != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("mpexec: job ID %d already admitted", id)
+		}
+	}
+	if c.nextJob <= id {
+		c.nextJob = id + 1
+	}
 	jr := &jobRun{
 		id: id, c: c, name: job.Name, nMaps: len(maps),
 		routes: make(map[int]*mapRoute, len(maps)),
 		active: make(map[int]*jobWorker),
+		ticket: cfg.Ticket, journal: cfg.Journal,
 	}
 	jr.jws = make([]*jobWorker, len(ws))
 	assignments := make([]exec.Assignment, len(ws))
@@ -330,6 +412,37 @@ func (c *Coordinator) RunJob(job exec.Job, input []core.Record, opts exec.Option
 			opens: w.serverOpens, opensBase: w.serverOpens}
 		jr.jws[i] = jw
 		assignments[i] = exec.Assignment{W: jw, MapSlots: mapSlots, ReduceSlots: redSlots}
+	}
+	// Resume: re-attach journaled completed maps whose sealed runs survived
+	// on a returning worker (matched by worker name and the full fileID/CRC
+	// set of the map's waves, against the 'A' advertisement captured at
+	// registration). Matches are pre-installed as valid routes — reduce
+	// tasks see them in their 'R' snapshots — and marked done for the
+	// scheduler; misses simply re-execute. Journaled reduce outputs are
+	// spliced in wholesale (their bytes were journaled).
+	var preMaps []int
+	var preReds map[int]exec.ReduceResult
+	firstAttempt := 0
+	if ra := cfg.Reattach; ra != nil {
+		firstAttempt = ra.FirstAttempt
+		preReds = ra.reduces
+		for m, jm := range ra.maps {
+			if m < 0 || m >= len(maps) {
+				continue
+			}
+			w := matchReattach(ws, id, jm)
+			if w == nil {
+				continue
+			}
+			waves := make([]waveMeta, len(jm.waves))
+			for i, wv := range jm.waves {
+				wv.addr = w.addr
+				waves[i] = wv
+			}
+			jr.routes[m] = &mapRoute{w: w, attempt: jm.attempt, waves: waves, valid: true}
+			preMaps = append(preMaps, m)
+		}
+		sort.Ints(preMaps)
 	}
 	// One scheduler drives both waves in both modes (Staged gates reduce
 	// dispatch internally), so worker-lost requeues and map resubmissions
@@ -343,9 +456,17 @@ func (c *Coordinator) RunJob(job exec.Job, input []core.Record, opts exec.Option
 		Policy:         cfg.Policy,
 		Pool:           cfg.Pool,
 		Resident:       jr.resident,
+		PreDoneMaps:    preMaps,
+		PreDoneReduces: preReds,
+		FirstAttempt:   firstAttempt,
 	}
 	c.jobs[id] = jr
 	c.mu.Unlock()
+	if jr.journal != nil {
+		// 's' binds the service ticket to the coordinator job ID. Re-appended
+		// on resume with the same ID — replay is idempotent on it.
+		jr.journal(encodeJournalStart(jr.ticket, id))
+	}
 	defer func() {
 		c.mu.Lock()
 		delete(c.jobs, id)
@@ -564,6 +685,34 @@ func (jr *jobRun) routedSegs(r int) []mapSegs {
 	return routed
 }
 
+// matchReattach finds a live worker that can serve a journaled map's sealed
+// waves: same registration name as the worker that sealed them, and every
+// wave's file ID present in the worker's advertisement for this job with
+// the journaled seal-time CRC. Nil when no worker qualifies (the map
+// re-executes).
+func matchReattach(ws []*remoteWorker, jobID int, jm *journalMap) *remoteWorker {
+	if len(jm.waves) == 0 {
+		return nil // nothing to fetch; re-running is cheaper than trusting
+	}
+	for _, w := range ws {
+		if w.isDead() || w.name != jm.worker {
+			continue
+		}
+		files := w.sealed[jobID]
+		ok := len(files) > 0
+		for _, wv := range jm.waves {
+			if crc, have := files[wv.fileID]; !have || crc != wv.crc {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return w
+		}
+	}
+	return nil
+}
+
 // segsForPartition projects one map task's waves onto partition r.
 func segsForPartition(waves []waveMeta, r int) []shuffle.Segment {
 	var segs []shuffle.Segment
@@ -766,6 +915,11 @@ func (jw *jobWorker) RunMap(t exec.MapTask) (exec.MapStats, error) {
 		pushes = append(pushes, push{ajw, part})
 	}
 	c.mu.Unlock()
+	if jr.journal != nil {
+		// Journal the completed attempt (with its wave file IDs and seal-time
+		// CRCs — the re-attach identity) before routing it anywhere.
+		jr.journal(encodeJournalMapDone(jr.ticket, t.Index, t.Attempt, w.name, md))
+	}
 	for _, p := range pushes {
 		_ = p.jw.w.send(msgSegPush, encodeSegPush(jr.id, p.part, t.Index, t.Attempt, segsForPartition(md.waves, p.part)))
 	}
@@ -829,6 +983,12 @@ func (jw *jobWorker) RunReduce(t exec.ReduceTask) (exec.ReduceResult, error) {
 	}
 	jw.noteOpens(opens)
 	c.mu.Unlock()
+	if jr.journal != nil {
+		// Reduce output is final the moment the reply lands (reduce tasks are
+		// never speculated); journal the records so a resumed job splices
+		// them in instead of re-running the partition.
+		jr.journal(encodeJournalReduceDone(jr.ticket, t.Partition, res))
+	}
 	return res, nil
 }
 

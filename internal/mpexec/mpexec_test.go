@@ -100,6 +100,15 @@ func testResolver() mpexec.JobResolver {
 }
 
 func TestMain(m *testing.M) {
+	if bind := os.Getenv("MPEXEC_COORD_BIND"); bind != "" {
+		// Durable-coordinator subprocess for the crash-restart tests: the
+		// test process owns the workers and SIGKILLs this process mid-job.
+		if err := runCoordProcess(bind); err != nil {
+			fmt.Fprintln(os.Stderr, "coordinator:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
 	if addr := os.Getenv("MPEXEC_WORKER"); addr != "" {
 		var err error
 		if os.Getenv("MPEXEC_REGISTRY") != "" {

@@ -24,6 +24,8 @@
 //
 //	frame:       type byte | payloadLen | payload
 //	'H' hello:   runServerAddr | workerName           (worker -> coord)
+//	'A' reattach: jobCount | { job | fileCount | { fileID | crc } }
+//	                                                  (worker -> coord)
 //	'h' beat:    (empty)                              (worker -> coord)
 //	'J' job:     job | name | mode | reducers | spillBytes | spillThreshold |
 //	             kvCacheBytes | mergeFanIn | batchSize | combineKeys |
@@ -33,7 +35,7 @@
 //	                                                  (coord -> worker)
 //	'm' mapDone: job | index | attempt | shuffleRecords | spills |
 //	             spilledBytes | rawSpilledBytes | serverOpens |
-//	             waveCount | { fileID | comp | spanCount | { off | n } }
+//	             waveCount | { fileID | comp | crc | spanCount | { off | n } }
 //	'R' reduce:  job | partition | nMaps |
 //	             mapCount | { mapIndex | attempt | segCount |
 //	                          { addr | fileID | off | n | comp } }
@@ -79,6 +81,17 @@
 // invalidation (the map's previous owner died — the push carries no
 // segments, and the reducer parks any fetch of that map until a
 // replacement route arrives).
+//
+// Control-plane durability rides on 'A'. A worker follows every 'H' hello —
+// first registration and re-registrations alike — with an 'A' re-attach
+// frame advertising the sealed run files it still serves, per open job:
+// each file's run-server ID plus the CRC-32C of its on-disk bytes,
+// recomputed at advertise time. A restarted coordinator matches the
+// advertisement against its replayed journal (which recorded each completed
+// map's wave file IDs and seal-time CRCs) and re-attaches matching maps
+// into the routing table instead of re-executing them. A fresh worker's 'A'
+// is simply empty. Each wave's CRC also travels on 'm' so the coordinator
+// can journal it.
 package mpexec
 
 import (
@@ -97,6 +110,7 @@ import (
 // Message types.
 const (
 	msgHello      = 'H'
+	msgReattach   = 'A'
 	msgHeartbeat  = 'h'
 	msgJobStart   = 'J'
 	msgJobEnd     = 'j'
@@ -257,6 +271,7 @@ type waveMeta struct {
 	addr   string
 	fileID uint64
 	comp   codec.Compression
+	crc    uint32 // seal-time CRC-32C of the file (re-attach identity)
 	spans  []shuffle.Span
 }
 
@@ -295,6 +310,7 @@ func encodeMapDone(job, index, attempt int, shuffleRecords int64, spills int, sp
 	for _, w := range waves {
 		b = binary.AppendUvarint(b, w.FileID)
 		b = binary.AppendUvarint(b, uint64(w.Comp))
+		b = binary.AppendUvarint(b, uint64(w.CRC))
 		b = binary.AppendUvarint(b, uint64(len(w.Spans)))
 		for _, sp := range w.Spans {
 			b = binary.AppendUvarint(b, uint64(sp.Off))
@@ -318,7 +334,7 @@ func decodeMapDone(payload []byte, addr string) (mapDone, error) {
 	}
 	n := d.uvarint()
 	for i := uint64(0); i < n && d.err == nil; i++ {
-		w := waveMeta{addr: addr, fileID: d.uvarint(), comp: codec.Compression(d.uvarint())}
+		w := waveMeta{addr: addr, fileID: d.uvarint(), comp: codec.Compression(d.uvarint()), crc: uint32(d.uvarint())}
 		spanN := d.uvarint()
 		for j := uint64(0); j < spanN && d.err == nil; j++ {
 			off := int64(d.uvarint())
@@ -421,6 +437,47 @@ func encodeTaskError(job int, replyKind byte, id int, msg string) []byte {
 	b = append(b, replyKind)
 	b = binary.AppendUvarint(b, uint64(id))
 	return putStr(b, msg)
+}
+
+// sealedFile is one surviving sealed run a returning worker advertises:
+// its run-server file ID and the CRC-32C of its on-disk bytes.
+type sealedFile struct {
+	fileID uint64
+	crc    uint32
+}
+
+// encodeReattach frames the 'A' advertisement: for each open job, the
+// sealed files the worker verified on disk at advertise time. A worker with
+// nothing to re-attach sends an empty map.
+func encodeReattach(sealed map[int][]sealedFile) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(sealed)))
+	for job, files := range sealed {
+		b = binary.AppendUvarint(b, uint64(job))
+		b = binary.AppendUvarint(b, uint64(len(files)))
+		for _, f := range files {
+			b = binary.AppendUvarint(b, f.fileID)
+			b = binary.AppendUvarint(b, uint64(f.crc))
+		}
+	}
+	return b
+}
+
+// decodeReattach unpacks an 'A' frame into job -> fileID -> crc.
+func decodeReattach(payload []byte) (map[int]map[uint64]uint32, error) {
+	d := &dec{buf: payload}
+	n := d.uvarint()
+	out := make(map[int]map[uint64]uint32, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		job := int(d.uvarint())
+		fn := d.uvarint()
+		files := make(map[uint64]uint32, fn)
+		for j := uint64(0); j < fn && d.err == nil; j++ {
+			id := d.uvarint()
+			files[id] = uint32(d.uvarint())
+		}
+		out[job] = files
+	}
+	return out, d.err
 }
 
 func decodeTaskError(payload []byte) (job int, replyKind byte, id int, msg string, err error) {

@@ -3,11 +3,15 @@ package mpexec
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 
 	"blmr/internal/core"
 	"blmr/internal/exec"
 	"blmr/internal/mr"
+	"blmr/internal/wal"
 )
 
 // Service is the long-running, multi-tenant face of the multi-process
@@ -59,6 +63,21 @@ type ServiceConfig struct {
 	// fresh instance, so stateful policies (round-robin cursors) don't
 	// leak placement across jobs.
 	Policy string
+
+	// StateDir, when non-empty, makes the service durable: every state
+	// transition — job admitted, map attempt completed, reduce partition
+	// completed, job done/aborted — is appended to StateDir/journal.wal
+	// before it takes effect downstream. NewService replays the journal
+	// first, so a service restarted over the same StateDir re-enters every
+	// job that was admitted but unfinished when the previous process died,
+	// re-attaching completed maps that survived on returning workers (see
+	// ReattachState). Empty keeps the service purely in-memory.
+	StateDir string
+	// Resolver maps a journaled job name back to its user code on resume —
+	// the journal records inputs and options but never functions. Required
+	// when StateDir's journal holds live jobs; a name it cannot resolve
+	// fails NewService. Typically the same registry serve-mode workers use.
+	Resolver JobResolver
 }
 
 func (c *ServiceConfig) normalize() {
@@ -89,16 +108,27 @@ func (c *ServiceConfig) normalize() {
 // selects on Done) for the result; tickets resolve in completion order, not
 // submission order.
 type Ticket struct {
-	// ID is the service-assigned submission number (dense, from 0).
+	// ID is the service-assigned submission number (dense, from 0). A
+	// durable service doubles it as the journal ticket, so resumed tickets
+	// keep their pre-crash IDs.
 	ID int
 
 	job   exec.Job
 	input []core.Record
 	opts  exec.Options
 
+	jobID  int            // journaled coordinator job ID (resume; 0 = fresh)
+	resume *ReattachState // replayed journal state (resume; nil = fresh)
+
 	done chan struct{}
 	res  *mr.Result
 	err  error
+}
+
+// Spec returns the ticket's job, input and options — what a resumed ticket
+// will run, for verification harnesses re-deriving a reference result.
+func (t *Ticket) Spec() (exec.Job, []core.Record, exec.Options) {
+	return t.job, t.input, t.opts
 }
 
 // Done is closed when the job completes (either way).
@@ -124,6 +154,26 @@ type Service struct {
 	closed  bool
 	nextID  int
 	running int
+
+	// Journal state (StateDir services only; log == nil otherwise). jmu
+	// serializes appends from Submit, completion and coordinator task
+	// goroutines, and guards the retained-record index compaction reads.
+	jmu       sync.Mutex
+	log       *wal.Log
+	abandoned bool              // crash simulation: suppress all appends
+	jlive     map[uint64]*jrecs // live ticket -> its latest records
+	jorder    []uint64          // live tickets in admission order
+	japps     int               // records framed since the last rewrite
+	resumed   []*Ticket
+}
+
+// jrecs retains a live ticket's latest journal records (one admit, one
+// start, the winning record per map index and per partition) so compaction
+// can rewrite the journal down to exactly the state replay would keep.
+type jrecs struct {
+	admit, start []byte
+	maps         map[int][]byte
+	reds         map[int][]byte
 }
 
 // NewService starts a job service over the coordinator's worker pool.
@@ -131,6 +181,14 @@ type Service struct {
 // number of workers the coordinator waits for (workers registering later
 // are scheduled but not slot-capped). The config's policy name is
 // validated here so a bad -policy fails at startup, not per job.
+//
+// With a StateDir, NewService first replays the journal: every job that
+// was admitted but unfinished when the previous process died is re-entered
+// (same ticket ID, same coordinator job ID, same input and options) ahead
+// of any new submission, and the coordinator's job ID counter is placed
+// past the journaled history. Returning workers must already be registered
+// on c — re-attach matches their advertisements at job admission — so call
+// WaitWorkers before NewService when resuming.
 func NewService(c *Coordinator, workers int, cfg ServiceConfig) (*Service, error) {
 	cfg.normalize()
 	if _, err := exec.ParsePolicy(cfg.Policy); err != nil {
@@ -140,30 +198,97 @@ func NewService(c *Coordinator, workers int, cfg ServiceConfig) (*Service, error
 		coord:    c,
 		cfg:      cfg,
 		pool:     exec.NewSlotPool(workers, cfg.PoolMapSlots, cfg.PoolReduceSlots),
-		queue:    make(chan *Ticket, cfg.MaxQueued),
 		dispDone: make(chan struct{}),
+	}
+	if cfg.StateDir != "" {
+		if err := s.openJournal(c, cfg); err != nil {
+			return nil, err
+		}
+	}
+	// The queue is sized for the admission bound plus every resumed ticket,
+	// which must enqueue (in admission order, ahead of new submissions)
+	// without blocking before the dispatcher starts; Submit enforces
+	// MaxQueued explicitly.
+	s.queue = make(chan *Ticket, cfg.MaxQueued+len(s.resumed))
+	for _, t := range s.resumed {
+		s.queue <- t
 	}
 	go s.dispatch()
 	return s, nil
 }
 
+// openJournal replays StateDir's journal into resumed tickets and leaves
+// the log open for appending (torn tail truncated).
+func (s *Service) openJournal(c *Coordinator, cfg ServiceConfig) error {
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return fmt.Errorf("mpexec: state dir: %w", err)
+	}
+	log, recs, err := wal.Open(filepath.Join(cfg.StateDir, "journal.wal"))
+	if err != nil {
+		return fmt.Errorf("mpexec: open journal: %w", err)
+	}
+	live, maxTicket, maxJobID, err := replayJournal(recs)
+	if err != nil {
+		_ = log.Close()
+		return err
+	}
+	s.log, s.japps = log, len(recs)
+	s.jlive = make(map[uint64]*jrecs, len(live))
+	for _, jj := range live {
+		t := &Ticket{
+			ID: int(jj.ticket), input: jj.input, opts: jj.opts,
+			jobID: jj.jobID, resume: jj.reattachState(),
+			done: make(chan struct{}),
+		}
+		ok := false
+		if cfg.Resolver != nil {
+			t.job, ok = cfg.Resolver(jj.name)
+		}
+		if !ok {
+			_ = log.Close()
+			return fmt.Errorf("mpexec: resume: cannot resolve journaled job %d (%q) — configure ServiceConfig.Resolver", jj.ticket, jj.name)
+		}
+		t.job.Name = jj.name
+		s.retainJob(jj)
+		s.resumed = append(s.resumed, t)
+	}
+	if len(recs) > 0 {
+		s.nextID = int(maxTicket) + 1
+	}
+	c.SetMinJobID(maxJobID + 1)
+	return nil
+}
+
+// Resumed returns the tickets replayed out of the journal at startup, in
+// admission order. Callers resume-verifying a restarted service wait on
+// these.
+func (s *Service) Resumed() []*Ticket {
+	return append([]*Ticket(nil), s.resumed...)
+}
+
 // Submit admits one job, never blocking: a full queue returns ErrQueueFull
 // (backpressure) and a draining service returns ErrServiceClosed. The
-// returned ticket resolves when the job completes.
+// returned ticket resolves when the job completes. A durable service
+// journals the admission — spec, input and options — before the ticket
+// enters the queue, so a submission this method accepted survives a crash.
 func (s *Service) Submit(job exec.Job, input []core.Record, opts exec.Options) (*Ticket, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, ErrServiceClosed
 	}
-	t := &Ticket{ID: s.nextID, job: job, input: input, opts: opts, done: make(chan struct{})}
-	select {
-	case s.queue <- t:
-		s.nextID++
-		return t, nil
-	default:
+	if len(s.queue) >= s.cfg.MaxQueued {
 		return nil, ErrQueueFull
 	}
+	t := &Ticket{ID: s.nextID, job: job, input: input, opts: opts, done: make(chan struct{})}
+	if err := s.journal(encodeJournalAdmit(uint64(t.ID), job.Name, opts, input)); err != nil {
+		return nil, fmt.Errorf("mpexec: journal admit: %w", err)
+	}
+	// Cannot block: capacity was checked under s.mu and only the dispatcher
+	// drains the queue.
+	s.queue <- t
+	s.nextID++
+	return t, nil
 }
 
 // Stats reports the queue depth and running job count, for admission
@@ -190,6 +315,12 @@ func (s *Service) Close() {
 	s.mu.Unlock()
 	<-s.dispDone
 	s.wg.Wait()
+	s.jmu.Lock()
+	if s.log != nil {
+		_ = s.log.Close()
+		s.log = nil
+	}
+	s.jmu.Unlock()
 }
 
 // dispatch admits queued jobs up to the concurrency bound, each in its own
@@ -231,11 +362,178 @@ func (s *Service) run(t *Ticket) {
 		close(t.done)
 		return
 	}
-	t.res, t.err = s.coord.RunJob(t.job, t.input, t.opts, JobConfig{
+	jc := JobConfig{
 		MapSlots:    s.cfg.MapShare,
 		ReduceSlots: s.cfg.ReduceShare,
 		Pool:        s.pool,
 		Policy:      policy,
-	})
+	}
+	if s.log != nil {
+		jc.Ticket = uint64(t.ID)
+		jc.Journal = s.journalBestEffort
+		jc.JobID = t.jobID
+		jc.Reattach = t.resume
+	}
+	t.res, t.err = s.coord.RunJob(t.job, t.input, t.opts, jc)
+	// Retire the ticket in the journal (and compact when the dead-record
+	// overhang warrants it) before the submitter observes completion.
+	if t.err == nil {
+		_ = s.journal(encodeJournalDone(uint64(t.ID)))
+	} else {
+		_ = s.journal(encodeJournalAborted(uint64(t.ID), t.err.Error()))
+	}
 	close(t.done)
+}
+
+// journal appends one record to the write-ahead log and retains it for
+// compaction. No-op for in-memory services and after Abandon.
+func (s *Service) journal(rec []byte) error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.log == nil || s.abandoned {
+		return nil
+	}
+	if err := s.log.Append(rec); err != nil {
+		return err
+	}
+	s.japps++
+	s.retain(rec)
+	s.maybeCompact()
+	return nil
+}
+
+// journalBestEffort is the coordinator's append hook: a journal write
+// failure degrades durability (the transition re-runs after a crash) but
+// must not fail the task that completed.
+func (s *Service) journalBestEffort(rec []byte) { _ = s.journal(rec) }
+
+// retain indexes one appended record under its ticket, keeping only the
+// records replay would keep. Caller holds jmu.
+func (s *Service) retain(rec []byte) {
+	kind, ticket, err := journalKey(rec)
+	if err != nil {
+		return
+	}
+	e := s.jlive[ticket]
+	switch kind {
+	case jAdmit:
+		s.jlive[ticket] = &jrecs{admit: rec, maps: make(map[int][]byte), reds: make(map[int][]byte)}
+		s.jorder = append(s.jorder, ticket)
+	case jStart:
+		if e != nil {
+			e.start = rec
+		}
+	case jMapDone, jReduceDone:
+		if e == nil {
+			return
+		}
+		d := &dec{buf: rec, off: 1}
+		d.uvarint() // ticket
+		id := int(d.uvarint())
+		if d.err != nil {
+			return
+		}
+		if kind == jMapDone {
+			e.maps[id] = rec
+		} else {
+			e.reds[id] = rec
+		}
+	case jDone, jAborted:
+		delete(s.jlive, ticket)
+	}
+}
+
+// retainJob rebuilds a replayed job's retained records (resume startup).
+func (s *Service) retainJob(jj *journalJob) {
+	e := &jrecs{
+		admit: encodeJournalAdmit(jj.ticket, jj.name, jj.opts, jj.input),
+		maps:  make(map[int][]byte, len(jj.maps)),
+		reds:  make(map[int][]byte, len(jj.reduces)),
+	}
+	if jj.jobID > 0 {
+		e.start = encodeJournalStart(jj.ticket, jj.jobID)
+	}
+	for idx, jm := range jj.maps {
+		e.maps[idx] = encodeJournalMapDone(jj.ticket, idx, jm.attempt, jm.worker,
+			mapDone{shuffleRecords: jm.shuffleRecords, spills: jm.spills, waves: jm.waves})
+	}
+	for part, res := range jj.reduces {
+		e.reds[part] = encodeJournalReduceDone(jj.ticket, part, res)
+	}
+	s.jlive[jj.ticket] = e
+	s.jorder = append(s.jorder, jj.ticket)
+}
+
+// maybeCompact rewrites the journal down to the live tickets' records when
+// the file holds more than twice as many records as replay would keep
+// (plus a floor so small journals never churn). Caller holds jmu.
+func (s *Service) maybeCompact() {
+	liveRecs := 0
+	for _, e := range s.jlive {
+		liveRecs += 1 + len(e.maps) + len(e.reds)
+		if e.start != nil {
+			liveRecs++
+		}
+	}
+	if s.japps <= 2*liveRecs+64 {
+		return
+	}
+	var recs [][]byte
+	order := s.jorder[:0]
+	for _, ticket := range s.jorder {
+		e, ok := s.jlive[ticket]
+		if !ok {
+			continue // retired
+		}
+		order = append(order, ticket)
+		recs = append(recs, e.admit)
+		if e.start != nil {
+			recs = append(recs, e.start)
+		}
+		for _, id := range sortedKeys(e.maps) {
+			recs = append(recs, e.maps[id])
+		}
+		for _, id := range sortedKeys(e.reds) {
+			recs = append(recs, e.reds[id])
+		}
+	}
+	s.jorder = order
+	if err := s.log.Compact(recs); err != nil {
+		return // keep appending to the uncompacted journal
+	}
+	s.japps = len(recs)
+}
+
+func sortedKeys(m map[int][]byte) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Abandon simulates this service process dying without cleanup, for
+// restart tests and benchmarks: journal appends stop (a SIGKILLed process
+// writes nothing either), the log file handle closes so a successor can
+// reopen it, and the coordinator is abandoned — listener and worker
+// connections sever with no teardown handshake. In-flight jobs fail with
+// worker-lost errors whose abort records are deliberately suppressed, so
+// a successor service replays them as live and resumes them. The Service
+// is dead afterwards; do not Close it.
+func (s *Service) Abandon() {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	s.jmu.Lock()
+	s.abandoned = true
+	if s.log != nil {
+		_ = s.log.Close()
+	}
+	s.jmu.Unlock()
+	if !alreadyClosed {
+		close(s.queue)
+	}
+	s.coord.Abandon()
 }

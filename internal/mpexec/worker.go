@@ -3,6 +3,7 @@ package mpexec
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -22,6 +23,19 @@ import (
 // ships the name and the option subset, the worker supplies the functions.
 type JobResolver func(name string) (exec.Job, bool)
 
+// errCoordLost marks task failures caused by losing the control connection
+// (coordinator crash or restart) rather than by the task itself. Tasks
+// failed with it produce no 'E' frame: the coordinator that dispatched them
+// is gone, and its successor will re-dispatch.
+var errCoordLost = errors.New("mpexec: coordinator connection lost")
+
+// reconnectPolicy paces re-dials after a dropped control connection. The
+// budget is generous (~a minute at the cap) because the common cause is a
+// coordinator restart: the worker's sealed runs are exactly what the
+// restarted coordinator wants to re-attach, so patience is cheap and
+// re-execution is not.
+var reconnectPolicy = retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Attempts: 36}
+
 // Serve is a worker process's main loop for a single-app pool: every job
 // the coordinator opens resolves to the given user code, whatever its name.
 // See ServeJobs for the general form.
@@ -30,11 +44,11 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 }
 
 // ServeJobs is a worker process's main loop: dial the coordinator, start a
-// run-server, register, and execute tasks until the coordinator says bye or
-// the connection ends. base carries worker-local knobs (heartbeat interval,
-// spill directory); the task-body options that must match the coordinator
-// (mode, partition count, spill budget, codec, ...) arrive per job in the
-// 'J' frame, so one pool serves concurrent heterogeneous jobs.
+// run-server, register, and execute tasks until the coordinator says bye.
+// base carries worker-local knobs (heartbeat interval, spill directory); the
+// task-body options that must match the coordinator (mode, partition count,
+// spill budget, codec, ...) arrive per job in the 'J' frame, so one pool
+// serves concurrent heterogeneous jobs.
 //
 // Every admitted job gets its own state: a fresh spill directory (sealed
 // with the job's codec, removed when the job closes), its own reduce
@@ -46,34 +60,64 @@ func Serve(coordAddr string, job exec.Job, opts exec.Options) error {
 // sources. Section fetches from peer run-servers go through one shared
 // FetchPool: one multiplexed connection per peer, reused across sections,
 // tasks and jobs.
+//
+// A dropped control connection does not kill the worker: the run-server,
+// spill directories and sealed runs stay alive while the worker re-dials
+// under a capped backoff, and each (re-)registration advertises the sealed
+// files still verifiably on disk (the 'A' frame) so a restarted coordinator
+// can re-attach completed maps instead of re-executing them. Only a 'B'
+// bye — or exhausting the reconnect budget — ends the loop.
 func ServeJobs(coordAddr string, resolve JobResolver, base exec.Options) error {
 	base.Transport = shuffle.TCP // workers always exchange sealed runs
 	base.Normalize()
+	w := &workerState{resolve: resolve, base: base,
+		name: fmt.Sprintf("w-%d", os.Getpid()), jobs: make(map[int]*wjob)}
+	defer w.teardown()
 	// Transient connect failures (the coordinator's listener racing worker
 	// spawn, a briefly saturated backlog) are absorbed by a capped
 	// exponential backoff instead of failing the worker outright.
-	conn, err := retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Attempts: 8}.
-		Dial("tcp", coordAddr)
-	if err != nil {
-		return fmt.Errorf("mpexec: dial coordinator %s: %w", coordAddr, err)
+	pol := retry.Policy{Base: 50 * time.Millisecond, Max: 2 * time.Second, Attempts: 8}
+	for {
+		conn, err := pol.Dial("tcp", coordAddr)
+		if err != nil {
+			return fmt.Errorf("mpexec: dial coordinator %s: %w", coordAddr, err)
+		}
+		bye, err := w.serveConn(coordAddr, conn)
+		if err != nil || bye {
+			return err
+		}
+		// The connection dropped without a bye — a coordinator crash,
+		// restart, or network fault. Keep every job's sealed state and
+		// re-dial; a restarted coordinator re-attaches what survived.
+		pol = reconnectPolicy
 	}
-	defer conn.Close()
-	srv, advertise, err := runServerFor(coordAddr, conn)
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
-	pool := shuffle.NewFetchPool()
-	pool.DecodeWorkers = base.DecodeWorkers
-	defer pool.Close()
-	hello := putStr(nil, advertise)
-	hello = putStr(hello, fmt.Sprintf("w-%d", os.Getpid()))
-	if err := writeMsg(conn, msgHello, hello); err != nil {
-		return fmt.Errorf("mpexec: register: %w", err)
-	}
+}
 
-	w := &workerState{conn: conn, resolve: resolve, base: base, srv: srv, pool: pool,
-		jobs: make(map[int]*wjob)}
+// serveConn runs one control-connection session: register (hello plus the
+// sealed-run advertisement), serve frames, and on connection loss reset the
+// per-connection state while keeping job state alive for re-attach.
+// bye=true is a clean coordinator-initiated exit; a non-nil error is fatal
+// to the worker (protocol violation or failed bootstrap).
+func (w *workerState) serveConn(coordAddr string, conn net.Conn) (bye bool, err error) {
+	defer conn.Close()
+	if w.srv == nil { // first connection: bootstrap the data plane once
+		srv, advertise, err := runServerFor(coordAddr, conn)
+		if err != nil {
+			return false, err
+		}
+		w.srv, w.advertise = srv, advertise
+		w.pool = shuffle.NewFetchPool()
+		w.pool.DecodeWorkers = w.base.DecodeWorkers
+	}
+	hello := putStr(nil, w.advertise)
+	hello = putStr(hello, w.name)
+	if err := writeMsg(conn, msgHello, hello); err != nil {
+		return false, nil // connection already dead: re-dial
+	}
+	if err := writeMsg(conn, msgReattach, encodeReattach(w.survivingRuns())); err != nil {
+		return false, nil
+	}
+	epoch := w.install(conn)
 	// Heartbeats prove liveness through long silent stretches (a big map
 	// split, a reduce parked on routes); the coordinator declares a worker
 	// dead after four missed intervals.
@@ -82,41 +126,22 @@ func ServeJobs(coordAddr string, resolve JobResolver, base exec.Options) error {
 	hbWG.Add(1)
 	go func() {
 		defer hbWG.Done()
-		t := time.NewTicker(base.HeartbeatInterval)
+		t := time.NewTicker(w.base.HeartbeatInterval)
 		defer t.Stop()
 		for {
 			select {
 			case <-hbStop:
 				return
 			case <-t.C:
-				w.reply(msgHeartbeat, nil)
+				w.reply(epoch, msgHeartbeat, nil)
 			}
 		}
 	}()
-	err = w.loop(bufio.NewReader(conn))
+	bye, err = w.loop(bufio.NewReader(conn), epoch)
 	close(hbStop)
 	hbWG.Wait()
-	// The control plane is gone (bye, coordinator exit, or a protocol
-	// error): fail every job's still-running reduce sources so their tasks
-	// unwind, then wait for every task goroutine before tearing down the
-	// directories, server and pool they use.
-	w.mu.Lock()
-	jobs := make([]*wjob, 0, len(w.jobs))
-	for _, jb := range w.jobs {
-		jobs = append(jobs, jb)
-	}
-	w.jobs = make(map[int]*wjob)
-	w.mu.Unlock()
-	for _, jb := range jobs {
-		w.failJob(jb, fmt.Errorf("mpexec: coordinator connection closed"))
-	}
-	w.wg.Wait()
-	for _, jb := range jobs {
-		if jb.dir != nil {
-			_ = jb.dir.Close()
-		}
-	}
-	return err
+	w.dropConn()
+	return bye, err
 }
 
 // runServerFor starts the worker's run-server and derives the address peers
@@ -153,16 +178,24 @@ func runServerFor(coordAddr string, conn net.Conn) (*shuffle.Server, string, err
 	return srv, net.JoinHostPort(localHost, port), nil
 }
 
-// workerState is one ServeJobs invocation's shared state.
+// workerState is one ServeJobs invocation's shared state. The run-server,
+// fetch pool and admitted jobs outlive any single control connection; conn
+// and epoch are per-connection, and replies stamped with a stale epoch are
+// dropped (a task dispatched by a dead coordinator must not leak its reply
+// into the successor's session, where task identities restart).
 type workerState struct {
-	conn    net.Conn
-	resolve JobResolver
-	base    exec.Options
-	srv     *shuffle.Server
-	pool    *shuffle.FetchPool
+	resolve   JobResolver
+	base      exec.Options
+	name      string
+	advertise string
+	srv       *shuffle.Server
+	pool      *shuffle.FetchPool
 
-	wmu sync.Mutex // serializes reply/error frame writes
-	wg  sync.WaitGroup
+	wmu   sync.Mutex // serializes reply writes; guards conn + epoch
+	conn  net.Conn
+	epoch int
+
+	wg sync.WaitGroup
 
 	mu   sync.Mutex
 	jobs map[int]*wjob // job id -> its state (w.mu guards wjob maps too)
@@ -179,20 +212,119 @@ type wjob struct {
 	early   map[int][]mapSegs           // pushes that raced ahead of their 'R'
 	aborted error                       // set by 'F' (or a failed open): fail tasks fast
 	tasks   sync.WaitGroup              // in-flight tasks of this job
-	fileIDs []uint64                    // run files this job registered with the run-server
+	sealed  []sealedFile                // run files registered with the run-server (+ seal CRCs)
 }
 
-// loop dispatches control frames until the connection ends. A nil return
-// is a clean exit (bye or coordinator gone).
-func (w *workerState) loop(br *bufio.Reader) error {
+// install binds a new control connection and returns its epoch.
+func (w *workerState) install(conn net.Conn) int {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.conn = conn
+	return w.epoch
+}
+
+// dropConn retires the current connection: the epoch advances so straggler
+// task replies are dropped, and in-flight reduce sources fail with
+// errCoordLost so their tasks unwind (the dispatching coordinator is gone;
+// its successor re-dispatches). Job state — spill dirs, sealed runs,
+// resolved user code — survives for re-attach.
+func (w *workerState) dropConn() {
+	w.wmu.Lock()
+	w.conn = nil
+	w.epoch++
+	w.wmu.Unlock()
+	w.mu.Lock()
+	var srcs []*shuffle.PushSource
+	for _, jb := range w.jobs {
+		for _, s := range jb.reds {
+			srcs = append(srcs, s)
+		}
+		jb.reds = make(map[int]*shuffle.PushSource)
+		jb.early = make(map[int][]mapSegs)
+	}
+	w.mu.Unlock()
+	for _, s := range srcs {
+		s.Fail(errCoordLost)
+	}
+}
+
+// survivingRuns scans every job's sealed runs on disk, re-checksumming each
+// file, and returns the verified survivors — the 'A' advertisement. A file
+// that disappeared or no longer matches its seal-time CRC is silently
+// omitted (its map will simply re-execute).
+func (w *workerState) survivingRuns() map[int][]sealedFile {
+	w.mu.Lock()
+	type jobFiles struct {
+		id    int
+		files []sealedFile
+	}
+	var snap []jobFiles
+	for id, jb := range w.jobs {
+		snap = append(snap, jobFiles{id: id, files: append([]sealedFile(nil), jb.sealed...)})
+	}
+	w.mu.Unlock()
+	out := make(map[int][]sealedFile)
+	for _, jf := range snap {
+		for _, f := range jf.files {
+			path, ok := w.srv.PathOf(f.fileID)
+			if !ok {
+				continue
+			}
+			crc, err := dfs.CRCFile(path)
+			if err != nil || crc != f.crc {
+				continue
+			}
+			out[jf.id] = append(out[jf.id], f)
+		}
+	}
+	return out
+}
+
+// teardown is the worker's final cleanup, after the serve loop has ended
+// for good: fail whatever is still in flight, wait out every task
+// goroutine, then release files, directories, server and pool.
+func (w *workerState) teardown() {
+	w.mu.Lock()
+	jobs := make([]*wjob, 0, len(w.jobs))
+	for _, jb := range w.jobs {
+		jobs = append(jobs, jb)
+	}
+	w.jobs = make(map[int]*wjob)
+	w.mu.Unlock()
+	for _, jb := range jobs {
+		w.failJob(jb, errCoordLost)
+	}
+	w.wg.Wait()
+	for _, jb := range jobs {
+		if w.srv != nil {
+			for _, f := range jb.sealed {
+				w.srv.Unregister(f.fileID)
+			}
+		}
+		if jb.dir != nil {
+			_ = jb.dir.Close()
+		}
+	}
+	if w.pool != nil {
+		w.pool.Close()
+	}
+	if w.srv != nil {
+		_ = w.srv.Close()
+	}
+}
+
+// loop dispatches control frames until the connection ends: bye=true for a
+// coordinator-initiated 'B', bye=false with a nil error when the connection
+// dropped (the caller re-dials), and a non-nil error on protocol violation.
+func (w *workerState) loop(br *bufio.Reader, epoch int) (bye bool, err error) {
 	for {
 		typ, payload, err := readMsg(br)
 		if err != nil {
-			return nil // coordinator gone: a worker's exit signal
+			return false, nil // connection gone: re-dial
 		}
 		switch typ {
 		case msgBye:
-			return nil
+			return true, nil
 		case msgJobStart:
 			w.openJob(payload)
 		case msgJobEnd:
@@ -200,11 +332,11 @@ func (w *workerState) loop(br *bufio.Reader) error {
 			w.closeJob(int(d.uvarint()))
 		case msgMapTask:
 			w.wg.Add(1)
-			go w.runMap(payload)
+			go w.runMap(epoch, payload)
 		case msgReduceTask:
 			// Decoded (and its source registered) synchronously, so pushes
 			// read off this same loop afterwards always find the source.
-			w.startReduce(payload)
+			w.startReduce(epoch, payload)
 		case msgSegPush:
 			w.offer(payload)
 		case msgAbort:
@@ -215,26 +347,52 @@ func (w *workerState) loop(br *bufio.Reader) error {
 				w.failJob(jb, fmt.Errorf("mpexec: job aborted: %s", reason))
 			}
 		default:
-			return fmt.Errorf("mpexec: unexpected message %q from coordinator", typ)
+			return false, fmt.Errorf("mpexec: unexpected message %q from coordinator", typ)
 		}
 	}
 }
 
-// reply sends one frame back, serialized across task goroutines.
-func (w *workerState) reply(typ byte, payload []byte) {
+// reply sends one frame back, serialized across task goroutines. A reply
+// stamped with a stale epoch — its task was dispatched over a connection
+// that has since died — is dropped: the restarted coordinator reuses task
+// identities, and a stray frame could be mistaken for one of its own.
+func (w *workerState) reply(epoch int, typ byte, payload []byte) {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
+	if epoch != w.epoch || w.conn == nil {
+		return
+	}
 	_ = writeMsg(w.conn, typ, payload)
 }
 
 // openJob admits one job: resolve its user code and give it a fresh spill
 // directory sealed with the job's codec. A failed open latches the job
-// aborted, so its tasks error back instead of wedging.
+// aborted, so its tasks error back instead of wedging. A 'J' for a job this
+// worker already holds is a re-open after a coordinator restart: the sealed
+// outputs are kept (they are what re-attach recovers) and only the
+// per-session control state resets.
 func (w *workerState) openJob(payload []byte) {
 	id, name, opts, err := decodeJobStart(payload, w.base)
 	if err != nil {
 		return // corrupt 'J': the job's tasks will error as unknown
 	}
+	w.mu.Lock()
+	if jb := w.jobs[id]; jb != nil {
+		srcs := make([]*shuffle.PushSource, 0, len(jb.reds))
+		for _, s := range jb.reds {
+			srcs = append(srcs, s)
+		}
+		jb.reds = make(map[int]*shuffle.PushSource)
+		jb.early = make(map[int][]mapSegs)
+		jb.aborted = nil
+		jb.opts = opts
+		w.mu.Unlock()
+		for _, s := range srcs {
+			s.Fail(errCoordLost)
+		}
+		return
+	}
+	w.mu.Unlock()
 	jb := &wjob{id: id, opts: opts,
 		reds: make(map[int]*shuffle.PushSource), early: make(map[int][]mapSegs)}
 	if job, ok := w.resolve(name); ok {
@@ -251,12 +409,8 @@ func (w *workerState) openJob(payload []byte) {
 		}
 	}
 	w.mu.Lock()
-	old := w.jobs[id]
 	w.jobs[id] = jb
 	w.mu.Unlock()
-	if old != nil {
-		w.reapJob(old, fmt.Errorf("mpexec: job %d superseded", id))
-	}
 }
 
 // closeJob retires one job: no new tasks can claim it, and once in-flight
@@ -284,11 +438,11 @@ func (w *workerState) reapJob(jb *wjob, reason error) {
 	w.failJob(jb, reason)
 	jb.tasks.Wait()
 	w.mu.Lock()
-	ids := jb.fileIDs
-	jb.fileIDs = nil
+	sealed := jb.sealed
+	jb.sealed = nil
 	w.mu.Unlock()
-	for _, id := range ids {
-		w.srv.Unregister(id)
+	for _, f := range sealed {
+		w.srv.Unregister(f.fileID)
 	}
 	if jb.dir != nil {
 		_ = jb.dir.Close()
@@ -386,7 +540,7 @@ func applyPush(src *shuffle.PushSource, ms mapSegs) error {
 // sink tag carries the job and attempt so concurrent jobs — and
 // re-executions or clones of a map this worker already ran — cannot collide
 // in the job's sealed files.
-func (w *workerState) runMap(payload []byte) {
+func (w *workerState) runMap(epoch int, payload []byte) {
 	defer w.wg.Done()
 	d := &dec{buf: payload}
 	jobID := int(d.uvarint())
@@ -394,12 +548,12 @@ func (w *workerState) runMap(payload []byte) {
 	attempt := int(d.uvarint())
 	split := d.records()
 	if d.err != nil {
-		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, d.err.Error()))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgMapDone, index, d.err.Error()))
 		return
 	}
 	jb := w.taskJob(jobID)
 	if jb == nil {
-		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, fmt.Sprintf("unknown job %d", jobID)))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgMapDone, index, fmt.Sprintf("unknown job %d", jobID)))
 		return
 	}
 	defer jb.tasks.Done()
@@ -407,7 +561,7 @@ func (w *workerState) runMap(payload []byte) {
 	aborted := jb.aborted
 	w.mu.Unlock()
 	if aborted != nil {
-		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, aborted.Error()))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgMapDone, index, aborted.Error()))
 		return
 	}
 	before := jb.dir.SpilledBytes()
@@ -415,30 +569,30 @@ func (w *workerState) runMap(payload []byte) {
 	sink := shuffle.NewRunSink(jb.dir, w.srv, fmt.Sprintf("j%d-m%d-a%d", jobID, index, attempt))
 	stats, err := exec.RunMapTask(jb.job, jb.opts, exec.MapTask{Index: index, Attempt: attempt, Split: split}, sink)
 	if err != nil {
-		w.reply(msgError, encodeTaskError(jobID, msgMapDone, index, err.Error()))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgMapDone, index, err.Error()))
 		return
 	}
 	w.mu.Lock()
 	for _, wave := range sink.Waves() {
-		jb.fileIDs = append(jb.fileIDs, wave.FileID)
+		jb.sealed = append(jb.sealed, sealedFile{fileID: wave.FileID, crc: wave.CRC})
 	}
 	w.mu.Unlock()
-	w.reply(msgMapDone, encodeMapDone(jobID, index, attempt, stats.ShuffleRecords, stats.Spills,
+	w.reply(epoch, msgMapDone, encodeMapDone(jobID, index, attempt, stats.ShuffleRecords, stats.Spills,
 		jb.dir.SpilledBytes()-before, jb.dir.RawSpilledBytes()-beforeRaw, w.srv.Opens(), sink.Waves()))
 }
 
 // startReduce decodes one routed reduce task, registers its push source
 // (replaying any pushes that arrived early), and runs the canonical task
 // body in its own goroutine so the control loop keeps routing pushes.
-func (w *workerState) startReduce(payload []byte) {
+func (w *workerState) startReduce(epoch int, payload []byte) {
 	jobID, partition, nMaps, routed, err := decodeReduceTask(payload)
 	if err != nil {
-		w.reply(msgError, encodeTaskError(jobID, msgReduceDone, partition, err.Error()))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgReduceDone, partition, err.Error()))
 		return
 	}
 	jb := w.taskJob(jobID)
 	if jb == nil {
-		w.reply(msgError, encodeTaskError(jobID, msgReduceDone, partition, fmt.Sprintf("unknown job %d", jobID)))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgReduceDone, partition, fmt.Sprintf("unknown job %d", jobID)))
 		return
 	}
 	src := shuffle.NewPushSource(nMaps, jb.opts.BatchSize)
@@ -454,7 +608,7 @@ func (w *workerState) startReduce(payload []byte) {
 		// never come.
 		w.unregister(jb, partition, src)
 		jb.tasks.Done()
-		w.reply(msgError, encodeTaskError(jobID, msgReduceDone, partition, aborted.Error()))
+		w.reply(epoch, msgError, encodeTaskError(jobID, msgReduceDone, partition, aborted.Error()))
 		return
 	}
 	for _, ms := range append(routed, buffered...) {
@@ -464,7 +618,7 @@ func (w *workerState) startReduce(payload []byte) {
 		}
 	}
 	w.wg.Add(1)
-	go w.runReduce(jb, partition, src)
+	go w.runReduce(epoch, jb, partition, src)
 }
 
 // unregister drops a finished reduce task's source — only if it still owns
@@ -481,7 +635,7 @@ func (w *workerState) unregister(jb *wjob, partition int, src *shuffle.PushSourc
 // runReduce executes one reduce task through the canonical task body,
 // fetching segments from the owning workers' run-servers as their routes
 // arrive. Callers have already claimed the job's task slot.
-func (w *workerState) runReduce(jb *wjob, partition int, src *shuffle.PushSource) {
+func (w *workerState) runReduce(epoch int, jb *wjob, partition int, src *shuffle.PushSource) {
 	defer w.wg.Done()
 	defer jb.tasks.Done()
 	defer w.unregister(jb, partition, src)
@@ -490,7 +644,9 @@ func (w *workerState) runReduce(jb *wjob, partition int, src *shuffle.PushSource
 	res, err := exec.RunReduceTask(jb.job, jb.opts, exec.ReduceTask{Partition: partition}, src, jb.dir)
 	_ = src.Close()
 	if err != nil {
-		w.reply(msgError, encodeTaskError(jb.id, msgReduceDone, partition, err.Error()))
+		if !errors.Is(err, errCoordLost) {
+			w.reply(epoch, msgError, encodeTaskError(jb.id, msgReduceDone, partition, err.Error()))
+		}
 		return
 	}
 	b := binary.AppendUvarint(nil, uint64(jb.id))
@@ -504,5 +660,5 @@ func (w *workerState) runReduce(jb *wjob, partition int, src *shuffle.PushSource
 	b = binary.AppendUvarint(b, uint64(w.pool.Dials()))
 	b = binary.AppendUvarint(b, uint64(w.srv.Opens()))
 	b = putRecords(b, res.Output)
-	w.reply(msgReduceDone, b)
+	w.reply(epoch, msgReduceDone, b)
 }

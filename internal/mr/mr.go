@@ -104,6 +104,10 @@ type Result struct {
 	// and clones whose attempt completed first (Options.Speculative).
 	BackupsLaunched int
 	BackupsWon      int
+	// ReattachedMaps counts map tasks a restarted coordinator recovered by
+	// re-attaching a returning worker's surviving sealed runs instead of
+	// re-executing them (multi-process engine resume; 0 everywhere else).
+	ReattachedMaps int
 }
 
 // Run executes job over input and returns the result. The input slice is
@@ -207,6 +211,7 @@ func Assemble(sum *exec.Summary) *Result {
 		MapWall: sum.MapWall, ShuffleRecords: sum.ShuffleRecords, Spills: sum.MapSpills,
 		MapRetries: sum.MapRetries, ReduceRetries: sum.ReduceRetries,
 		BackupsLaunched: sum.BackupsLaunched, BackupsWon: sum.BackupsWon,
+		ReattachedMaps: sum.ReattachedMaps,
 	}
 	var n int
 	for _, rr := range sum.Reduces {

@@ -19,6 +19,7 @@ package shuffle
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,10 @@ type Wave struct {
 	Addr string
 	// Comp is the codec every span of the wave was sealed with.
 	Comp codec.Compression
+	// CRC is the CRC-32C of the whole sealed file, computed while sealing.
+	// The crash-restart re-attach handshake compares it against a returning
+	// worker's on-disk scan to prove a journaled wave survived intact.
+	CRC uint32
 	// Spans are the per-partition sections.
 	Spans []Span
 }
@@ -761,13 +766,17 @@ func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, e
 		return Wave{}, enc, false, err
 	}
 	w = Wave{Comp: dir.Compression(), Spans: make([]Span, len(parts))}
+	// Every file byte flows through the encoder, so a checksumming shim
+	// between encoder and writer sees the sealed file exactly as it lands
+	// on disk — the CRC the re-attach survival scan will recompute.
+	cw := &crcWriter{w: wr}
 	var raw int64
 	for p, part := range parts {
 		if len(part) == 0 {
 			continue
 		}
 		off := wr.Bytes()
-		enc.Reset(wr)
+		enc.Reset(cw)
 		for _, r := range part {
 			if err := enc.Append(r); err != nil {
 				wr.Abort()
@@ -787,6 +796,7 @@ func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, e
 	}
 	dir.AddRawBytes(raw)
 	w.Path = wr.Path()
+	w.CRC = cw.sum
 	if srv != nil {
 		w.FileID = srv.Register(wr.Path())
 		w.Addr = srv.Addr()
@@ -794,3 +804,17 @@ func sealWave(dir *dfs.RunDir, srv *Server, tag string, parts [][]core.Record, e
 	}
 	return w, enc, true, nil
 }
+
+// crcWriter tracks the CRC-32C of everything written through it.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.sum = crc32.Update(c.sum, crcTable, p[:n])
+	return n, err
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)

@@ -113,6 +113,16 @@ func (s *Server) Register(path string) uint64 {
 	return s.nextID
 }
 
+// PathOf reports the on-disk path a file ID was registered under, ok=false
+// for an unknown or withdrawn ID. The re-attach survival scan uses it to
+// re-checksum sealed files a returning worker still serves.
+func (s *Server) PathOf(fileID uint64) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, ok := s.files[fileID]
+	return path, ok
+}
+
 // Unregister withdraws a registered file: later requests for the ID get
 // an error response, and any cached handle is invalidated (closed once
 // in-flight sections drain). Job teardown calls this so a long-lived

@@ -27,6 +27,12 @@ type Engine struct {
 	// and its death time. nil/0 when the job configures no kill.
 	killNode *cluster.Node
 	killAt   float64
+
+	// Coordinator-crash injection (JobSpec.KillCoordinatorAt): the crash
+	// time and the event the restarted control plane fires once journal
+	// replay and sealed-run re-attach finish. coordUp nil = no kill.
+	coordKillAt float64
+	coordUp     *sim.Event
 }
 
 // NewEngine builds the kernel, cluster and DFS for one run.
@@ -138,6 +144,10 @@ func (e *Engine) Run(job JobSpec, input *dfs.File) *Result {
 		e.killNode = pool[job.KillWorker%len(pool)]
 		e.killAt = job.KillWorkerAt
 	}
+	if job.KillCoordinatorAt > 0 {
+		e.coordKillAt = job.KillCoordinatorAt
+		e.coordUp = sim.NewEvent(e.K, "coordinator-restarted")
+	}
 	e.spawnJob(&job, input, res, nil)
 	e.K.Run()
 	e.Col.CloseAll(res.Completion)
@@ -193,6 +203,11 @@ func (e *Engine) spawnJob(job *JobSpec, input *dfs.File, res *Result, place plac
 	if e.killNode != nil {
 		e.K.Spawn("chaos-kill", func(p *sim.Proc) {
 			e.chaosKill(p, job, input, shuffle, res, jobDone)
+		})
+	}
+	if e.coordUp != nil {
+		e.K.Spawn("coord-kill", func(p *sim.Proc) {
+			e.coordKill(p, job, shuffle, res, jobDone)
 		})
 	}
 
@@ -267,6 +282,11 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, node
 		node = ch.Primary()
 	}
 	for attempt := 0; ; attempt++ {
+		if e.coordDown(p.Now()) {
+			// No coordinator to dispatch the task: it stays queued until the
+			// restarted control plane finishes replay + re-attach.
+			e.coordUp.Wait(p)
+		}
 		if e.nodeDead(node, p.Now()) {
 			// The assigned worker is already gone: the scheduler just
 			// re-queues the task on a survivor — no attempt was wasted.
@@ -311,6 +331,20 @@ func (e *Engine) mapTask(p *sim.Proc, job *JobSpec, idx int, ch *dfs.Chunk, node
 			e.Col.TaskEnd(tok, p.Now())
 			node.MapSlots.Release(1)
 			node = e.survivorNode(idx, job)
+			continue
+		}
+
+		if e.coordUp != nil && shuffle.maps[idx].startedAt < e.coordKillAt && p.Now() >= e.coordKillAt {
+			// The attempt spanned the crash: the worker's control
+			// connection died under it, so the completion was never
+			// journaled (its sealed runs survive, but only journaled maps
+			// re-attach) — it re-runs once the coordinator returns.
+			res.MapRetries++
+			e.Col.TaskEnd(tok, p.Now())
+			node.MapSlots.Release(1)
+			if e.coordDown(p.Now()) {
+				e.coordUp.Wait(p)
+			}
 			continue
 		}
 
@@ -555,6 +589,39 @@ func (e *Engine) chaosKill(p *sim.Proc, job *JobSpec, input *dfs.File, shuffle *
 			e.Col.TaskEnd(tok, rp.Now())
 		})
 	}
+}
+
+// coordDown reports whether the control plane is dark at virtual time now:
+// a coordinator kill is configured, the crash has happened, and the
+// restarted coordinator has not yet finished replay + re-attach.
+func (e *Engine) coordDown(now float64) bool {
+	return e.coordUp != nil && now >= e.coordKillAt && !e.coordUp.Fired()
+}
+
+// coordKill is the injected coordinator crash (JobSpec.KillCoordinatorAt):
+// at the kill time the control plane goes dark; after the fixed restart
+// outage plus a per-map re-attach cost for every output journaled before
+// the crash, it returns and fires coordUp. Published outputs survive on
+// their workers' sealed runs (the data plane outlives the coordinator) and
+// are re-attached rather than re-executed; attempts completing during the
+// outage notice in mapTask and re-run. This is the simulated counterpart
+// of the service journal + sealed-run re-attach recovery (DESIGN §14).
+func (e *Engine) coordKill(p *sim.Proc, job *JobSpec, shuffle *shuffleState, res *Result, jobDone *sim.Event) {
+	p.Sleep(e.coordKillAt)
+	if jobDone.Fired() {
+		e.coordUp.Fire() // job already retired: nothing to recover
+		return
+	}
+	res.CoordRestarts++
+	attached := 0
+	for _, mo := range shuffle.maps {
+		if mo.done.Fired() && !mo.lost {
+			attached++
+		}
+	}
+	res.ReattachedMaps = attached
+	p.Sleep(job.Costs.CoordRestartDelay + float64(attached)*job.Costs.ReattachPerMap)
+	e.coordUp.Fire()
 }
 
 // publishMapOutput registers a completed map attempt with the shuffle

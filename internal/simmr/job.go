@@ -89,6 +89,16 @@ type CostModel struct {
 	// (the paper observed ~30,000 inserts/s => ~33µs/op). Applied only
 	// when Store == store.KV.
 	KVOpDelay float64
+	// CoordRestartDelay is the fixed control-plane outage of a coordinator
+	// crash-restart (process restart, journal replay, worker
+	// re-registration), charged when JobSpec.KillCoordinatorAt fires. No
+	// task is dispatched and no completion is journaled during the outage.
+	CoordRestartDelay float64
+	// ReattachPerMap is the per-journaled-map cost of sealed-run re-attach
+	// on coordinator restart (advertisement matching + route re-install),
+	// charged during the restart window in place of a re-execution — the
+	// reason resuming beats cold re-execution.
+	ReattachPerMap float64
 }
 
 // DefaultCosts returns rates calibrated so the default cluster reproduces
@@ -109,9 +119,11 @@ func DefaultCosts() CostModel {
 		// Effective consumer-side rate: block decode runs on the fetch
 		// plane's parallel decode pool, overlapping the merge, so the charged
 		// per-byte cost is below the raw ~1.6 GB/s LZ-class codec speed.
-		CompressDelay: 0.4e-9,
-		CompressRatio:        2.0,
-		KVOpDelay:            1.0 / 30000,
+		CompressDelay:     0.4e-9,
+		CompressRatio:     2.0,
+		KVOpDelay:         1.0 / 30000,
+		CoordRestartDelay: 0.25,
+		ReattachPerMap:    2e-4,
 	}
 }
 
@@ -239,6 +251,17 @@ type JobSpec struct {
 	KillWorkerAt float64
 	// KillWorker is the pool index of the node KillWorkerAt kills.
 	KillWorker int
+	// KillCoordinatorAt, when > 0, injects a coordinator crash at this
+	// virtual time: the control plane goes dark for Costs.CoordRestartDelay
+	// (restart, journal replay, worker re-registration) and no task starts
+	// meanwhile. Map outputs published before the crash were journaled and
+	// survive on their workers' sealed runs — the restarted coordinator
+	// re-attaches each at Costs.ReattachPerMap instead of re-executing it.
+	// An attempt finishing during the outage has no coordinator to report
+	// to: it was never journaled and re-runs once the control plane
+	// returns. Like KillWorkerAt this models map-side recovery only
+	// (DESIGN §14): reduce progress is not checkpointed mid-task.
+	KillCoordinatorAt float64
 }
 
 // Result reports one job execution.
@@ -273,6 +296,12 @@ type Result struct {
 	// (JobSpec.KillWorkerAt) and re-executed on survivors; each also counts
 	// as a MapRetries entry.
 	LostMapOutputs int
+	// ReattachedMaps counts map outputs journaled before a coordinator
+	// crash (JobSpec.KillCoordinatorAt) and re-attached from surviving
+	// sealed runs on restart instead of re-executed.
+	ReattachedMaps int
+	// CoordRestarts counts injected coordinator crash-restarts survived.
+	CoordRestarts int
 	// ShuffleBytes is the total virtual bytes of intermediate data moved
 	// from mappers to reducers (post-combiner).
 	ShuffleBytes int64

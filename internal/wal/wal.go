@@ -1,0 +1,197 @@
+// Package wal is a minimal write-ahead journal: an append-only file of
+// length+CRC-framed records. It backs the coordinator's job journal — every
+// control-plane state transition is appended before it is acted on, so a
+// SIGKILLed coordinator can replay the file and pick up where it died.
+//
+// Frame format (all little-endian):
+//
+//	[4B payload length][4B CRC-32C of payload][payload]
+//
+// Replay semantics are deliberately asymmetric about where damage sits:
+// a *torn tail* — the file ends mid-header or mid-payload, exactly what a
+// crash between write() and completion produces — is tolerated and truncated
+// away, while any damage to a complete record (a CRC or framing mismatch
+// with the full frame present) is reported as ErrCorrupt, because that is
+// bit rot or a bug, not a crash, and silently dropping interior records
+// would resurrect jobs in inconsistent states.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt reports journal damage that is not a torn tail: a complete
+// record whose CRC does not match, or framing that cannot be a crash
+// artifact (an absurd length field mid-file).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// maxRecord bounds a single record; a length field beyond it is corruption,
+// not a large record.
+const maxRecord = 1 << 28
+
+const headerSize = 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an open journal positioned for appends.
+type Log struct {
+	path string
+	f    *os.File
+	off  int64
+}
+
+// scan walks buf and returns the framed payloads plus the offset just past
+// the last complete record. A torn tail (fewer bytes than the header or the
+// declared payload demands, at end of input) stops the scan cleanly; a CRC
+// mismatch on a complete record returns ErrCorrupt.
+func scan(buf []byte) (recs [][]byte, clean int64, err error) {
+	off := 0
+	for off < len(buf) {
+		if len(buf)-off < headerSize {
+			break // torn header
+		}
+		n := binary.LittleEndian.Uint32(buf[off:])
+		sum := binary.LittleEndian.Uint32(buf[off+4:])
+		if n > maxRecord {
+			return nil, 0, fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if len(buf)-off-headerSize < int(n) {
+			break // torn payload
+		}
+		payload := buf[off+headerSize : off+headerSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return nil, 0, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		recs = append(recs, rec)
+		off += headerSize + int(n)
+	}
+	return recs, int64(off), nil
+}
+
+// Replay reads the journal at path without opening it for writes and
+// returns its records. A torn tail is ignored (not truncated — the file is
+// untouched), so Replay is safe to run against a journal another process is
+// actively appending to. A missing file replays as empty.
+func Replay(path string) ([][]byte, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := scan(buf)
+	return recs, err
+}
+
+// Open opens (creating if absent) the journal at path, replays its records,
+// truncates any torn tail in place, and returns the log positioned for
+// appends along with the replayed records.
+func Open(path string) (*Log, [][]byte, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	recs, clean, err := scan(buf)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if clean < int64(len(buf)) {
+		if err := f.Truncate(clean); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(clean, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Log{path: path, f: f, off: clean}, recs, nil
+}
+
+// frame encodes one record ready for a single write.
+func frame(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// Append journals one record. The frame goes down in a single write, so a
+// crash mid-append leaves at worst a torn tail for the next Open to trim.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	buf := frame(payload)
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	l.off += int64(len(buf))
+	return nil
+}
+
+// Size reports the journal's current byte length — the compaction trigger's
+// input.
+func (l *Log) Size() int64 { return l.off }
+
+// Sync flushes the journal to stable storage. Appends survive a process
+// SIGKILL without it (the OS holds the bytes); Sync is for machine-crash
+// durability at the caller's chosen points.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Compact atomically replaces the journal's contents with records — the
+// caller's compacted snapshot of still-live state. The snapshot is written
+// to a temp file, synced, and renamed over the journal, so a crash at any
+// point leaves either the old journal or the complete new one.
+func (l *Log) Compact(records [][]byte) error {
+	dir, base := filepath.Split(l.path)
+	tmp, err := os.CreateTemp(dir, base+".compact-*")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	var off int64
+	for _, rec := range records {
+		buf := frame(rec)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		off += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	// The temp file's descriptor now names the journal's inode; keep
+	// appending through it.
+	old := l.f
+	l.f, l.off = tmp, off
+	old.Close()
+	return nil
+}
+
+// Close closes the journal file.
+func (l *Log) Close() error { return l.f.Close() }

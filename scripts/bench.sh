@@ -56,6 +56,8 @@ tmp="$(mktemp)"
   run_bench . 'FaultPredicted' 1x
   echo "== multi-tenant job service (heterogeneous 3-job stream on one 3-worker pool: sequential admission vs concurrent under each placement policy) =="
   run_bench ./internal/mpexec/ 'ServiceStream' 2x
+  echo "== coordinator crash-restart (durable journal: resume with sealed-run re-attach vs cold re-execution of the same job) =="
+  run_bench ./internal/mpexec/ 'CoordRestart' 3x
 } | tee "$tmp"
 
 # Emit a JSON snapshot: one {name, value, unit} triple per reported
